@@ -1,0 +1,50 @@
+"""Ablation — the self-delegation rule of Eq. 24 (Section 4.4).
+
+No figure in the paper covers this rule directly; DESIGN.md lists it as
+an extension experiment.  Expected shape: Eq. 24 weakly dominates both
+always-self and always-delegate, because it picks the better of the two
+per trustor.
+"""
+
+from repro.analysis.report import ComparisonReport
+from repro.analysis.tables import render_table
+from repro.simulation.selfdelegation import SelfDelegationSimulation
+from repro.socialnet.datasets import NETWORK_PROFILES, load_network
+
+
+def _compute():
+    return {
+        name: SelfDelegationSimulation(
+            load_network(name, seed=0), tasks_per_trustor=60, seed=1
+        ).run()
+        for name in NETWORK_PROFILES
+    }
+
+
+def test_ablation_self_delegation(once):
+    results = once(_compute)
+
+    rows = [
+        {"network": name, **result.as_row()}
+        for name, result in results.items()
+    ]
+    print()
+    print(render_table(rows, title="Ablation — Eq. 24 dispatch policies"))
+
+    report = ComparisonReport("Ablation Eq. 24")
+    for name, result in results.items():
+        report.add(
+            f"{name} eq24 >= always-self", result.eq24,
+            shape_holds=result.eq24 >= result.always_self - 0.02,
+        )
+        report.add(
+            f"{name} eq24 >= always-delegate", result.eq24,
+            shape_holds=result.eq24 >= result.always_delegate - 0.02,
+        )
+        report.add(
+            f"{name} mixes both modes", result.eq24_delegation_share,
+            shape_holds=0.05 < result.eq24_delegation_share < 0.95,
+            note="some trustors self-execute, some delegate",
+        )
+    print(report.render())
+    assert report.all_shapes_hold

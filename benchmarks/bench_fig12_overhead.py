@@ -1,0 +1,59 @@
+"""Fig. 12 — search overhead: number of inquired nodes per trustor
+(sorted), for the three trust-transfer methods on the Facebook network
+(Section 5.5)."""
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis.report import ComparisonReport
+from repro.analysis.series import LabelledSeries
+from repro.core.transitivity import TransitivityMode
+from repro.simulation.config import TransitivityConfig
+from repro.simulation.transitivity import TransitivitySimulation
+from repro.socialnet.datasets import facebook
+
+
+def _compute():
+    simulation = TransitivitySimulation(
+        facebook(seed=0), TransitivityConfig(num_characteristics=4), seed=1
+    )
+    return {mode: simulation.run(mode) for mode in TransitivityMode}
+
+
+def test_fig12_search_overhead(once):
+    results = once(_compute)
+
+    curves = [
+        LabelledSeries(
+            mode.value, [float(v) for v in result.inquiry_counts]
+        )
+        for mode, result in results.items()
+    ]
+    print()
+    print(ascii_chart(
+        curves,
+        title="Fig. 12 — #inquired nodes per (sorted) trustor, Facebook",
+    ))
+
+    def mean_inquiries(mode):
+        counts = results[mode].inquiry_counts
+        return sum(counts) / len(counts)
+
+    report = ComparisonReport("Fig. 12")
+    report.add(
+        "traditional mean inquiries",
+        mean_inquiries(TransitivityMode.TRADITIONAL),
+    )
+    report.add(
+        "conservative mean inquiries",
+        mean_inquiries(TransitivityMode.CONSERVATIVE),
+        shape_holds=mean_inquiries(TransitivityMode.CONSERVATIVE)
+        > mean_inquiries(TransitivityMode.TRADITIONAL),
+    )
+    report.add(
+        "aggressive mean inquiries",
+        mean_inquiries(TransitivityMode.AGGRESSIVE),
+        shape_holds=mean_inquiries(TransitivityMode.AGGRESSIVE)
+        > mean_inquiries(TransitivityMode.CONSERVATIVE),
+        note="aggressive pays the largest search overhead",
+    )
+    print(report.render())
+    assert report.all_shapes_hold

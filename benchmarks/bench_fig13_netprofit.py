@@ -1,0 +1,67 @@
+"""Fig. 13 — net profit with iterative trustworthiness updates: the
+success-rate-only strategy vs the net-profit strategy of Eq. 23, on all
+three networks (Section 5.6)."""
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis.report import ComparisonReport
+from repro.analysis.series import LabelledSeries
+from repro.simulation.config import DelegationConfig
+from repro.simulation.delegation import DelegationSimulation
+from repro.socialnet.datasets import NETWORK_PROFILES, load_network
+
+ITERATIONS = 3000
+
+
+def _compute():
+    results = {}
+    for name in NETWORK_PROFILES:
+        simulation = DelegationSimulation(
+            load_network(name, seed=0),
+            DelegationConfig(iterations=ITERATIONS),
+            seed=1,
+        )
+        results[name] = simulation.run_both_strategies()
+    return results
+
+
+def test_fig13_net_profit(once):
+    results = once(_compute)
+
+    curves = []
+    for name, (first, second) in results.items():
+        window = 100
+        curves.append(LabelledSeries(
+            f"{name} (second strategy)",
+            second.series.smoothed(window),
+        ))
+        curves.append(LabelledSeries(
+            f"{name} (first strategy)",
+            first.series.smoothed(window),
+        ))
+    print()
+    print(ascii_chart(
+        curves, title=f"Fig. 13 — net profit over {ITERATIONS} iterations",
+    ))
+
+    report = ComparisonReport("Fig. 13")
+    for name, (first, second) in results.items():
+        report.add(
+            f"{name} second strategy converged profit",
+            second.converged_profit(),
+            shape_holds=second.converged_profit() > 0.1,
+            note="proposed evaluation earns positive profit",
+        )
+        report.add(
+            f"{name} second beats first",
+            second.converged_profit() - first.converged_profit(),
+            shape_holds=second.converged_profit()
+            > first.converged_profit() + 0.1,
+        )
+        report.add(
+            f"{name} first strategy near/below breakeven",
+            first.converged_profit(),
+            shape_holds=first.converged_profit() < 0.1,
+            note="paper: first strategy can go negative",
+        )
+    print(report.render())
+    assert report.all_shapes_hold

@@ -1,0 +1,58 @@
+"""Fig. 16 — net profit when the light condition changes and malicious
+trustees only serve in the final light period, with vs without the
+dynamic-environment factor (Section 5.7)."""
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis.report import ComparisonReport
+from repro.analysis.series import LabelledSeries
+from repro.iotnet.experiments import LightingExperiment
+
+
+def _compute():
+    return LightingExperiment(seed=1).run()
+
+
+def test_fig16_light_condition(once):
+    result = once(_compute)
+
+    print()
+    print(ascii_chart(
+        [
+            LabelledSeries("With Proposed Model", result.with_model),
+            LabelledSeries("Without Proposed Model", result.without_model),
+        ],
+        title="Fig. 16 — net profit, LIGHT / DARK / LIGHT schedule",
+    ))
+    print("phases:", " ".join(
+        f"{index}:{label}" for index, label in enumerate(result.labels)
+        if index in (0, 15, 35)
+    ))
+
+    with_final = result.final_phase_mean(result.with_model)
+    without_final = result.final_phase_mean(result.without_model)
+    first_with = sum(result.with_model[:15]) / 15
+    dark_with = [
+        value for value, label in zip(result.with_model, result.labels)
+        if label == "DARK"
+    ]
+
+    report = ComparisonReport("Fig. 16")
+    report.add(
+        "with-model final-light profit", with_final,
+        shape_holds=with_final > without_final,
+        note="normal trustees re-selected when light returns",
+    )
+    report.add(
+        "without-model final-light profit", without_final,
+        shape_holds=True,
+    )
+    report.add(
+        "dark period depressed", sum(dark_with) / len(dark_with),
+        shape_holds=sum(dark_with) / len(dark_with) < 0.5 * first_with,
+    )
+    report.add(
+        "with-model recovers toward first phase", with_final,
+        shape_holds=with_final > 0.5 * first_with,
+    )
+    print(report.render())
+    assert report.all_shapes_hold

@@ -1,0 +1,56 @@
+"""Fig. 7 — success / unavailable / abuse rates vs reverse-evaluation
+threshold θ ∈ {0, 0.3, 0.6} over the three networks (Section 5.3)."""
+
+from repro.analysis.report import ComparisonReport
+from repro.analysis.tables import render_table
+from repro.simulation.mutuality import sweep_thresholds
+from repro.socialnet.datasets import NETWORK_PROFILES, load_network
+
+THRESHOLDS = (0.0, 0.3, 0.6)
+
+
+def _compute():
+    return {
+        name: sweep_thresholds(
+            load_network(name, seed=0), thresholds=THRESHOLDS, seed=1
+        )
+        for name in NETWORK_PROFILES
+    }
+
+
+def test_fig7_mutuality(once):
+    results = once(_compute)
+
+    rows = []
+    for name, sweep in results.items():
+        for result in sweep:
+            rows.append({
+                "network": name,
+                "theta": result.threshold,
+                **result.rates.as_row(),
+            })
+    print()
+    print(render_table(rows, title="Fig. 7 (measured rates)"))
+
+    report = ComparisonReport("Fig. 7")
+    for name, sweep in results.items():
+        by_theta = {r.threshold: r.rates for r in sweep}
+        report.add(
+            f"{name} abuse@0", by_theta[0.0].abuse_rate, paper=0.45,
+            shape_holds=by_theta[0.0].abuse_rate > 0.4,
+            note="paper: >0.4 without reverse evaluation",
+        )
+        report.add(
+            f"{name} abuse decreasing", by_theta[0.6].abuse_rate,
+            shape_holds=by_theta[0.0].abuse_rate > by_theta[0.3].abuse_rate
+            > by_theta[0.6].abuse_rate,
+        )
+        report.add(
+            f"{name} unavailable increasing",
+            by_theta[0.6].unavailable_rate,
+            shape_holds=by_theta[0.0].unavailable_rate
+            < by_theta[0.3].unavailable_rate
+            < by_theta[0.6].unavailable_rate,
+        )
+    print(report.render())
+    assert report.all_shapes_hold

@@ -1,0 +1,42 @@
+"""Fig. 8 — percentage of honest devices selected as trustees on the
+experimental IoT network, with vs without the inferential-transfer model
+(Section 5.4)."""
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis.report import ComparisonReport
+from repro.analysis.series import LabelledSeries
+from repro.iotnet.experiments import InferenceExperiment
+
+
+def _compute():
+    return InferenceExperiment(runs=50, seed=1).run()
+
+
+def test_fig8_inference(once):
+    result = once(_compute)
+
+    print()
+    print(ascii_chart(
+        [
+            LabelledSeries("With Proposed Model", result.with_model),
+            LabelledSeries("Without Proposed Model", result.without_model),
+        ],
+        title="Fig. 8 — % honest devices selected (50 experiments)",
+    ))
+
+    report = ComparisonReport("Fig. 8")
+    report.add(
+        "mean % honest (with model)", result.mean_with(), paper=90.0,
+        shape_holds=result.mean_with() >= 80.0,
+    )
+    report.add(
+        "mean % honest (without model)", result.mean_without(), paper=50.0,
+        shape_holds=30.0 <= result.mean_without() <= 70.0,
+        note="blind choice among 2 honest + 2 dishonest",
+    )
+    report.add(
+        "with beats without", result.mean_with() - result.mean_without(),
+        shape_holds=result.mean_with() > result.mean_without() + 20.0,
+    )
+    print(report.render())
+    assert report.all_shapes_hold

@@ -1,0 +1,58 @@
+"""Table 1 — connectivity characteristics of the three sub-networks.
+
+Regenerates the three calibrated networks and prints their connectivity
+statistics next to the paper's reported values.  Node/edge counts must
+match exactly; clustering must preserve the cross-network ordering.
+"""
+
+from repro.analysis.report import ComparisonReport
+from repro.analysis.tables import render_table
+from repro.socialnet.datasets import NETWORK_PROFILES, TABLE1_REFERENCE, load_network
+from repro.socialnet.metrics import connectivity_report
+
+
+def _compute():
+    return {
+        name: connectivity_report(load_network(name, seed=0))
+        for name in NETWORK_PROFILES
+    }
+
+
+def test_table1_connectivity(once):
+    reports = once(_compute)
+
+    rows = [report.as_row() for report in reports.values()]
+    print()
+    print(render_table(rows, title="Table 1 (measured)"))
+    paper_rows = [
+        {"Network": name, **{k: v for k, v in ref.items()}}
+        for name, ref in TABLE1_REFERENCE.items()
+    ]
+    print(render_table(paper_rows, title="Table 1 (paper)"))
+
+    comparison = ComparisonReport("Table 1")
+    for name, report in reports.items():
+        reference = TABLE1_REFERENCE[name]
+        comparison.add(f"{name} nodes", report.nodes,
+                       paper=reference["nodes"],
+                       shape_holds=report.nodes == reference["nodes"])
+        comparison.add(f"{name} edges", report.edges,
+                       paper=reference["edges"],
+                       shape_holds=report.edges == reference["edges"])
+        comparison.add(
+            f"{name} clustering", report.average_clustering,
+            paper=reference["avg_clustering"],
+            shape_holds=abs(
+                report.average_clustering - reference["avg_clustering"]
+            ) < 0.1,
+            note="synthetic generator",
+        )
+    cc = {name: report.average_clustering
+          for name, report in reports.items()}
+    comparison.add(
+        "clustering ordering", cc["facebook"],
+        shape_holds=cc["facebook"] > cc["gplus"] > cc["twitter"],
+        note="fb > g+ > twitter as in the paper",
+    )
+    print(comparison.render())
+    assert comparison.all_shapes_hold

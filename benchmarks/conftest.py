@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one table or figure of the paper, prints it (run
+with ``-s`` to see the output), asserts the paper's *shape* claims, and
+is timed once via ``benchmark.pedantic`` — these are experiment
+regenerations, not micro-benchmarks, so one round is the meaningful unit.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Time one full experiment run."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """``once(fn)`` -> result of fn, timed as a single round."""
+    def runner(fn):
+        return run_once(benchmark, fn)
+    return runner

@@ -1,0 +1,58 @@
+"""Reputation attacks against the recommendation layer (Section 2's
+threat taxonomy; Section 6's detection claim).
+
+Runs the four adversaries — self-promoting, bad-mouthing,
+ballot-stuffing, opportunistic — at a 50 % attacker ratio and compares a
+naive mean of recommendations against the credibility-weighted
+aggregation the trust model implies.
+
+Run:  python examples/reputation_attacks.py
+"""
+
+from repro.core.attacks import (
+    BadMouthingAttacker,
+    BallotStuffingAttacker,
+    OpportunisticServiceAttacker,
+    SelfPromotingAttacker,
+    run_attack_scenario,
+)
+
+SCENARIOS = [
+    ("bad-mouthing (smear a good node)",
+     lambda i: BadMouthingAttacker(), 0.8),
+    ("ballot-stuffing (inflate a bad node)",
+     lambda i: BallotStuffingAttacker(coalition=frozenset({"target"})), 0.2),
+    ("self-promoting",
+     lambda i: SelfPromotingAttacker(), 0.5),
+    ("opportunistic (honest, then exploit)",
+     lambda i: OpportunisticServiceAttacker(honest_phase=5), 0.8),
+]
+
+
+def main() -> None:
+    print("6 honest recommenders vs 6 attackers, 80 feedback rounds\n")
+    header = (f"{'attack':<38} {'truth':>6} {'naive':>7} "
+              f"{'defended':>9}")
+    print(header)
+    print("-" * len(header))
+    for label, factory, target in SCENARIOS:
+        result = run_attack_scenario(
+            target_trust=target,
+            honest_count=6,
+            attacker_factory=factory,
+            attacker_count=6,
+            rounds=80,
+            seed=7,
+        )
+        print(f"{label:<38} {result.target_true_trust:>6.2f} "
+              f"{result.naive_estimate:>7.2f} "
+              f"{result.defended_estimate:>9.2f}")
+    print(
+        "\n-> the naive mean is dragged toward the attackers' claims;"
+        "\n   weighting recommendations by observed recommender accuracy"
+        "\n   (and ignoring self-claims) keeps the estimate near the truth."
+    )
+
+
+if __name__ == "__main__":
+    main()

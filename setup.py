@@ -1,0 +1,4 @@
+"""Setup shim for environments without wheel support (pip --no-use-pep517)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro — reproduction of "Clarifying Trust in Social Internet of Things".
+
+Lin & Dong (ICDE 2018 extended abstract; full version IEEE TKDE,
+arXiv:1704.03554).  The package is organized as:
+
+* :mod:`repro.core` — the trust model (the paper's contribution),
+* :mod:`repro.socialnet` — social-graph substrate and the three
+  calibrated networks of Table 1,
+* :mod:`repro.simulation` — the social-network simulations (Figs. 7,
+  9–13, 15; Table 2),
+* :mod:`repro.iotnet` — the experimental ZigBee-style IoT network
+  (Figs. 8, 14, 16),
+* :mod:`repro.analysis` — tables, series and terminal charts for the
+  benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    Characteristic,
+    CharacteristicInferrer,
+    DelegationEngine,
+    DelegationOutcome,
+    DelegationStatus,
+    ForgettingUpdater,
+    MutualEvaluator,
+    NetProfitPolicy,
+    OutcomeFactors,
+    ReverseEvaluator,
+    SuccessRatePolicy,
+    Task,
+    TransitivityMode,
+    TrustStore,
+    TrustTransitivity,
+    TrustValue,
+)
+from repro.socialnet import SocialGraph, facebook, gplus, load_network, twitter
+
+__all__ = [
+    "Characteristic",
+    "CharacteristicInferrer",
+    "DelegationEngine",
+    "DelegationOutcome",
+    "DelegationStatus",
+    "ForgettingUpdater",
+    "MutualEvaluator",
+    "NetProfitPolicy",
+    "OutcomeFactors",
+    "ReverseEvaluator",
+    "SocialGraph",
+    "SuccessRatePolicy",
+    "Task",
+    "TransitivityMode",
+    "TrustStore",
+    "TrustTransitivity",
+    "TrustValue",
+    "facebook",
+    "gplus",
+    "load_network",
+    "twitter",
+    "__version__",
+]

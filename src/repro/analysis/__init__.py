@@ -1,0 +1,27 @@
+"""Reporting helpers: fixed-width tables, labelled series, ASCII charts,
+and paper-vs-measured comparison records used by the benchmark harness."""
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis.export import (
+    report_to_json,
+    rows_to_csv,
+    rows_to_json,
+    series_to_csv,
+    series_to_json,
+)
+from repro.analysis.report import Comparison, ComparisonReport
+from repro.analysis.series import LabelledSeries
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "Comparison",
+    "ComparisonReport",
+    "LabelledSeries",
+    "ascii_chart",
+    "render_table",
+    "report_to_json",
+    "rows_to_csv",
+    "rows_to_json",
+    "series_to_csv",
+    "series_to_json",
+]

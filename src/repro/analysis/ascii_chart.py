@@ -1,0 +1,67 @@
+"""Terminal line charts for the figure benches.
+
+Benchmarks print the figure they regenerate as an ASCII chart so a bench
+log is directly comparable to the paper's figure, with no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.series import LabelledSeries
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Sequence[LabelledSeries],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Render curves on one ASCII grid with a legend.
+
+    Each curve is resampled to ``width`` columns and drawn with its own
+    marker; later series draw over earlier ones where they collide.
+    """
+    curves = [s for s in series if s.values]
+    if not curves:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if width < 8 or height < 4:
+        raise ValueError("chart needs width >= 8 and height >= 4")
+
+    lo = min(min(s.values) for s in curves)
+    hi = max(max(s.values) for s in curves)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for curve_index, curve in enumerate(curves):
+        marker = _MARKERS[curve_index % len(_MARKERS)]
+        values = curve.values
+        for column in range(width):
+            position = column * (len(values) - 1) / max(width - 1, 1)
+            value = values[round(position)]
+            row = round((hi - value) / (hi - lo) * (height - 1))
+            grid[row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{hi:.3g}"
+    bottom_label = f"{lo:.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    for curve_index, curve in enumerate(curves):
+        marker = _MARKERS[curve_index % len(_MARKERS)]
+        lines.append(f"  {marker} = {curve.label}")
+    return "\n".join(lines)

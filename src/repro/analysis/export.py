@@ -1,0 +1,98 @@
+"""Result export: JSON and CSV serialization of experiment outputs.
+
+Benchmarks print human-readable artifacts; downstream analysis (plotting
+the figures with real tooling, regression-tracking the reproduction)
+wants machine-readable ones.  These helpers serialize the common result
+shapes — dict-rows, labelled series, comparison reports — with stable
+key ordering so exports diff cleanly across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.report import ComparisonReport
+from repro.analysis.series import LabelledSeries
+
+
+def rows_to_json(rows: Sequence[Mapping[str, object]], indent: int = 2) -> str:
+    """Serialize dict-rows as a JSON array (stable key order per row)."""
+    normalized = [dict(row) for row in rows]
+    return json.dumps(normalized, indent=indent, sort_keys=True)
+
+
+def rows_to_csv(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Serialize dict-rows as CSV.
+
+    ``columns`` fixes the column order; when omitted, the union of keys
+    in first-seen order is used.  Missing cells serialize as empty.
+    """
+    if not rows:
+        return ""
+    if columns is None:
+        seen: Dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns),
+                            extrasaction="ignore", restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return buffer.getvalue()
+
+
+def series_to_json(series: Sequence[LabelledSeries], indent: int = 2) -> str:
+    """Serialize curves as ``{label: [values...]}``."""
+    payload = {curve.label: curve.values for curve in series}
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def series_to_csv(series: Sequence[LabelledSeries]) -> str:
+    """Serialize curves as columns: index, then one column per label.
+
+    Shorter curves pad with empty cells.
+    """
+    if not series:
+        return ""
+    length = max(len(curve.values) for curve in series)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["index"] + [curve.label for curve in series])
+    for index in range(length):
+        row: List[object] = [index]
+        for curve in series:
+            row.append(
+                curve.values[index] if index < len(curve.values) else ""
+            )
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def report_to_json(report: ComparisonReport, indent: int = 2) -> str:
+    """Serialize a paper-vs-measured report."""
+    payload = {
+        "experiment": report.experiment,
+        "all_shapes_hold": report.all_shapes_hold,
+        "comparisons": [c.as_row() for c in report.comparisons],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def load_rows(text: str) -> List[Dict[str, object]]:
+    """Inverse of :func:`rows_to_json`."""
+    rows = json.loads(text)
+    if not isinstance(rows, list):
+        raise ValueError("expected a JSON array of row objects")
+    for row in rows:
+        if not isinstance(row, dict):
+            raise ValueError("every row must be a JSON object")
+    return rows

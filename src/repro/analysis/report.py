@@ -1,0 +1,77 @@
+"""Paper-vs-measured comparison records.
+
+Every bench emits :class:`Comparison` rows — the paper's reported value,
+the value this reproduction measured, and whether the *shape* claim the
+comparison encodes (who wins, direction of a trend) holds.  The collected
+rows back EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.tables import render_table
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured data point."""
+
+    experiment: str
+    metric: str
+    paper_value: Optional[float]
+    measured_value: float
+    shape_holds: bool
+    note: str = ""
+
+    def as_row(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "metric": self.metric,
+            "paper": "-" if self.paper_value is None else self.paper_value,
+            "measured": round(self.measured_value, 4),
+            "shape": "OK" if self.shape_holds else "MISMATCH",
+            "note": self.note,
+        }
+
+
+@dataclass
+class ComparisonReport:
+    """A set of comparisons for one experiment."""
+
+    experiment: str
+    comparisons: List[Comparison] = field(default_factory=list)
+
+    def add(
+        self,
+        metric: str,
+        measured: float,
+        paper: Optional[float] = None,
+        shape_holds: bool = True,
+        note: str = "",
+    ) -> Comparison:
+        comparison = Comparison(
+            experiment=self.experiment,
+            metric=metric,
+            paper_value=paper,
+            measured_value=measured,
+            shape_holds=shape_holds,
+            note=note,
+        )
+        self.comparisons.append(comparison)
+        return comparison
+
+    @property
+    def all_shapes_hold(self) -> bool:
+        """Whether every recorded shape claim held."""
+        return all(c.shape_holds for c in self.comparisons)
+
+    def render(self) -> str:
+        """Printable paper-vs-measured table."""
+        return render_table(
+            [c.as_row() for c in self.comparisons],
+            columns=("experiment", "metric", "paper", "measured", "shape",
+                     "note"),
+            title=f"[{self.experiment}] paper vs measured",
+        )

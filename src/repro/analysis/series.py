@@ -1,0 +1,65 @@
+"""Labelled numeric series with summary helpers for figure benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class LabelledSeries:
+    """One curve of a figure: a label and its y-values."""
+
+    label: str
+    values: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.values = [float(v) for v in self.values]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.label!r} is empty")
+        return sum(self.values) / len(self.values)
+
+    def head_mean(self, count: int) -> float:
+        """Mean of the first ``count`` points."""
+        head = self.values[:count]
+        if not head:
+            raise ValueError(f"series {self.label!r} is empty")
+        return sum(head) / len(head)
+
+    def tail_mean(self, count: int) -> float:
+        """Mean of the last ``count`` points."""
+        tail = self.values[-count:]
+        if not tail:
+            raise ValueError(f"series {self.label!r} is empty")
+        return sum(tail) / len(tail)
+
+    def downsample(self, points: int) -> "LabelledSeries":
+        """Evenly-spaced subsample with ``points`` entries (ends included)."""
+        if points < 2:
+            raise ValueError("points must be at least 2")
+        if len(self.values) <= points:
+            return LabelledSeries(self.label, list(self.values))
+        step = (len(self.values) - 1) / (points - 1)
+        indices = [round(i * step) for i in range(points)]
+        return LabelledSeries(
+            self.label, [self.values[i] for i in indices]
+        )
+
+
+def summarize(series: Sequence[LabelledSeries]) -> List[dict]:
+    """Mean / min / max / last rows for a set of curves."""
+    rows = []
+    for curve in series:
+        rows.append({
+            "series": curve.label,
+            "mean": round(curve.mean(), 4),
+            "min": round(min(curve.values), 4),
+            "max": round(max(curve.values), 4),
+            "last": round(curve.values[-1], 4),
+        })
+    return rows

@@ -1,0 +1,51 @@
+"""Fixed-width table rendering for benchmark output.
+
+The benches print the same rows the paper's tables report; this renderer
+keeps them readable in a terminal and in captured bench logs without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] = (),
+    title: str = "",
+) -> str:
+    """Render dict-rows as a fixed-width text table.
+
+    ``columns`` fixes the column order; when omitted, the keys of the
+    first row are used.  Missing cells render as ``-``.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    column_list: List[str] = list(columns) if columns else list(rows[0].keys())
+
+    widths: Dict[str, int] = {name: len(name) for name in column_list}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        cells = [_cell(row.get(name, "-")) for name in column_list]
+        rendered_rows.append(cells)
+        for name, cell in zip(column_list, cells):
+            widths[name] = max(widths[name], len(cell))
+
+    header = "  ".join(name.ljust(widths[name]) for name in column_list)
+    rule = "  ".join("-" * widths[name] for name in column_list)
+    body = [
+        "  ".join(
+            cell.ljust(widths[name])
+            for name, cell in zip(column_list, cells)
+        )
+        for cells in rendered_rows
+    ]
+    lines = ([title] if title else []) + [header, rule] + body
+    return "\n".join(lines)

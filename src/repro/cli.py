@@ -1,0 +1,254 @@
+"""Command-line runner: regenerate any of the paper's artifacts.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig7 --network facebook --seed 2
+    python -m repro fig15 --json results.json
+    python -m repro list
+
+Each subcommand runs the corresponding experiment, prints the table or
+ASCII chart, and optionally writes a machine-readable JSON export.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis.export import rows_to_json, series_to_json
+from repro.analysis.series import LabelledSeries
+from repro.analysis.tables import render_table
+from repro.core.transitivity import TransitivityMode
+from repro.simulation.config import (
+    DelegationConfig,
+    EnvironmentConfig,
+    TransitivityConfig,
+)
+from repro.simulation.delegation import DelegationSimulation
+from repro.simulation.environment import EnvironmentSimulation
+from repro.simulation.mutuality import sweep_thresholds
+from repro.simulation.transitivity import (
+    TransitivitySimulation,
+    sweep_characteristics,
+)
+from repro.socialnet.datasets import NETWORK_PROFILES, load_network
+from repro.socialnet.metrics import connectivity_report
+
+_NETWORKS = tuple(NETWORK_PROFILES)
+
+
+def _networks_for(args: argparse.Namespace) -> List[str]:
+    if args.network == "all":
+        return list(_NETWORKS)
+    return [args.network]
+
+
+def _emit(args: argparse.Namespace, text: str, payload: str) -> None:
+    print(text)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"\n[json written to {args.json}]")
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    rows = [
+        connectivity_report(load_network(name, seed=args.seed)).as_row()
+        for name in _networks_for(args)
+    ]
+    _emit(args, render_table(rows, title="Table 1"), rows_to_json(rows))
+    return 0
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    rows = []
+    for name in _networks_for(args):
+        for result in sweep_thresholds(
+            load_network(name, seed=args.seed), seed=args.seed
+        ):
+            rows.append({
+                "network": name,
+                "theta": result.threshold,
+                **result.rates.as_row(),
+            })
+    _emit(args, render_table(rows, title="Fig. 7 rates"), rows_to_json(rows))
+    return 0
+
+
+def cmd_fig9(args: argparse.Namespace) -> int:
+    rows = []
+    for name in _networks_for(args):
+        for result in sweep_characteristics(
+            load_network(name, seed=args.seed), seed=args.seed
+        ):
+            rows.append(result.as_row())
+    _emit(
+        args,
+        render_table(rows, title="Figs. 9-11 transitivity sweep"),
+        rows_to_json(rows),
+    )
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    rows = []
+    for name in _networks_for(args):
+        simulation = TransitivitySimulation(
+            load_network(name, seed=args.seed),
+            TransitivityConfig(),
+            seed=args.seed,
+            property_based_tasks=True,
+        )
+        for mode in TransitivityMode:
+            result = simulation.run(mode)
+            rows.append(result.as_row())
+    _emit(args, render_table(rows, title="Table 2"), rows_to_json(rows))
+    return 0
+
+
+def cmd_fig13(args: argparse.Namespace) -> int:
+    curves = []
+    for name in _networks_for(args):
+        simulation = DelegationSimulation(
+            load_network(name, seed=args.seed),
+            DelegationConfig(iterations=args.iterations),
+            seed=args.seed,
+        )
+        first, second = simulation.run_both_strategies()
+        curves.append(LabelledSeries(
+            f"{name} (second strategy)", second.series.smoothed(50)
+        ))
+        curves.append(LabelledSeries(
+            f"{name} (first strategy)", first.series.smoothed(50)
+        ))
+    _emit(
+        args,
+        ascii_chart(curves, title="Fig. 13 net profit"),
+        series_to_json(curves),
+    )
+    return 0
+
+
+def cmd_fig15(args: argparse.Namespace) -> int:
+    simulation = EnvironmentSimulation(
+        EnvironmentConfig(runs=args.runs), seed=args.seed
+    )
+    result = simulation.run()
+    curves = [
+        LabelledSeries(series.label, series.values)
+        for series in result.curves().values()
+    ]
+    errors = simulation.tracking_errors(result)
+    text = ascii_chart(curves, title="Fig. 15 tracking") + (
+        f"\nMAE: proposed {errors['proposed']:.3f}, "
+        f"traditional {errors['traditional']:.3f}"
+    )
+    _emit(args, text, series_to_json(curves))
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    from repro.iotnet.experiments import InferenceExperiment
+
+    result = InferenceExperiment(runs=50, seed=args.seed).run()
+    curves = [
+        LabelledSeries("With Proposed Model", result.with_model),
+        LabelledSeries("Without Proposed Model", result.without_model),
+    ]
+    _emit(
+        args,
+        ascii_chart(curves, title="Fig. 8 % honest selected"),
+        series_to_json(curves),
+    )
+    return 0
+
+
+def cmd_fig14(args: argparse.Namespace) -> int:
+    from repro.iotnet.experiments import ActiveTimeExperiment
+
+    result = ActiveTimeExperiment(seed=args.seed).run()
+    curves = [
+        LabelledSeries("Without Proposed Model", result.without_model),
+        LabelledSeries("With Proposed Model", result.with_model),
+    ]
+    _emit(
+        args,
+        ascii_chart(curves, title="Fig. 14 active time (ms)"),
+        series_to_json(curves),
+    )
+    return 0
+
+
+def cmd_fig16(args: argparse.Namespace) -> int:
+    from repro.iotnet.experiments import LightingExperiment
+
+    result = LightingExperiment(seed=args.seed).run()
+    curves = [
+        LabelledSeries("With Proposed Model", result.with_model),
+        LabelledSeries("Without Proposed Model", result.without_model),
+    ]
+    _emit(
+        args,
+        ascii_chart(curves, title="Fig. 16 net profit"),
+        series_to_json(curves),
+    )
+    return 0
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "fig13": cmd_fig13,
+    "fig14": cmd_fig14,
+    "fig15": cmd_fig15,
+    "fig16": cmd_fig16,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables and figures of 'Clarifying Trust "
+                    "in Social Internet of Things'.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available artifacts")
+    for name in _COMMANDS:
+        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        sub.add_argument(
+            "--network", choices=_NETWORKS + ("all",), default="all",
+            help="which network(s) to run on (where applicable)",
+        )
+        sub.add_argument("--seed", type=int, default=1,
+                         help="simulation seed")
+        sub.add_argument("--json", metavar="PATH", default=None,
+                         help="also write a JSON export to PATH")
+        if name == "fig13":
+            sub.add_argument("--iterations", type=int, default=1500,
+                             help="update iterations (paper: 3000)")
+        if name == "fig15":
+            sub.add_argument("--runs", type=int, default=100,
+                             help="independent runs to average")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None or args.command == "list":
+        print("available artifacts:")
+        for name in sorted(_COMMANDS):
+            print(f"  {name}")
+        return 0
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Core trust model for the Social Internet of Things.
+
+This package implements the paper's primary contribution: the six-ingredient
+trust process (trustor, trustee, goal, trustworthiness evaluation,
+decision/action/result, context) and the five clarified features:
+
+1. mutuality of trustor and trustee (:mod:`repro.core.evaluation`),
+2. inferential transfer of trust with analogous tasks
+   (:mod:`repro.core.inference`),
+3. restricted transitivity of trust (:mod:`repro.core.transitivity`),
+4. trustworthiness updated with delegation results
+   (:mod:`repro.core.update` and :mod:`repro.core.evaluation`),
+5. trustworthiness affected by dynamic environment
+   (:mod:`repro.core.environment`).
+"""
+
+from repro.core.agent import (
+    AbusiveTrustorBehavior,
+    DishonestTrusteeBehavior,
+    HonestTrusteeBehavior,
+    TrusteeAgent,
+    TrustorAgent,
+)
+from repro.core.attacks import (
+    BadMouthingAttacker,
+    BallotStuffingAttacker,
+    CredibilityWeightedAggregator,
+    HonestRecommender,
+    OpportunisticServiceAttacker,
+    Recommendation,
+    SelfPromotingAttacker,
+    run_attack_scenario,
+)
+from repro.core.engine import DelegationEngine, DelegationOutcome, DelegationStatus
+from repro.core.goal import (
+    ActualResult,
+    ExpectedResult,
+    Goal,
+    alignment,
+    revise_expectation,
+)
+from repro.core.environment import (
+    EnvironmentAwareUpdater,
+    EnvironmentReading,
+    cannikin_debias,
+)
+from repro.core.evaluation import (
+    MutualEvaluator,
+    ReverseEvaluator,
+    net_profit,
+    post_evaluate,
+    prefers_delegation,
+    select_best_candidate,
+)
+from repro.core.inference import CharacteristicInferrer, InferenceError
+from repro.core.policy import NetProfitPolicy, SelectionPolicy, SuccessRatePolicy
+from repro.core.records import DelegationRecord, OutcomeFactors, UsageRecord
+from repro.core.store import TrustStore
+from repro.core.task import Characteristic, Task
+from repro.core.timedecay import DecayingTrustLedger, TimestampedTrust, decay_weight
+from repro.core.transitivity import (
+    TransitivityMode,
+    TrustTransitivity,
+    combine_two_sided,
+    traditional_chain,
+)
+from repro.core.trustworthiness import TrustValue, normalize_net_profit
+from repro.core.update import ForgettingUpdater
+
+__all__ = [
+    "AbusiveTrustorBehavior",
+    "BadMouthingAttacker",
+    "BallotStuffingAttacker",
+    "ActualResult",
+    "Characteristic",
+    "CredibilityWeightedAggregator",
+    "DecayingTrustLedger",
+    "ExpectedResult",
+    "Goal",
+    "HonestRecommender",
+    "OpportunisticServiceAttacker",
+    "Recommendation",
+    "SelfPromotingAttacker",
+    "run_attack_scenario",
+    "CharacteristicInferrer",
+    "DelegationEngine",
+    "DelegationOutcome",
+    "DelegationRecord",
+    "DelegationStatus",
+    "DishonestTrusteeBehavior",
+    "EnvironmentAwareUpdater",
+    "EnvironmentReading",
+    "ForgettingUpdater",
+    "HonestTrusteeBehavior",
+    "InferenceError",
+    "MutualEvaluator",
+    "NetProfitPolicy",
+    "OutcomeFactors",
+    "ReverseEvaluator",
+    "SelectionPolicy",
+    "SuccessRatePolicy",
+    "Task",
+    "TransitivityMode",
+    "TrustStore",
+    "TrustTransitivity",
+    "TrustValue",
+    "TrusteeAgent",
+    "TimestampedTrust",
+    "TrustorAgent",
+    "UsageRecord",
+    "alignment",
+    "cannikin_debias",
+    "combine_two_sided",
+    "decay_weight",
+    "net_profit",
+    "normalize_net_profit",
+    "post_evaluate",
+    "prefers_delegation",
+    "revise_expectation",
+    "select_best_candidate",
+    "traditional_chain",
+]

@@ -1,0 +1,182 @@
+"""Trustor and trustee agents with behaviour profiles.
+
+The paper's simulations populate the social IoT with:
+
+* trustors carrying a hidden *responsibility* value — high values use a
+  trustee's resources legitimately with high probability, low values abuse
+  them (Section 5.3);
+* honest trustees whose delegation outcomes track their competence;
+* dishonest trustees that behave maliciously on particular characteristics
+  (Section 5.4) or inflate costs via protocol games (Section 5.6).
+
+Behaviour profiles are small strategy objects so scenarios can mix them
+freely; agents own a :class:`~repro.core.store.TrustStore` each, because
+trust is a perception held per agent, not a global table.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.core.ids import NodeId, validate_probability
+from repro.core.records import DelegationRecord
+from repro.core.store import TrustStore
+from repro.core.task import Characteristic, Task
+from repro.core.update import ForgettingUpdater
+
+
+@dataclass
+class ActionResult:
+    """What a trustee's action produced, before the trustor evaluates it."""
+
+    succeeded: bool
+    gain: float
+    damage: float
+    cost: float
+
+
+class TrusteeBehavior:
+    """How a trustee acts when entrusted with a task."""
+
+    def perform(self, task: Task, rng: random.Random) -> ActionResult:
+        raise NotImplementedError
+
+
+@dataclass
+class HonestTrusteeBehavior(TrusteeBehavior):
+    """Succeeds with probability ``competence``; honest cost reporting.
+
+    ``gain``/``damage``/``cost`` are the stakes realized on success /
+    failure / always, matching the Section 5.6 setup where each candidate
+    carries random stakes in [0, 1].
+    """
+
+    competence: float
+    gain: float = 1.0
+    damage: float = 0.0
+    cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        validate_probability(self.competence, "competence")
+
+    def perform(self, task: Task, rng: random.Random) -> ActionResult:
+        succeeded = rng.random() < self.competence
+        return ActionResult(
+            succeeded=succeeded,
+            gain=self.gain if succeeded else 0.0,
+            damage=0.0 if succeeded else self.damage,
+            cost=self.cost,
+        )
+
+
+@dataclass
+class DishonestTrusteeBehavior(TrusteeBehavior):
+    """Malicious on a set of characteristics (the Fig. 8 adversary).
+
+    For tasks touching any of ``bad_characteristics``, the trustee performs
+    at ``malicious_competence``; elsewhere it mimics an honest node at
+    ``base_competence``.  ``cost_inflation`` models the Fig. 14 attack of
+    padding interactions with fragment packets: every interaction costs the
+    trustor extra regardless of outcome.
+    """
+
+    base_competence: float = 0.9
+    malicious_competence: float = 0.1
+    bad_characteristics: Set[Characteristic] = field(default_factory=set)
+    gain: float = 1.0
+    damage: float = 1.0
+    cost: float = 0.0
+    cost_inflation: float = 0.0
+
+    def __post_init__(self) -> None:
+        validate_probability(self.base_competence, "base_competence")
+        validate_probability(self.malicious_competence, "malicious_competence")
+
+    def effective_competence(self, task: Task) -> float:
+        """Competence after accounting for targeted malice."""
+        if task.characteristics & self.bad_characteristics:
+            return self.malicious_competence
+        return self.base_competence
+
+    def perform(self, task: Task, rng: random.Random) -> ActionResult:
+        competence = self.effective_competence(task)
+        succeeded = rng.random() < competence
+        return ActionResult(
+            succeeded=succeeded,
+            gain=self.gain if succeeded else 0.0,
+            damage=0.0 if succeeded else self.damage,
+            cost=self.cost + self.cost_inflation,
+        )
+
+
+class TrustorBehavior:
+    """How a trustor uses a trustee's resources once granted access."""
+
+    def uses_responsibly(self, rng: random.Random) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class ResponsibleTrustorBehavior(TrustorBehavior):
+    """Uses resources responsibly with probability ``responsibility``.
+
+    This is the hidden per-trustor value of Section 5.3: drawn uniformly in
+    [0, 1] by the scenario, then observed by trustees through their logs.
+    """
+
+    responsibility: float
+
+    def __post_init__(self) -> None:
+        validate_probability(self.responsibility, "responsibility")
+
+    def uses_responsibly(self, rng: random.Random) -> bool:
+        return rng.random() < self.responsibility
+
+
+# Alias for readability at call sites that build adversarial scenarios: an
+# abusive trustor is just a responsible one with low responsibility.
+AbusiveTrustorBehavior = ResponsibleTrustorBehavior
+
+
+@dataclass
+class TrustorAgent:
+    """An intentional agent that delegates tasks and evaluates results."""
+
+    node_id: NodeId
+    behavior: TrustorBehavior
+    store: TrustStore = None  # type: ignore[assignment]
+    updater: Optional[ForgettingUpdater] = None
+
+    def __post_init__(self) -> None:
+        if self.store is None:
+            self.store = TrustStore(self.node_id, updater=self.updater)
+
+    def record_result(self, record: DelegationRecord, task: Task) -> None:
+        """Post-evaluation bookkeeping after a delegation completes."""
+        self.store.record_delegation(record, task)
+
+
+@dataclass
+class TrusteeAgent:
+    """An agent capable of executing tasks and of reverse evaluation."""
+
+    node_id: NodeId
+    behavior: TrusteeBehavior
+    store: TrustStore = None  # type: ignore[assignment]
+    thresholds: Dict[str, float] = field(default_factory=dict)
+    default_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.store is None:
+            self.store = TrustStore(self.node_id)
+        validate_probability(self.default_threshold, "default_threshold")
+
+    def threshold_for(self, task: Task) -> float:
+        """θ_y(τ): the reverse-evaluation bar for this task."""
+        return self.thresholds.get(task.name, self.default_threshold)
+
+    def perform(self, task: Task, rng: random.Random) -> ActionResult:
+        """Execute the entrusted task according to the behaviour profile."""
+        return self.behavior.perform(task, rng)

@@ -1,0 +1,279 @@
+"""Adversary models for trust-management attacks.
+
+Section 2 of the paper frames the threat landscape via Chen et al.'s
+attack taxonomy — self-promoting, bad-mouthing, ballot-stuffing, and
+opportunistic service attacks — and Section 6 claims the proposed model
+"can detect malicious behavior effectively".  This module implements
+those adversaries against the recommendation layer so the claim can be
+exercised:
+
+* :class:`SelfPromotingAttacker` — reports inflated trust about itself.
+* :class:`BadMouthingAttacker` — reports deflated trust about good nodes.
+* :class:`BallotStuffingAttacker` — reports inflated trust about fellow
+  malicious nodes.
+* :class:`OpportunisticServiceAttacker` — performs well until its
+  reputation is established, then degrades.
+
+:class:`CredibilityWeightedAggregator` is the defence the trust model
+implies: recommendations are weighted by the recommender's own observed
+trustworthiness (the Eq. 7 intuition — an untrustworthy recommender's
+word carries no weight), which is how PeerTrust-style systems the paper
+cites resist feedback attacks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ids import NodeId, validate_probability
+from repro.core.trustworthiness import clamp01
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One third-party feedback item: ``recommender`` says ``about`` has
+    trustworthiness ``claimed``."""
+
+    recommender: NodeId
+    about: NodeId
+    claimed: float
+
+    def __post_init__(self) -> None:
+        validate_probability(self.claimed, "claimed trust")
+
+
+class RecommenderBehavior:
+    """How a node answers recommendation queries about others."""
+
+    def recommend(
+        self,
+        self_id: NodeId,
+        about: NodeId,
+        true_trust: float,
+        rng: random.Random,
+    ) -> float:
+        """The trust value this node *claims* for ``about``."""
+        raise NotImplementedError
+
+
+@dataclass
+class HonestRecommender(RecommenderBehavior):
+    """Reports the truth plus small observation noise."""
+
+    noise: float = 0.05
+
+    def recommend(self, self_id, about, true_trust, rng) -> float:
+        return clamp01(true_trust + rng.uniform(-self.noise, self.noise))
+
+
+@dataclass
+class SelfPromotingAttacker(RecommenderBehavior):
+    """Claims maximal trust about itself, truth about others."""
+
+    boost: float = 1.0
+    noise: float = 0.05
+
+    def recommend(self, self_id, about, true_trust, rng) -> float:
+        if about == self_id:
+            return clamp01(self.boost)
+        return clamp01(true_trust + rng.uniform(-self.noise, self.noise))
+
+
+@dataclass
+class BadMouthingAttacker(RecommenderBehavior):
+    """Deflates the reputation of every node outside its coalition."""
+
+    coalition: frozenset = frozenset()
+    smear: float = 0.0
+    noise: float = 0.05
+
+    def recommend(self, self_id, about, true_trust, rng) -> float:
+        if about == self_id or about in self.coalition:
+            return clamp01(true_trust + rng.uniform(-self.noise, self.noise))
+        return clamp01(self.smear)
+
+
+@dataclass
+class BallotStuffingAttacker(RecommenderBehavior):
+    """Inflates the reputation of its coalition (including itself)."""
+
+    coalition: frozenset = frozenset()
+    stuffed: float = 1.0
+    noise: float = 0.05
+
+    def recommend(self, self_id, about, true_trust, rng) -> float:
+        if about == self_id or about in self.coalition:
+            return clamp01(self.stuffed)
+        return clamp01(true_trust + rng.uniform(-self.noise, self.noise))
+
+
+@dataclass
+class OpportunisticServiceAttacker(RecommenderBehavior):
+    """Behaves honestly until trusted, then exploits the reputation.
+
+    The flip is driven by how often it has been consulted — a proxy for
+    having accumulated standing in the network.
+    """
+
+    honest_phase: int = 20
+    smear: float = 0.1
+    noise: float = 0.05
+    _interactions: int = field(default=0, compare=False)
+
+    def recommend(self, self_id, about, true_trust, rng) -> float:
+        self._interactions += 1
+        if self._interactions <= self.honest_phase:
+            return clamp01(true_trust + rng.uniform(-self.noise, self.noise))
+        if about == self_id:
+            return 1.0
+        return clamp01(self.smear)
+
+
+@dataclass
+class CredibilityWeightedAggregator:
+    """Aggregates recommendations weighted by recommender credibility.
+
+    ``credibility`` maps each recommender to the aggregating trustor's
+    own trust in it (direct experience).  Recommendations from nodes
+    below ``credibility_floor`` are discarded outright; the rest
+    contribute proportionally to their credibility — the feedback
+    filtering the paper's related work (PeerTrust [18], Chen et al. [17])
+    describes and the Eq. 7 combiner embodies.
+    """
+
+    credibility: Dict[NodeId, float] = field(default_factory=dict)
+    credibility_floor: float = 0.3
+    default_credibility: float = 0.5
+
+    def __post_init__(self) -> None:
+        validate_probability(self.credibility_floor, "credibility_floor")
+        validate_probability(self.default_credibility, "default_credibility")
+
+    def credibility_of(self, recommender: NodeId) -> float:
+        return self.credibility.get(recommender, self.default_credibility)
+
+    def aggregate(
+        self, recommendations: Sequence[Recommendation]
+    ) -> Optional[float]:
+        """Credibility-weighted mean claim, or ``None`` if nothing usable."""
+        weight_total = 0.0
+        weighted_sum = 0.0
+        for item in recommendations:
+            weight = self.credibility_of(item.recommender)
+            if weight < self.credibility_floor:
+                continue
+            # Self-recommendations carry no independent information.
+            if item.recommender == item.about:
+                continue
+            weight_total += weight
+            weighted_sum += weight * item.claimed
+        if weight_total <= 0.0:
+            return None
+        return clamp01(weighted_sum / weight_total)
+
+    def naive_aggregate(
+        self, recommendations: Sequence[Recommendation]
+    ) -> Optional[float]:
+        """Unweighted mean of all claims — the undefended baseline."""
+        claims = [item.claimed for item in recommendations]
+        if not claims:
+            return None
+        return clamp01(sum(claims) / len(claims))
+
+    def update_credibility(
+        self, recommender: NodeId, claimed: float, observed: float,
+        beta: float = 0.9,
+    ) -> float:
+        """Refresh a recommender's credibility from claim accuracy.
+
+        Credibility moves toward ``max(0, 1 - 2|claimed - observed|)``
+        with the usual forgetting blend: claims off by half the scale or
+        more earn zero accuracy, so systematically wrong recommenders
+        (bad-mouthers, ballot-stuffers) decay below the floor and drop
+        out of future aggregations, while honest observation noise
+        (|err| ≲ 0.1) keeps credibility high.
+        """
+        validate_probability(beta, "beta")
+        accuracy = max(0.0, 1.0 - 2.0 * abs(claimed - observed))
+        previous = self.credibility_of(recommender)
+        refreshed = clamp01(beta * previous + (1.0 - beta) * accuracy)
+        self.credibility[recommender] = refreshed
+        return refreshed
+
+
+@dataclass
+class AttackScenarioResult:
+    """Outcome of one reputation-attack simulation."""
+
+    target_true_trust: float
+    naive_estimate: float
+    defended_estimate: float
+
+    @property
+    def naive_error(self) -> float:
+        return abs(self.naive_estimate - self.target_true_trust)
+
+    @property
+    def defended_error(self) -> float:
+        return abs(self.defended_estimate - self.target_true_trust)
+
+
+def run_attack_scenario(
+    target_trust: float,
+    honest_count: int,
+    attacker_factory,
+    attacker_count: int,
+    rounds: int = 30,
+    seed: int = 0,
+) -> AttackScenarioResult:
+    """Simulate repeated recommendation rounds about one target node.
+
+    Honest recommenders and ``attacker_count`` adversaries (built by
+    ``attacker_factory(index)``) each report about the target every
+    round; after each round the aggregator updates credibilities from
+    the trustor's own (noisy) direct observation.  Returns the final
+    naive vs credibility-weighted estimates.
+    """
+    validate_probability(target_trust, "target_trust")
+    rng = random.Random(repr(("attack-scenario", seed)))
+    target: NodeId = "target"
+
+    recommenders: List[Tuple[NodeId, RecommenderBehavior]] = []
+    for index in range(honest_count):
+        recommenders.append((f"honest-{index}", HonestRecommender()))
+    for index in range(attacker_count):
+        recommenders.append((f"attacker-{index}", attacker_factory(index)))
+
+    aggregator = CredibilityWeightedAggregator()
+    naive_estimate = target_trust
+    defended_estimate = target_trust
+    for _ in range(rounds):
+        recommendations = [
+            Recommendation(
+                recommender=name,
+                about=target,
+                claimed=behavior.recommend(name, target, target_trust, rng),
+            )
+            for name, behavior in recommenders
+        ]
+        naive = aggregator.naive_aggregate(recommendations)
+        defended = aggregator.aggregate(recommendations)
+        if naive is not None:
+            naive_estimate = naive
+        if defended is not None:
+            defended_estimate = defended
+
+        # The trustor's own noisy direct observation of the target this
+        # round — the ground truth against which claims are scored.
+        observed = clamp01(target_trust + rng.uniform(-0.1, 0.1))
+        for item in recommendations:
+            aggregator.update_credibility(
+                item.recommender, item.claimed, observed
+            )
+    return AttackScenarioResult(
+        target_true_trust=target_trust,
+        naive_estimate=naive_estimate,
+        defended_estimate=defended_estimate,
+    )

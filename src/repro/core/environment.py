@@ -1,0 +1,161 @@
+"""Trustworthiness under a dynamic environment (Section 4.5).
+
+The same observation means different things in different environments:
+succeeding in a hostile environment deserves extra credit.  The paper
+models instantaneous environment indicators in (0, 1] (1 = amicable,
+near 0 = hostile) for the trustor, the trustee and every intermediate
+node, and de-biases observations by the *worst* indicator before feeding
+them to the forgetting update (Eq. 25–29, "Cannikin Law").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.records import OutcomeFactors
+from repro.core.trustworthiness import clamp01
+from repro.core.update import ForgettingUpdater
+
+
+@dataclass(frozen=True)
+class EnvironmentReading:
+    """Instantaneous environment indicators around one delegation.
+
+    ``trustor_env`` is ``E_X``, ``trustee_env`` is ``E_Y`` and
+    ``intermediate_envs`` are ``{E_i}`` of the relay nodes.  Values live in
+    (0, 1]; 1 is a perfect environment.
+    """
+
+    trustor_env: float = 1.0
+    trustee_env: float = 1.0
+    intermediate_envs: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for value in (self.trustor_env, self.trustee_env, *self.intermediate_envs):
+            value = float(value)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(
+                    f"environment indicators must be in (0, 1], got {value!r}"
+                )
+
+    def worst(self) -> float:
+        """``min[E_X, E_Y, {E_i}]`` — the Cannikin (wooden bucket) bound."""
+        return min(
+            self.trustor_env, self.trustee_env, *self.intermediate_envs
+        ) if self.intermediate_envs else min(self.trustor_env, self.trustee_env)
+
+
+def cannikin_debias(observed: float, reading: EnvironmentReading) -> float:
+    """The de-biasing function r(·) of Eq. 29: ``observed / min[E...]``.
+
+    The ratio is deliberately *not* clamped to [0, 1]: a single successful
+    Bernoulli observation in a hostile environment de-biases to more than
+    1 ("extra credit on trustworthiness" in the paper's words), and it is
+    the *expectation* after the forgetting blend — not the instantaneous
+    observation — that is meaningful as a rate.  Expectations are clamped
+    at the update site.
+    """
+    value = observed / reading.worst()
+    return value if value > 0.0 else 0.0
+
+
+# Gain/damage/cost share the same de-bias; the alias documents call sites.
+cannikin_debias_magnitude = cannikin_debias
+
+
+@dataclass(frozen=True)
+class EnvironmentAwareUpdater:
+    """The modified update of Eq. 25–28.
+
+    Wraps a :class:`ForgettingUpdater` but passes every observation through
+    r(·) first, so the stored expectation reflects the counterpart's
+    intrinsic competence rather than the weather it happened to face.
+    """
+
+    inner: ForgettingUpdater = field(default_factory=ForgettingUpdater)
+
+    def update(
+        self,
+        expected: OutcomeFactors,
+        observed: OutcomeFactors,
+        reading: EnvironmentReading,
+    ) -> OutcomeFactors:
+        """Fold one observation, de-biased by the environment reading.
+
+        De-biased instantaneous observations may exceed 1 (see
+        :func:`cannikin_debias`); the blended success-rate *expectation*
+        is clamped back into [0, 1].
+        """
+        from repro.core.update import forget
+
+        inner = self.inner
+        return OutcomeFactors(
+            success_rate=clamp01(forget(
+                expected.success_rate,
+                cannikin_debias(observed.success_rate, reading),
+                inner.beta_success,
+            )),
+            gain=forget(
+                expected.gain,
+                cannikin_debias_magnitude(observed.gain, reading),
+                inner.beta_gain,
+            ),
+            damage=forget(
+                expected.damage,
+                cannikin_debias_magnitude(observed.damage, reading),
+                inner.beta_damage,
+            ),
+            cost=forget(
+                expected.cost,
+                cannikin_debias_magnitude(observed.cost, reading),
+                inner.beta_cost,
+            ),
+        )
+
+
+@dataclass
+class EnvironmentSchedule:
+    """A piecewise-constant environment over iterations.
+
+    The Fig. 15 scenario is ``EnvironmentSchedule([(100, 1.0), (100, 0.4),
+    (100, 0.7)])``: 100 iterations of perfect environment, 100 degraded,
+    100 partially recovered.
+    """
+
+    phases: Sequence[tuple]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("schedule needs at least one phase")
+        for length, level in self.phases:
+            if int(length) <= 0:
+                raise ValueError(f"phase length must be positive, got {length}")
+            if not 0.0 < float(level) <= 1.0:
+                raise ValueError(f"phase level must be in (0, 1], got {level}")
+
+    def level_at(self, iteration: int) -> float:
+        """Environment indicator at ``iteration`` (0-based).
+
+        Past the last phase the final level persists, so open-ended
+        simulations stay well-defined.
+        """
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        remaining = iteration
+        for length, level in self.phases:
+            if remaining < length:
+                return float(level)
+            remaining -= length
+        return float(self.phases[-1][1])
+
+    @property
+    def total_iterations(self) -> int:
+        """Sum of phase lengths."""
+        return sum(int(length) for length, _level in self.phases)
+
+    def readings(self) -> Iterable[EnvironmentReading]:
+        """One symmetric reading (E_X = E_Y) per scheduled iteration."""
+        for iteration in range(self.total_iterations):
+            level = self.level_at(iteration)
+            yield EnvironmentReading(trustor_env=level, trustee_env=level)

@@ -1,0 +1,144 @@
+"""Mutual trustworthiness evaluation (Sections 4.1 and 4.4).
+
+* :func:`net_profit` / :func:`post_evaluate` implement the four-aspect
+  post-evaluation of Eq. 18.
+* :func:`select_best_candidate` implements the net-profit argmax of Eq. 23.
+* :func:`prefers_delegation` implements the self-delegation rule of Eq. 24.
+* :class:`ReverseEvaluator` implements the trustee-side evaluation and the
+  threshold gate ``~TW_{y<-X}(tau) >= theta_y(tau)`` of Eq. 1.
+* :class:`MutualEvaluator` composes the two sides into the Fig. 2 procedure:
+  rank candidates by the trustor's pre-evaluation, walk down the ranking
+  until a candidate's reverse evaluation accepts the trustor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.ids import NodeId, validate_probability
+from repro.core.records import OutcomeFactors
+from repro.core.store import TrustStore
+from repro.core.task import Task
+from repro.core.trustworthiness import TrustValue, normalize_net_profit
+
+
+def net_profit(factors: OutcomeFactors) -> float:
+    """Expected net profit ``S*G - (1-S)*D - C`` (objective of Eq. 23)."""
+    return factors.net_profit()
+
+
+def post_evaluate(
+    factors: OutcomeFactors,
+    gain_max: float = 1.0,
+    damage_max: float = 1.0,
+    cost_max: float = 1.0,
+) -> TrustValue:
+    """Normalized trustworthiness ``N[S*G - (1-S)*D - C]`` (Eq. 18)."""
+    raw = net_profit(factors)
+    return TrustValue(
+        normalize_net_profit(raw, gain_max, damage_max, cost_max)
+    )
+
+
+def select_best_candidate(
+    candidates: Iterable[Tuple[NodeId, OutcomeFactors]],
+) -> Optional[Tuple[NodeId, float]]:
+    """Argmax of expected net profit over candidates (Eq. 23).
+
+    Returns ``(node, profit)`` or ``None`` when there are no candidates.
+    Ties break toward the earliest candidate, making the selection
+    deterministic for a fixed iteration order.
+    """
+    best: Optional[Tuple[NodeId, float]] = None
+    for node, factors in candidates:
+        profit = net_profit(factors)
+        if best is None or profit > best[1]:
+            best = (node, profit)
+    return best
+
+
+def prefers_delegation(
+    toward_trustee: OutcomeFactors, toward_self: OutcomeFactors
+) -> bool:
+    """Eq. 24: delegate only if the trustee's expected profit beats doing
+    the task oneself."""
+    return net_profit(toward_trustee) > net_profit(toward_self)
+
+
+@dataclass(frozen=True)
+class ReverseEvaluator:
+    """Trustee-side evaluation of a requesting trustor (Section 4.1).
+
+    The trustee recognizes how the trustor has used its resources from its
+    usage logs; the reverse trustworthiness is the responsible-use fraction.
+    Strangers (no usage log) receive ``default_trust`` — the paper's
+    experiments effectively start optimistic so that first contacts are
+    possible, then the log takes over.
+    """
+
+    threshold: float = 0.0
+    default_trust: float = 1.0
+
+    def __post_init__(self) -> None:
+        validate_probability(self.threshold, "threshold")
+        validate_probability(self.default_trust, "default_trust")
+
+    def reverse_trust(self, store: TrustStore, trustor: NodeId) -> TrustValue:
+        """``~TW_{y<-X}`` of the trustor, from the trustee's usage log."""
+        fraction = store.responsible_fraction(trustor)
+        if fraction is None:
+            return TrustValue(self.default_trust, direct=False)
+        return TrustValue(fraction)
+
+    def accepts(self, store: TrustStore, trustor: NodeId) -> bool:
+        """The acceptance gate of Eq. 1."""
+        return self.reverse_trust(store, trustor).meets(self.threshold)
+
+
+# A pre-evaluation scores one candidate trustee for a task; the mutual
+# evaluator stays agnostic of *how* the score was produced (direct
+# experience, inference, or transitivity).
+PreEvaluation = Callable[[NodeId, Task], float]
+ReverseGate = Callable[[NodeId, NodeId, Task], bool]
+
+
+@dataclass
+class MutualEvaluator:
+    """The Fig. 2 procedure: mutual pre-evaluation before delegation.
+
+    ``pre_evaluate(candidate, task)`` is the trustor's scoring function
+    (``TW_{X<-y}(tau)``); ``reverse_gate(candidate, trustor, task)`` is the
+    candidate's acceptance decision (Eq. 1's constraint).  ``find_trustee``
+    returns the best-scoring candidate that accepts, scanning candidates in
+    descending score order exactly as the paper describes (best candidate
+    first; on rejection, fall through to the next).
+    """
+
+    pre_evaluate: PreEvaluation
+    reverse_gate: ReverseGate
+
+    def rank_candidates(
+        self, trustor: NodeId, task: Task, candidates: Sequence[NodeId]
+    ) -> List[Tuple[NodeId, float]]:
+        """Candidates sorted by the trustor's pre-evaluation, best first."""
+        scored = [
+            (candidate, self.pre_evaluate(candidate, task))
+            for candidate in candidates
+            if candidate != trustor
+        ]
+        scored.sort(key=lambda pair: pair[1], reverse=True)
+        return scored
+
+    def find_trustee(
+        self, trustor: NodeId, task: Task, candidates: Sequence[NodeId]
+    ) -> Optional[Tuple[NodeId, float]]:
+        """Best candidate passing its own reverse evaluation, or ``None``.
+
+        ``None`` means the request goes unanswered — the "unavailable"
+        outcome counted in Fig. 7.
+        """
+        for candidate, score in self.rank_candidates(trustor, task, candidates):
+            if self.reverse_gate(candidate, trustor, task):
+                return candidate, score
+        return None

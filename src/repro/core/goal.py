@@ -1,0 +1,158 @@
+"""Goals, expected results and result alignment (Sections 3.2–3.4).
+
+The trust process is goal-directed: the trustor delegates because it
+expects the result to serve a goal.  The paper formalizes the decision
+as ``R̂_{X<-Y}(τ) ⊆ Goal_X`` — the expected result must be a subset of
+the goal — and notes the *actual* result may deviate
+(``R_{X<-Y}(τ) ⊄ Goal_X``), triggering expectation revision.
+
+* :class:`Goal` — a set of required outcomes with tolerated side effects.
+* :class:`ExpectedResult` / :class:`ActualResult` — outcome sets plus
+  the realized factor magnitudes.
+* :func:`alignment` — how much of the goal a result serves, and which
+  side effects it introduced.
+* :func:`revise_expectation` — the Section 3.4 revision: when the actual
+  result misses expected outcomes or adds side effects, the expected
+  gain is scaled down and the expected damage up, before the usual
+  forgetting update runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.core.records import OutcomeFactors
+Outcome = str
+
+
+@dataclass(frozen=True)
+class Goal:
+    """What the trustor is trying to achieve.
+
+    ``required`` outcomes must all be produced for the goal to be
+    fulfilled; ``tolerated`` outcomes are acceptable side effects; any
+    other outcome is an unwanted side effect that counts against the
+    trustee.
+    """
+
+    name: str
+    required: FrozenSet[Outcome]
+    tolerated: FrozenSet[Outcome] = frozenset()
+
+    def __init__(
+        self,
+        name: str,
+        required: Iterable[Outcome],
+        tolerated: Iterable[Outcome] = (),
+    ) -> None:
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "required", frozenset(required))
+        object.__setattr__(self, "tolerated", frozenset(tolerated))
+        if not self.required:
+            raise ValueError(f"goal {name!r} needs at least one outcome")
+        overlap = self.required & self.tolerated
+        if overlap:
+            raise ValueError(
+                f"outcomes cannot be both required and tolerated: "
+                f"{sorted(overlap)}"
+            )
+
+    def accepts(self, outcomes: Iterable[Outcome]) -> bool:
+        """Eq.-style admission test: outcomes ⊆ required ∪ tolerated."""
+        return frozenset(outcomes) <= (self.required | self.tolerated)
+
+
+@dataclass(frozen=True)
+class ExpectedResult:
+    """``R̂_{X<-Y}(τ)``: what the trustor expects the action to produce."""
+
+    outcomes: FrozenSet[Outcome]
+
+    def __init__(self, outcomes: Iterable[Outcome]) -> None:
+        object.__setattr__(self, "outcomes", frozenset(outcomes))
+
+    def serves(self, goal: Goal) -> bool:
+        """The delegation precondition of Section 3.4.
+
+        The expected result must cover every required outcome and must
+        not promise anything the goal does not admit — the paper's
+        ``R̂ ⊆ Goal`` read with required coverage.
+        """
+        return goal.required <= self.outcomes and goal.accepts(self.outcomes)
+
+
+@dataclass(frozen=True)
+class ActualResult:
+    """``R_{X<-Y}(τ)``: what the action actually produced."""
+
+    outcomes: FrozenSet[Outcome]
+
+    def __init__(self, outcomes: Iterable[Outcome]) -> None:
+        object.__setattr__(self, "outcomes", frozenset(outcomes))
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """How an actual result relates to the expectation and the goal."""
+
+    achieved: FrozenSet[Outcome]
+    missing: FrozenSet[Outcome]
+    side_effects: FrozenSet[Outcome]
+
+    @property
+    def fulfilled(self) -> bool:
+        """Goal fully achieved with no unwanted side effects."""
+        return not self.missing and not self.side_effects
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of required outcomes achieved."""
+        total = len(self.achieved) + len(self.missing)
+        if total == 0:
+            return 1.0
+        return len(self.achieved) / total
+
+
+def alignment(goal: Goal, actual: ActualResult) -> Alignment:
+    """Classify an actual result against a goal (Section 3.4)."""
+    achieved = goal.required & actual.outcomes
+    missing = goal.required - actual.outcomes
+    side_effects = actual.outcomes - goal.required - goal.tolerated
+    return Alignment(
+        achieved=frozenset(achieved),
+        missing=frozenset(missing),
+        side_effects=frozenset(side_effects),
+    )
+
+
+def revise_expectation(
+    expected: OutcomeFactors,
+    result_alignment: Alignment,
+    side_effect_penalty: float = 0.2,
+) -> OutcomeFactors:
+    """Revise expected factors after a deviating result (Section 3.4).
+
+    "Due to the lack of the expected outcomes and/or the addition of
+    side effects ... the expected gain, damage and cost need to be
+    modified accordingly":
+
+    * the expected gain scales by the achieved coverage — missing
+      outcomes mean the exploited result is worth proportionally less;
+    * each unwanted side effect adds ``side_effect_penalty`` to the
+      expected damage;
+    * success rate and cost are left for the ordinary forgetting update
+      (they are observed directly, not inferred from the result set).
+    """
+    if not 0.0 <= side_effect_penalty:
+        raise ValueError("side_effect_penalty must be non-negative")
+    gain = expected.gain * result_alignment.coverage
+    damage = expected.damage + side_effect_penalty * len(
+        result_alignment.side_effects
+    )
+    return OutcomeFactors(
+        success_rate=expected.success_rate,
+        gain=gain,
+        damage=damage,
+        cost=expected.cost,
+    )

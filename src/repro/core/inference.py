@@ -1,0 +1,136 @@
+"""Inferential transfer of trust with analogous tasks (Section 4.2).
+
+Tasks are bundles of characteristics.  When trustor X has never delegated
+task ``tau'`` to trustee Y, but each characteristic of ``tau'`` appears in
+tasks X *has* delegated, the trustworthiness is inferred with Eq. 4::
+
+    TW(tau') = sum_i  w_i(tau') * [ sum_k w_j(tau_k) TW(tau_k)
+                                    / sum_k w_j(tau_k) ]
+
+where the inner sum ranges over experienced tasks ``tau_k`` containing the
+same characteristic ``a_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.task import Characteristic, Task
+from repro.core.trustworthiness import TrustValue, clamp01
+
+
+class InferenceError(ValueError):
+    """Raised when a task's trustworthiness cannot be inferred.
+
+    This happens when some characteristic of the new task appears in none
+    of the experienced tasks — the precondition of Eq. 2/3 fails and the
+    model (correctly) refuses to guess.
+    """
+
+
+@dataclass(frozen=True)
+class CharacteristicEstimate:
+    """Per-characteristic intermediate of Eq. 4 (useful for diagnostics)."""
+
+    characteristic: Characteristic
+    estimate: float
+    supporting_tasks: Tuple[str, ...]
+
+
+@dataclass
+class CharacteristicInferrer:
+    """Implements the inferring function ``f`` of Eq. 2–4."""
+
+    def characteristic_estimate(
+        self,
+        characteristic: Characteristic,
+        experienced: Sequence[Tuple[Task, float]],
+    ) -> CharacteristicEstimate:
+        """Weighted average of trust over tasks containing ``characteristic``.
+
+        ``experienced`` is a sequence of ``(task, trust_value)`` pairs.
+        Each matching task contributes its trust value weighted by the
+        characteristic's weight *within that task* (``w_j(tau_k)``).
+        """
+        weight_total = 0.0
+        weighted_sum = 0.0
+        supporting: List[str] = []
+        for task, trust in experienced:
+            weight = task.weight_of(characteristic)
+            if weight > 0.0:
+                weight_total += weight
+                weighted_sum += weight * float(trust)
+                supporting.append(task.name)
+        if weight_total <= 0.0:
+            raise InferenceError(
+                f"characteristic {characteristic!r} appears in no "
+                "experienced task; trust cannot be inferred"
+            )
+        return CharacteristicEstimate(
+            characteristic=characteristic,
+            estimate=weighted_sum / weight_total,
+            supporting_tasks=tuple(supporting),
+        )
+
+    def can_infer(
+        self, new_task: Task, experienced_tasks: Iterable[Task]
+    ) -> bool:
+        """Precondition of Eq. 3: every characteristic of the new task is
+        covered by at least one experienced task."""
+        covered: set = set()
+        for task in experienced_tasks:
+            covered.update(task.characteristics)
+        return new_task.characteristics <= covered
+
+    def infer(
+        self,
+        new_task: Task,
+        experienced: Sequence[Tuple[Task, float]],
+    ) -> TrustValue:
+        """Infer ``TW(tau')`` from experienced ``(task, trust)`` pairs (Eq. 4).
+
+        Raises :exc:`InferenceError` if the new task has no characteristics
+        or any characteristic is unsupported.
+        """
+        if not new_task.characteristics:
+            raise InferenceError(
+                f"task {new_task.name!r} has no characteristics to infer from"
+            )
+        combined = 0.0
+        for characteristic, weight in new_task.weight_map.items():
+            estimate = self.characteristic_estimate(characteristic, experienced)
+            combined += weight * estimate.estimate
+        return TrustValue(clamp01(combined), direct=False)
+
+    def explain(
+        self,
+        new_task: Task,
+        experienced: Sequence[Tuple[Task, float]],
+    ) -> Dict[Characteristic, CharacteristicEstimate]:
+        """Per-characteristic breakdown of an inference (Fig. 3 style)."""
+        return {
+            characteristic: self.characteristic_estimate(
+                characteristic, experienced
+            )
+            for characteristic in new_task.characteristics
+        }
+
+
+def infer_or_default(
+    inferrer: CharacteristicInferrer,
+    new_task: Task,
+    experienced: Sequence[Tuple[Task, float]],
+    default: Optional[float] = None,
+) -> Optional[TrustValue]:
+    """Convenience wrapper: return ``default`` instead of raising.
+
+    ``None`` as the default models the "Without Proposed Model" baseline of
+    Fig. 8, where a new task simply carries no inherited trust.
+    """
+    try:
+        return inferrer.infer(new_task, experienced)
+    except InferenceError:
+        if default is None:
+            return None
+        return TrustValue(default, direct=False)

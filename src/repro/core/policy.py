@@ -1,0 +1,66 @@
+"""Trustee-selection policies (the two strategies of Section 5.6).
+
+* :class:`SuccessRatePolicy` — strategy 1: pick the candidate with the
+  highest expected success rate, ignoring gain/damage/cost.
+* :class:`NetProfitPolicy` — strategy 2 (the paper's proposal, Eq. 23):
+  pick the candidate with the highest expected net profit.
+* :class:`GainOnlyPolicy` — the "without proposed model" baseline of the
+  Fig. 14 experiment: rank by expected gain alone, blind to cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.core.ids import NodeId
+from repro.core.records import OutcomeFactors
+
+Candidate = Tuple[NodeId, OutcomeFactors]
+
+
+class SelectionPolicy:
+    """Interface: score candidates, pick the argmax."""
+
+    def score(self, factors: OutcomeFactors) -> float:
+        """Higher is better."""
+        raise NotImplementedError
+
+    def select(
+        self, candidates: Iterable[Candidate]
+    ) -> Optional[Tuple[NodeId, float]]:
+        """Best-scoring candidate as ``(node, score)``, or ``None``.
+
+        Ties break toward the first candidate in iteration order, keeping
+        runs deterministic under a fixed ordering.
+        """
+        best: Optional[Tuple[NodeId, float]] = None
+        for node, factors in candidates:
+            value = self.score(factors)
+            if best is None or value > best[1]:
+                best = (node, value)
+        return best
+
+
+@dataclass(frozen=True)
+class SuccessRatePolicy(SelectionPolicy):
+    """Strategy 1: maximize the expected success rate only."""
+
+    def score(self, factors: OutcomeFactors) -> float:
+        return factors.success_rate
+
+
+@dataclass(frozen=True)
+class NetProfitPolicy(SelectionPolicy):
+    """Strategy 2 / Eq. 23: maximize ``S*G - (1-S)*D - C``."""
+
+    def score(self, factors: OutcomeFactors) -> float:
+        return factors.net_profit()
+
+
+@dataclass(frozen=True)
+class GainOnlyPolicy(SelectionPolicy):
+    """Fig. 14 baseline: maximize ``S*G`` and ignore damage and cost."""
+
+    def score(self, factors: OutcomeFactors) -> float:
+        return factors.success_rate * factors.gain

@@ -1,0 +1,112 @@
+"""Outcome records for delegations and resource usage.
+
+The paper evaluates trust on four aspects of a delegation result: the
+success rate S, the gain G, the damage D, and the cost C (Section 4.4).
+:class:`OutcomeFactors` bundles these four, :class:`DelegationRecord`
+captures one completed delegation, and :class:`UsageRecord` captures how a
+trustor used a trustee's resources (the raw material for the reverse
+evaluation of Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.ids import NodeId, validate_non_negative, validate_probability
+
+
+@dataclass(frozen=True)
+class OutcomeFactors:
+    """The four trust aspects of Eq. 18: success rate, gain, damage, cost.
+
+    ``success_rate`` is a probability in [0, 1].  ``gain``, ``damage`` and
+    ``cost`` are non-negative magnitudes, conventionally normalized to
+    [0, 1] in the paper's simulations, though the model works with any
+    non-negative scale.
+    """
+
+    success_rate: float
+    gain: float
+    damage: float
+    cost: float
+
+    def __post_init__(self) -> None:
+        validate_probability(self.success_rate, "success_rate")
+        validate_non_negative(self.gain, "gain")
+        validate_non_negative(self.damage, "damage")
+        validate_non_negative(self.cost, "cost")
+
+    def net_profit(self) -> float:
+        """Expected net profit ``S*G - (1-S)*D - C`` (the Eq. 23 objective)."""
+        s = self.success_rate
+        return s * self.gain - (1.0 - s) * self.damage - self.cost
+
+    def with_success_rate(self, success_rate: float) -> "OutcomeFactors":
+        """Copy with a replaced success rate."""
+        return replace(self, success_rate=success_rate)
+
+    @staticmethod
+    def neutral() -> "OutcomeFactors":
+        """A blank starting point: certain success, no stakes."""
+        return OutcomeFactors(success_rate=1.0, gain=0.0, damage=0.0, cost=0.0)
+
+
+@dataclass(frozen=True)
+class DelegationRecord:
+    """One completed task delegation, as fed back to the post-evaluation.
+
+    ``succeeded`` is the binary outcome of this delegation; the remaining
+    fields are the realized gain/damage/cost.  ``environment`` optionally
+    carries the minimum instantaneous environment indicator under which the
+    delegation ran (Section 4.5); ``None`` means the environment was not
+    observed.
+    """
+
+    trustor: NodeId
+    trustee: NodeId
+    task_name: str
+    succeeded: bool
+    gain: float = 0.0
+    damage: float = 0.0
+    cost: float = 0.0
+    environment: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        validate_non_negative(self.gain, "gain")
+        validate_non_negative(self.damage, "damage")
+        validate_non_negative(self.cost, "cost")
+        if self.environment is not None:
+            env = float(self.environment)
+            if not 0.0 < env <= 1.0:
+                raise ValueError(
+                    f"environment indicator must be in (0, 1], got {env!r}"
+                )
+
+    def observed_factors(self) -> OutcomeFactors:
+        """The single-shot observation of (S, G, D, C) from this record."""
+        return OutcomeFactors(
+            success_rate=1.0 if self.succeeded else 0.0,
+            gain=self.gain,
+            damage=self.damage,
+            cost=self.cost,
+        )
+
+
+@dataclass(frozen=True)
+class UsageRecord:
+    """One use of a trustee's resources by a trustor.
+
+    The trustee keeps these in its logs (log files / usage pattern records
+    in the paper's example) and computes the reverse trustworthiness of the
+    trustor from the fraction of responsible uses.
+    """
+
+    trustor: NodeId
+    trustee: NodeId
+    abusive: bool
+
+    @property
+    def responsible(self) -> bool:
+        """Whether the trustor used the resource legitimately."""
+        return not self.abusive

@@ -1,0 +1,124 @@
+"""Trust store: each agent's ledger of expectations and usage logs.
+
+A :class:`TrustStore` holds, for one owning agent:
+
+* the expected outcome factors toward every ``(counterpart, task)`` pair —
+  the state that Eq. 19–22 update and Eq. 18/23 read;
+* per-task delegation histories (for diagnostics and tests);
+* resource-usage logs of counterparts (the raw data of the reverse
+  evaluation, Section 4.1).
+
+The store is deliberately per-agent rather than global: trust in the paper
+is a *perception*, so X's ledger about Y and Y's ledger about X are
+independent objects.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.ids import NodeId
+from repro.core.records import DelegationRecord, OutcomeFactors, UsageRecord
+from repro.core.task import Task
+from repro.core.update import ForgettingUpdater
+
+_Key = Tuple[NodeId, str]
+
+
+class TrustStore:
+    """Per-agent persistence of expected factors, histories and usage logs."""
+
+    def __init__(
+        self,
+        owner: NodeId,
+        updater: Optional[ForgettingUpdater] = None,
+        initial: Optional[OutcomeFactors] = None,
+    ) -> None:
+        self.owner = owner
+        self.updater = updater if updater is not None else ForgettingUpdater()
+        self._initial = initial if initial is not None else OutcomeFactors.neutral()
+        self._expected: Dict[_Key, OutcomeFactors] = {}
+        self._history: Dict[_Key, List[DelegationRecord]] = defaultdict(list)
+        self._usage: Dict[NodeId, List[UsageRecord]] = defaultdict(list)
+        self._known_tasks: Dict[NodeId, Dict[str, Task]] = defaultdict(dict)
+
+    # ------------------------------------------------------------------
+    # expected factors
+    # ------------------------------------------------------------------
+    def expected(self, counterpart: NodeId, task: Task) -> OutcomeFactors:
+        """Current expectation toward ``counterpart`` on ``task``.
+
+        Unseen pairs return the store's initial expectation (the paper
+        initializes the expected success rate to 1 in Section 5.7, i.e.
+        newcomers get the benefit of the doubt until observed).
+        """
+        return self._expected.get((counterpart, task.name), self._initial)
+
+    def has_experience(self, counterpart: NodeId, task: Task) -> bool:
+        """True once at least one delegation of ``task`` was recorded."""
+        return (counterpart, task.name) in self._expected
+
+    def set_expected(
+        self, counterpart: NodeId, task: Task, factors: OutcomeFactors
+    ) -> None:
+        """Overwrite the expectation (used to seed scenarios and tests)."""
+        self._expected[(counterpart, task.name)] = factors
+        self._known_tasks[counterpart][task.name] = task
+
+    def record_delegation(
+        self, record: DelegationRecord, task: Task
+    ) -> OutcomeFactors:
+        """Fold one delegation result into the expectation (Eq. 19–22).
+
+        Returns the refreshed expectation.
+        """
+        key = (record.trustee, task.name)
+        previous = self._expected.get(key, self._initial)
+        refreshed = self.updater.update(previous, record.observed_factors())
+        self._expected[key] = refreshed
+        self._history[key].append(record)
+        self._known_tasks[record.trustee][task.name] = task
+        return refreshed
+
+    def history(self, counterpart: NodeId, task: Task) -> List[DelegationRecord]:
+        """All recorded delegations of ``task`` to ``counterpart``."""
+        return list(self._history.get((counterpart, task.name), ()))
+
+    def experienced_tasks(self, counterpart: NodeId) -> List[Task]:
+        """Tasks for which this store holds experience with ``counterpart``.
+
+        These are the ``{tau_k}`` of Eq. 3 — the pool the characteristic
+        inference draws from.
+        """
+        return list(self._known_tasks.get(counterpart, {}).values())
+
+    def counterparts(self) -> Iterator[NodeId]:
+        """All agents this store has any expectation about."""
+        seen = set()
+        for counterpart, _task_name in self._expected:
+            if counterpart not in seen:
+                seen.add(counterpart)
+                yield counterpart
+
+    # ------------------------------------------------------------------
+    # usage logs (reverse evaluation data)
+    # ------------------------------------------------------------------
+    def record_usage(self, usage: UsageRecord) -> None:
+        """Log one use of the owner's resources by ``usage.trustor``."""
+        self._usage[usage.trustor].append(usage)
+
+    def usage_log(self, trustor: NodeId) -> List[UsageRecord]:
+        """All logged uses by ``trustor`` (empty for strangers)."""
+        return list(self._usage.get(trustor, ()))
+
+    def responsible_fraction(self, trustor: NodeId) -> Optional[float]:
+        """Fraction of responsible uses by ``trustor``; ``None`` if unseen."""
+        log = self._usage.get(trustor)
+        if not log:
+            return None
+        responsible = sum(1 for entry in log if entry.responsible)
+        return responsible / len(log)
+
+    def __len__(self) -> int:
+        return len(self._expected)

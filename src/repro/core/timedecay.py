@@ -1,0 +1,130 @@
+"""Time-decayed trust (the Chen et al. time factor of Section 4.5).
+
+The paper contrasts its environment de-biasing with the simpler time
+factor of its reference [5]: old experience should weigh less than
+recent experience, independent of *why* the environment changed.  The
+two mechanisms are complementary — a deployment uses the Cannikin
+de-bias when environment indicators are observable and time decay as a
+fallback — so this module provides the time-decay half:
+
+* :func:`decay_weight` — exponential decay ``lambda ** age``;
+* :class:`TimestampedTrust` — a trust value with a recorded time;
+* :class:`DecayingTrustLedger` — per-counterpart histories whose
+  effective trust is the decay-weighted average of observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.ids import NodeId, validate_probability
+from repro.core.trustworthiness import clamp01
+
+
+def decay_weight(age: float, decay: float) -> float:
+    """Exponential decay weight ``decay ** age`` for an observation.
+
+    ``decay`` in (0, 1]: 1 never forgets; smaller values discount old
+    observations faster.  ``age`` is in whatever time unit the caller
+    uses consistently (rounds, seconds, ...).
+    """
+    validate_probability(decay, "decay")
+    if decay == 0.0:
+        raise ValueError("decay must be positive")
+    if age < 0.0:
+        raise ValueError("age must be non-negative")
+    return decay ** age
+
+
+@dataclass(frozen=True)
+class TimestampedTrust:
+    """One trust observation at one time."""
+
+    value: float
+    time: float
+
+    def __post_init__(self) -> None:
+        validate_probability(self.value, "trust value")
+        if self.time < 0.0:
+            raise ValueError("time must be non-negative")
+
+
+@dataclass
+class DecayingTrustLedger:
+    """Trust histories whose read-out is decay-weighted.
+
+    ``decay`` is the per-time-unit retention; ``max_history`` bounds
+    memory per counterpart (oldest observations are dropped first —
+    with decay they contribute next to nothing anyway).
+    """
+
+    decay: float = 0.95
+    max_history: int = 200
+    default_trust: float = 0.5
+    _history: Dict[NodeId, List[TimestampedTrust]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        validate_probability(self.decay, "decay")
+        if self.decay == 0.0:
+            raise ValueError("decay must be positive")
+        if self.max_history < 1:
+            raise ValueError("max_history must be positive")
+        validate_probability(self.default_trust, "default_trust")
+
+    def observe(self, counterpart: NodeId, value: float, time: float) -> None:
+        """Record one observation; times must be non-decreasing."""
+        entry = TimestampedTrust(value=value, time=time)
+        history = self._history.setdefault(counterpart, [])
+        if history and history[-1].time > time:
+            raise ValueError(
+                f"observation times must be non-decreasing; got {time} "
+                f"after {history[-1].time}"
+            )
+        history.append(entry)
+        if len(history) > self.max_history:
+            del history[: len(history) - self.max_history]
+
+    def trust(self, counterpart: NodeId, now: float) -> float:
+        """Decay-weighted average trust as seen at time ``now``.
+
+        Strangers read as ``default_trust``.  Observations from the
+        future of ``now`` are excluded (they have not happened yet from
+        the reader's viewpoint).
+        """
+        history = self._history.get(counterpart)
+        if not history:
+            return self.default_trust
+        weight_total = 0.0
+        weighted_sum = 0.0
+        for entry in history:
+            if entry.time > now:
+                continue
+            weight = decay_weight(now - entry.time, self.decay)
+            weight_total += weight
+            weighted_sum += weight * entry.value
+        if weight_total <= 0.0:
+            return self.default_trust
+        return clamp01(weighted_sum / weight_total)
+
+    def staleness(self, counterpart: NodeId, now: float) -> Optional[float]:
+        """Age of the most recent observation, or ``None`` for strangers."""
+        history = self._history.get(counterpart)
+        if not history:
+            return None
+        latest = max(entry.time for entry in history if entry.time <= now)
+        return now - latest
+
+    def effective_sample_size(self, counterpart: NodeId, now: float) -> float:
+        """Sum of decay weights — how much evidence still 'counts'."""
+        history = self._history.get(counterpart, ())
+        return sum(
+            decay_weight(now - entry.time, self.decay)
+            for entry in history
+            if entry.time <= now
+        )
+
+    def counterparts(self) -> Tuple[NodeId, ...]:
+        return tuple(self._history)

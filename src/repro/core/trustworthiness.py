@@ -1,0 +1,74 @@
+"""Trust values and the normalization operator N[·] of Eq. 18.
+
+Trustworthiness in the paper is a bounded scalar.  The raw post-evaluation
+``S*G - (1-S)*D - C`` lives in [-(D_max + C_max), G_max]; the operator
+``N[·]`` maps it onto a fixed range, by default [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ids import validate_probability
+
+
+@dataclass(frozen=True)
+class TrustValue:
+    """A trustworthiness value clamped to [0, 1].
+
+    ``direct`` marks whether the value comes from first-hand experience or
+    was derived (inferred across characteristics or transferred along a
+    recommendation path) — derived values are the ones the restricted
+    transitivity schemes treat with caution.
+    """
+
+    value: float
+    direct: bool = True
+
+    def __post_init__(self) -> None:
+        validate_probability(self.value, "trust value")
+
+    def __float__(self) -> float:
+        return self.value
+
+    def derived(self) -> "TrustValue":
+        """The same magnitude marked as second-hand."""
+        return TrustValue(self.value, direct=False)
+
+    def meets(self, threshold: float) -> bool:
+        """Threshold test used by both Eq. 1 and the ω gates of Eq. 7."""
+        return self.value >= threshold
+
+
+def clamp01(value: float) -> float:
+    """Clamp a float into [0, 1]."""
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value
+
+
+def normalize_net_profit(
+    raw: float,
+    gain_max: float = 1.0,
+    damage_max: float = 1.0,
+    cost_max: float = 1.0,
+) -> float:
+    """The normalization operator N[·] of Eq. 18, mapping onto [0, 1].
+
+    With factors bounded by ``gain_max``/``damage_max``/``cost_max``, the
+    raw net profit ``S*G - (1-S)*D - C`` lies in
+    ``[-(damage_max + cost_max), gain_max]``.  This maps that interval
+    linearly onto [0, 1] and clamps anything outside it (out-of-calibration
+    observations saturate rather than raise, matching how a running system
+    would treat an outlier).
+    """
+    low = -(float(damage_max) + float(cost_max))
+    high = float(gain_max)
+    if high <= low:
+        raise ValueError(
+            f"degenerate normalization range [{low}, {high}]; "
+            "gain_max must exceed -(damage_max + cost_max)"
+        )
+    return clamp01((raw - low) / (high - low))

@@ -1,0 +1,73 @@
+"""Forgetting-factor updates of the expected outcome factors (Eq. 19–22).
+
+Each expected factor is refreshed from the latest observation by an
+exponential forgetting rule::
+
+    expected = beta * expected_old + (1 - beta) * observed
+
+The paper allows a different ``beta`` per factor; :class:`ForgettingUpdater`
+supports that while defaulting all four to a common value (the evaluation
+section uses ``beta = 0.1`` throughout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ids import validate_probability
+from repro.core.records import OutcomeFactors
+from repro.core.trustworthiness import clamp01
+
+
+def forget(expected_old: float, observed: float, beta: float) -> float:
+    """One step of the forgetting rule: ``beta*old + (1-beta)*observed``."""
+    validate_probability(beta, "forgetting factor beta")
+    return beta * expected_old + (1.0 - beta) * observed
+
+
+@dataclass(frozen=True)
+class ForgettingUpdater:
+    """Applies Eq. 19–22 to an :class:`OutcomeFactors` estimate.
+
+    Parameters
+    ----------
+    beta_success, beta_gain, beta_damage, beta_cost:
+        Forgetting factors for the four aspects.  ``beta`` close to 1 keeps
+        history and adapts slowly; close to 0 chases the latest observation.
+        The default of 0.9 matches the multi-iteration transients of the
+        paper's figures (its quoted "β = 0.1" is the observation weight —
+        see EXPERIMENTS.md).
+    """
+
+    beta_success: float = 0.9
+    beta_gain: float = 0.9
+    beta_damage: float = 0.9
+    beta_cost: float = 0.9
+
+    def __post_init__(self) -> None:
+        for name in ("beta_success", "beta_gain", "beta_damage", "beta_cost"):
+            validate_probability(getattr(self, name), name)
+
+    @classmethod
+    def uniform(cls, beta: float) -> "ForgettingUpdater":
+        """All four factors share one forgetting factor."""
+        return cls(beta, beta, beta, beta)
+
+    def update(
+        self, expected: OutcomeFactors, observed: OutcomeFactors
+    ) -> OutcomeFactors:
+        """Blend the previous expectation with one observation.
+
+        The success rate is clamped into [0, 1]; the magnitudes stay
+        non-negative by construction (both inputs are non-negative and the
+        blend is convex).
+        """
+        return OutcomeFactors(
+            success_rate=clamp01(
+                forget(expected.success_rate, observed.success_rate,
+                       self.beta_success)
+            ),
+            gain=forget(expected.gain, observed.gain, self.beta_gain),
+            damage=forget(expected.damage, observed.damage, self.beta_damage),
+            cost=forget(expected.cost, observed.cost, self.beta_cost),
+        )

@@ -1,0 +1,127 @@
+"""The experimental network topology of Section 5.2.
+
+Five node groups, each with two trustors, two honest trustees and two
+dishonest trustees, plus one coordinator that starts the network and
+collects results.  Devices are laid out on a grid comfortably inside the
+radio's reliable range so every experiment exchange is deliverable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.iotnet.device import Coordinator, NodeDevice
+from repro.iotnet.radio import RadioChannel, RadioConfig
+
+
+@dataclass
+class NodeGroup:
+    """One experimental group: 2 trustors, 2 honest and 2 dishonest trustees."""
+
+    index: int
+    trustors: List[NodeDevice] = field(default_factory=list)
+    honest_trustees: List[NodeDevice] = field(default_factory=list)
+    dishonest_trustees: List[NodeDevice] = field(default_factory=list)
+
+    @property
+    def trustees(self) -> List[NodeDevice]:
+        """All trustees, honest first (stable order for deterministic runs)."""
+        return self.honest_trustees + self.dishonest_trustees
+
+    def is_honest(self, device_id: str) -> bool:
+        """Whether a trustee device id belongs to an honest node."""
+        return any(d.device_id == device_id for d in self.honest_trustees)
+
+
+class ExperimentalNetwork:
+    """Builds and owns the 5-group topology plus the coordinator."""
+
+    def __init__(
+        self,
+        groups: int = 5,
+        trustors_per_group: int = 2,
+        honest_per_group: int = 2,
+        dishonest_per_group: int = 2,
+        radio_config: RadioConfig = RadioConfig(),
+        seed: int = 0,
+    ) -> None:
+        if groups < 1:
+            raise ValueError("need at least one group")
+        self.channel = RadioChannel(radio_config, seed=seed)
+        self.coordinator = Coordinator(self.channel, seed=seed, x=0.0, y=0.0)
+        self.groups: List[NodeGroup] = []
+        self._devices: Dict[str, NodeDevice] = {}
+
+        self.coordinator.start_network()
+        spacing = 20.0  # meters between devices; groups 40 m apart
+        for group_index in range(groups):
+            group = NodeGroup(index=group_index)
+            base_x = 40.0 * (group_index + 1)
+
+            def _make(name: str, slot: int) -> NodeDevice:
+                device = NodeDevice(
+                    device_id=name,
+                    channel=self.channel,
+                    x=base_x,
+                    y=spacing * slot,
+                )
+                self.coordinator.admit(device)
+                self._devices[name] = device
+                return device
+
+            slot = 0
+            for i in range(trustors_per_group):
+                group.trustors.append(
+                    _make(f"g{group_index}-trustor-{i}", slot)
+                )
+                slot += 1
+            for i in range(honest_per_group):
+                group.honest_trustees.append(
+                    _make(f"g{group_index}-honest-{i}", slot)
+                )
+                slot += 1
+            for i in range(dishonest_per_group):
+                group.dishonest_trustees.append(
+                    _make(f"g{group_index}-dishonest-{i}", slot)
+                )
+                slot += 1
+            self.groups.append(group)
+
+    # ------------------------------------------------------------------
+    def device(self, device_id: str) -> NodeDevice:
+        """Look up a device by id (the coordinator included)."""
+        if device_id == self.coordinator.device_id:
+            return self.coordinator
+        try:
+            return self._devices[device_id]
+        except KeyError:
+            raise KeyError(f"no device {device_id!r} in the network") from None
+
+    @property
+    def trustors(self) -> List[NodeDevice]:
+        return [t for group in self.groups for t in group.trustors]
+
+    @property
+    def trustees(self) -> List[NodeDevice]:
+        return [t for group in self.groups for t in group.trustees]
+
+    def group_of(self, device_id: str) -> NodeGroup:
+        """The group a device belongs to."""
+        for group in self.groups:
+            if any(
+                d.device_id == device_id
+                for d in group.trustors + group.trustees
+            ):
+                return group
+        raise KeyError(f"device {device_id!r} is in no group")
+
+    def is_honest_trustee(self, device_id: str) -> bool:
+        """Whether a device id names an honest trustee (anywhere)."""
+        return any(group.is_honest(device_id) for group in self.groups)
+
+    def reset_active_times(self) -> None:
+        """Zero every device's active-time accumulator."""
+        self.coordinator.reset_active_time()
+        for device in self._devices.values():
+            device.reset_active_time()

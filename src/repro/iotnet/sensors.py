@@ -1,0 +1,111 @@
+"""Optical sensors and the lighting schedule of the Fig. 16 experiment.
+
+The paper attaches optical sensors to the CC2530 boards via the 2.54 mm
+pin interfaces; sensor-dependent task performance tracks the ambient
+light.  :class:`LightEnvironment` is the experiment's schedule (a light
+period, a dark period, then light again) and :class:`OpticalSensor` maps
+ambient light to a performance factor and an environment indicator
+``E`` in (0, 1] for the trust model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LightPhase:
+    """A stretch of experiments under one lighting condition."""
+
+    experiments: int
+    lux: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.experiments < 1:
+            raise ValueError("experiments must be positive")
+        if self.lux < 0:
+            raise ValueError("lux must be non-negative")
+
+
+# The Fig. 16 schedule: light for the first 15 experiments, dark for the
+# middle 20, light again for the final 15 (50 experiments total).
+DEFAULT_LIGHT_SCHEDULE: Tuple[LightPhase, ...] = (
+    LightPhase(experiments=15, lux=500.0, label="LIGHT"),
+    LightPhase(experiments=20, lux=15.0, label="DARK"),
+    LightPhase(experiments=15, lux=500.0, label="LIGHT"),
+)
+
+
+class LightEnvironment:
+    """Piecewise-constant ambient light over experiment indices."""
+
+    def __init__(
+        self, phases: Sequence[LightPhase] = DEFAULT_LIGHT_SCHEDULE
+    ) -> None:
+        if not phases:
+            raise ValueError("need at least one light phase")
+        self.phases = tuple(phases)
+
+    @property
+    def total_experiments(self) -> int:
+        return sum(phase.experiments for phase in self.phases)
+
+    def lux_at(self, experiment_index: int) -> float:
+        """Ambient light at a 0-based experiment index."""
+        if experiment_index < 0:
+            raise ValueError("experiment index must be non-negative")
+        remaining = experiment_index
+        for phase in self.phases:
+            if remaining < phase.experiments:
+                return phase.lux
+            remaining -= phase.experiments
+        return self.phases[-1].lux
+
+    def label_at(self, experiment_index: int) -> str:
+        """Phase label (LIGHT / DARK) at an experiment index."""
+        remaining = experiment_index
+        for phase in self.phases:
+            if remaining < phase.experiments:
+                return phase.label
+            remaining -= phase.experiments
+        return self.phases[-1].label
+
+    def labels(self) -> List[str]:
+        """Label per experiment index (length ``total_experiments``)."""
+        return [
+            self.label_at(index) for index in range(self.total_experiments)
+        ]
+
+
+@dataclass(frozen=True)
+class OpticalSensor:
+    """Maps ambient light to sensing performance.
+
+    ``full_lux`` is the level at which the sensor performs at 1.0;
+    ``floor`` is the residual performance in complete darkness (a sensor
+    still returns frames, just poor ones).  The same mapping doubles as
+    the environment indicator E of Section 4.5 — with the trust model,
+    trustors read E off their own co-located sensors.
+    """
+
+    full_lux: float = 400.0
+    floor: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.full_lux <= 0:
+            raise ValueError("full_lux must be positive")
+        if not 0.0 < self.floor <= 1.0:
+            raise ValueError("floor must be in (0, 1]")
+
+    def performance(self, lux: float) -> float:
+        """Performance factor in [floor, 1] for the given light level."""
+        if lux < 0:
+            raise ValueError("lux must be non-negative")
+        scaled = min(1.0, lux / self.full_lux)
+        return self.floor + (1.0 - self.floor) * scaled
+
+    def environment_indicator(self, lux: float) -> float:
+        """The E value in (0, 1] the trust model uses for this light."""
+        return self.performance(lux)

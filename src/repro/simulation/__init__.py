@@ -1,0 +1,59 @@
+"""Social-network simulations reproducing the paper's evaluation.
+
+One module per experiment family:
+
+* :mod:`repro.simulation.mutuality` — Fig. 7 (Section 5.3),
+* :mod:`repro.simulation.transitivity` — Figs. 9–12 and Table 2
+  (Section 5.5),
+* :mod:`repro.simulation.delegation` — Fig. 13 (Section 5.6),
+* :mod:`repro.simulation.environment` — Fig. 15 (Section 5.7).
+
+All simulations are deterministic for a given seed and operate over the
+three calibrated networks of :mod:`repro.socialnet.datasets`.
+"""
+
+from repro.simulation.config import (
+    DelegationConfig,
+    EnvironmentConfig,
+    MutualityConfig,
+    TransitivityConfig,
+)
+from repro.simulation.delegation import DelegationSimulation, NetProfitSeries
+from repro.simulation.environment import (
+    EnvironmentSimulation,
+    EnvironmentTrackingResult,
+)
+from repro.simulation.mutuality import MutualityResult, MutualitySimulation
+from repro.simulation.results import RateSummary
+from repro.simulation.runner import average_rates, average_series
+from repro.simulation.scenario import Scenario, build_scenario
+from repro.simulation.selfdelegation import (
+    SelfDelegationResult,
+    SelfDelegationSimulation,
+)
+from repro.simulation.transitivity import (
+    TransitivityResult,
+    TransitivitySimulation,
+)
+
+__all__ = [
+    "DelegationConfig",
+    "DelegationSimulation",
+    "EnvironmentConfig",
+    "EnvironmentSimulation",
+    "EnvironmentTrackingResult",
+    "MutualityConfig",
+    "MutualityResult",
+    "MutualitySimulation",
+    "NetProfitSeries",
+    "RateSummary",
+    "Scenario",
+    "SelfDelegationResult",
+    "SelfDelegationSimulation",
+    "TransitivityConfig",
+    "TransitivityResult",
+    "TransitivitySimulation",
+    "average_rates",
+    "average_series",
+    "build_scenario",
+]

@@ -1,0 +1,135 @@
+"""Frozen configuration dataclasses for the four simulations.
+
+Defaults reproduce the paper's stated parameters (40 % trustors, 40 %
+trustees, β = 0.1, the Fig. 15 environment schedule, etc.); everything is
+overridable for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.ids import validate_probability
+
+
+@dataclass(frozen=True)
+class RoleConfig:
+    """Node-role split of Section 5.1: ~40 % trustors, ~40 % trustees."""
+
+    trustor_fraction: float = 0.4
+    trustee_fraction: float = 0.4
+
+    def __post_init__(self) -> None:
+        validate_probability(self.trustor_fraction, "trustor_fraction")
+        validate_probability(self.trustee_fraction, "trustee_fraction")
+        if self.trustor_fraction + self.trustee_fraction > 1.0:
+            raise ValueError(
+                "trustor_fraction + trustee_fraction must not exceed 1 "
+                "(roles are disjoint)"
+            )
+
+
+@dataclass(frozen=True)
+class MutualityConfig:
+    """Fig. 7 parameters (Section 5.3)."""
+
+    threshold: float = 0.0
+    warmup_interactions: int = 30
+    requests_per_trustor: int = 10
+    candidate_hops: int = 2
+    # Shared logs = trustees gossip usage statistics (default; see
+    # MutualitySimulation's docstring).  False keeps each trustee's log
+    # private, as the paper's text literally describes — the gate then
+    # only bites once that particular trustee has its own history.
+    shared_logs: bool = True
+    roles: RoleConfig = field(default_factory=RoleConfig)
+
+    def __post_init__(self) -> None:
+        validate_probability(self.threshold, "threshold")
+        if self.warmup_interactions < 0:
+            raise ValueError("warmup_interactions must be non-negative")
+        if self.requests_per_trustor < 1:
+            raise ValueError("requests_per_trustor must be positive")
+        if self.candidate_hops < 1:
+            raise ValueError("candidate_hops must be at least 1")
+
+
+@dataclass(frozen=True)
+class TransitivityConfig:
+    """Figs. 9–12 / Table 2 parameters (Section 5.5)."""
+
+    num_characteristics: int = 4
+    tasks_per_node: int = 2
+    catalog_size: int = 0  # 0 = all 1..max_task_characteristics combos
+    max_task_characteristics: int = 2
+    omega_recommend: float = 0.35
+    omega_execute: float = 0.35
+    max_depth: int = 2
+    record_fraction: float = 0.5
+    roles: RoleConfig = field(default_factory=RoleConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_characteristics < 1:
+            raise ValueError("num_characteristics must be positive")
+        if self.tasks_per_node < 1:
+            raise ValueError("tasks_per_node must be positive")
+        if self.catalog_size and self.catalog_size < self.tasks_per_node:
+            raise ValueError("catalog_size must cover tasks_per_node")
+        validate_probability(self.record_fraction, "record_fraction")
+        if not 1 <= self.max_task_characteristics <= self.num_characteristics:
+            raise ValueError(
+                "max_task_characteristics must be in "
+                "[1, num_characteristics]"
+            )
+        validate_probability(self.omega_recommend, "omega_recommend")
+        validate_probability(self.omega_execute, "omega_execute")
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+
+
+@dataclass(frozen=True)
+class DelegationConfig:
+    """Fig. 13 parameters (Section 5.6).
+
+    ``beta`` is the weight on *history* in Eq. 19–22.  The paper quotes a
+    forgetting factor of 0.1, but its figures show transients spanning
+    tens-to-hundreds of iterations, which with Eq. 19's algebra requires
+    the 0.1 to be the weight on the *observation* — so the equivalent
+    history weight used here is 0.9 (see EXPERIMENTS.md).
+    """
+
+    iterations: int = 3000
+    beta: float = 0.9
+    smoothing_window: int = 50
+    roles: RoleConfig = field(default_factory=RoleConfig)
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be positive")
+        validate_probability(self.beta, "beta")
+        if self.smoothing_window < 1:
+            raise ValueError("smoothing_window must be positive")
+
+
+@dataclass(frozen=True)
+class EnvironmentConfig:
+    """Fig. 15 parameters (Section 5.7).
+
+    ``beta`` weights history in Eq. 25; see :class:`DelegationConfig` for
+    why the paper's quoted 0.1 corresponds to ``beta = 0.9`` here.
+    """
+
+    actual_success_rate: float = 0.8
+    beta: float = 0.9
+    runs: int = 100
+    # (iterations, environment level) phases: perfect, degraded, recovered.
+    schedule: Tuple[Tuple[int, float], ...] = ((100, 1.0), (100, 0.4), (100, 0.7))
+
+    def __post_init__(self) -> None:
+        validate_probability(self.actual_success_rate, "actual_success_rate")
+        validate_probability(self.beta, "beta")
+        if self.runs < 1:
+            raise ValueError("runs must be positive")
+        if not self.schedule:
+            raise ValueError("schedule must have at least one phase")

@@ -1,0 +1,68 @@
+"""Result containers shared by the simulations and the benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class RateSummary:
+    """Success / unavailable / abuse rates of one simulation run (Fig. 7).
+
+    ``success_rate``   — successful delegations / total requests,
+    ``unavailable_rate`` — unanswered requests / total requests,
+    ``abuse_rate``     — abusive uses / all uses of trustee resources.
+    """
+
+    success_rate: float
+    unavailable_rate: float
+    abuse_rate: float
+    total_requests: int = 0
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "success": round(self.success_rate, 4),
+            "unavailable": round(self.unavailable_rate, 4),
+            "abuse": round(self.abuse_rate, 4),
+        }
+
+
+@dataclass
+class SeriesResult:
+    """A labelled numeric series (one curve of a figure)."""
+
+    label: str
+    values: List[float] = field(default_factory=list)
+
+    def append(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def smoothed(self, window: int) -> List[float]:
+        """Trailing moving average with the given window."""
+        if window < 1:
+            raise ValueError("window must be positive")
+        out: List[float] = []
+        acc = 0.0
+        for index, value in enumerate(self.values):
+            acc += value
+            if index >= window:
+                acc -= self.values[index - window]
+                out.append(acc / window)
+            else:
+                out.append(acc / (index + 1))
+        return out
+
+    def tail_mean(self, count: int) -> float:
+        """Mean of the last ``count`` points (converged value)."""
+        if not self.values:
+            raise ValueError("series is empty")
+        tail = self.values[-count:]
+        return sum(tail) / len(tail)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

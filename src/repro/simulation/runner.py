@@ -1,0 +1,44 @@
+"""Repeat-and-average helpers for multi-seed simulation runs."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.simulation.results import RateSummary, SeriesResult
+
+
+def average_rates(
+    run: Callable[[int], RateSummary], seeds: Sequence[int]
+) -> RateSummary:
+    """Run a rate-producing simulation per seed and average the rates."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = [run(seed) for seed in seeds]
+    count = len(results)
+    return RateSummary(
+        success_rate=sum(r.success_rate for r in results) / count,
+        unavailable_rate=sum(r.unavailable_rate for r in results) / count,
+        abuse_rate=sum(r.abuse_rate for r in results) / count,
+        total_requests=sum(r.total_requests for r in results),
+    )
+
+
+def average_series(
+    run: Callable[[int], SeriesResult], seeds: Sequence[int]
+) -> SeriesResult:
+    """Run a series-producing simulation per seed and average pointwise.
+
+    All runs must produce series of equal length.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results: List[SeriesResult] = [run(seed) for seed in seeds]
+    lengths = {len(r.values) for r in results}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ across seeds: {lengths}")
+    length = lengths.pop()
+    averaged = [
+        sum(r.values[i] for r in results) / len(results)
+        for i in range(length)
+    ]
+    return SeriesResult(label=results[0].label, values=averaged)

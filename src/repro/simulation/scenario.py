@@ -1,0 +1,101 @@
+"""Scenario construction shared by the simulations.
+
+A :class:`Scenario` fixes the random ground truth over one network:
+
+* which nodes are trustors and which are trustees (disjoint ~40 % / ~40 %
+  splits, Section 5.1);
+* each trustor's hidden responsibility value (Section 5.3);
+* each trustee's per-task or per-characteristic competence (Sections 5.5
+  and 5.6).
+
+All draws are seeded; two scenarios built with the same
+``(graph, seed, roles)`` are identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core.ids import NodeId
+from repro.simulation.config import RoleConfig
+from repro.simulation.rng import spawn
+from repro.socialnet.graph import SocialGraph
+
+
+@dataclass
+class Scenario:
+    """Roles and hidden ground truth over one social graph."""
+
+    graph: SocialGraph
+    trustors: List[NodeId]
+    trustees: List[NodeId]
+    responsibility: Dict[NodeId, float] = field(default_factory=dict)
+    _competence: Dict[Tuple[NodeId, str], float] = field(default_factory=dict)
+    _competence_rng: random.Random = field(default_factory=random.Random)
+
+    @property
+    def trustee_set(self) -> Set[NodeId]:
+        return set(self.trustees)
+
+    _seed_token: int = 0
+
+    def competence(self, trustee: NodeId, key: str) -> float:
+        """Hidden competence of ``trustee`` for ``key`` (a task name or a
+        characteristic), drawn lazily and memoized.
+
+        The draw is keyed by ``(trustee, key, seed)`` rather than pulled
+        from a shared stream, so the ground truth is independent of the
+        order in which consumers ask for it.
+        """
+        lookup = (trustee, key)
+        if lookup not in self._competence:
+            self._competence[lookup] = random.Random(
+                repr(("competence", trustee, key, self._seed_token))
+            ).random()
+        return self._competence[lookup]
+
+    def trustee_neighbors(self, node: NodeId, hops: int = 1) -> List[NodeId]:
+        """Trustees within ``hops`` of ``node`` (excluding itself)."""
+        frontier = {node}
+        seen = {node}
+        for _ in range(hops):
+            next_frontier: Set[NodeId] = set()
+            for current in frontier:
+                for neighbor in self.graph.neighbors(current):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        next_frontier.add(neighbor)
+            frontier = next_frontier
+        trustee_set = self.trustee_set
+        return sorted(
+            n for n in seen if n != node and n in trustee_set
+        )
+
+
+def build_scenario(
+    graph: SocialGraph,
+    seed: int = 0,
+    roles: RoleConfig = RoleConfig(),
+) -> Scenario:
+    """Assign disjoint trustor/trustee roles and hidden responsibility."""
+    role_rng = spawn(seed, "scenario", "roles", graph.name)
+    nodes = list(graph.nodes())
+    role_rng.shuffle(nodes)
+    n_trustors = int(round(len(nodes) * roles.trustor_fraction))
+    n_trustees = int(round(len(nodes) * roles.trustee_fraction))
+    trustors = sorted(nodes[:n_trustors])
+    trustees = sorted(nodes[n_trustors:n_trustors + n_trustees])
+
+    resp_rng = spawn(seed, "scenario", "responsibility", graph.name)
+    responsibility = {trustor: resp_rng.random() for trustor in trustors}
+
+    scenario = Scenario(
+        graph=graph,
+        trustors=trustors,
+        trustees=trustees,
+        responsibility=responsibility,
+    )
+    scenario._seed_token = seed
+    return scenario

@@ -1,0 +1,52 @@
+"""Social-graph substrate: containers, metrics, communities, generators.
+
+The paper builds its simulated social IoT on the connectivity of three
+real-world sub-networks (Facebook, Google+, Twitter; Table 1).  This
+package provides a small graph container, from-scratch implementations of
+the connectivity metrics the paper reports, Newman modularity and Louvain
+community detection, and seeded synthetic generators calibrated to the
+three sub-networks.
+"""
+
+from repro.socialnet.communities import louvain_communities
+from repro.socialnet.datasets import (
+    NETWORK_PROFILES,
+    TABLE1_REFERENCE,
+    facebook,
+    gplus,
+    load_network,
+    twitter,
+)
+from repro.socialnet.generators import CommunityGraphProfile, generate_community_graph
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.metrics import (
+    ConnectivityReport,
+    average_clustering_coefficient,
+    average_degree,
+    average_path_length,
+    connectivity_report,
+    diameter,
+    local_clustering_coefficient,
+)
+from repro.socialnet.modularity import modularity
+
+__all__ = [
+    "CommunityGraphProfile",
+    "ConnectivityReport",
+    "NETWORK_PROFILES",
+    "SocialGraph",
+    "TABLE1_REFERENCE",
+    "average_clustering_coefficient",
+    "average_degree",
+    "average_path_length",
+    "connectivity_report",
+    "diameter",
+    "facebook",
+    "generate_community_graph",
+    "gplus",
+    "load_network",
+    "local_clustering_coefficient",
+    "louvain_communities",
+    "modularity",
+    "twitter",
+]

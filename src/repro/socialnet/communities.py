@@ -1,0 +1,175 @@
+"""Louvain community detection (Blondel et al. 2008), from scratch.
+
+The paper reports community counts obtained with the Louvain method
+(its reference [35]).  This implementation works on a weighted adjacency
+map so the aggregation phase (communities collapse into super-nodes with
+weighted edges) reuses the same local-move phase.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.core.ids import NodeId
+from repro.socialnet.graph import SocialGraph
+
+# weighted adjacency: node -> neighbor -> edge weight; self-loops hold
+# intra-community weight during aggregation (counted twice in strength).
+_WeightedAdj = Dict[Hashable, Dict[Hashable, float]]
+
+
+def _graph_to_weighted(graph: SocialGraph) -> _WeightedAdj:
+    adjacency: _WeightedAdj = {node: {} for node in graph.nodes()}
+    for u, v in graph.edges():
+        adjacency[u][v] = adjacency[u].get(v, 0.0) + 1.0
+        adjacency[v][u] = adjacency[v].get(u, 0.0) + 1.0
+    return adjacency
+
+
+def _total_weight(adjacency: _WeightedAdj) -> float:
+    """Sum of edge weights (self-loops counted once)."""
+    total = 0.0
+    for node, neighbors in adjacency.items():
+        for neighbor, weight in neighbors.items():
+            if neighbor == node:
+                total += weight
+            else:
+                total += weight / 2.0
+    return total
+
+
+def _node_strength(adjacency: _WeightedAdj, node: Hashable) -> float:
+    """Weighted degree; a self-loop contributes twice (standard convention)."""
+    strength = 0.0
+    for neighbor, weight in adjacency[node].items():
+        strength += weight * (2.0 if neighbor == node else 1.0)
+    return strength
+
+
+def _one_level(
+    adjacency: _WeightedAdj, m: float, rng: random.Random
+) -> Tuple[Dict[Hashable, int], bool]:
+    """Local-move phase: greedily reassign nodes to neighboring communities.
+
+    Returns the community of each node and whether anything moved.
+    """
+    nodes = list(adjacency)
+    community: Dict[Hashable, int] = {node: i for i, node in enumerate(nodes)}
+    strength = {node: _node_strength(adjacency, node) for node in nodes}
+    community_strength: Dict[int, float] = {
+        community[node]: strength[node] for node in nodes
+    }
+
+    improved = False
+    moved = True
+    while moved:
+        moved = False
+        order = list(nodes)
+        rng.shuffle(order)
+        for node in order:
+            node_comm = community[node]
+            node_strength_value = strength[node]
+
+            # Weight of links from `node` to each neighboring community.
+            links_to: Dict[int, float] = defaultdict(float)
+            for neighbor, weight in adjacency[node].items():
+                if neighbor != node:
+                    links_to[community[neighbor]] += weight
+
+            # Remove node from its community.
+            community_strength[node_comm] -= node_strength_value
+
+            best_comm = node_comm
+            best_gain = 0.0
+            base = links_to.get(node_comm, 0.0) - (
+                community_strength[node_comm] * node_strength_value / (2.0 * m)
+            )
+            for comm, link_weight in links_to.items():
+                gain = link_weight - (
+                    community_strength[comm] * node_strength_value / (2.0 * m)
+                )
+                if gain - base > best_gain + 1e-12:
+                    best_gain = gain - base
+                    best_comm = comm
+
+            community_strength[best_comm] = (
+                community_strength.get(best_comm, 0.0) + node_strength_value
+            )
+            if best_comm != node_comm:
+                community[node] = best_comm
+                moved = True
+                improved = True
+    return community, improved
+
+
+def _aggregate(
+    adjacency: _WeightedAdj, community: Mapping[Hashable, int]
+) -> _WeightedAdj:
+    """Collapse communities into super-nodes with weighted edges."""
+    new_adjacency: _WeightedAdj = defaultdict(lambda: defaultdict(float))
+    # Edgeless communities must survive aggregation, or their nodes would
+    # vanish from later levels (isolated nodes stay isolated).
+    for node in adjacency:
+        new_adjacency[community[node]]  # touch to materialize
+    for node, neighbors in adjacency.items():
+        cu = community[node]
+        for neighbor, weight in neighbors.items():
+            cv = community[neighbor]
+            if node == neighbor:
+                new_adjacency[cu][cv] += weight
+            elif cu == cv:
+                # Both endpoints iterate this edge; halve to count it once,
+                # stored as a self-loop on the super-node.
+                new_adjacency[cu][cv] += weight / 2.0
+            else:
+                new_adjacency[cu][cv] += weight / 2.0
+                new_adjacency[cv][cu] += weight / 2.0
+    # The symmetric entries of inter-community edges were each added half
+    # from both directions, restoring full weight; freeze to plain dicts.
+    return {node: dict(neigh) for node, neigh in new_adjacency.items()}
+
+
+def louvain_communities(
+    graph: SocialGraph, seed: Optional[int] = None
+) -> Dict[NodeId, int]:
+    """Louvain partition of ``graph``; labels are dense integers.
+
+    ``seed`` fixes the node-visit shuffles, making the partition (and the
+    community count reported in Table 1) reproducible.
+    """
+    rng = random.Random(seed)
+    if graph.node_count == 0:
+        return {}
+
+    adjacency = _graph_to_weighted(graph)
+    m = _total_weight(adjacency)
+    if m == 0.0:
+        return {node: i for i, node in enumerate(graph.nodes())}
+
+    # membership[node] is refined level by level.
+    membership: Dict[NodeId, Hashable] = {node: node for node in graph.nodes()}
+    while True:
+        community, improved = _one_level(adjacency, m, rng)
+        if not improved:
+            break
+        membership = {
+            node: community[membership[node]] for node in membership
+        }
+        adjacency = _aggregate(adjacency, community)
+        if len(adjacency) == len(set(community.values())) and all(
+            len([n for n in neigh if n != node]) == 0
+            for node, neigh in adjacency.items()
+        ):
+            break
+
+    # Re-label to dense 0..k-1 integers.
+    labels: Dict[Hashable, int] = {}
+    result: Dict[NodeId, int] = {}
+    for node in graph.nodes():
+        raw = membership[node]
+        if raw not in labels:
+            labels[raw] = len(labels)
+        result[node] = labels[raw]
+    return result

@@ -1,0 +1,49 @@
+"""Newman modularity Q of a node partition.
+
+Q = (1 / 2m) * sum_ij [ A_ij - k_i k_j / 2m ] * delta(c_i, c_j)
+
+computed community-by-community as
+Q = sum_c [ (L_c / m) - (d_c / 2m)^2 ]
+where L_c is the number of intra-community edges and d_c the total degree
+of community c.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, Mapping
+
+from repro.core.ids import NodeId
+from repro.socialnet.graph import SocialGraph
+
+
+def modularity(
+    graph: SocialGraph, partition: Mapping[NodeId, Hashable]
+) -> float:
+    """Modularity of ``partition`` (community label per node).
+
+    Every node must be labelled.  Graphs without edges have modularity 0
+    by convention.
+    """
+    m = graph.edge_count
+    if m == 0:
+        return 0.0
+    missing = [node for node in graph.nodes() if node not in partition]
+    if missing:
+        raise ValueError(
+            f"partition is missing {len(missing)} node(s), e.g. {missing[0]!r}"
+        )
+
+    intra_edges: Dict[Hashable, int] = defaultdict(int)
+    community_degree: Dict[Hashable, int] = defaultdict(int)
+    for node in graph.nodes():
+        community_degree[partition[node]] += graph.degree(node)
+    for u, v in graph.edges():
+        if partition[u] == partition[v]:
+            intra_edges[partition[u]] += 1
+
+    q = 0.0
+    two_m = 2.0 * m
+    for community, degree_sum in community_degree.items():
+        q += intra_edges.get(community, 0) / m - (degree_sum / two_m) ** 2
+    return q

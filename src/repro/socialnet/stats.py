@@ -1,0 +1,110 @@
+"""Additional graph statistics beyond the Table 1 metrics.
+
+Degree distributions, degree assortativity and k-core decomposition —
+the standard structural lenses used to sanity-check that a synthetic
+substitute behaves like the social networks it stands in for.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.ids import NodeId
+from repro.socialnet.graph import SocialGraph
+
+
+def degree_histogram(graph: SocialGraph) -> Dict[int, int]:
+    """Count of nodes per degree value."""
+    return dict(Counter(graph.degree(node) for node in graph.nodes()))
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Five-number-style summary of the degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    std: float
+
+
+def degree_summary(graph: SocialGraph) -> DegreeSummary:
+    """Summary statistics of the degree sequence."""
+    degrees = sorted(graph.degree(node) for node in graph.nodes())
+    if not degrees:
+        return DegreeSummary(0, 0, 0.0, 0.0, 0.0)
+    n = len(degrees)
+    mean = sum(degrees) / n
+    if n % 2:
+        median = float(degrees[n // 2])
+    else:
+        median = (degrees[n // 2 - 1] + degrees[n // 2]) / 2.0
+    variance = sum((d - mean) ** 2 for d in degrees) / n
+    return DegreeSummary(
+        minimum=degrees[0],
+        maximum=degrees[-1],
+        mean=mean,
+        median=median,
+        std=math.sqrt(variance),
+    )
+
+
+def degree_assortativity(graph: SocialGraph) -> float:
+    """Pearson correlation of degrees across edges (Newman's r).
+
+    Positive in social networks (hubs befriend hubs); 0 for graphs with
+    no edges or degenerate degree variance.
+    """
+    pairs: List[Tuple[int, int]] = []
+    for u, v in graph.edges():
+        du, dv = graph.degree(u), graph.degree(v)
+        pairs.append((du, dv))
+        pairs.append((dv, du))  # undirected: count both orientations
+    if not pairs:
+        return 0.0
+    n = len(pairs)
+    mean_x = sum(x for x, _ in pairs) / n
+    mean_y = sum(y for _, y in pairs) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in pairs) / n
+    var_x = sum((x - mean_x) ** 2 for x, _ in pairs) / n
+    var_y = sum((y - mean_y) ** 2 for _, y in pairs) / n
+    if var_x <= 0.0 or var_y <= 0.0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def k_core_decomposition(graph: SocialGraph) -> Dict[NodeId, int]:
+    """Core number of every node (largest k such that the node survives
+    in the k-core), via the standard peeling algorithm."""
+    degrees = {node: graph.degree(node) for node in graph.nodes()}
+    core: Dict[NodeId, int] = {}
+    remaining = set(degrees)
+    current_k = 0
+    while remaining:
+        # Peel all nodes whose (residual) degree is <= current_k.
+        peel = [node for node in remaining if degrees[node] <= current_k]
+        if not peel:
+            current_k += 1
+            continue
+        while peel:
+            node = peel.pop()
+            if node not in remaining:
+                continue
+            core[node] = current_k
+            remaining.discard(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor in remaining:
+                    degrees[neighbor] -= 1
+                    if degrees[neighbor] <= current_k:
+                        peel.append(neighbor)
+    return core
+
+
+def max_core_number(graph: SocialGraph) -> int:
+    """Degeneracy of the graph (largest core number)."""
+    core = k_core_decomposition(graph)
+    return max(core.values()) if core else 0

@@ -1,0 +1,58 @@
+"""Shared fixtures: small graphs, scenarios and IoT networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.task import Task
+from repro.socialnet.graph import SocialGraph
+
+
+@pytest.fixture
+def triangle() -> SocialGraph:
+    """Three mutually connected nodes."""
+    return SocialGraph.from_edges([(0, 1), (1, 2), (0, 2)], name="triangle")
+
+
+@pytest.fixture
+def path_graph() -> SocialGraph:
+    """A 5-node path 0-1-2-3-4."""
+    return SocialGraph.from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 4)], name="path"
+    )
+
+
+@pytest.fixture
+def star_graph() -> SocialGraph:
+    """Hub 0 connected to leaves 1..5."""
+    return SocialGraph.from_edges(
+        [(0, leaf) for leaf in range(1, 6)], name="star"
+    )
+
+
+@pytest.fixture
+def two_cliques() -> SocialGraph:
+    """Two 4-cliques joined by a single bridge edge (3-4)."""
+    edges = []
+    for group in ((0, 1, 2, 3), (4, 5, 6, 7)):
+        for i, u in enumerate(group):
+            for v in group[i + 1:]:
+                edges.append((u, v))
+    edges.append((3, 4))
+    return SocialGraph.from_edges(edges, name="two-cliques")
+
+
+@pytest.fixture
+def gps_task() -> Task:
+    return Task("gps-task", characteristics=("gps",))
+
+
+@pytest.fixture
+def image_task() -> Task:
+    return Task("image-task", characteristics=("image",))
+
+
+@pytest.fixture
+def traffic_task() -> Task:
+    """Two-characteristic task used by the inference examples."""
+    return Task("traffic", characteristics=("gps", "image"))

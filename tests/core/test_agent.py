@@ -1,0 +1,125 @@
+"""Tests for agent behaviour profiles."""
+
+import random
+
+import pytest
+
+from repro.core.agent import (
+    DishonestTrusteeBehavior,
+    HonestTrusteeBehavior,
+    ResponsibleTrustorBehavior,
+    TrusteeAgent,
+    TrustorAgent,
+)
+from repro.core.records import DelegationRecord
+from repro.core.task import Task
+
+
+class TestHonestTrustee:
+    def test_success_frequency_tracks_competence(self):
+        behavior = HonestTrusteeBehavior(competence=0.7, gain=1.0, damage=0.5)
+        rng = random.Random(0)
+        task = Task("t", characteristics=("a",))
+        outcomes = [behavior.perform(task, rng) for _ in range(2000)]
+        rate = sum(1 for o in outcomes if o.succeeded) / len(outcomes)
+        assert rate == pytest.approx(0.7, abs=0.04)
+
+    def test_gain_only_on_success(self):
+        behavior = HonestTrusteeBehavior(competence=1.0, gain=0.8)
+        result = behavior.perform(Task("t"), random.Random(0))
+        assert result.succeeded and result.gain == 0.8 and result.damage == 0
+
+    def test_damage_only_on_failure(self):
+        behavior = HonestTrusteeBehavior(competence=0.0, gain=0.8, damage=0.4)
+        result = behavior.perform(Task("t"), random.Random(0))
+        assert not result.succeeded
+        assert result.gain == 0.0 and result.damage == 0.4
+
+    def test_cost_always_paid(self):
+        for competence in (0.0, 1.0):
+            behavior = HonestTrusteeBehavior(competence=competence, cost=0.3)
+            result = behavior.perform(Task("t"), random.Random(1))
+            assert result.cost == 0.3
+
+    def test_invalid_competence_rejected(self):
+        with pytest.raises(ValueError):
+            HonestTrusteeBehavior(competence=1.2)
+
+
+class TestDishonestTrustee:
+    def test_targets_bad_characteristics(self):
+        behavior = DishonestTrusteeBehavior(
+            base_competence=0.9, malicious_competence=0.1,
+            bad_characteristics={"image"},
+        )
+        clean = Task("clean", characteristics=("gps",))
+        tainted = Task("tainted", characteristics=("gps", "image"))
+        assert behavior.effective_competence(clean) == 0.9
+        assert behavior.effective_competence(tainted) == 0.1
+
+    def test_cost_inflation_applied(self):
+        behavior = DishonestTrusteeBehavior(cost=0.1, cost_inflation=0.5)
+        result = behavior.perform(Task("t"), random.Random(0))
+        assert result.cost == pytest.approx(0.6)
+
+    def test_malice_lowers_success_frequency(self):
+        behavior = DishonestTrusteeBehavior(
+            base_competence=0.9, malicious_competence=0.1,
+            bad_characteristics={"image"},
+        )
+        rng = random.Random(3)
+        tainted = Task("t", characteristics=("image",))
+        successes = sum(
+            1 for _ in range(1000)
+            if behavior.perform(tainted, rng).succeeded
+        )
+        assert successes / 1000 == pytest.approx(0.1, abs=0.04)
+
+
+class TestTrustorBehavior:
+    def test_responsibility_frequency(self):
+        behavior = ResponsibleTrustorBehavior(responsibility=0.25)
+        rng = random.Random(0)
+        responsible = sum(
+            1 for _ in range(2000) if behavior.uses_responsibly(rng)
+        )
+        assert responsible / 2000 == pytest.approx(0.25, abs=0.04)
+
+
+class TestAgents:
+    def test_trustor_gets_a_store(self):
+        agent = TrustorAgent(
+            node_id="alice",
+            behavior=ResponsibleTrustorBehavior(responsibility=1.0),
+        )
+        assert agent.store.owner == "alice"
+
+    def test_trustor_record_result_updates_store(self):
+        agent = TrustorAgent(
+            node_id="alice",
+            behavior=ResponsibleTrustorBehavior(responsibility=1.0),
+        )
+        task = Task("t", characteristics=("a",))
+        agent.record_result(
+            DelegationRecord(trustor="alice", trustee="bob",
+                             task_name="t", succeeded=True, gain=0.5),
+            task,
+        )
+        assert agent.store.has_experience("bob", task)
+
+    def test_trustee_threshold_per_task(self):
+        agent = TrusteeAgent(
+            node_id="bob",
+            behavior=HonestTrusteeBehavior(competence=1.0),
+            thresholds={"camera": 0.6},
+            default_threshold=0.2,
+        )
+        assert agent.threshold_for(Task("camera")) == 0.6
+        assert agent.threshold_for(Task("other")) == 0.2
+
+    def test_trustee_perform_delegates_to_behavior(self):
+        agent = TrusteeAgent(
+            node_id="bob", behavior=HonestTrusteeBehavior(competence=1.0)
+        )
+        result = agent.perform(Task("t"), random.Random(0))
+        assert result.succeeded

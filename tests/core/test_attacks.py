@@ -1,0 +1,156 @@
+"""Tests for the attack models and credibility-weighted defence."""
+
+import random
+
+import pytest
+
+from repro.core.attacks import (
+    BadMouthingAttacker,
+    BallotStuffingAttacker,
+    CredibilityWeightedAggregator,
+    HonestRecommender,
+    OpportunisticServiceAttacker,
+    Recommendation,
+    SelfPromotingAttacker,
+    run_attack_scenario,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+class TestBehaviors:
+    def test_honest_reports_near_truth(self, rng):
+        behavior = HonestRecommender(noise=0.05)
+        claims = [
+            behavior.recommend("h", "x", 0.6, rng) for _ in range(200)
+        ]
+        assert all(0.55 <= claim <= 0.65 for claim in claims)
+
+    def test_self_promoter_inflates_only_itself(self, rng):
+        behavior = SelfPromotingAttacker()
+        assert behavior.recommend("me", "me", 0.2, rng) == 1.0
+        other = behavior.recommend("me", "other", 0.2, rng)
+        assert other < 0.3
+
+    def test_bad_mouther_smears_outsiders(self, rng):
+        behavior = BadMouthingAttacker(coalition=frozenset({"pal"}))
+        assert behavior.recommend("bm", "victim", 0.9, rng) == 0.0
+        assert behavior.recommend("bm", "pal", 0.9, rng) > 0.8
+
+    def test_ballot_stuffer_inflates_coalition(self, rng):
+        behavior = BallotStuffingAttacker(coalition=frozenset({"pal"}))
+        assert behavior.recommend("bs", "pal", 0.1, rng) == 1.0
+        outsider = behavior.recommend("bs", "victim", 0.5, rng)
+        assert outsider < 0.6
+
+    def test_opportunistic_flips_after_honest_phase(self, rng):
+        behavior = OpportunisticServiceAttacker(honest_phase=3)
+        early = [
+            behavior.recommend("op", "victim", 0.8, rng) for _ in range(3)
+        ]
+        late = behavior.recommend("op", "victim", 0.8, rng)
+        assert all(claim > 0.7 for claim in early)
+        assert late < 0.2
+
+
+class TestAggregator:
+    def _recs(self, *pairs):
+        return [
+            Recommendation(recommender=name, about="t", claimed=claim)
+            for name, claim in pairs
+        ]
+
+    def test_empty_returns_none(self):
+        aggregator = CredibilityWeightedAggregator()
+        assert aggregator.aggregate([]) is None
+        assert aggregator.naive_aggregate([]) is None
+
+    def test_naive_is_plain_mean(self):
+        aggregator = CredibilityWeightedAggregator()
+        recs = self._recs(("a", 0.2), ("b", 0.8))
+        assert aggregator.naive_aggregate(recs) == pytest.approx(0.5)
+
+    def test_low_credibility_discarded(self):
+        aggregator = CredibilityWeightedAggregator(
+            credibility={"liar": 0.1, "honest": 0.9},
+        )
+        recs = self._recs(("liar", 0.0), ("honest", 0.8))
+        assert aggregator.aggregate(recs) == pytest.approx(0.8)
+
+    def test_self_recommendations_ignored(self):
+        aggregator = CredibilityWeightedAggregator(
+            credibility={"t": 1.0, "honest": 0.9},
+        )
+        recs = [
+            Recommendation(recommender="t", about="t", claimed=1.0),
+            Recommendation(recommender="honest", about="t", claimed=0.5),
+        ]
+        assert aggregator.aggregate(recs) == pytest.approx(0.5)
+
+    def test_all_discarded_returns_none(self):
+        aggregator = CredibilityWeightedAggregator(
+            credibility={"liar": 0.0},
+        )
+        assert aggregator.aggregate(self._recs(("liar", 1.0))) is None
+
+    def test_credibility_update_punishes_wrong_claims(self):
+        aggregator = CredibilityWeightedAggregator()
+        before = aggregator.credibility_of("liar")
+        for _ in range(30):
+            aggregator.update_credibility("liar", claimed=1.0, observed=0.1)
+        after = aggregator.credibility_of("liar")
+        assert after < before
+        assert after < aggregator.credibility_floor
+
+    def test_credibility_update_rewards_accuracy(self):
+        aggregator = CredibilityWeightedAggregator()
+        for _ in range(30):
+            aggregator.update_credibility("good", claimed=0.8, observed=0.8)
+        assert aggregator.credibility_of("good") > 0.9
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("factory,target", [
+        (lambda i: BadMouthingAttacker(), 0.8),
+        (lambda i: BallotStuffingAttacker(
+            coalition=frozenset({"target"})), 0.2),
+        (lambda i: OpportunisticServiceAttacker(honest_phase=5), 0.8),
+    ])
+    def test_defence_beats_naive(self, factory, target):
+        result = run_attack_scenario(
+            target_trust=target,
+            honest_count=6,
+            attacker_factory=factory,
+            attacker_count=6,
+            rounds=40,
+            seed=3,
+        )
+        assert result.defended_error < result.naive_error
+
+    def test_defended_estimate_accurate_under_bad_mouthing(self):
+        result = run_attack_scenario(
+            target_trust=0.8,
+            honest_count=6,
+            attacker_factory=lambda i: BadMouthingAttacker(),
+            attacker_count=6,
+            rounds=40,
+            seed=3,
+        )
+        assert result.defended_error < 0.1
+        # The naive mean is dragged roughly half-way toward the smear.
+        assert result.naive_error > 0.25
+
+    def test_no_attackers_both_accurate(self):
+        result = run_attack_scenario(
+            target_trust=0.6,
+            honest_count=8,
+            attacker_factory=lambda i: HonestRecommender(),
+            attacker_count=0,
+            rounds=20,
+            seed=1,
+        )
+        assert result.naive_error < 0.1
+        assert result.defended_error < 0.1

@@ -1,0 +1,209 @@
+"""Tests for the end-to-end delegation engine (Fig. 1 / Fig. 2 flow)."""
+
+import random
+
+import pytest
+
+from repro.core.agent import (
+    HonestTrusteeBehavior,
+    ResponsibleTrustorBehavior,
+    TrusteeAgent,
+    TrustorAgent,
+)
+from repro.core.engine import DelegationEngine, DelegationStatus, run_rounds
+from repro.core.environment import EnvironmentAwareUpdater, EnvironmentReading
+from repro.core.inference import CharacteristicInferrer
+from repro.core.records import OutcomeFactors, UsageRecord
+from repro.core.task import Task
+
+
+def make_trustor(name="alice", responsibility=1.0) -> TrustorAgent:
+    return TrustorAgent(
+        node_id=name,
+        behavior=ResponsibleTrustorBehavior(responsibility=responsibility),
+    )
+
+
+def make_trustee(name="bob", competence=1.0, threshold=0.0,
+                 gain=1.0) -> TrusteeAgent:
+    return TrusteeAgent(
+        node_id=name,
+        behavior=HonestTrusteeBehavior(competence=competence, gain=gain),
+        default_threshold=threshold,
+    )
+
+
+@pytest.fixture
+def task() -> Task:
+    return Task("sensing", characteristics=("sensor",))
+
+
+class TestDelegate:
+    def test_success_round(self, task):
+        engine = DelegationEngine(rng=random.Random(0))
+        trustor = make_trustor()
+        trustee = make_trustee(competence=1.0)
+        outcome = engine.delegate(trustor, task, [trustee])
+        assert outcome.status is DelegationStatus.SUCCESS
+        assert outcome.trustee == "bob"
+        assert outcome.gain == 1.0
+
+    def test_failure_round(self, task):
+        engine = DelegationEngine(rng=random.Random(0))
+        trustor = make_trustor()
+        trustee = make_trustee(competence=0.0)
+        outcome = engine.delegate(trustor, task, [trustee])
+        assert outcome.status is DelegationStatus.FAILURE
+
+    def test_no_candidates_unavailable(self, task):
+        engine = DelegationEngine()
+        outcome = engine.delegate(make_trustor(), task, [])
+        assert outcome.status is DelegationStatus.UNAVAILABLE
+        assert not outcome.answered
+
+    def test_terminates_in_exactly_one_state(self, task):
+        engine = DelegationEngine(rng=random.Random(1))
+        trustor = make_trustor(responsibility=0.5)
+        trustees = [make_trustee(f"t{i}", competence=0.5) for i in range(3)]
+        for _ in range(50):
+            outcome = engine.delegate(trustor, task, trustees)
+            assert outcome.status in (
+                DelegationStatus.SUCCESS,
+                DelegationStatus.FAILURE,
+                DelegationStatus.UNAVAILABLE,
+            )
+
+    def test_trustor_expectation_updates_after_round(self, task):
+        engine = DelegationEngine(rng=random.Random(0))
+        trustor = make_trustor()
+        trustee = make_trustee(competence=1.0, gain=0.5)
+        engine.delegate(trustor, task, [trustee])
+        assert trustor.store.has_experience("bob", task)
+
+    def test_trustee_logs_usage_after_round(self, task):
+        engine = DelegationEngine(rng=random.Random(0))
+        trustor = make_trustor(responsibility=1.0)
+        trustee = make_trustee()
+        engine.delegate(trustor, task, [trustee])
+        assert trustee.store.responsible_fraction("alice") == 1.0
+
+    def test_abuse_only_after_acceptance(self, task):
+        engine = DelegationEngine(rng=random.Random(0))
+        trustor = make_trustor(responsibility=0.0)  # always abusive
+        rejecting = make_trustee("strict", threshold=0.9)
+        # Prime the trustee's log so the reverse evaluation rejects.
+        for _ in range(10):
+            rejecting.store.record_usage(
+                UsageRecord(trustor="alice", trustee="strict", abusive=True)
+            )
+        outcome = engine.delegate(trustor, task, [rejecting])
+        assert outcome.status is DelegationStatus.UNAVAILABLE
+        assert not outcome.abusive
+        # No new usage was logged for the refused request.
+        assert len(rejecting.store.usage_log("alice")) == 10
+
+    def test_rejection_falls_through_to_next_candidate(self, task):
+        engine = DelegationEngine(rng=random.Random(0))
+        trustor = make_trustor()
+        strict = make_trustee("strict", threshold=0.9, gain=1.0)
+        for _ in range(10):
+            strict.store.record_usage(
+                UsageRecord(trustor="alice", trustee="strict", abusive=True)
+            )
+        lenient = make_trustee("lenient", threshold=0.0, gain=0.5)
+        outcome = engine.delegate(trustor, task, [strict, lenient])
+        assert outcome.trustee == "lenient"
+        assert outcome.rejections == 1
+
+    def test_trustor_never_delegates_to_itself(self, task):
+        engine = DelegationEngine(rng=random.Random(0))
+        trustor = make_trustor("dual")
+        self_trustee = make_trustee("dual")
+        other = make_trustee("other")
+        outcome = engine.delegate(trustor, task, [self_trustee, other])
+        assert outcome.trustee == "other"
+
+
+class TestRanking:
+    def test_ranks_by_policy_score(self, task):
+        engine = DelegationEngine(rng=random.Random(0))
+        trustor = make_trustor()
+        good = make_trustee("good")
+        bad = make_trustee("bad")
+        trustor.store.set_expected(
+            "good", task,
+            OutcomeFactors(success_rate=0.9, gain=1.0, damage=0, cost=0),
+        )
+        trustor.store.set_expected(
+            "bad", task,
+            OutcomeFactors(success_rate=0.2, gain=1.0, damage=0, cost=0),
+        )
+        ranked = engine.rank_candidates(trustor, task, [bad, good])
+        assert ranked[0][0].node_id == "good"
+
+    def test_inference_used_for_unseen_task(self):
+        engine = DelegationEngine(
+            inferrer=CharacteristicInferrer(), rng=random.Random(0)
+        )
+        trustor = make_trustor()
+        trustee = make_trustee()
+        gps = Task("gps-history", characteristics=("gps",))
+        trustor.store.set_expected(
+            "bob", gps,
+            OutcomeFactors(success_rate=0.3, gain=0.5, damage=0.1, cost=0.1),
+        )
+        new_task = Task("new-gps", characteristics=("gps",))
+        inferred = engine.expected_factors(trustor, trustee, new_task)
+        assert inferred.success_rate == pytest.approx(0.3)
+        assert inferred.gain == pytest.approx(0.5)
+
+    def test_without_inferrer_unseen_task_uses_initial(self):
+        engine = DelegationEngine(rng=random.Random(0))
+        trustor = make_trustor()
+        trustee = make_trustee()
+        gps = Task("gps-history", characteristics=("gps",))
+        trustor.store.set_expected(
+            "bob", gps,
+            OutcomeFactors(success_rate=0.3, gain=0.5, damage=0.1, cost=0.1),
+        )
+        new_task = Task("new-gps", characteristics=("gps",))
+        factors = engine.expected_factors(trustor, trustee, new_task)
+        assert factors == OutcomeFactors.neutral()
+
+    def test_uninferrable_task_falls_back_to_initial(self):
+        engine = DelegationEngine(
+            inferrer=CharacteristicInferrer(), rng=random.Random(0)
+        )
+        trustor = make_trustor()
+        trustee = make_trustee()
+        new_task = Task("audio", characteristics=("audio",))
+        factors = engine.expected_factors(trustor, trustee, new_task)
+        assert factors == OutcomeFactors.neutral()
+
+
+class TestEnvironmentIntegration:
+    def test_environment_updater_applied(self, task):
+        engine = DelegationEngine(
+            environment_updater=EnvironmentAwareUpdater(),
+            rng=random.Random(0),
+        )
+        trustor = make_trustor()
+        trustee = make_trustee(competence=1.0)
+        hostile = EnvironmentReading(trustor_env=0.5, trustee_env=0.5)
+        outcome = engine.delegate(trustor, task, [trustee],
+                                  environment=hostile)
+        assert outcome.status is DelegationStatus.SUCCESS
+        factors = trustor.store.expected("bob", task)
+        assert 0.0 <= factors.success_rate <= 1.0
+
+
+class TestRunRounds:
+    def test_collects_all_outcomes(self, task):
+        engine = DelegationEngine(rng=random.Random(0))
+        trustor = make_trustor()
+        trustee = make_trustee()
+        outcomes = run_rounds(
+            engine, [(trustor, task, [trustee])] * 5
+        )
+        assert len(outcomes) == 5
+        assert all(o.answered for o in outcomes)

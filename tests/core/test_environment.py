@@ -1,0 +1,158 @@
+"""Tests for environment de-biasing (Eq. 25-29, Cannikin rule)."""
+
+import pytest
+
+from repro.core.environment import (
+    EnvironmentAwareUpdater,
+    EnvironmentReading,
+    EnvironmentSchedule,
+    cannikin_debias,
+)
+from repro.core.records import OutcomeFactors
+from repro.core.update import ForgettingUpdater
+
+
+class TestEnvironmentReading:
+    def test_worst_without_intermediates(self):
+        reading = EnvironmentReading(trustor_env=0.9, trustee_env=0.4)
+        assert reading.worst() == 0.4
+
+    def test_worst_with_intermediates(self):
+        reading = EnvironmentReading(
+            trustor_env=0.9, trustee_env=0.8, intermediate_envs=(0.3, 0.7)
+        )
+        assert reading.worst() == 0.3
+
+    def test_perfect_default(self):
+        assert EnvironmentReading().worst() == 1.0
+
+    def test_zero_indicator_rejected(self):
+        with pytest.raises(ValueError):
+            EnvironmentReading(trustor_env=0.0)
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            EnvironmentReading(trustee_env=1.1)
+
+    def test_bad_intermediate_rejected(self):
+        with pytest.raises(ValueError):
+            EnvironmentReading(intermediate_envs=(0.5, 0.0))
+
+
+class TestCannikinDebias:
+    def test_perfect_environment_is_identity(self):
+        reading = EnvironmentReading()
+        assert cannikin_debias(0.6, reading) == pytest.approx(0.6)
+
+    def test_hostile_environment_gives_extra_credit(self):
+        reading = EnvironmentReading(trustor_env=0.5, trustee_env=0.5)
+        assert cannikin_debias(0.4, reading) == pytest.approx(0.8)
+
+    def test_single_success_may_exceed_one(self):
+        # Eq. 29 on a binary observation is deliberately unclamped.
+        reading = EnvironmentReading(trustor_env=0.4, trustee_env=0.4)
+        assert cannikin_debias(1.0, reading) == pytest.approx(2.5)
+
+    def test_zero_observation_stays_zero(self):
+        reading = EnvironmentReading(trustor_env=0.2, trustee_env=0.2)
+        assert cannikin_debias(0.0, reading) == 0.0
+
+    def test_worst_indicator_dominates(self):
+        # Cannikin Law: only the minimum matters.
+        a = EnvironmentReading(trustor_env=0.4, trustee_env=1.0)
+        b = EnvironmentReading(trustor_env=0.4, trustee_env=0.41)
+        assert cannikin_debias(0.2, a) == pytest.approx(
+            cannikin_debias(0.2, b), abs=0.02
+        )
+
+
+class TestEnvironmentAwareUpdater:
+    def test_perfect_environment_matches_plain_update(self):
+        plain = ForgettingUpdater.uniform(0.5)
+        aware = EnvironmentAwareUpdater(inner=plain)
+        expected = OutcomeFactors(success_rate=0.6, gain=0.5, damage=0.2,
+                                  cost=0.1)
+        observed = OutcomeFactors(success_rate=1.0, gain=0.8, damage=0.0,
+                                  cost=0.2)
+        reading = EnvironmentReading()
+        assert aware.update(expected, observed, reading) == plain.update(
+            expected, observed
+        )
+
+    def test_hostile_environment_boosts_update(self):
+        aware = EnvironmentAwareUpdater(inner=ForgettingUpdater.uniform(0.5))
+        expected = OutcomeFactors(success_rate=0.5, gain=0.0, damage=0.0,
+                                  cost=0.0)
+        observed = OutcomeFactors(success_rate=1.0, gain=0.0, damage=0.0,
+                                  cost=0.0)
+        hostile = EnvironmentReading(trustor_env=0.5, trustee_env=0.5)
+        perfect = EnvironmentReading()
+        boosted = aware.update(expected, observed, hostile)
+        plain = aware.update(expected, observed, perfect)
+        assert boosted.success_rate >= plain.success_rate
+
+    def test_success_rate_expectation_stays_in_range(self):
+        aware = EnvironmentAwareUpdater(inner=ForgettingUpdater.uniform(0.5))
+        expected = OutcomeFactors(success_rate=0.9, gain=0, damage=0, cost=0)
+        observed = OutcomeFactors(success_rate=1.0, gain=0, damage=0, cost=0)
+        reading = EnvironmentReading(trustor_env=0.1, trustee_env=0.1)
+        updated = aware.update(expected, observed, reading)
+        assert 0.0 <= updated.success_rate <= 1.0
+
+    def test_unbiased_in_expectation(self):
+        # Over many Bernoulli(p*E) observations de-biased by E, the
+        # estimate approaches p, the intrinsic competence.
+        import random
+        rng = random.Random(42)
+        aware = EnvironmentAwareUpdater(inner=ForgettingUpdater.uniform(0.95))
+        reading = EnvironmentReading(trustor_env=0.5, trustee_env=0.5)
+        estimate = OutcomeFactors(success_rate=1.0, gain=0, damage=0, cost=0)
+        p = 0.8
+        tail = []
+        for step in range(3000):
+            success = rng.random() < p * reading.worst()
+            observed = OutcomeFactors(
+                success_rate=1.0 if success else 0.0, gain=0, damage=0, cost=0
+            )
+            estimate = aware.update(estimate, observed, reading)
+            if step >= 1000:
+                tail.append(estimate.success_rate)
+        mean = sum(tail) / len(tail)
+        assert mean == pytest.approx(p, abs=0.07)
+
+
+class TestEnvironmentSchedule:
+    def test_fig15_schedule(self):
+        schedule = EnvironmentSchedule([(100, 1.0), (100, 0.4), (100, 0.7)])
+        assert schedule.level_at(0) == 1.0
+        assert schedule.level_at(99) == 1.0
+        assert schedule.level_at(100) == 0.4
+        assert schedule.level_at(199) == 0.4
+        assert schedule.level_at(200) == 0.7
+        assert schedule.total_iterations == 300
+
+    def test_past_end_holds_last_level(self):
+        schedule = EnvironmentSchedule([(10, 0.5)])
+        assert schedule.level_at(500) == 0.5
+
+    def test_negative_iteration_rejected(self):
+        schedule = EnvironmentSchedule([(10, 0.5)])
+        with pytest.raises(ValueError):
+            schedule.level_at(-1)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            EnvironmentSchedule([])
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(ValueError):
+            EnvironmentSchedule([(0, 0.5)])
+        with pytest.raises(ValueError):
+            EnvironmentSchedule([(10, 0.0)])
+
+    def test_readings_cover_schedule(self):
+        schedule = EnvironmentSchedule([(3, 1.0), (2, 0.5)])
+        readings = list(schedule.readings())
+        assert len(readings) == 5
+        assert readings[0].worst() == 1.0
+        assert readings[4].worst() == 0.5

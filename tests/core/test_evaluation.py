@@ -1,0 +1,162 @@
+"""Tests for mutual evaluation (Eq. 1, 18, 23, 24 and the Fig. 2 flow)."""
+
+import pytest
+
+from repro.core.evaluation import (
+    MutualEvaluator,
+    ReverseEvaluator,
+    net_profit,
+    post_evaluate,
+    prefers_delegation,
+    select_best_candidate,
+)
+from repro.core.records import OutcomeFactors, UsageRecord
+from repro.core.store import TrustStore
+from repro.core.task import Task
+
+
+def factors(s, g=1.0, d=0.0, c=0.0) -> OutcomeFactors:
+    return OutcomeFactors(success_rate=s, gain=g, damage=d, cost=c)
+
+
+class TestPostEvaluate:
+    def test_best_case_maps_to_one(self):
+        assert post_evaluate(factors(1.0, g=1.0, d=0.0, c=0.0)).value == 1.0
+
+    def test_worst_case_maps_to_zero(self):
+        value = post_evaluate(
+            OutcomeFactors(success_rate=0.0, gain=0.0, damage=1.0, cost=1.0)
+        ).value
+        assert value == pytest.approx(0.0)
+
+    def test_higher_success_rate_gives_higher_trust(self):
+        low = post_evaluate(factors(0.3, g=1.0, d=0.5, c=0.1)).value
+        high = post_evaluate(factors(0.9, g=1.0, d=0.5, c=0.1)).value
+        assert high > low
+
+    def test_cost_decreases_trust(self):
+        cheap = post_evaluate(factors(0.8, c=0.0)).value
+        pricey = post_evaluate(factors(0.8, c=0.5)).value
+        assert cheap > pricey
+
+
+class TestSelection:
+    def test_select_best_candidate_maximizes_profit(self):
+        result = select_best_candidate([
+            ("a", factors(0.9, g=0.1)),    # profit 0.09
+            ("b", factors(0.5, g=1.0)),    # profit 0.5
+            ("c", factors(0.99, g=0.2)),   # profit 0.198
+        ])
+        assert result is not None
+        assert result[0] == "b"
+        assert result[1] == pytest.approx(0.5)
+
+    def test_select_best_candidate_empty(self):
+        assert select_best_candidate([]) is None
+
+    def test_tie_breaks_to_first(self):
+        result = select_best_candidate([
+            ("first", factors(0.5)), ("second", factors(0.5)),
+        ])
+        assert result[0] == "first"
+
+    def test_net_profit_helper_matches_method(self):
+        f = factors(0.7, g=0.9, d=0.3, c=0.2)
+        assert net_profit(f) == pytest.approx(f.net_profit())
+
+
+class TestSelfDelegation:
+    def test_prefers_delegation_when_trustee_better(self):
+        # Eq. 24: delegate only on strictly better expected profit.
+        toward_self = factors(0.9, g=0.5, c=0.3)    # 0.15
+        toward_trustee = factors(0.9, g=1.0, c=0.3)  # 0.6
+        assert prefers_delegation(toward_trustee, toward_self)
+
+    def test_keeps_task_when_self_better(self):
+        toward_self = factors(1.0, g=1.0)
+        toward_trustee = factors(0.5, g=1.0)
+        assert not prefers_delegation(toward_trustee, toward_self)
+
+    def test_equal_profit_means_do_it_yourself(self):
+        same = factors(0.8, g=1.0)
+        assert not prefers_delegation(same, same)
+
+
+class TestReverseEvaluator:
+    def test_stranger_gets_default_trust(self):
+        store = TrustStore(owner="bob")
+        evaluator = ReverseEvaluator(threshold=0.5, default_trust=1.0)
+        assert evaluator.reverse_trust(store, "alice").value == 1.0
+        assert evaluator.accepts(store, "alice")
+
+    def test_abusive_trustor_rejected(self):
+        store = TrustStore(owner="bob")
+        for _ in range(10):
+            store.record_usage(
+                UsageRecord(trustor="mallory", trustee="bob", abusive=True)
+            )
+        evaluator = ReverseEvaluator(threshold=0.3)
+        assert not evaluator.accepts(store, "mallory")
+
+    def test_responsible_trustor_accepted(self):
+        store = TrustStore(owner="bob")
+        for index in range(10):
+            store.record_usage(
+                UsageRecord(trustor="alice", trustee="bob",
+                            abusive=index == 0)  # 90% responsible
+            )
+        evaluator = ReverseEvaluator(threshold=0.6)
+        assert evaluator.accepts(store, "alice")
+
+    def test_threshold_zero_accepts_everyone(self):
+        store = TrustStore(owner="bob")
+        for _ in range(5):
+            store.record_usage(
+                UsageRecord(trustor="mallory", trustee="bob", abusive=True)
+            )
+        assert ReverseEvaluator(threshold=0.0).accepts(store, "mallory")
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ReverseEvaluator(threshold=1.5)
+
+
+class TestMutualEvaluator:
+    def _evaluator(self, scores, rejectors=()):
+        return MutualEvaluator(
+            pre_evaluate=lambda candidate, task: scores[candidate],
+            reverse_gate=lambda candidate, trustor, task:
+                candidate not in rejectors,
+        )
+
+    def test_rank_candidates_descending(self):
+        evaluator = self._evaluator({"a": 0.1, "b": 0.9, "c": 0.5})
+        task = Task("t")
+        ranked = evaluator.rank_candidates("x", task, ["a", "b", "c"])
+        assert [node for node, _ in ranked] == ["b", "c", "a"]
+
+    def test_best_accepting_candidate_wins(self):
+        evaluator = self._evaluator({"a": 0.1, "b": 0.9, "c": 0.5})
+        task = Task("t")
+        found = evaluator.find_trustee("x", task, ["a", "b", "c"])
+        assert found == ("b", 0.9)
+
+    def test_rejection_falls_through_to_next(self):
+        # The Fig. 2 flow: trustee 1 refuses, trustee 2 accepts.
+        evaluator = self._evaluator(
+            {"a": 0.1, "b": 0.9, "c": 0.5}, rejectors={"b"}
+        )
+        task = Task("t")
+        found = evaluator.find_trustee("x", task, ["a", "b", "c"])
+        assert found == ("c", 0.5)
+
+    def test_all_reject_means_unavailable(self):
+        evaluator = self._evaluator(
+            {"a": 0.1, "b": 0.9}, rejectors={"a", "b"}
+        )
+        assert evaluator.find_trustee("x", Task("t"), ["a", "b"]) is None
+
+    def test_trustor_excluded_from_candidates(self):
+        evaluator = self._evaluator({"x": 1.0, "a": 0.5})
+        found = evaluator.find_trustee("x", Task("t"), ["x", "a"])
+        assert found == ("a", 0.5)

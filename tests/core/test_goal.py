@@ -1,0 +1,128 @@
+"""Tests for goals and result alignment (Sections 3.2-3.4)."""
+
+import pytest
+
+from repro.core.goal import (
+    ActualResult,
+    ExpectedResult,
+    Goal,
+    alignment,
+    revise_expectation,
+)
+from repro.core.records import OutcomeFactors
+
+
+@pytest.fixture
+def goal() -> Goal:
+    return Goal(
+        "monitor-traffic",
+        required=("gps-track", "congestion-level"),
+        tolerated=("timestamp",),
+    )
+
+
+class TestGoal:
+    def test_requires_at_least_one_outcome(self):
+        with pytest.raises(ValueError):
+            Goal("empty", required=())
+
+    def test_required_tolerated_disjoint(self):
+        with pytest.raises(ValueError, match="both required and tolerated"):
+            Goal("g", required=("a",), tolerated=("a",))
+
+    def test_accepts_required_and_tolerated(self, goal):
+        assert goal.accepts(("gps-track", "timestamp"))
+
+    def test_rejects_unwanted(self, goal):
+        assert not goal.accepts(("gps-track", "audio-recording"))
+
+
+class TestExpectedResult:
+    def test_serves_when_covering_and_admitted(self, goal):
+        expected = ExpectedResult(
+            ("gps-track", "congestion-level", "timestamp")
+        )
+        assert expected.serves(goal)
+
+    def test_does_not_serve_with_missing_required(self, goal):
+        assert not ExpectedResult(("gps-track",)).serves(goal)
+
+    def test_does_not_serve_with_unwanted_promise(self, goal):
+        expected = ExpectedResult(
+            ("gps-track", "congestion-level", "audio-recording")
+        )
+        assert not expected.serves(goal)
+
+
+class TestAlignment:
+    def test_fulfilled(self, goal):
+        result = ActualResult(("gps-track", "congestion-level"))
+        outcome = alignment(goal, result)
+        assert outcome.fulfilled
+        assert outcome.coverage == 1.0
+
+    def test_missing_outcomes(self, goal):
+        outcome = alignment(goal, ActualResult(("gps-track",)))
+        assert outcome.missing == frozenset(("congestion-level",))
+        assert outcome.coverage == pytest.approx(0.5)
+        assert not outcome.fulfilled
+
+    def test_side_effects_detected(self, goal):
+        result = ActualResult(
+            ("gps-track", "congestion-level", "audio-recording")
+        )
+        outcome = alignment(goal, result)
+        assert outcome.side_effects == frozenset(("audio-recording",))
+        assert not outcome.fulfilled
+
+    def test_tolerated_not_a_side_effect(self, goal):
+        result = ActualResult(
+            ("gps-track", "congestion-level", "timestamp")
+        )
+        assert alignment(goal, result).fulfilled
+
+    def test_empty_actual_result(self, goal):
+        outcome = alignment(goal, ActualResult(()))
+        assert outcome.coverage == 0.0
+        assert outcome.missing == goal.required
+
+
+class TestRevision:
+    def _expected(self):
+        return OutcomeFactors(success_rate=0.8, gain=1.0, damage=0.2,
+                              cost=0.1)
+
+    def test_full_achievement_no_change(self, goal):
+        outcome = alignment(
+            goal, ActualResult(("gps-track", "congestion-level"))
+        )
+        revised = revise_expectation(self._expected(), outcome)
+        assert revised == self._expected()
+
+    def test_missing_outcomes_scale_gain(self, goal):
+        outcome = alignment(goal, ActualResult(("gps-track",)))
+        revised = revise_expectation(self._expected(), outcome)
+        assert revised.gain == pytest.approx(0.5)
+        assert revised.damage == pytest.approx(0.2)
+
+    def test_side_effects_raise_damage(self, goal):
+        outcome = alignment(
+            goal,
+            ActualResult(("gps-track", "congestion-level",
+                          "audio-recording", "location-leak")),
+        )
+        revised = revise_expectation(self._expected(), outcome,
+                                     side_effect_penalty=0.3)
+        assert revised.damage == pytest.approx(0.2 + 2 * 0.3)
+
+    def test_success_rate_and_cost_untouched(self, goal):
+        outcome = alignment(goal, ActualResult(()))
+        revised = revise_expectation(self._expected(), outcome)
+        assert revised.success_rate == 0.8
+        assert revised.cost == 0.1
+
+    def test_negative_penalty_rejected(self, goal):
+        outcome = alignment(goal, ActualResult(("gps-track",)))
+        with pytest.raises(ValueError):
+            revise_expectation(self._expected(), outcome,
+                               side_effect_penalty=-0.1)

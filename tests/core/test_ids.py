@@ -1,0 +1,53 @@
+"""Tests for identifier validation helpers."""
+
+import pytest
+
+from repro.core.ids import (
+    validate_node_id,
+    validate_non_negative,
+    validate_probability,
+)
+
+
+class TestValidateNodeId:
+    def test_accepts_int_and_str(self):
+        assert validate_node_id(7) == 7
+        assert validate_node_id("device-1") == "device-1"
+
+    def test_rejects_none(self):
+        with pytest.raises(ValueError):
+            validate_node_id(None)
+
+    def test_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            validate_node_id(["list"])
+
+
+class TestValidateProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert validate_probability(value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            validate_probability(value)
+
+    def test_coerces_to_float(self):
+        assert isinstance(validate_probability(1), float)
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="alpha"):
+            validate_probability(2.0, name="alpha")
+
+
+class TestValidateNonNegative:
+    def test_accepts_zero_and_positive(self):
+        assert validate_non_negative(0.0) == 0.0
+        assert validate_non_negative(123.4) == 123.4
+
+    def test_rejects_negative_and_nan(self):
+        with pytest.raises(ValueError):
+            validate_non_negative(-1.0)
+        with pytest.raises(ValueError):
+            validate_non_negative(float("nan"))

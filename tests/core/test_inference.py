@@ -1,0 +1,114 @@
+"""Tests for characteristic-based trust inference (Eq. 2-4, Fig. 3)."""
+
+import pytest
+
+from repro.core.inference import (
+    CharacteristicInferrer,
+    InferenceError,
+    infer_or_default,
+)
+from repro.core.task import Task
+
+
+@pytest.fixture
+def inferrer() -> CharacteristicInferrer:
+    return CharacteristicInferrer()
+
+
+class TestCanInfer:
+    def test_covered_task(self, inferrer, gps_task, image_task, traffic_task):
+        assert inferrer.can_infer(traffic_task, [gps_task, image_task])
+
+    def test_uncovered_task(self, inferrer, gps_task, traffic_task):
+        assert not inferrer.can_infer(traffic_task, [gps_task])
+
+    def test_empty_experience(self, inferrer, traffic_task):
+        assert not inferrer.can_infer(traffic_task, [])
+
+
+class TestInfer:
+    def test_single_characteristic_passthrough(self, inferrer, gps_task):
+        new = Task("new-gps", characteristics=("gps",))
+        inferred = inferrer.infer(new, [(gps_task, 0.8)])
+        assert inferred.value == pytest.approx(0.8)
+        assert not inferred.direct
+
+    def test_two_characteristics_average(self, inferrer, gps_task, image_task,
+                                         traffic_task):
+        # Eq. 4 with uniform weights: mean of the two estimates.
+        inferred = inferrer.infer(
+            traffic_task, [(gps_task, 0.9), (image_task, 0.5)]
+        )
+        assert inferred.value == pytest.approx(0.7)
+
+    def test_weighted_new_task(self, inferrer, gps_task, image_task):
+        new = Task("t", characteristics=("gps", "image"),
+                   weights={"gps": 3.0, "image": 1.0})
+        inferred = inferrer.infer(new, [(gps_task, 1.0), (image_task, 0.0)])
+        assert inferred.value == pytest.approx(0.75)
+
+    def test_multiple_supporting_tasks_weighted_average(self, inferrer):
+        # Two experienced tasks contain "gps" with different weights.
+        heavy = Task("heavy", characteristics=("gps", "other"),
+                     weights={"gps": 3.0, "other": 1.0})   # w=0.75
+        light = Task("light", characteristics=("gps", "misc"),
+                     weights={"gps": 1.0, "misc": 3.0})    # w=0.25
+        new = Task("new", characteristics=("gps",))
+        inferred = inferrer.infer(new, [(heavy, 0.8), (light, 0.4)])
+        expected = (0.75 * 0.8 + 0.25 * 0.4) / (0.75 + 0.25)
+        assert inferred.value == pytest.approx(expected)
+
+    def test_identity_when_all_inputs_equal(self, inferrer, gps_task,
+                                            image_task, traffic_task):
+        inferred = inferrer.infer(
+            traffic_task, [(gps_task, 0.6), (image_task, 0.6)]
+        )
+        assert inferred.value == pytest.approx(0.6)
+
+    def test_bounded_by_input_range(self, inferrer, gps_task, image_task,
+                                    traffic_task):
+        inferred = inferrer.infer(
+            traffic_task, [(gps_task, 0.2), (image_task, 0.9)]
+        )
+        assert 0.2 <= inferred.value <= 0.9
+
+    def test_missing_characteristic_raises(self, inferrer, gps_task,
+                                           traffic_task):
+        with pytest.raises(InferenceError, match="image"):
+            inferrer.infer(traffic_task, [(gps_task, 0.9)])
+
+    def test_empty_task_raises(self, inferrer, gps_task):
+        with pytest.raises(InferenceError, match="no characteristics"):
+            inferrer.infer(Task("empty"), [(gps_task, 0.9)])
+
+    def test_irrelevant_tasks_ignored(self, inferrer, gps_task):
+        unrelated = Task("audio", characteristics=("audio",))
+        new = Task("new", characteristics=("gps",))
+        inferred = inferrer.infer(new, [(gps_task, 0.7), (unrelated, 0.0)])
+        assert inferred.value == pytest.approx(0.7)
+
+
+class TestExplain:
+    def test_explain_lists_supporting_tasks(self, inferrer, gps_task,
+                                            image_task, traffic_task):
+        breakdown = inferrer.explain(
+            traffic_task, [(gps_task, 0.9), (image_task, 0.5)]
+        )
+        assert breakdown["gps"].supporting_tasks == ("gps-task",)
+        assert breakdown["image"].estimate == pytest.approx(0.5)
+
+
+class TestInferOrDefault:
+    def test_returns_inference_when_possible(self, inferrer, gps_task):
+        new = Task("new", characteristics=("gps",))
+        result = infer_or_default(inferrer, new, [(gps_task, 0.8)])
+        assert result is not None
+        assert result.value == pytest.approx(0.8)
+
+    def test_returns_none_without_default(self, inferrer, traffic_task):
+        assert infer_or_default(inferrer, traffic_task, []) is None
+
+    def test_returns_default_when_uncoverable(self, inferrer, traffic_task):
+        result = infer_or_default(inferrer, traffic_task, [], default=0.5)
+        assert result.value == 0.5
+        assert not result.direct

@@ -1,0 +1,72 @@
+"""Tests for trustee-selection policies (the Section 5.6 strategies)."""
+
+import pytest
+
+from repro.core.policy import (
+    GainOnlyPolicy,
+    NetProfitPolicy,
+    SuccessRatePolicy,
+)
+from repro.core.records import OutcomeFactors
+
+
+def factors(s, g=0.0, d=0.0, c=0.0) -> OutcomeFactors:
+    return OutcomeFactors(success_rate=s, gain=g, damage=d, cost=c)
+
+
+class TestSuccessRatePolicy:
+    def test_score_is_success_rate(self):
+        assert SuccessRatePolicy().score(factors(0.7, g=5)) == 0.7
+
+    def test_ignores_stakes(self):
+        # Strategy 1 blindness: prefers high S even with ruinous damage.
+        policy = SuccessRatePolicy()
+        risky = factors(0.9, g=0.1, d=1.0, c=1.0)
+        safe = factors(0.8, g=1.0, d=0.0, c=0.0)
+        chosen = policy.select([("risky", risky), ("safe", safe)])
+        assert chosen[0] == "risky"
+
+
+class TestNetProfitPolicy:
+    def test_score_is_net_profit(self):
+        f = factors(0.8, g=1.0, d=0.5, c=0.2)
+        assert NetProfitPolicy().score(f) == pytest.approx(f.net_profit())
+
+    def test_prefers_profitable_over_reliable(self):
+        policy = NetProfitPolicy()
+        reliable_poor = factors(0.99, g=0.05, c=0.2)
+        decent_rich = factors(0.7, g=1.0, c=0.0)
+        chosen = policy.select([
+            ("reliable", reliable_poor), ("rich", decent_rich),
+        ])
+        assert chosen[0] == "rich"
+
+
+class TestGainOnlyPolicy:
+    def test_blind_to_cost(self):
+        # The Fig. 14 baseline keeps choosing the expensive attacker.
+        policy = GainOnlyPolicy()
+        attacker = factors(1.0, g=1.0, c=0.99)
+        honest = factors(1.0, g=0.9, c=0.05)
+        chosen = policy.select([("attacker", attacker), ("honest", honest)])
+        assert chosen[0] == "attacker"
+
+
+class TestSelect:
+    def test_empty_candidates(self):
+        assert NetProfitPolicy().select([]) is None
+
+    def test_returns_score(self):
+        chosen = SuccessRatePolicy().select([("a", factors(0.6))])
+        assert chosen == ("a", 0.6)
+
+    def test_tie_break_is_first_in_order(self):
+        chosen = SuccessRatePolicy().select([
+            ("first", factors(0.5)), ("second", factors(0.5)),
+        ])
+        assert chosen[0] == "first"
+
+    def test_accepts_generator(self):
+        pairs = (("n%d" % i, factors(i / 10.0)) for i in range(5))
+        chosen = SuccessRatePolicy().select(pairs)
+        assert chosen[0] == "n4"

@@ -1,0 +1,94 @@
+"""Tests for outcome records (Section 4.4's S/G/D/C aspects)."""
+
+import pytest
+
+from repro.core.records import DelegationRecord, OutcomeFactors, UsageRecord
+
+
+class TestOutcomeFactors:
+    def test_net_profit_formula(self):
+        # Eq. 23 objective: S*G - (1-S)*D - C.
+        factors = OutcomeFactors(
+            success_rate=0.8, gain=1.0, damage=0.5, cost=0.2
+        )
+        assert factors.net_profit() == pytest.approx(
+            0.8 * 1.0 - 0.2 * 0.5 - 0.2
+        )
+
+    def test_certain_success_profit_is_gain_minus_cost(self):
+        factors = OutcomeFactors(success_rate=1.0, gain=0.7, damage=0.9,
+                                 cost=0.1)
+        assert factors.net_profit() == pytest.approx(0.6)
+
+    def test_certain_failure_profit_is_negative(self):
+        factors = OutcomeFactors(success_rate=0.0, gain=1.0, damage=0.5,
+                                 cost=0.1)
+        assert factors.net_profit() == pytest.approx(-0.6)
+
+    def test_success_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            OutcomeFactors(success_rate=1.5, gain=0, damage=0, cost=0)
+        with pytest.raises(ValueError):
+            OutcomeFactors(success_rate=-0.1, gain=0, damage=0, cost=0)
+
+    def test_negative_magnitudes_rejected(self):
+        for field in ("gain", "damage", "cost"):
+            kwargs = dict(success_rate=0.5, gain=0.0, damage=0.0, cost=0.0)
+            kwargs[field] = -0.01
+            with pytest.raises(ValueError):
+                OutcomeFactors(**kwargs)
+
+    def test_with_success_rate_replaces_only_that_field(self):
+        factors = OutcomeFactors(success_rate=0.5, gain=1, damage=2, cost=3)
+        updated = factors.with_success_rate(0.9)
+        assert updated.success_rate == 0.9
+        assert (updated.gain, updated.damage, updated.cost) == (1, 2, 3)
+
+    def test_neutral_is_profitless(self):
+        assert OutcomeFactors.neutral().net_profit() == 0.0
+
+    def test_frozen(self):
+        factors = OutcomeFactors(success_rate=0.5, gain=0, damage=0, cost=0)
+        with pytest.raises(AttributeError):
+            factors.gain = 1.0
+
+
+class TestDelegationRecord:
+    def test_observed_factors_on_success(self):
+        record = DelegationRecord(
+            trustor="x", trustee="y", task_name="t",
+            succeeded=True, gain=0.6, damage=0.0, cost=0.1,
+        )
+        observed = record.observed_factors()
+        assert observed.success_rate == 1.0
+        assert observed.gain == 0.6
+
+    def test_observed_factors_on_failure(self):
+        record = DelegationRecord(
+            trustor="x", trustee="y", task_name="t",
+            succeeded=False, damage=0.4,
+        )
+        observed = record.observed_factors()
+        assert observed.success_rate == 0.0
+        assert observed.damage == 0.4
+
+    def test_environment_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DelegationRecord(trustor="x", trustee="y", task_name="t",
+                             succeeded=True, environment=0.0)
+
+    def test_environment_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            DelegationRecord(trustor="x", trustee="y", task_name="t",
+                             succeeded=True, environment=1.2)
+
+    def test_environment_none_allowed(self):
+        record = DelegationRecord(trustor="x", trustee="y", task_name="t",
+                                  succeeded=True)
+        assert record.environment is None
+
+
+class TestUsageRecord:
+    def test_responsible_is_inverse_of_abusive(self):
+        assert UsageRecord(trustor="x", trustee="y", abusive=False).responsible
+        assert not UsageRecord(trustor="x", trustee="y", abusive=True).responsible

@@ -1,0 +1,130 @@
+"""Tests for the per-agent trust store."""
+
+import pytest
+
+from repro.core.records import DelegationRecord, OutcomeFactors, UsageRecord
+from repro.core.store import TrustStore
+from repro.core.task import Task
+from repro.core.update import ForgettingUpdater
+
+
+@pytest.fixture
+def store() -> TrustStore:
+    return TrustStore(owner="alice", updater=ForgettingUpdater.uniform(0.5))
+
+
+@pytest.fixture
+def task() -> Task:
+    return Task("camera", characteristics=("image",))
+
+
+class TestExpectations:
+    def test_unseen_pair_returns_initial(self, store, task):
+        factors = store.expected("bob", task)
+        assert factors == OutcomeFactors.neutral()
+
+    def test_custom_initial(self, task):
+        initial = OutcomeFactors(success_rate=0.5, gain=0.5, damage=0.5,
+                                 cost=0.5)
+        store = TrustStore(owner="alice", initial=initial)
+        assert store.expected("bob", task) == initial
+
+    def test_has_experience_only_after_recording(self, store, task):
+        assert not store.has_experience("bob", task)
+        store.record_delegation(
+            DelegationRecord(trustor="alice", trustee="bob",
+                             task_name=task.name, succeeded=True, gain=0.5),
+            task,
+        )
+        assert store.has_experience("bob", task)
+
+    def test_set_expected_overwrites(self, store, task):
+        factors = OutcomeFactors(success_rate=0.25, gain=1, damage=0, cost=0)
+        store.set_expected("bob", task, factors)
+        assert store.expected("bob", task) == factors
+
+    def test_record_delegation_blends_with_updater(self, store, task):
+        store.set_expected(
+            "bob", task,
+            OutcomeFactors(success_rate=1.0, gain=1.0, damage=0.0, cost=0.0),
+        )
+        refreshed = store.record_delegation(
+            DelegationRecord(trustor="alice", trustee="bob",
+                             task_name=task.name, succeeded=False,
+                             damage=1.0),
+            task,
+        )
+        # beta 0.5: success 0.5*1 + 0.5*0, damage 0.5*0 + 0.5*1.
+        assert refreshed.success_rate == pytest.approx(0.5)
+        assert refreshed.damage == pytest.approx(0.5)
+
+    def test_expectations_are_per_task(self, store):
+        task_a = Task("a", characteristics=("x",))
+        task_b = Task("b", characteristics=("y",))
+        store.set_expected(
+            "bob", task_a,
+            OutcomeFactors(success_rate=0.1, gain=0, damage=0, cost=0),
+        )
+        assert store.expected("bob", task_b) == OutcomeFactors.neutral()
+
+    def test_counterparts_deduplicated(self, store, task):
+        other = Task("other", characteristics=("y",))
+        store.set_expected("bob", task, OutcomeFactors.neutral())
+        store.set_expected("bob", other, OutcomeFactors.neutral())
+        store.set_expected("carol", task, OutcomeFactors.neutral())
+        assert sorted(store.counterparts()) == ["bob", "carol"]
+
+    def test_len_counts_pairs(self, store, task):
+        assert len(store) == 0
+        store.set_expected("bob", task, OutcomeFactors.neutral())
+        assert len(store) == 1
+
+
+class TestHistory:
+    def test_history_accumulates(self, store, task):
+        for succeeded in (True, False, True):
+            store.record_delegation(
+                DelegationRecord(trustor="alice", trustee="bob",
+                                 task_name=task.name, succeeded=succeeded),
+                task,
+            )
+        history = store.history("bob", task)
+        assert [r.succeeded for r in history] == [True, False, True]
+
+    def test_history_is_a_copy(self, store, task):
+        store.record_delegation(
+            DelegationRecord(trustor="alice", trustee="bob",
+                             task_name=task.name, succeeded=True),
+            task,
+        )
+        store.history("bob", task).clear()
+        assert len(store.history("bob", task)) == 1
+
+    def test_experienced_tasks_lists_eq3_pool(self, store):
+        task_a = Task("a", characteristics=("x",))
+        task_b = Task("b", characteristics=("y",))
+        store.set_expected("bob", task_a, OutcomeFactors.neutral())
+        store.set_expected("bob", task_b, OutcomeFactors.neutral())
+        names = {t.name for t in store.experienced_tasks("bob")}
+        assert names == {"a", "b"}
+        assert store.experienced_tasks("stranger") == []
+
+
+class TestUsageLog:
+    def test_responsible_fraction_none_for_stranger(self, store):
+        assert store.responsible_fraction("mallory") is None
+
+    def test_responsible_fraction(self, store):
+        for abusive in (False, False, True, False):
+            store.record_usage(
+                UsageRecord(trustor="mallory", trustee="alice",
+                            abusive=abusive)
+            )
+        assert store.responsible_fraction("mallory") == pytest.approx(0.75)
+
+    def test_usage_log_is_per_trustor(self, store):
+        store.record_usage(
+            UsageRecord(trustor="mallory", trustee="alice", abusive=True)
+        )
+        assert store.usage_log("bob") == []
+        assert len(store.usage_log("mallory")) == 1

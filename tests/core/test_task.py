@@ -1,0 +1,116 @@
+"""Tests for tasks and the characteristic algebra (Section 4.2)."""
+
+import pytest
+
+from repro.core.task import Task, recommendation_of
+
+
+class TestConstruction:
+    def test_characteristics_are_a_frozenset(self):
+        task = Task("t", characteristics=("a", "b"))
+        assert task.characteristics == frozenset(("a", "b"))
+
+    def test_empty_task_allowed(self):
+        task = Task("empty")
+        assert task.characteristics == frozenset()
+        assert task.weight_map == {}
+
+    def test_duplicate_characteristics_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Task("t", characteristics=("a", "a"))
+
+    def test_default_weights_uniform(self):
+        task = Task("t", characteristics=("a", "b", "c", "d"))
+        for weight in task.weight_map.values():
+            assert weight == pytest.approx(0.25)
+
+    def test_weights_normalized(self):
+        task = Task("t", characteristics=("a", "b"), weights={"a": 3, "b": 1})
+        assert task.weight_of("a") == pytest.approx(0.75)
+        assert task.weight_of("b") == pytest.approx(0.25)
+
+    def test_weight_of_absent_characteristic_is_zero(self):
+        task = Task("t", characteristics=("a",))
+        assert task.weight_of("zzz") == 0.0
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            Task("t", characteristics=("a", "b"), weights={"a": 1.0})
+
+    def test_unknown_weight_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Task("t", characteristics=("a",), weights={"a": 1.0, "b": 1.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Task("t", characteristics=("a", "b"),
+                 weights={"a": -1.0, "b": 2.0})
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            Task("t", characteristics=("a", "b"),
+                 weights={"a": 0.0, "b": 0.0})
+
+    def test_tasks_are_hashable_and_comparable(self):
+        a = Task("t", characteristics=("a",))
+        b = Task("t", characteristics=("a",))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_weight_order_does_not_affect_equality(self):
+        a = Task("t", characteristics=("a", "b"),
+                 weights={"a": 1.0, "b": 1.0})
+        b = Task("t", characteristics=("b", "a"),
+                 weights={"b": 1.0, "a": 1.0})
+        assert a == b
+
+
+class TestAlgebra:
+    def test_subset_of_union(self, traffic_task, gps_task, image_task):
+        # Eq. 12: {a(tau'')} within the union of experienced tasks.
+        assert traffic_task.is_subset_of([gps_task, image_task])
+
+    def test_not_subset_when_characteristic_missing(self, traffic_task, gps_task):
+        assert not traffic_task.is_subset_of([gps_task])
+
+    def test_subset_of_empty_pool(self):
+        task = Task("t", characteristics=("a",))
+        assert not task.is_subset_of([])
+
+    def test_empty_task_subset_of_anything(self, gps_task):
+        assert Task("empty").is_subset_of([gps_task])
+        assert Task("empty").is_subset_of([])
+
+    def test_within_intersection(self):
+        # Eq. 8: conservative requires the intersection to cover tau''.
+        big1 = Task("t1", characteristics=("a", "b", "c"))
+        big2 = Task("t2", characteristics=("b", "c", "d"))
+        inner = Task("t3", characteristics=("b", "c"))
+        outer = Task("t4", characteristics=("a", "b"))
+        assert inner.is_within_intersection(big1, big2)
+        assert not outer.is_within_intersection(big1, big2)
+
+    def test_shares_characteristic(self, gps_task, image_task, traffic_task):
+        assert traffic_task.shares_characteristic(gps_task)
+        assert not gps_task.shares_characteristic(image_task)
+
+
+class TestRecommendation:
+    def test_recommendation_has_same_characteristics(self, traffic_task):
+        rec = recommendation_of(traffic_task)
+        assert rec.characteristics == traffic_task.characteristics
+
+    def test_recommendation_name_is_distinct(self, traffic_task):
+        rec = recommendation_of(traffic_task)
+        assert rec.name != traffic_task.name
+        assert traffic_task.name in rec.name
+
+    def test_recommendation_preserves_weights(self):
+        task = Task("t", characteristics=("a", "b"),
+                    weights={"a": 3.0, "b": 1.0})
+        rec = recommendation_of(task)
+        assert rec.weight_of("a") == pytest.approx(0.75)
+
+    def test_recommendation_of_empty_task(self):
+        rec = recommendation_of(Task("empty"))
+        assert rec.characteristics == frozenset()

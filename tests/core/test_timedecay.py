@@ -1,0 +1,104 @@
+"""Tests for time-decayed trust."""
+
+import pytest
+
+from repro.core.timedecay import (
+    DecayingTrustLedger,
+    TimestampedTrust,
+    decay_weight,
+)
+
+
+class TestDecayWeight:
+    def test_zero_age_full_weight(self):
+        assert decay_weight(0.0, 0.9) == 1.0
+
+    def test_decays_with_age(self):
+        assert decay_weight(2.0, 0.9) == pytest.approx(0.81)
+
+    def test_decay_one_never_forgets(self):
+        assert decay_weight(1000.0, 1.0) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            decay_weight(1.0, 0.0)
+        with pytest.raises(ValueError):
+            decay_weight(-1.0, 0.9)
+        with pytest.raises(ValueError):
+            decay_weight(1.0, 1.5)
+
+
+class TestTimestampedTrust:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimestampedTrust(value=1.5, time=0.0)
+        with pytest.raises(ValueError):
+            TimestampedTrust(value=0.5, time=-1.0)
+
+
+class TestLedger:
+    def test_stranger_reads_default(self):
+        ledger = DecayingTrustLedger(default_trust=0.4)
+        assert ledger.trust("bob", now=10.0) == 0.4
+
+    def test_single_observation_passthrough(self):
+        ledger = DecayingTrustLedger()
+        ledger.observe("bob", 0.8, time=1.0)
+        assert ledger.trust("bob", now=1.0) == pytest.approx(0.8)
+
+    def test_recent_observations_dominate(self):
+        ledger = DecayingTrustLedger(decay=0.5)
+        ledger.observe("bob", 0.1, time=0.0)
+        ledger.observe("bob", 0.9, time=10.0)
+        # At t=10 the old observation weighs 0.5^10 ~ 0.001.
+        assert ledger.trust("bob", now=10.0) == pytest.approx(0.9, abs=0.01)
+
+    def test_decay_one_gives_plain_average(self):
+        ledger = DecayingTrustLedger(decay=1.0)
+        ledger.observe("bob", 0.2, time=0.0)
+        ledger.observe("bob", 0.8, time=5.0)
+        assert ledger.trust("bob", now=100.0) == pytest.approx(0.5)
+
+    def test_future_observations_excluded(self):
+        ledger = DecayingTrustLedger()
+        ledger.observe("bob", 0.2, time=0.0)
+        ledger.observe("bob", 0.9, time=50.0)
+        assert ledger.trust("bob", now=10.0) == pytest.approx(0.2)
+
+    def test_out_of_order_times_rejected(self):
+        ledger = DecayingTrustLedger()
+        ledger.observe("bob", 0.5, time=5.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ledger.observe("bob", 0.5, time=1.0)
+
+    def test_history_bounded(self):
+        ledger = DecayingTrustLedger(max_history=10)
+        for t in range(100):
+            ledger.observe("bob", 0.5, time=float(t))
+        assert len(ledger._history["bob"]) == 10
+
+    def test_staleness(self):
+        ledger = DecayingTrustLedger()
+        assert ledger.staleness("bob", now=5.0) is None
+        ledger.observe("bob", 0.5, time=2.0)
+        assert ledger.staleness("bob", now=5.0) == pytest.approx(3.0)
+
+    def test_effective_sample_size_decays(self):
+        ledger = DecayingTrustLedger(decay=0.5)
+        ledger.observe("bob", 0.5, time=0.0)
+        fresh = ledger.effective_sample_size("bob", now=0.0)
+        stale = ledger.effective_sample_size("bob", now=5.0)
+        assert fresh == 1.0
+        assert stale < 0.1
+
+    def test_counterparts_listed(self):
+        ledger = DecayingTrustLedger()
+        ledger.observe("bob", 0.5, time=0.0)
+        ledger.observe("carol", 0.5, time=0.0)
+        assert set(ledger.counterparts()) == {"bob", "carol"}
+
+    def test_values_stay_in_unit_interval(self):
+        ledger = DecayingTrustLedger(decay=0.9)
+        for t in range(50):
+            ledger.observe("bob", (t % 2) * 1.0, time=float(t))
+        assert 0.0 <= ledger.trust("bob", now=50.0) <= 1.0

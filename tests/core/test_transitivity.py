@@ -1,0 +1,258 @@
+"""Tests for restricted trust transitivity (Eq. 5-17)."""
+
+import pytest
+
+from repro.core.task import Task
+from repro.core.transitivity import (
+    MappingKnowledge,
+    TransitivityMode,
+    TrustTransitivity,
+    combine_chain,
+    combine_two_sided,
+    traditional_chain,
+)
+
+
+class TestCombiner:
+    def test_eq7_formula(self):
+        # t1*t2 + (1-t1)(1-t2).
+        assert combine_two_sided(0.9, 0.8) == pytest.approx(
+            0.9 * 0.8 + 0.1 * 0.2
+        )
+
+    def test_symmetry(self):
+        assert combine_two_sided(0.3, 0.7) == pytest.approx(
+            combine_two_sided(0.7, 0.3)
+        )
+
+    def test_full_trust_is_identity(self):
+        for t in (0.0, 0.25, 0.5, 1.0):
+            assert combine_two_sided(1.0, t) == pytest.approx(t)
+
+    def test_zero_trust_inverts(self):
+        # Mistrusted recommender + its misjudgment: (1-0)(1-t).
+        for t in (0.0, 0.25, 1.0):
+            assert combine_two_sided(0.0, t) == pytest.approx(1.0 - t)
+
+    def test_half_is_absorbing(self):
+        for t in (0.0, 0.3, 1.0):
+            assert combine_two_sided(0.5, t) == pytest.approx(0.5)
+
+    def test_range_preserved(self):
+        for t1 in (0.0, 0.2, 0.5, 0.8, 1.0):
+            for t2 in (0.0, 0.3, 0.6, 1.0):
+                assert 0.0 <= combine_two_sided(t1, t2) <= 1.0
+
+    def test_exceeds_naive_product(self):
+        # The neglected (1-t1)(1-t2) term makes Eq. 7 >= Eq. 5.
+        for t1 in (0.1, 0.5, 0.9):
+            for t2 in (0.2, 0.6, 0.95):
+                assert combine_two_sided(t1, t2) >= t1 * t2
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            combine_two_sided(1.2, 0.5)
+
+
+class TestChains:
+    def test_empty_chain_is_full_trust(self):
+        assert combine_chain([]) == 1.0
+        assert traditional_chain([]) == 1.0
+
+    def test_single_hop_passthrough(self):
+        assert combine_chain([0.8]) == pytest.approx(0.8)
+        assert traditional_chain([0.8]) == pytest.approx(0.8)
+
+    def test_traditional_chain_is_product(self):
+        assert traditional_chain([0.9, 0.8, 0.5]) == pytest.approx(0.36)
+
+    def test_combine_chain_two_hops_matches_eq7(self):
+        assert combine_chain([0.9, 0.8]) == pytest.approx(
+            combine_two_sided(0.9, 0.8)
+        )
+
+
+def _simple_knowledge() -> MappingKnowledge:
+    """Alice -> Bob -> Carlos, same task type (Fig. 4's admissible case)."""
+    knowledge = MappingKnowledge()
+    task = Task("type1", characteristics=("t1",))
+    knowledge.add_experience("alice", "bob", task, 0.9)
+    knowledge.add_experience("bob", "carlos", task, 0.8)
+    return knowledge
+
+
+class TestTraditional:
+    def test_direct_and_two_hop_found(self):
+        knowledge = _simple_knowledge()
+        engine = TrustTransitivity(knowledge)
+        task = Task("type1", characteristics=("t1",))
+        found = engine.traditional("alice", task)
+        assert found["bob"].value == pytest.approx(0.9)
+        assert found["carlos"].value == pytest.approx(0.72)  # Eq. 5 product
+
+    def test_task_name_must_match_exactly(self):
+        knowledge = _simple_knowledge()
+        engine = TrustTransitivity(knowledge)
+        other = Task("type2", characteristics=("t1",))
+        assert engine.traditional("alice", other) == {}
+
+    def test_direct_experience_marked_direct(self):
+        knowledge = _simple_knowledge()
+        engine = TrustTransitivity(knowledge)
+        task = Task("type1", characteristics=("t1",))
+        found = engine.traditional("alice", task)
+        assert found["bob"].direct
+        assert not found["carlos"].direct
+
+    def test_max_depth_limits_search(self):
+        knowledge = _simple_knowledge()
+        engine = TrustTransitivity(knowledge, max_depth=1)
+        task = Task("type1", characteristics=("t1",))
+        found = engine.traditional("alice", task)
+        assert "bob" in found
+        assert "carlos" not in found
+
+    def test_inquiries_recorded(self):
+        knowledge = _simple_knowledge()
+        engine = TrustTransitivity(knowledge)
+        inquiries = set()
+        engine.traditional(
+            "alice", Task("type1", characteristics=("t1",)), inquiries
+        )
+        assert inquiries == {"bob", "carlos"}
+
+
+class TestConservative:
+    def test_same_type_two_hop_uses_eq7(self):
+        knowledge = _simple_knowledge()
+        engine = TrustTransitivity(
+            knowledge, omega_recommend=0.5, omega_execute=0.5
+        )
+        task = Task("type1", characteristics=("t1",))
+        found = engine.conservative("alice", task)
+        assert found["carlos"].value == pytest.approx(
+            combine_two_sided(0.9, 0.8)
+        )
+
+    def test_omega_gate_blocks_weak_recommender(self):
+        knowledge = MappingKnowledge()
+        task = Task("type1", characteristics=("t1",))
+        knowledge.add_experience("alice", "bob", task, 0.4)     # weak hop
+        knowledge.add_experience("bob", "carlos", task, 0.9)
+        engine = TrustTransitivity(
+            knowledge, omega_recommend=0.5, omega_execute=0.5
+        )
+        found = engine.conservative("alice", task)
+        assert "carlos" not in found
+
+    def test_requires_all_characteristics_on_every_edge(self):
+        # B trusts C on {a}; C trusts D on {a, b}.  A task needing {a, b}
+        # cannot cross the B->C edge (Eq. 8 intersection).
+        knowledge = MappingKnowledge()
+        knowledge.add_experience(
+            "bob", "carlos", Task("ta", characteristics=("a",)), 0.9
+        )
+        knowledge.add_experience(
+            "carlos", "dale", Task("tab", characteristics=("a", "b")), 0.9
+        )
+        engine = TrustTransitivity(knowledge)
+        found = engine.conservative(
+            "bob", Task("new", characteristics=("a", "b"))
+        )
+        assert "dale" not in found
+
+    def test_characteristic_inference_within_path(self):
+        # Edges hold different task *names* sharing the characteristic:
+        # conservative transfers via the characteristics (Eq. 9-10).
+        knowledge = MappingKnowledge()
+        knowledge.add_experience(
+            "bob", "carlos", Task("old1", characteristics=("a",)), 0.9
+        )
+        knowledge.add_experience(
+            "carlos", "dale", Task("old2", characteristics=("a",)), 0.8
+        )
+        engine = TrustTransitivity(knowledge)
+        found = engine.conservative(
+            "bob", Task("new", characteristics=("a",))
+        )
+        assert found["dale"].value == pytest.approx(
+            combine_two_sided(0.9, 0.8)
+        )
+
+    def test_empty_task_finds_nothing(self):
+        engine = TrustTransitivity(_simple_knowledge())
+        assert engine.conservative("alice", Task("empty")) == {}
+
+
+class TestAggressive:
+    def _two_path_knowledge(self) -> MappingKnowledge:
+        """Fig. 5(b): {a1} via B-C-E, {a2} via B-D-E."""
+        knowledge = MappingKnowledge()
+        task_a = Task("task-a", characteristics=("a1",))
+        task_b = Task("task-b", characteristics=("a2",))
+        knowledge.add_experience("bob", "carlos", task_a, 0.9)
+        knowledge.add_experience("carlos", "evan", task_a, 0.8)
+        knowledge.add_experience("bob", "dale", task_b, 0.85)
+        knowledge.add_experience("dale", "evan", task_b, 0.75)
+        return knowledge
+
+    def test_characteristics_combine_across_paths(self):
+        knowledge = self._two_path_knowledge()
+        engine = TrustTransitivity(knowledge)
+        new_task = Task("new", characteristics=("a1", "a2"))
+        found = engine.aggressive("bob", new_task)
+        expected = 0.5 * combine_two_sided(0.9, 0.8) + \
+            0.5 * combine_two_sided(0.85, 0.75)
+        assert found["evan"].value == pytest.approx(expected)
+
+    def test_conservative_cannot_find_what_aggressive_can(self):
+        # No single path covers both characteristics (Eq. 8 fails), but
+        # the union over paths does (Eq. 12 holds).
+        knowledge = self._two_path_knowledge()
+        engine = TrustTransitivity(knowledge)
+        new_task = Task("new", characteristics=("a1", "a2"))
+        assert "evan" not in engine.conservative("bob", new_task)
+        assert "evan" in engine.aggressive("bob", new_task)
+
+    def test_partial_coverage_rejected(self):
+        knowledge = MappingKnowledge()
+        knowledge.add_experience(
+            "bob", "carlos", Task("ta", characteristics=("a1",)), 0.9
+        )
+        engine = TrustTransitivity(knowledge)
+        found = engine.aggressive(
+            "bob", Task("new", characteristics=("a1", "a2"))
+        )
+        assert found == {}
+
+    def test_finds_at_least_conservative_candidates(self):
+        # On same-type chains aggressive should match conservative.
+        knowledge = _simple_knowledge()
+        engine = TrustTransitivity(knowledge)
+        task = Task("type1", characteristics=("t1",))
+        conservative = set(engine.conservative("alice", task))
+        aggressive = set(engine.aggressive("alice", task))
+        assert conservative <= aggressive
+
+
+class TestDispatch:
+    def test_find_trustees_dispatches(self):
+        knowledge = _simple_knowledge()
+        engine = TrustTransitivity(knowledge)
+        task = Task("type1", characteristics=("t1",))
+        for mode in TransitivityMode:
+            result = engine.find_trustees("alice", task, mode)
+            assert isinstance(result, dict)
+
+    def test_invalid_mode_rejected(self):
+        engine = TrustTransitivity(_simple_knowledge())
+        with pytest.raises(ValueError):
+            engine.find_trustees("alice", Task("t"), "bogus")
+
+    def test_invalid_omega_rejected(self):
+        with pytest.raises(ValueError):
+            TrustTransitivity(MappingKnowledge(), omega_recommend=2.0)
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            TrustTransitivity(MappingKnowledge(), max_depth=0)

@@ -1,0 +1,65 @@
+"""Tests for trust values and the N[.] normalization of Eq. 18."""
+
+import pytest
+
+from repro.core.trustworthiness import TrustValue, clamp01, normalize_net_profit
+
+
+class TestTrustValue:
+    def test_range_enforced(self):
+        with pytest.raises(ValueError):
+            TrustValue(1.01)
+        with pytest.raises(ValueError):
+            TrustValue(-0.01)
+
+    def test_float_conversion(self):
+        assert float(TrustValue(0.42)) == pytest.approx(0.42)
+
+    def test_derived_keeps_magnitude_and_clears_direct(self):
+        direct = TrustValue(0.7, direct=True)
+        derived = direct.derived()
+        assert derived.value == direct.value
+        assert not derived.direct
+
+    def test_meets_threshold_inclusive(self):
+        assert TrustValue(0.5).meets(0.5)
+        assert not TrustValue(0.49).meets(0.5)
+
+
+class TestClamp:
+    @pytest.mark.parametrize("raw,expected", [
+        (-1.0, 0.0), (0.0, 0.0), (0.5, 0.5), (1.0, 1.0), (2.0, 1.0),
+    ])
+    def test_clamp01(self, raw, expected):
+        assert clamp01(raw) == expected
+
+
+class TestNormalizeNetProfit:
+    def test_maximum_profit_maps_to_one(self):
+        # raw range with unit bounds: [-2, 1].
+        assert normalize_net_profit(1.0) == pytest.approx(1.0)
+
+    def test_minimum_profit_maps_to_zero(self):
+        assert normalize_net_profit(-2.0) == pytest.approx(0.0)
+
+    def test_zero_profit_maps_to_two_thirds(self):
+        assert normalize_net_profit(0.0) == pytest.approx(2.0 / 3.0)
+
+    def test_monotone(self):
+        values = [normalize_net_profit(raw / 10.0) for raw in range(-20, 11)]
+        assert values == sorted(values)
+
+    def test_out_of_range_saturates(self):
+        assert normalize_net_profit(5.0) == 1.0
+        assert normalize_net_profit(-5.0) == 0.0
+
+    def test_custom_bounds(self):
+        # gain up to 10, damage up to 2, cost up to 3 -> raw in [-5, 10].
+        assert normalize_net_profit(10.0, 10, 2, 3) == pytest.approx(1.0)
+        assert normalize_net_profit(-5.0, 10, 2, 3) == pytest.approx(0.0)
+        assert normalize_net_profit(2.5, 10, 2, 3) == pytest.approx(0.5)
+
+    def test_degenerate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_net_profit(0.0, gain_max=-3.0, damage_max=1.0,
+                                 cost_max=1.0)

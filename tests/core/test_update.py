@@ -1,0 +1,81 @@
+"""Tests for the forgetting update (Eq. 19-22)."""
+
+import pytest
+
+from repro.core.records import OutcomeFactors
+from repro.core.update import ForgettingUpdater, forget
+
+
+class TestForget:
+    def test_formula(self):
+        # expected = beta*old + (1-beta)*observed.
+        assert forget(1.0, 0.0, 0.9) == pytest.approx(0.9)
+        assert forget(0.0, 1.0, 0.9) == pytest.approx(0.1)
+
+    def test_beta_one_keeps_history(self):
+        assert forget(0.7, 0.1, 1.0) == 0.7
+
+    def test_beta_zero_replaces_history(self):
+        assert forget(0.7, 0.1, 0.0) == pytest.approx(0.1)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            forget(0.5, 0.5, 1.5)
+
+    def test_contraction_toward_observation(self):
+        # |new - obs| <= beta * |old - obs| for any inputs.
+        old, obs, beta = 0.9, 0.2, 0.6
+        new = forget(old, obs, beta)
+        assert abs(new - obs) <= beta * abs(old - obs) + 1e-12
+
+    def test_repeated_updates_converge_to_constant_observation(self):
+        value = 1.0
+        for _ in range(200):
+            value = forget(value, 0.3, 0.9)
+        assert value == pytest.approx(0.3, abs=1e-6)
+
+
+class TestForgettingUpdater:
+    def test_uniform_constructor(self):
+        updater = ForgettingUpdater.uniform(0.4)
+        assert updater.beta_success == 0.4
+        assert updater.beta_cost == 0.4
+
+    def test_per_factor_betas(self):
+        updater = ForgettingUpdater(
+            beta_success=1.0, beta_gain=0.0, beta_damage=0.5, beta_cost=0.5
+        )
+        expected = OutcomeFactors(success_rate=0.5, gain=0.5, damage=0.5,
+                                  cost=0.5)
+        observed = OutcomeFactors(success_rate=1.0, gain=1.0, damage=1.0,
+                                  cost=1.0)
+        updated = updater.update(expected, observed)
+        assert updated.success_rate == 0.5   # beta 1: frozen
+        assert updated.gain == 1.0           # beta 0: replaced
+        assert updated.damage == pytest.approx(0.75)
+
+    def test_update_keeps_factors_valid(self):
+        updater = ForgettingUpdater.uniform(0.5)
+        expected = OutcomeFactors(success_rate=1.0, gain=0.0, damage=0.0,
+                                  cost=0.0)
+        observed = OutcomeFactors(success_rate=0.0, gain=2.0, damage=3.0,
+                                  cost=4.0)
+        updated = updater.update(expected, observed)
+        assert 0.0 <= updated.success_rate <= 1.0
+        assert updated.gain == pytest.approx(1.0)
+        assert updated.cost == pytest.approx(2.0)
+
+    def test_invalid_beta_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            ForgettingUpdater(beta_success=2.0)
+
+    def test_update_is_convex_blend(self):
+        updater = ForgettingUpdater.uniform(0.3)
+        expected = OutcomeFactors(success_rate=0.2, gain=0.2, damage=0.2,
+                                  cost=0.2)
+        observed = OutcomeFactors(success_rate=0.8, gain=0.8, damage=0.8,
+                                  cost=0.8)
+        updated = updater.update(expected, observed)
+        for field in ("success_rate", "gain", "damage", "cost"):
+            value = getattr(updated, field)
+            assert 0.2 <= value <= 0.8

@@ -1,0 +1,116 @@
+"""Tests for the analysis/reporting helpers."""
+
+import pytest
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis.report import Comparison, ComparisonReport
+from repro.analysis.series import LabelledSeries, summarize
+from repro.analysis.tables import render_table
+
+
+class TestRenderTable:
+    def test_contains_headers_and_values(self):
+        text = render_table([{"name": "fb", "nodes": 347}])
+        assert "name" in text and "fb" in text and "347" in text
+
+    def test_column_order_respected(self):
+        text = render_table(
+            [{"b": 2, "a": 1}], columns=("a", "b")
+        )
+        header = text.splitlines()[0]
+        assert header.index("a") < header.index("b")
+
+    def test_missing_cells_dash(self):
+        text = render_table([{"a": 1}, {"a": 2, "b": 3}],
+                            columns=("a", "b"))
+        assert "-" in text
+
+    def test_empty_rows(self):
+        assert "(empty)" in render_table([])
+
+    def test_title_prepended(self):
+        text = render_table([{"a": 1}], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_floats_formatted(self):
+        text = render_table([{"x": 0.123456789}])
+        assert "0.1235" in text
+
+
+class TestLabelledSeries:
+    def test_means(self):
+        series = LabelledSeries("s", [1.0, 2.0, 3.0, 4.0])
+        assert series.mean() == 2.5
+        assert series.head_mean(2) == 1.5
+        assert series.tail_mean(2) == 3.5
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            LabelledSeries("s").mean()
+
+    def test_downsample_keeps_endpoints(self):
+        series = LabelledSeries("s", list(map(float, range(100))))
+        down = series.downsample(5)
+        assert len(down.values) == 5
+        assert down.values[0] == 0.0
+        assert down.values[-1] == 99.0
+
+    def test_downsample_short_series_unchanged(self):
+        series = LabelledSeries("s", [1.0, 2.0])
+        assert series.downsample(10).values == [1.0, 2.0]
+
+    def test_summarize_rows(self):
+        rows = summarize([LabelledSeries("a", [1.0, 3.0])])
+        assert rows[0]["mean"] == 2.0
+        assert rows[0]["series"] == "a"
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            [LabelledSeries("up", [0, 1, 2]),
+             LabelledSeries("down", [2, 1, 0])],
+            width=20, height=6,
+        )
+        assert "o = up" in chart
+        assert "x = down" in chart
+
+    def test_empty_series_handled(self):
+        assert "(no data)" in ascii_chart([], title="t")
+
+    def test_flat_series_no_crash(self):
+        chart = ascii_chart([LabelledSeries("flat", [5.0, 5.0])],
+                            width=10, height=4)
+        assert "flat" in chart
+
+    def test_axis_labels_present(self):
+        chart = ascii_chart([LabelledSeries("s", [0.0, 10.0])],
+                            width=10, height=4)
+        assert "10" in chart and "0" in chart
+
+    def test_too_small_chart_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([LabelledSeries("s", [1.0])], width=2, height=2)
+
+
+class TestComparisonReport:
+    def test_add_and_render(self):
+        report = ComparisonReport("T1")
+        report.add("nodes", measured=347, paper=347)
+        report.add("diameter", measured=6, paper=11,
+                   shape_holds=True, note="approximate")
+        text = report.render()
+        assert "T1" in text and "nodes" in text and "OK" in text
+
+    def test_shape_flag(self):
+        report = ComparisonReport("X")
+        report.add("m", measured=1.0, shape_holds=False)
+        assert not report.all_shapes_hold
+        assert "MISMATCH" in report.render()
+
+    def test_missing_paper_value_dashes(self):
+        comparison = Comparison(
+            experiment="X", metric="m", paper_value=None,
+            measured_value=0.5, shape_holds=True,
+        )
+        assert comparison.as_row()["paper"] == "-"

@@ -1,0 +1,62 @@
+"""Tests for the command-line runner."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig15" in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "available artifacts" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_network_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--network", "myspace"])
+
+
+class TestArtifacts:
+    def test_table1_single_network(self, capsys):
+        assert main(["table1", "--network", "twitter"]) == 0
+        out = capsys.readouterr().out
+        assert "twitter" in out and "244" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--network", "twitter", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "theta" in out and "abuse" in out
+
+    def test_fig15_chart_and_mae(self, capsys):
+        assert main(["fig15", "--runs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "MAE" in out
+        assert "proposed" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["table1", "--network", "twitter",
+                     "--json", str(path)]) == 0
+        rows = json.loads(path.read_text())
+        assert rows[0]["Network"] == "twitter"
+        assert "json written" in capsys.readouterr().out
+
+    def test_fig13_fast(self, capsys, tmp_path):
+        path = tmp_path / "curves.json"
+        assert main([
+            "fig13", "--network", "twitter", "--iterations", "60",
+            "--json", str(path),
+        ]) == 0
+        curves = json.loads(path.read_text())
+        assert any("second strategy" in label for label in curves)
+        assert all(len(values) == 60 for values in curves.values())

@@ -1,0 +1,43 @@
+"""Additional CLI coverage: the remaining artifact commands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRemainingArtifacts:
+    def test_fig9_single_network(self, capsys):
+        assert main(["fig9", "--network", "twitter"]) == 0
+        out = capsys.readouterr().out
+        assert "transitivity" in out
+        assert "aggressive" in out
+
+    def test_table2_single_network(self, capsys):
+        assert main(["table2", "--network", "twitter"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "conservative" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "With Proposed Model" in out
+
+    def test_fig14(self, capsys):
+        assert main(["fig14"]) == 0
+        out = capsys.readouterr().out
+        assert "active time" in out
+
+    def test_fig16(self, capsys):
+        assert main(["fig16"]) == 0
+        out = capsys.readouterr().out
+        assert "net profit" in out
+
+    def test_fig16_json_export(self, tmp_path, capsys):
+        path = tmp_path / "fig16.json"
+        assert main(["fig16", "--json", str(path)]) == 0
+        curves = json.loads(path.read_text())
+        assert len(curves) == 2
+        assert all(len(values) == 50 for values in curves.values())

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library; a refactor that breaks one
+should fail the suite, not be discovered by a user.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load_module(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_complete(self):
+        names = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart", "traffic_monitoring", "smart_home_sharing",
+            "crowd_sensing_environment", "reputation_attacks",
+        } <= names
+
+    def test_quickstart_runs(self, capsys):
+        _load_module("quickstart").main()
+        out = capsys.readouterr().out
+        assert "network: twitter" in out
+        assert "delegations succeeded" in out
+
+    def test_traffic_monitoring_runs(self, capsys):
+        module = _load_module("traffic_monitoring")
+        module.direct_inference()
+        module.transitive_inference()
+        out = capsys.readouterr().out
+        assert "inferred trustworthiness" in out
+        assert "aggressive" in out
+
+    def test_reputation_attacks_runs(self, capsys):
+        _load_module("reputation_attacks").main()
+        out = capsys.readouterr().out
+        assert "bad-mouthing" in out
+        assert "defended" in out
+
+    @pytest.mark.slow
+    def test_smart_home_sharing_runs(self, capsys):
+        module = _load_module("smart_home_sharing")
+        module.single_household()
+        out = capsys.readouterr().out
+        assert "mallory" in out
+
+    @pytest.mark.slow
+    def test_crowd_sensing_runs(self, capsys):
+        module = _load_module("crowd_sensing_environment")
+        module.lighting_experiment()
+        out = capsys.readouterr().out
+        assert "final light period" in out

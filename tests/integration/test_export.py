@@ -1,0 +1,86 @@
+"""Tests for JSON/CSV export helpers."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    load_rows,
+    report_to_json,
+    rows_to_csv,
+    rows_to_json,
+    series_to_csv,
+    series_to_json,
+)
+from repro.analysis.report import ComparisonReport
+from repro.analysis.series import LabelledSeries
+
+
+class TestRowsJson:
+    def test_roundtrip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        assert load_rows(rows_to_json(rows)) == rows
+
+    def test_load_rejects_non_array(self):
+        with pytest.raises(ValueError):
+            load_rows('{"a": 1}')
+
+    def test_load_rejects_non_object_rows(self):
+        with pytest.raises(ValueError):
+            load_rows("[1, 2]")
+
+    def test_keys_sorted_for_stable_diffs(self):
+        text = rows_to_json([{"z": 1, "a": 2}])
+        assert text.index('"a"') < text.index('"z"')
+
+
+class TestRowsCsv:
+    def test_header_and_rows(self):
+        text = rows_to_csv([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed == [{"a": "1", "b": "2"}, {"a": "3", "b": "4"}]
+
+    def test_union_of_columns(self):
+        text = rows_to_csv([{"a": 1}, {"b": 2}])
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0] == {"a": "1", "b": ""}
+        assert parsed[1] == {"a": "", "b": "2"}
+
+    def test_explicit_columns(self):
+        text = rows_to_csv([{"a": 1, "b": 2}], columns=("b",))
+        assert text.splitlines()[0] == "b"
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+
+class TestSeries:
+    def test_json_mapping(self):
+        curves = [LabelledSeries("x", [1.0, 2.0])]
+        payload = json.loads(series_to_json(curves))
+        assert payload == {"x": [1.0, 2.0]}
+
+    def test_csv_columns(self):
+        curves = [
+            LabelledSeries("short", [1.0]),
+            LabelledSeries("long", [10.0, 20.0]),
+        ]
+        lines = series_to_csv(curves).splitlines()
+        assert lines[0] == "index,short,long"
+        assert lines[1] == "0,1.0,10.0"
+        assert lines[2] == "1,,20.0"
+
+    def test_empty_series_list(self):
+        assert series_to_csv([]) == ""
+
+
+class TestReportJson:
+    def test_structure(self):
+        report = ComparisonReport("T1")
+        report.add("metric", measured=1.0, paper=2.0, shape_holds=True)
+        payload = json.loads(report_to_json(report))
+        assert payload["experiment"] == "T1"
+        assert payload["all_shapes_hold"] is True
+        assert payload["comparisons"][0]["metric"] == "metric"

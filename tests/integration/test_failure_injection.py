@@ -1,0 +1,106 @@
+"""Failure-injection tests: degraded radio, depleted batteries, and
+mid-experiment topology changes must degrade gracefully, not crash."""
+
+import pytest
+
+from repro.iotnet.device import Coordinator, NodeDevice
+from repro.iotnet.energy import EnergyMeter, EnergyProfile, account_exchange
+from repro.iotnet.experiments import InferenceExperiment
+from repro.iotnet.messages import FrameKind
+from repro.iotnet.network import ExperimentalNetwork
+from repro.iotnet.radio import RadioChannel, RadioConfig
+
+
+class TestRadioFailures:
+    def test_device_moving_out_of_range_drops_messages(self):
+        channel = RadioChannel(seed=0)
+        a = NodeDevice("a", channel, x=0, y=0)
+        b = NodeDevice("b", channel, x=10, y=0)
+        assert a.send_message(b, "first").delivered
+
+        channel.place("b", 10_000.0, 0.0)  # b walks away
+        report = a.send_message(b, "second")
+        assert not report.delivered
+        assert b.drain_inbox() == ["first"]
+
+    def test_partial_fragment_loss_leaves_message_pending(self):
+        channel = RadioChannel(seed=0)
+        a = NodeDevice("a", channel, x=0, y=0)
+        b = NodeDevice("b", channel, x=10, y=0)
+        # Move the receiver away mid-message by sending two messages
+        # around a reposition: the second never completes.
+        a.send_message(b, "x" * 50, max_fragment_size=10)
+        channel.place("b", 10_000.0, 0.0)
+        report = a.send_message(b, "y" * 50, max_fragment_size=10)
+        assert not report.delivered
+        assert b.drain_inbox() == ["x" * 50]
+
+    def test_all_marginal_links_still_deliver(self):
+        # Between reconnect (110 m) and reliable (250 m) range: retries
+        # add latency but delivery holds.
+        channel = RadioChannel(seed=3)
+        a = NodeDevice("a", channel, x=0, y=0)
+        b = NodeDevice("b", channel, x=240, y=0)
+        reports = [a.send_message(b, "ping") for _ in range(50)]
+        assert all(r.delivered for r in reports)
+        assert len(b.drain_inbox()) == 50
+
+    def test_zero_range_config_isolates_everything(self):
+        config = RadioConfig(reliable_range_m=1.0, reconnect_range_m=0.5)
+        channel = RadioChannel(config, seed=0)
+        a = NodeDevice("a", channel, x=0, y=0)
+        b = NodeDevice("b", channel, x=10, y=0)
+        assert not a.send_message(b, "ping").delivered
+
+
+class TestEnergyDepletion:
+    def test_depleted_meter_reports_zero_willingness(self):
+        meter = EnergyMeter(budget_mj=0.5,
+                            profile=EnergyProfile(tx_mw=1000.0))
+        meter.transmit(10_000.0)
+        assert meter.depleted
+        assert meter.willingness() == 0.0
+
+    def test_accounting_continues_past_depletion(self):
+        # Consumption is monotone even past the budget; remaining clamps.
+        meter = EnergyMeter(budget_mj=1.0,
+                            profile=EnergyProfile(tx_mw=1000.0))
+        meter.transmit(5_000.0)
+        first = meter.consumed_mj
+        meter.transmit(5_000.0)
+        assert meter.consumed_mj > first
+        assert meter.remaining_mj == 0.0
+
+    def test_exchange_with_depleted_receiver_still_accounts(self):
+        sender = EnergyMeter()
+        receiver = EnergyMeter(budget_mj=0.0)
+        result = account_exchange(sender, receiver, 10.0, 10.0)
+        assert result["receiver_mj"] > 0.0
+        assert receiver.depleted
+
+
+class TestExperimentRobustness:
+    def test_inference_experiment_with_unreachable_coordinator(self):
+        # Reports fail to deliver, but the experiment metric (computed
+        # trustor-side) is unaffected.
+        network = ExperimentalNetwork(seed=2)
+        network.channel.place("coordinator", 50_000.0, 50_000.0)
+        result = InferenceExperiment(network=network, runs=3, seed=2).run()
+        assert len(result.with_model) == 3
+        assert network.coordinator.collected_reports == []
+
+    def test_single_group_network(self):
+        network = ExperimentalNetwork(groups=1, seed=0)
+        result = InferenceExperiment(network=network, runs=2, seed=0).run()
+        assert len(result.with_model) == 2
+
+    def test_coordinator_report_with_malformed_payload(self):
+        channel = RadioChannel(seed=0)
+        coordinator = Coordinator(channel, x=0, y=0)
+        coordinator.start_network()
+        device = NodeDevice("d", channel, x=10, y=0)
+        device.send_message(coordinator, "no-colon-separator",
+                            kind=FrameKind.REPORT)
+        reports = coordinator.receive_reports()
+        # Malformed payloads are kept verbatim, never raised on.
+        assert reports == [("no-colon-separator", "")]

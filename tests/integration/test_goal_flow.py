@@ -1,0 +1,119 @@
+"""Integration: the full Section 3.4 result-exploitation flow.
+
+Delegation produces an actual result set; the trustor aligns it with its
+goal, revises the expected factors for deviations, and folds the revised
+expectation back into its store — the complete
+decision → action → result → revision loop.
+"""
+
+import random
+
+import pytest
+
+from repro.core.agent import (
+    HonestTrusteeBehavior,
+    ResponsibleTrustorBehavior,
+    TrusteeAgent,
+    TrustorAgent,
+)
+from repro.core.engine import DelegationEngine, DelegationStatus
+from repro.core.goal import ActualResult, Goal, alignment, revise_expectation
+from repro.core.records import OutcomeFactors
+from repro.core.task import Task
+
+
+@pytest.fixture
+def goal():
+    return Goal(
+        "traffic-overview",
+        required=("gps-track", "congestion-level"),
+        tolerated=("timestamp",),
+    )
+
+
+@pytest.fixture
+def task():
+    return Task("traffic", characteristics=("gps", "image"))
+
+
+class TestGoalDrivenDelegation:
+    def test_full_loop_with_deviating_result(self, goal, task):
+        engine = DelegationEngine(rng=random.Random(0))
+        trustor = TrustorAgent(
+            node_id="alice",
+            behavior=ResponsibleTrustorBehavior(responsibility=1.0),
+        )
+        trustee = TrusteeAgent(
+            node_id="bob",
+            behavior=HonestTrusteeBehavior(competence=1.0, gain=1.0),
+        )
+
+        outcome = engine.delegate(trustor, task, [trustee])
+        assert outcome.status is DelegationStatus.SUCCESS
+
+        # The action succeeded, but the exploited result misses one
+        # required outcome and leaks something unwanted.
+        actual = ActualResult(("gps-track", "location-history-leak"))
+        result_alignment = alignment(goal, actual)
+        assert not result_alignment.fulfilled
+
+        before = trustor.store.expected("bob", task)
+        revised = revise_expectation(before, result_alignment)
+        trustor.store.set_expected("bob", task, revised)
+        after = trustor.store.expected("bob", task)
+
+        assert after.gain < before.gain          # partial result
+        assert after.damage > before.damage      # side effect
+        assert after.success_rate == before.success_rate
+
+    def test_revision_changes_future_ranking(self, goal, task):
+        engine = DelegationEngine(rng=random.Random(1))
+        trustor = TrustorAgent(
+            node_id="alice",
+            behavior=ResponsibleTrustorBehavior(responsibility=1.0),
+        )
+        deviant = TrusteeAgent(
+            node_id="deviant",
+            behavior=HonestTrusteeBehavior(competence=1.0, gain=1.0),
+        )
+        faithful = TrusteeAgent(
+            node_id="faithful",
+            behavior=HonestTrusteeBehavior(competence=1.0, gain=0.9),
+        )
+        # Expected damage only matters through the (1-S) failure branch
+        # of Eq. 23, so fallible trustees are where side effects bite.
+        factors = OutcomeFactors(success_rate=0.8, gain=1.0, damage=0.0,
+                                 cost=0.1)
+        trustor.store.set_expected("deviant", task, factors)
+        trustor.store.set_expected(
+            "faithful", task,
+            OutcomeFactors(success_rate=0.8, gain=0.9, damage=0.0, cost=0.1),
+        )
+        ranked = engine.rank_candidates(trustor, task, [deviant, faithful])
+        assert ranked[0][0].node_id == "deviant"
+
+        # The deviant's results keep leaking data; revision flips the order.
+        leak = alignment(
+            goal, ActualResult(("gps-track", "congestion-level", "leak"))
+        )
+        revised = revise_expectation(
+            trustor.store.expected("deviant", task), leak,
+            side_effect_penalty=1.0,
+        )
+        trustor.store.set_expected("deviant", task, revised)
+        ranked = engine.rank_candidates(trustor, task, [deviant, faithful])
+        assert ranked[0][0].node_id == "faithful"
+
+    def test_expected_result_gates_delegation_intent(self, goal):
+        # Section 3.4's precondition: do not delegate when the expected
+        # result cannot serve the goal.
+        from repro.core.goal import ExpectedResult
+
+        serves = ExpectedResult(("gps-track", "congestion-level"))
+        partial = ExpectedResult(("gps-track",))
+        overreaching = ExpectedResult(
+            ("gps-track", "congestion-level", "audio-recording")
+        )
+        assert serves.serves(goal)
+        assert not partial.serves(goal)
+        assert not overreaching.serves(goal)

@@ -1,0 +1,105 @@
+"""Tests for node devices and the coordinator."""
+
+import pytest
+
+from repro.iotnet.device import Coordinator, NodeDevice
+from repro.iotnet.messages import FrameKind
+from repro.iotnet.radio import RadioChannel
+
+
+@pytest.fixture
+def channel() -> RadioChannel:
+    return RadioChannel(seed=0)
+
+
+@pytest.fixture
+def pair(channel):
+    a = NodeDevice("a", channel, x=0.0, y=0.0)
+    b = NodeDevice("b", channel, x=10.0, y=0.0)
+    return a, b
+
+
+class TestMessaging:
+    def test_message_arrives_in_inbox(self, pair):
+        a, b = pair
+        report = a.send_message(b, "hello")
+        assert report.delivered
+        assert b.drain_inbox() == ["hello"]
+
+    def test_drain_empties_inbox(self, pair):
+        a, b = pair
+        a.send_message(b, "hello")
+        b.drain_inbox()
+        assert b.drain_inbox() == []
+
+    def test_fragmented_message_reassembled(self, pair):
+        a, b = pair
+        payload = "0123456789" * 30
+        a.send_message(b, payload, max_fragment_size=7)
+        assert b.drain_inbox() == [payload]
+
+    def test_active_time_accumulates_on_both_sides(self, pair):
+        a, b = pair
+        a.send_message(b, "x" * 100)
+        assert a.active_time_ms > 0
+        assert b.active_time_ms > 0
+
+    def test_fragmentation_inflates_active_time(self, channel):
+        a = NodeDevice("s1", channel, x=0, y=0)
+        b = NodeDevice("r1", channel, x=10, y=0)
+        c = NodeDevice("s2", channel, x=0, y=5)
+        d = NodeDevice("r2", channel, x=10, y=5)
+        payload = "x" * 240
+        a.send_message(b, payload, max_fragment_size=64)
+        c.send_message(d, payload, max_fragment_size=4)
+        assert d.active_time_ms > 5 * b.active_time_ms
+
+    def test_out_of_range_not_delivered(self, channel):
+        a = NodeDevice("a", channel, x=0, y=0)
+        far = NodeDevice("far", channel, x=1000, y=0)
+        report = a.send_message(far, "hello")
+        assert not report.delivered
+        assert far.drain_inbox() == []
+
+    def test_reset_active_time(self, pair):
+        a, b = pair
+        a.send_message(b, "x")
+        a.reset_active_time()
+        assert a.active_time_ms == 0.0
+
+
+class TestCoordinator:
+    def test_start_network_picks_valid_channel(self, channel):
+        coordinator = Coordinator(channel, seed=4)
+        parameters = coordinator.start_network()
+        assert 11 <= parameters.channel <= 26
+        assert 0x0001 <= parameters.pan_id <= 0xFFFE
+
+    def test_admit_requires_started_network(self, channel):
+        coordinator = Coordinator(channel)
+        device = NodeDevice("d", channel, x=10, y=0)
+        with pytest.raises(RuntimeError):
+            coordinator.admit(device)
+
+    def test_admit_requires_range(self, channel):
+        coordinator = Coordinator(channel)
+        coordinator.start_network()
+        far = NodeDevice("far", channel, x=9999, y=0)
+        with pytest.raises(ValueError, match="range"):
+            coordinator.admit(far)
+
+    def test_admit_registers_device(self, channel):
+        coordinator = Coordinator(channel)
+        coordinator.start_network()
+        device = NodeDevice("d", channel, x=10, y=0)
+        coordinator.admit(device)
+        assert "d" in coordinator.admitted
+
+    def test_receive_reports_parses_sender(self, channel):
+        coordinator = Coordinator(channel)
+        coordinator.start_network()
+        device = NodeDevice("d", channel, x=10, y=0)
+        device.send_message(coordinator, "d:result=42",
+                            kind=FrameKind.REPORT)
+        reports = coordinator.receive_reports()
+        assert reports == [("d", "result=42")]

@@ -1,0 +1,59 @@
+"""Tests for per-device energy accounting through message exchanges."""
+
+import pytest
+
+from repro.iotnet.device import NodeDevice
+from repro.iotnet.energy import EnergyMeter, EnergyProfile
+from repro.iotnet.radio import RadioChannel
+
+
+@pytest.fixture
+def channel():
+    return RadioChannel(seed=0)
+
+
+class TestDeviceEnergy:
+    def test_no_meter_no_accounting(self, channel):
+        a = NodeDevice("a", channel, x=0, y=0)
+        b = NodeDevice("b", channel, x=10, y=0)
+        a.send_message(b, "hello")
+        assert a.energy is None and b.energy is None
+
+    def test_exchange_charges_both_sides(self, channel):
+        a = NodeDevice("a", channel, x=0, y=0, energy=EnergyMeter())
+        b = NodeDevice("b", channel, x=10, y=0, energy=EnergyMeter())
+        a.send_message(b, "x" * 100)
+        assert a.energy.consumed_mj > 0.0
+        assert b.energy.consumed_mj > 0.0
+
+    def test_fragmentation_attack_drains_receiver_battery(self, channel):
+        sender1 = NodeDevice("s1", channel, x=0, y=0,
+                             energy=EnergyMeter())
+        victim = NodeDevice("v", channel, x=10, y=0,
+                            energy=EnergyMeter())
+        sender2 = NodeDevice("s2", channel, x=0, y=5,
+                             energy=EnergyMeter())
+        normal = NodeDevice("n", channel, x=10, y=5,
+                            energy=EnergyMeter())
+        payload = "x" * 400
+        sender1.send_message(victim, payload, max_fragment_size=4)
+        sender2.send_message(normal, payload, max_fragment_size=64)
+        assert victim.energy.consumed_mj > 5 * normal.energy.consumed_mj
+
+    def test_depletion_via_traffic(self, channel):
+        tiny = EnergyMeter(budget_mj=0.5,
+                           profile=EnergyProfile(rx_mw=1000.0,
+                                                 cpu_mw=1000.0))
+        a = NodeDevice("a", channel, x=0, y=0)
+        b = NodeDevice("b", channel, x=10, y=0, energy=tiny)
+        for _ in range(5):
+            a.send_message(b, "x" * 200, max_fragment_size=8)
+        assert b.energy.depleted
+        assert b.energy.willingness() == 0.0
+
+    def test_mixed_metered_and_unmetered(self, channel):
+        a = NodeDevice("a", channel, x=0, y=0, energy=EnergyMeter())
+        b = NodeDevice("b", channel, x=10, y=0)  # no meter
+        report = a.send_message(b, "hello")
+        assert report.delivered
+        assert a.energy.consumed_mj > 0.0

@@ -1,0 +1,95 @@
+"""Tests for the device energy model."""
+
+import pytest
+
+from repro.iotnet.energy import EnergyMeter, EnergyProfile, account_exchange
+
+
+class TestEnergyProfile:
+    def test_defaults_follow_datasheet_ordering(self):
+        profile = EnergyProfile()
+        assert profile.tx_mw > profile.rx_mw > profile.cpu_mw \
+            > profile.sleep_mw
+
+    def test_negative_draw_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyProfile(tx_mw=-1.0)
+
+
+class TestEnergyMeter:
+    def test_energy_is_power_times_time(self):
+        meter = EnergyMeter(profile=EnergyProfile(tx_mw=100.0))
+        spent = meter.transmit(duration_ms=50.0)
+        assert spent == pytest.approx(5.0)  # 100 mW * 0.05 s
+        assert meter.consumed_mj == pytest.approx(5.0)
+
+    def test_states_accumulate(self):
+        meter = EnergyMeter()
+        meter.transmit(10.0)
+        meter.receive(10.0)
+        meter.compute(10.0)
+        meter.sleep(1000.0)
+        assert meter.consumed_mj > 0.0
+
+    def test_remaining_clamps_at_zero(self):
+        meter = EnergyMeter(budget_mj=1.0,
+                            profile=EnergyProfile(tx_mw=1000.0))
+        meter.transmit(10_000.0)
+        assert meter.remaining_mj == 0.0
+        assert meter.depleted
+
+    def test_remaining_fraction(self):
+        meter = EnergyMeter(budget_mj=10.0,
+                            profile=EnergyProfile(tx_mw=100.0))
+        meter.transmit(50.0)  # 5 mJ
+        assert meter.remaining_fraction == pytest.approx(0.5)
+
+    def test_willingness_tracks_battery(self):
+        meter = EnergyMeter(budget_mj=10.0,
+                            profile=EnergyProfile(tx_mw=100.0))
+        assert meter.willingness() == 1.0
+        meter.transmit(50.0)
+        assert meter.willingness() == pytest.approx(0.5)
+        meter.transmit(100.0)
+        assert meter.willingness() == 0.0
+
+    def test_zero_budget_unwilling(self):
+        meter = EnergyMeter(budget_mj=0.0)
+        assert meter.willingness() == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyMeter().transmit(-1.0)
+
+    def test_sleep_is_cheap(self):
+        meter = EnergyMeter()
+        awake = meter.compute(100.0)
+        asleep = meter.sleep(100.0)
+        assert asleep < awake / 1000.0
+
+
+class TestAccountExchange:
+    def test_both_sides_charged(self):
+        sender = EnergyMeter()
+        receiver = EnergyMeter()
+        result = account_exchange(sender, receiver,
+                                  sender_active_ms=100.0,
+                                  receiver_active_ms=80.0)
+        assert result["sender_mj"] > 0.0
+        assert result["receiver_mj"] > 0.0
+        assert sender.consumed_mj == pytest.approx(result["sender_mj"])
+
+    def test_fragmentation_attack_costs_receiver_energy(self):
+        # The Fig. 14 attack, expressed in energy: a receiver kept
+        # active 8x longer burns roughly 8x the energy.
+        short = EnergyMeter()
+        long = EnergyMeter()
+        account_exchange(EnergyMeter(), short, 10.0, 50.0)
+        account_exchange(EnergyMeter(), long, 10.0, 400.0)
+        assert long.consumed_mj == pytest.approx(8 * short.consumed_mj,
+                                                 rel=0.01)
+
+    def test_invalid_tx_share_rejected(self):
+        with pytest.raises(ValueError):
+            account_exchange(EnergyMeter(), EnergyMeter(), 1.0, 1.0,
+                             tx_share=1.5)

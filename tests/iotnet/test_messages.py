@@ -1,0 +1,98 @@
+"""Tests for frames and fragmentation."""
+
+import pytest
+
+from repro.iotnet.messages import (
+    Frame,
+    FrameKind,
+    Reassembler,
+    fragment_payload,
+)
+
+
+class TestFrame:
+    def test_size_bytes_utf8(self):
+        frame = Frame(source="a", destination="b", payload="abc")
+        assert frame.size_bytes == 3
+
+    def test_invalid_fragment_count(self):
+        with pytest.raises(ValueError):
+            Frame(source="a", destination="b", payload="x",
+                  fragment_count=0)
+
+    def test_fragment_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            Frame(source="a", destination="b", payload="x",
+                  fragment_index=2, fragment_count=2)
+
+    def test_unique_message_ids(self):
+        a = Frame(source="a", destination="b", payload="x")
+        b = Frame(source="a", destination="b", payload="x")
+        assert a.message_id != b.message_id
+
+
+class TestFragmentation:
+    def test_single_fragment_when_payload_fits(self):
+        frames = fragment_payload("a", "b", "short", max_fragment_size=64)
+        assert len(frames) == 1
+        assert frames[0].fragment_count == 1
+
+    def test_fragment_count(self):
+        frames = fragment_payload("a", "b", "x" * 100, max_fragment_size=30)
+        assert len(frames) == 4  # 30+30+30+10
+
+    def test_tiny_fragments_multiply_frames(self):
+        honest = fragment_payload("a", "b", "x" * 240, max_fragment_size=64)
+        attack = fragment_payload("a", "b", "x" * 240, max_fragment_size=4)
+        assert len(attack) > 10 * len(honest)
+
+    def test_empty_payload_one_frame(self):
+        frames = fragment_payload("a", "b", "", max_fragment_size=8)
+        assert len(frames) == 1
+        assert frames[0].payload == ""
+
+    def test_fragments_share_message_id(self):
+        frames = fragment_payload("a", "b", "x" * 50, max_fragment_size=10)
+        assert len({f.message_id for f in frames}) == 1
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            fragment_payload("a", "b", "x", max_fragment_size=0)
+
+    def test_kind_propagates(self):
+        frames = fragment_payload("a", "b", "x" * 10, 4,
+                                  kind=FrameKind.RESPONSE)
+        assert all(f.kind is FrameKind.RESPONSE for f in frames)
+
+
+class TestReassembler:
+    def test_roundtrip_identity(self):
+        payload = "hello world " * 20
+        frames = fragment_payload("a", "b", payload, max_fragment_size=7)
+        completed = Reassembler().accept_all(frames)
+        assert completed == [payload]
+
+    def test_out_of_order_reassembly(self):
+        payload = "abcdefghij"
+        frames = fragment_payload("a", "b", payload, max_fragment_size=3)
+        completed = Reassembler().accept_all(reversed(frames))
+        assert completed == [payload]
+
+    def test_interleaved_messages(self):
+        first = fragment_payload("a", "b", "1" * 9, max_fragment_size=3)
+        second = fragment_payload("a", "b", "2" * 9, max_fragment_size=3)
+        interleaved = [
+            frame for pair in zip(first, second) for frame in pair
+        ]
+        completed = Reassembler().accept_all(interleaved)
+        assert sorted(completed) == ["1" * 9, "2" * 9]
+
+    def test_incomplete_message_pending(self):
+        frames = fragment_payload("a", "b", "x" * 9, max_fragment_size=3)
+        reassembler = Reassembler()
+        assert reassembler.accept(frames[0]) is None
+        assert reassembler.pending_messages == 1
+
+    def test_unfragmented_frame_immediate(self):
+        frame = Frame(source="a", destination="b", payload="solo")
+        assert Reassembler().accept(frame) == "solo"

@@ -1,0 +1,69 @@
+"""Tests for the 5-group experimental topology."""
+
+import pytest
+
+from repro.iotnet.network import ExperimentalNetwork
+
+
+@pytest.fixture(scope="module")
+def network() -> ExperimentalNetwork:
+    return ExperimentalNetwork(seed=0)
+
+
+class TestTopology:
+    def test_five_groups(self, network):
+        assert len(network.groups) == 5
+
+    def test_group_composition(self, network):
+        for group in network.groups:
+            assert len(group.trustors) == 2
+            assert len(group.honest_trustees) == 2
+            assert len(group.dishonest_trustees) == 2
+
+    def test_thirty_devices_plus_coordinator(self, network):
+        assert len(network.trustors) == 10
+        assert len(network.trustees) == 20
+        assert network.coordinator.network_parameters is not None
+
+    def test_all_devices_admitted(self, network):
+        assert len(network.coordinator.admitted) == 30
+
+    def test_device_lookup(self, network):
+        device = network.device("g0-trustor-0")
+        assert device.device_id == "g0-trustor-0"
+        assert network.device("coordinator") is network.coordinator
+
+    def test_unknown_device_rejected(self, network):
+        with pytest.raises(KeyError):
+            network.device("ghost")
+
+    def test_group_of(self, network):
+        group = network.group_of("g2-honest-1")
+        assert group.index == 2
+
+    def test_group_of_unknown_rejected(self, network):
+        with pytest.raises(KeyError):
+            network.group_of("ghost")
+
+    def test_honesty_classification(self, network):
+        assert network.is_honest_trustee("g0-honest-0")
+        assert not network.is_honest_trustee("g0-dishonest-0")
+        assert not network.is_honest_trustee("g0-trustor-0")
+
+    def test_all_devices_in_coordinator_range(self, network):
+        for device in network.trustors + network.trustees:
+            assert network.channel.in_range(
+                "coordinator", device.device_id
+            )
+
+    def test_reset_active_times(self, network):
+        trustor = network.trustors[0]
+        trustee = network.trustees[0]
+        trustor.send_message(trustee, "ping")
+        network.reset_active_times()
+        assert trustor.active_time_ms == 0.0
+        assert trustee.active_time_ms == 0.0
+
+    def test_invalid_group_count_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentalNetwork(groups=0)

@@ -1,0 +1,80 @@
+"""Tests for the radio channel."""
+
+import pytest
+
+from repro.iotnet.messages import Frame
+from repro.iotnet.radio import RadioChannel, RadioConfig
+
+
+@pytest.fixture
+def channel() -> RadioChannel:
+    ch = RadioChannel(seed=1)
+    ch.place("a", 0.0, 0.0)
+    ch.place("b", 30.0, 40.0)     # 50 m away: reliable, no retries
+    ch.place("far", 400.0, 0.0)   # out of range
+    ch.place("edge", 200.0, 0.0)  # between reconnect and reliable range
+    return ch
+
+
+def frame(src="a", dst="b", payload="x" * 10) -> Frame:
+    return Frame(source=src, destination=dst, payload=payload)
+
+
+class TestGeometry:
+    def test_distance(self, channel):
+        assert channel.distance("a", "b") == pytest.approx(50.0)
+
+    def test_unplaced_device_rejected(self, channel):
+        with pytest.raises(KeyError):
+            channel.distance("a", "ghost")
+
+    def test_in_range(self, channel):
+        assert channel.in_range("a", "b")
+        assert not channel.in_range("a", "far")
+
+    def test_replace_moves_device(self, channel):
+        channel.place("b", 0.0, 10.0)
+        assert channel.distance("a", "b") == pytest.approx(10.0)
+
+
+class TestTransmit:
+    def test_within_reconnect_range_no_retries(self, channel):
+        delivery = channel.transmit(frame())
+        assert delivery.delivered
+        assert delivery.retries == 0
+
+    def test_out_of_range_dropped(self, channel):
+        delivery = channel.transmit(frame(dst="far"))
+        assert not delivery.delivered
+        assert delivery.latency_ms == 0.0
+
+    def test_latency_grows_with_payload(self, channel):
+        small = channel.transmit(frame(payload="x"))
+        large = channel.transmit(frame(payload="x" * 500))
+        assert large.latency_ms > small.latency_ms
+
+    def test_marginal_link_can_retry(self, channel):
+        # Statistically some of many transmissions on a marginal link retry.
+        retries = sum(
+            channel.transmit(frame(dst="edge")).retries for _ in range(200)
+        )
+        assert retries > 0
+
+    def test_marginal_retries_bounded(self, channel):
+        for _ in range(200):
+            delivery = channel.transmit(frame(dst="edge"))
+            assert delivery.retries <= 5
+
+
+class TestConfig:
+    def test_reconnect_must_not_exceed_reliable(self):
+        with pytest.raises(ValueError):
+            RadioConfig(reliable_range_m=100.0, reconnect_range_m=150.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            RadioConfig(base_latency_ms=-1.0)
+
+    def test_retry_probability_range(self):
+        with pytest.raises(ValueError):
+            RadioConfig(retry_probability=1.5)

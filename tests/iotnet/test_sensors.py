@@ -1,0 +1,80 @@
+"""Tests for optical sensors and the light schedule."""
+
+import pytest
+
+from repro.iotnet.sensors import (
+    DEFAULT_LIGHT_SCHEDULE,
+    LightEnvironment,
+    LightPhase,
+    OpticalSensor,
+)
+
+
+class TestLightEnvironment:
+    def test_default_schedule_is_light_dark_light(self):
+        env = LightEnvironment()
+        labels = env.labels()
+        assert labels[0] == "LIGHT"
+        assert labels[20] == "DARK"
+        assert labels[-1] == "LIGHT"
+        assert len(labels) == 50
+
+    def test_lux_follows_phases(self):
+        env = LightEnvironment()
+        assert env.lux_at(0) == 500.0
+        assert env.lux_at(15) == 15.0
+        assert env.lux_at(35) == 500.0
+
+    def test_past_end_holds_last_phase(self):
+        env = LightEnvironment()
+        assert env.lux_at(1000) == 500.0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            LightEnvironment().lux_at(-1)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            LightEnvironment(phases=())
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            LightPhase(experiments=0, lux=100.0)
+        with pytest.raises(ValueError):
+            LightPhase(experiments=1, lux=-5.0)
+
+    def test_total_experiments(self):
+        env = LightEnvironment([LightPhase(3, 10.0), LightPhase(4, 20.0)])
+        assert env.total_experiments == 7
+
+
+class TestOpticalSensor:
+    def test_full_light_performance_is_one(self):
+        sensor = OpticalSensor(full_lux=400.0)
+        assert sensor.performance(400.0) == 1.0
+        assert sensor.performance(9000.0) == 1.0
+
+    def test_darkness_hits_floor(self):
+        sensor = OpticalSensor(floor=0.15)
+        assert sensor.performance(0.0) == pytest.approx(0.15)
+
+    def test_performance_monotone_in_light(self):
+        sensor = OpticalSensor()
+        values = [sensor.performance(lux) for lux in (0, 50, 150, 300, 400)]
+        assert values == sorted(values)
+
+    def test_environment_indicator_in_unit_interval(self):
+        sensor = OpticalSensor()
+        for lux in (0.0, 15.0, 200.0, 500.0):
+            indicator = sensor.environment_indicator(lux)
+            assert 0.0 < indicator <= 1.0
+
+    def test_negative_lux_rejected(self):
+        with pytest.raises(ValueError):
+            OpticalSensor().performance(-1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            OpticalSensor(full_lux=0.0)
+        with pytest.raises(ValueError):
+            OpticalSensor(floor=0.0)

@@ -1,0 +1,67 @@
+"""Tests for the five-layer Z-Stack pipeline."""
+
+import pytest
+
+from repro.iotnet.messages import Frame
+from repro.iotnet.stack import DEFAULT_LAYERS, LayerSpec, ZStack
+
+
+@pytest.fixture
+def stack() -> ZStack:
+    return ZStack()
+
+
+def frame(payload="x" * 20) -> Frame:
+    return Frame(source="a", destination="b", payload=payload)
+
+
+class TestLayers:
+    def test_default_layers_match_zstack(self, stack):
+        # Z-Stack 2.5.0's five layers in top-down order.
+        assert stack.layer_names == ["ZDO", "AF", "APS", "NWK", "ZMAC"]
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            ZStack(layers=())
+
+    def test_layer_validation(self):
+        with pytest.raises(ValueError):
+            LayerSpec("bad", header_bytes=-1, latency_ms=0.0)
+        with pytest.raises(ValueError):
+            LayerSpec("bad", header_bytes=0, latency_ms=-0.1)
+
+
+class TestTraversal:
+    def test_send_down_visits_top_to_bottom(self, stack):
+        trace = stack.send_down(frame())
+        assert trace.visited == ["ZDO", "AF", "APS", "NWK", "ZMAC"]
+        assert trace.direction == "down"
+
+    def test_receive_up_visits_bottom_to_top(self, stack):
+        trace = stack.receive_up(frame())
+        assert trace.visited == ["ZMAC", "NWK", "APS", "AF", "ZDO"]
+
+    def test_latency_is_sum_of_layers(self, stack):
+        trace = stack.send_down(frame())
+        assert trace.latency_ms == pytest.approx(
+            sum(layer.latency_ms for layer in DEFAULT_LAYERS)
+        )
+        assert trace.latency_ms == pytest.approx(stack.per_frame_latency_ms)
+
+    def test_up_and_down_cost_the_same(self, stack):
+        down = stack.send_down(frame())
+        up = stack.receive_up(frame())
+        assert down.latency_ms == pytest.approx(up.latency_ms)
+
+    def test_overhead_is_total_headers(self, stack):
+        trace = stack.send_down(frame())
+        assert trace.overhead_bytes == stack.total_header_bytes
+
+    def test_on_air_bytes(self, stack):
+        f = frame(payload="x" * 10)
+        assert stack.on_air_bytes(f) == 10 + stack.total_header_bytes
+
+    def test_per_frame_latency_is_fragmentation_lever(self, stack):
+        # N fragments cost N traversals: the Fig. 14 attack's mechanism.
+        one = stack.per_frame_latency_ms
+        assert 60 * one > 10 * (one * 5)

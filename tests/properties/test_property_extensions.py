@@ -1,0 +1,152 @@
+"""Property-based tests for the extension modules (attacks, time decay,
+goals, energy, graph stats)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attacks import CredibilityWeightedAggregator, Recommendation
+from repro.core.goal import ActualResult, Goal, alignment, revise_expectation
+from repro.core.records import OutcomeFactors
+from repro.core.timedecay import DecayingTrustLedger, decay_weight
+from repro.iotnet.energy import EnergyMeter, EnergyProfile
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.stats import (
+    degree_assortativity,
+    k_core_decomposition,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestAggregatorProperties:
+    @given(st.lists(st.tuples(st.text(min_size=1, max_size=4), unit),
+                    min_size=1, max_size=10))
+    def test_aggregate_bounded_by_claims(self, claims):
+        aggregator = CredibilityWeightedAggregator(
+            default_credibility=0.8, credibility_floor=0.3
+        )
+        recommendations = [
+            Recommendation(recommender=f"r{i}-{name}", about="t",
+                           claimed=value)
+            for i, (name, value) in enumerate(claims)
+        ]
+        result = aggregator.aggregate(recommendations)
+        values = [r.claimed for r in recommendations]
+        assert result is not None
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+    @given(unit, unit, unit)
+    def test_credibility_update_stays_in_range(self, claimed, observed,
+                                               start):
+        aggregator = CredibilityWeightedAggregator(
+            credibility={"r": start}
+        )
+        refreshed = aggregator.update_credibility("r", claimed, observed)
+        assert 0.0 <= refreshed <= 1.0
+
+    @given(unit, unit)
+    def test_perfect_claims_never_lower_credibility_below_start(
+        self, observed, start
+    ):
+        aggregator = CredibilityWeightedAggregator(
+            credibility={"r": start}
+        )
+        refreshed = aggregator.update_credibility("r", observed, observed)
+        assert refreshed >= start - 1e-9
+
+
+class TestTimeDecayProperties:
+    @given(st.lists(st.tuples(unit, st.floats(min_value=0, max_value=100,
+                                              allow_nan=False)),
+                    min_size=1, max_size=20))
+    def test_ledger_trust_bounded(self, observations):
+        ledger = DecayingTrustLedger(decay=0.9)
+        observations.sort(key=lambda pair: pair[1])
+        for value, time in observations:
+            ledger.observe("x", value, time)
+        now = observations[-1][1]
+        trust = ledger.trust("x", now=now)
+        values = [value for value, _ in observations]
+        assert min(values) - 1e-9 <= trust <= max(values) + 1e-9
+
+    @given(st.floats(min_value=0, max_value=50, allow_nan=False),
+           st.floats(min_value=0.01, max_value=1.0, allow_nan=False))
+    def test_decay_weight_monotone_in_age(self, age, decay):
+        assert decay_weight(age + 1.0, decay) <= decay_weight(age, decay)
+
+
+class TestGoalProperties:
+    outcome_lists = st.lists(
+        st.sampled_from(["a", "b", "c", "d"]), unique=True,
+        min_size=1, max_size=4,
+    )
+
+    @given(outcome_lists, st.lists(
+        st.sampled_from(["e", "f", "g"]), unique=True, max_size=3))
+    def test_alignment_partitions_outcomes(self, required, extra):
+        goal = Goal("g", required=required)
+        actual = ActualResult(tuple(required) + tuple(extra))
+        result = alignment(goal, actual)
+        assert result.achieved == frozenset(required)
+        assert result.side_effects == frozenset(extra)
+        assert not result.missing
+
+    @given(outcome_lists, unit, unit, unit, unit)
+    def test_revision_never_raises_gain(self, required, s, g, d, c):
+        goal = Goal("g", required=required)
+        expected = OutcomeFactors(success_rate=s, gain=g, damage=d, cost=c)
+        # Worst case: nothing achieved.
+        result = alignment(goal, ActualResult(()))
+        revised = revise_expectation(expected, result)
+        assert revised.gain <= expected.gain + 1e-12
+        assert revised.damage >= expected.damage - 1e-12
+
+
+class TestEnergyProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1000,
+                              allow_nan=False), max_size=20))
+    def test_consumption_monotone(self, durations):
+        meter = EnergyMeter()
+        previous = 0.0
+        for duration in durations:
+            meter.receive(duration)
+            assert meter.consumed_mj >= previous
+            previous = meter.consumed_mj
+
+    @given(st.floats(min_value=0, max_value=10_000, allow_nan=False))
+    def test_remaining_plus_consumed_covers_budget(self, duration):
+        meter = EnergyMeter(budget_mj=100.0)
+        meter.transmit(duration)
+        assert meter.remaining_mj >= 0.0
+        assert meter.remaining_mj <= meter.budget_mj
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    graph = SocialGraph()
+    for node in range(n):
+        graph.add_node(node)
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    for u, v in draw(st.lists(st.sampled_from(possible), max_size=20)):
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestStatsProperties:
+    @given(small_graphs())
+    @settings(max_examples=50)
+    def test_assortativity_in_range(self, graph):
+        assert -1.0 - 1e-9 <= degree_assortativity(graph) <= 1.0 + 1e-9
+
+    @given(small_graphs())
+    @settings(max_examples=50)
+    def test_core_number_bounded_by_degree(self, graph):
+        core = k_core_decomposition(graph)
+        for node in graph.nodes():
+            assert 0 <= core[node] <= graph.degree(node)
+
+    @given(small_graphs())
+    @settings(max_examples=50)
+    def test_core_is_total(self, graph):
+        assert set(k_core_decomposition(graph)) == set(graph.nodes())

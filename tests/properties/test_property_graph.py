@@ -1,0 +1,92 @@
+"""Property-based tests for graph structure and community invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.socialnet.communities import louvain_communities
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.metrics import (
+    average_clustering_coefficient,
+    average_degree,
+    average_path_length,
+    diameter,
+)
+from repro.socialnet.modularity import modularity
+
+
+@st.composite
+def graphs(draw, max_nodes=12):
+    """Random small simple graphs."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    graph = SocialGraph()
+    for node in range(n):
+        graph.add_node(node)
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    if possible:
+        chosen = draw(st.lists(st.sampled_from(possible), max_size=30))
+        for u, v in chosen:
+            graph.add_edge(u, v)
+    return graph
+
+
+class TestGraphProperties:
+    @given(graphs())
+    def test_handshake_lemma(self, graph):
+        degree_sum = sum(graph.degree(node) for node in graph.nodes())
+        assert degree_sum == 2 * graph.edge_count
+
+    @given(graphs())
+    def test_average_degree_consistent(self, graph):
+        if graph.node_count:
+            expected = 2.0 * graph.edge_count / graph.node_count
+            assert abs(average_degree(graph) - expected) < 1e-12
+
+    @given(graphs())
+    def test_neighbors_symmetric(self, graph):
+        for u, v in graph.edges():
+            assert u in graph.neighbors(v)
+            assert v in graph.neighbors(u)
+
+    @given(graphs())
+    def test_clustering_in_unit_interval(self, graph):
+        assert 0.0 <= average_clustering_coefficient(graph) <= 1.0
+
+    @given(graphs())
+    @settings(max_examples=40)
+    def test_diameter_at_least_average_path(self, graph):
+        assert diameter(graph) >= average_path_length(graph) - 1e-9
+
+    @given(graphs())
+    @settings(max_examples=40)
+    def test_subgraph_edges_bounded(self, graph):
+        nodes = graph.nodes()[: graph.node_count // 2]
+        sub = graph.subgraph(nodes)
+        assert sub.edge_count <= graph.edge_count
+        assert sub.node_count == len(set(nodes))
+
+
+class TestCommunityProperties:
+    @given(graphs(), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_louvain_is_a_partition(self, graph, seed):
+        partition = louvain_communities(graph, seed=seed)
+        assert set(partition) == set(graph.nodes())
+
+    @given(graphs(), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_louvain_at_least_trivial_modularity(self, graph, seed):
+        if graph.edge_count == 0:
+            return
+        partition = louvain_communities(graph, seed=seed)
+        trivial = {node: 0 for node in graph.nodes()}
+        assert modularity(graph, partition) >= \
+            modularity(graph, trivial) - 1e-9
+
+    @given(graphs())
+    @settings(max_examples=40)
+    def test_modularity_bounded(self, graph):
+        if graph.edge_count == 0:
+            return
+        partition = {node: 0 for node in graph.nodes()}
+        q = modularity(graph, partition)
+        assert -1.0 <= q <= 1.0

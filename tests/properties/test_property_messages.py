@@ -1,0 +1,70 @@
+"""Property-based tests for fragmentation and task algebra."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.task import Task
+from repro.iotnet.messages import Reassembler, fragment_payload
+
+payloads = st.text(
+    alphabet=st.characters(codec="utf-8", categories=("L", "N", "P", "Z")),
+    max_size=300,
+)
+
+
+class TestFragmentationProperties:
+    @given(payloads, st.integers(min_value=1, max_value=64))
+    def test_reassembly_is_identity(self, payload, size):
+        frames = fragment_payload("a", "b", payload, max_fragment_size=size)
+        completed = Reassembler().accept_all(frames)
+        assert completed == [payload]
+
+    @given(payloads, st.integers(min_value=1, max_value=64),
+           st.randoms(use_true_random=False))
+    def test_reassembly_order_independent(self, payload, size, rng):
+        frames = fragment_payload("a", "b", payload, max_fragment_size=size)
+        shuffled = list(frames)
+        rng.shuffle(shuffled)
+        completed = Reassembler().accept_all(shuffled)
+        assert completed == [payload]
+
+    @given(payloads, st.integers(min_value=1, max_value=64))
+    def test_fragment_sizes_bounded(self, payload, size):
+        frames = fragment_payload("a", "b", payload, max_fragment_size=size)
+        for frame in frames:
+            assert len(frame.payload) <= size
+
+    @given(payloads, st.integers(min_value=1, max_value=64))
+    def test_fragment_count_consistent(self, payload, size):
+        frames = fragment_payload("a", "b", payload, max_fragment_size=size)
+        assert all(f.fragment_count == len(frames) for f in frames)
+        assert [f.fragment_index for f in frames] == list(range(len(frames)))
+
+
+characteristics = st.lists(
+    st.sampled_from(["a", "b", "c", "d", "e"]), unique=True, max_size=5
+)
+
+
+class TestTaskAlgebraProperties:
+    @given(characteristics, characteristics)
+    def test_subset_matches_set_semantics(self, first, second):
+        task = Task("t", characteristics=first)
+        other = Task("o", characteristics=second)
+        assert task.is_subset_of([other]) == (set(first) <= set(second))
+
+    @given(characteristics, characteristics, characteristics)
+    def test_intersection_matches_set_semantics(self, target, first, second):
+        task = Task("t", characteristics=target)
+        a = Task("a", characteristics=first)
+        b = Task("b", characteristics=second)
+        expected = set(target) <= (set(first) & set(second))
+        assert task.is_within_intersection(a, b) == expected
+
+    @given(characteristics)
+    def test_weights_always_normalized(self, chars):
+        task = Task("t", characteristics=chars)
+        if chars:
+            assert abs(sum(task.weight_map.values()) - 1.0) < 1e-9
+        else:
+            assert task.weight_map == {}

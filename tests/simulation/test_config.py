@@ -1,0 +1,108 @@
+"""Tests for simulation configuration validation."""
+
+import pytest
+
+from repro.simulation.config import (
+    DelegationConfig,
+    EnvironmentConfig,
+    MutualityConfig,
+    RoleConfig,
+    TransitivityConfig,
+)
+
+
+class TestRoleConfig:
+    def test_defaults_are_paper_split(self):
+        roles = RoleConfig()
+        assert roles.trustor_fraction == 0.4
+        assert roles.trustee_fraction == 0.4
+
+    def test_fractions_must_fit(self):
+        with pytest.raises(ValueError):
+            RoleConfig(trustor_fraction=0.7, trustee_fraction=0.7)
+
+    def test_fraction_range(self):
+        with pytest.raises(ValueError):
+            RoleConfig(trustor_fraction=1.2)
+
+
+class TestMutualityConfig:
+    def test_defaults_valid(self):
+        MutualityConfig()
+
+    def test_threshold_range(self):
+        with pytest.raises(ValueError):
+            MutualityConfig(threshold=1.5)
+
+    def test_request_count_positive(self):
+        with pytest.raises(ValueError):
+            MutualityConfig(requests_per_trustor=0)
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            MutualityConfig(warmup_interactions=-1)
+
+    def test_hops_at_least_one(self):
+        with pytest.raises(ValueError):
+            MutualityConfig(candidate_hops=0)
+
+
+class TestTransitivityConfig:
+    def test_defaults_valid(self):
+        config = TransitivityConfig()
+        assert config.num_characteristics == 4
+        assert config.tasks_per_node == 2
+
+    def test_characteristic_count_positive(self):
+        with pytest.raises(ValueError):
+            TransitivityConfig(num_characteristics=0)
+
+    def test_max_chars_bounded_by_universe(self):
+        with pytest.raises(ValueError):
+            TransitivityConfig(num_characteristics=2,
+                               max_task_characteristics=3)
+
+    def test_catalog_zero_means_full_enumeration(self):
+        TransitivityConfig(catalog_size=0)
+
+    def test_catalog_must_cover_tasks_per_node(self):
+        with pytest.raises(ValueError):
+            TransitivityConfig(catalog_size=1, tasks_per_node=2)
+
+    def test_record_fraction_range(self):
+        with pytest.raises(ValueError):
+            TransitivityConfig(record_fraction=1.5)
+
+    def test_omega_range(self):
+        with pytest.raises(ValueError):
+            TransitivityConfig(omega_recommend=-0.1)
+
+
+class TestDelegationConfig:
+    def test_defaults_valid(self):
+        config = DelegationConfig()
+        assert config.iterations == 3000
+        assert config.beta == 0.9
+
+    def test_iterations_positive(self):
+        with pytest.raises(ValueError):
+            DelegationConfig(iterations=0)
+
+    def test_beta_range(self):
+        with pytest.raises(ValueError):
+            DelegationConfig(beta=1.1)
+
+
+class TestEnvironmentConfig:
+    def test_default_schedule_is_fig15(self):
+        config = EnvironmentConfig()
+        assert config.schedule == ((100, 1.0), (100, 0.4), (100, 0.7))
+        assert config.actual_success_rate == 0.8
+
+    def test_runs_positive(self):
+        with pytest.raises(ValueError):
+            EnvironmentConfig(runs=0)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            EnvironmentConfig(schedule=())

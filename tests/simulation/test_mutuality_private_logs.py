@@ -1,0 +1,59 @@
+"""Tests for the private-log variant of the mutuality simulation."""
+
+import pytest
+
+from repro.simulation.config import MutualityConfig
+from repro.simulation.mutuality import MutualitySimulation, sweep_thresholds
+from repro.socialnet.datasets import twitter
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return twitter(seed=0)
+
+
+class TestPrivateLogs:
+    def test_runs_and_produces_rates(self, graph):
+        config = MutualityConfig(threshold=0.3, shared_logs=False)
+        result = MutualitySimulation(graph, config, seed=3).run()
+        for value in (result.rates.success_rate,
+                      result.rates.unavailable_rate,
+                      result.rates.abuse_rate):
+            assert 0.0 <= value <= 1.0
+
+    def test_private_logs_allow_whitewashing(self, graph):
+        # The motivation for the shared-log default: with private logs
+        # and many candidate trustees, an abuser simply moves on to
+        # trustees that have never observed it, so even a strict
+        # threshold barely cuts abuse (and barely costs availability).
+        config = MutualityConfig(shared_logs=False)
+        sweep = sweep_thresholds(graph, thresholds=(0.0, 0.6), seed=3,
+                                 config=config)
+        assert sweep[1].rates.abuse_rate > sweep[0].rates.abuse_rate - 0.1
+        assert sweep[1].rates.unavailable_rate < 0.1
+
+    def test_private_logs_weaker_than_shared(self, graph):
+        # Privately-held statistics are sparser, so at the same threshold
+        # less abuse is filtered than with gossip: abuse(private) >=
+        # abuse(shared) at a strict threshold.
+        shared = sweep_thresholds(
+            graph, thresholds=(0.6,), seed=3,
+            config=MutualityConfig(shared_logs=True),
+        )[0]
+        private = sweep_thresholds(
+            graph, thresholds=(0.6,), seed=3,
+            config=MutualityConfig(shared_logs=False),
+        )[0]
+        assert private.rates.abuse_rate >= shared.rates.abuse_rate - 0.02
+
+    def test_deterministic(self, graph):
+        config = MutualityConfig(threshold=0.3, shared_logs=False)
+        a = MutualitySimulation(graph, config, seed=5).run()
+        b = MutualitySimulation(graph, config, seed=5).run()
+        assert a.rates == b.rates
+
+    def test_sweep_propagates_flag(self, graph):
+        config = MutualityConfig(shared_logs=False)
+        results = sweep_thresholds(graph, thresholds=(0.0, 0.3), seed=3,
+                                   config=config)
+        assert len(results) == 2

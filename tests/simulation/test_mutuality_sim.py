@@ -1,0 +1,64 @@
+"""Tests for the Fig. 7 mutuality simulation (shape assertions)."""
+
+import pytest
+
+from repro.simulation.config import MutualityConfig
+from repro.simulation.mutuality import MutualitySimulation, sweep_thresholds
+from repro.socialnet.datasets import twitter
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return twitter(seed=0)
+
+
+@pytest.fixture(scope="module")
+def sweep(graph):
+    return sweep_thresholds(graph, thresholds=(0.0, 0.3, 0.6), seed=3)
+
+
+class TestShapes:
+    def test_three_results(self, sweep):
+        assert [r.threshold for r in sweep] == [0.0, 0.3, 0.6]
+
+    def test_rates_are_rates(self, sweep):
+        for result in sweep:
+            rates = result.rates
+            for value in (rates.success_rate, rates.unavailable_rate,
+                          rates.abuse_rate):
+                assert 0.0 <= value <= 1.0
+
+    def test_zero_threshold_accepts_everything(self, sweep):
+        # theta = 0 is the unilateral baseline: no unanswered requests
+        # (every trustor on this connected network has candidates).
+        assert sweep[0].rates.unavailable_rate == pytest.approx(0.0, abs=0.02)
+
+    def test_abuse_exceeds_04_without_reverse_evaluation(self, sweep):
+        # The paper's headline: abuse rates are above 0.4 at theta = 0.
+        assert sweep[0].rates.abuse_rate > 0.4
+
+    def test_unavailable_increases_with_threshold(self, sweep):
+        unavailable = [r.rates.unavailable_rate for r in sweep]
+        assert unavailable[0] < unavailable[1] < unavailable[2]
+
+    def test_abuse_decreases_with_threshold(self, sweep):
+        abuse = [r.rates.abuse_rate for r in sweep]
+        assert abuse[0] > abuse[1] > abuse[2]
+
+
+class TestMechanics:
+    def test_deterministic(self, graph):
+        config = MutualityConfig(threshold=0.3)
+        a = MutualitySimulation(graph, config, seed=5).run()
+        b = MutualitySimulation(graph, config, seed=5).run()
+        assert a.rates == b.rates
+
+    def test_network_name_recorded(self, graph):
+        result = MutualitySimulation(graph, seed=1).run()
+        assert result.network == "twitter"
+
+    def test_total_requests_counted(self, graph):
+        config = MutualityConfig(requests_per_trustor=5)
+        result = MutualitySimulation(graph, config, seed=1).run()
+        expected = 5 * round(graph.node_count * 0.4)
+        assert result.rates.total_requests == expected

@@ -1,0 +1,54 @@
+"""Tests for result containers."""
+
+import pytest
+
+from repro.simulation.results import RateSummary, SeriesResult, mean
+
+
+class TestRateSummary:
+    def test_as_row_rounds(self):
+        summary = RateSummary(
+            success_rate=0.123456, unavailable_rate=0.2, abuse_rate=0.3
+        )
+        row = summary.as_row()
+        assert row["success"] == 0.1235
+        assert row["unavailable"] == 0.2
+
+
+class TestSeriesResult:
+    def test_append_coerces_float(self):
+        series = SeriesResult("s")
+        series.append(1)
+        assert series.values == [1.0]
+
+    def test_smoothed_window_one_is_identity(self):
+        series = SeriesResult("s", [1.0, 2.0, 3.0])
+        assert series.smoothed(1) == [1.0, 2.0, 3.0]
+
+    def test_smoothed_trailing_average(self):
+        series = SeriesResult("s", [0.0, 2.0, 4.0, 6.0])
+        smoothed = series.smoothed(2)
+        # Warm-up uses the available prefix.
+        assert smoothed[0] == 0.0
+        assert smoothed[1] == 1.0
+        assert smoothed[2] == pytest.approx(3.0)
+
+    def test_smoothed_invalid_window(self):
+        with pytest.raises(ValueError):
+            SeriesResult("s", [1.0]).smoothed(0)
+
+    def test_tail_mean(self):
+        series = SeriesResult("s", [0.0, 0.0, 4.0, 6.0])
+        assert series.tail_mean(2) == 5.0
+
+    def test_tail_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesResult("s").tail_mean(3)
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_mean_is_zero(self):
+        assert mean([]) == 0.0

@@ -1,0 +1,38 @@
+"""Tests for the seeded sub-stream helpers."""
+
+from repro.simulation.rng import spawn, uniform_unit
+
+
+class TestSpawn:
+    def test_same_scope_same_stream(self):
+        a = spawn(7, "mutuality", "roles")
+        b = spawn(7, "mutuality", "roles")
+        assert [a.random() for _ in range(5)] == [
+            b.random() for _ in range(5)
+        ]
+
+    def test_different_scopes_independent(self):
+        a = spawn(7, "mutuality", "roles")
+        b = spawn(7, "mutuality", "competence")
+        assert [a.random() for _ in range(5)] != [
+            b.random() for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = spawn(1, "x")
+        b = spawn(2, "x")
+        assert a.random() != b.random()
+
+    def test_seed_coerced_to_int(self):
+        assert spawn(7.0, "x").random() == spawn(7, "x").random()
+
+    def test_mixed_scope_types(self):
+        stream = spawn(1, "a", 4, True, 0.35)
+        assert 0.0 <= stream.random() <= 1.0
+
+
+class TestUniformUnit:
+    def test_in_unit_interval(self):
+        stream = spawn(3, "unit")
+        for _ in range(100):
+            assert 0.0 <= uniform_unit(stream) <= 1.0

@@ -1,0 +1,46 @@
+"""Tests for the repeat-and-average helpers."""
+
+import pytest
+
+from repro.simulation.results import RateSummary, SeriesResult
+from repro.simulation.runner import average_rates, average_series
+
+
+class TestAverageRates:
+    def test_averages_each_rate(self):
+        def run(seed):
+            return RateSummary(
+                success_rate=0.2 * seed,
+                unavailable_rate=0.1 * seed,
+                abuse_rate=0.0,
+                total_requests=10,
+            )
+
+        averaged = average_rates(run, seeds=[1, 2, 3])
+        assert averaged.success_rate == pytest.approx(0.4)
+        assert averaged.unavailable_rate == pytest.approx(0.2)
+        assert averaged.total_requests == 30
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            average_rates(lambda seed: None, seeds=[])
+
+
+class TestAverageSeries:
+    def test_pointwise_average(self):
+        def run(seed):
+            return SeriesResult("s", [float(seed), float(seed * 2)])
+
+        averaged = average_series(run, seeds=[1, 3])
+        assert averaged.values == [2.0, 4.0]
+
+    def test_length_mismatch_rejected(self):
+        def run(seed):
+            return SeriesResult("s", [0.0] * seed)
+
+        with pytest.raises(ValueError, match="lengths"):
+            average_series(run, seeds=[2, 3])
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            average_series(lambda seed: None, seeds=[])

@@ -1,0 +1,95 @@
+"""Tests for scenario construction (roles + hidden ground truth)."""
+
+import pytest
+
+from repro.simulation.config import RoleConfig
+from repro.simulation.scenario import build_scenario
+from repro.socialnet.datasets import twitter
+from repro.socialnet.graph import SocialGraph
+
+
+@pytest.fixture(scope="module")
+def graph() -> SocialGraph:
+    return twitter(seed=0)
+
+
+class TestRoles:
+    def test_fractions_respected(self, graph):
+        scenario = build_scenario(graph, seed=1)
+        assert len(scenario.trustors) == round(graph.node_count * 0.4)
+        assert len(scenario.trustees) == round(graph.node_count * 0.4)
+
+    def test_roles_disjoint(self, graph):
+        scenario = build_scenario(graph, seed=1)
+        assert not set(scenario.trustors) & set(scenario.trustees)
+
+    def test_deterministic(self, graph):
+        a = build_scenario(graph, seed=4)
+        b = build_scenario(graph, seed=4)
+        assert a.trustors == b.trustors
+        assert a.trustees == b.trustees
+
+    def test_seed_changes_assignment(self, graph):
+        a = build_scenario(graph, seed=1)
+        b = build_scenario(graph, seed=2)
+        assert a.trustors != b.trustors
+
+    def test_custom_fractions(self, graph):
+        scenario = build_scenario(
+            graph, seed=1,
+            roles=RoleConfig(trustor_fraction=0.1, trustee_fraction=0.2),
+        )
+        assert len(scenario.trustors) == round(graph.node_count * 0.1)
+
+
+class TestGroundTruth:
+    def test_responsibility_assigned_to_every_trustor(self, graph):
+        scenario = build_scenario(graph, seed=1)
+        assert set(scenario.responsibility) == set(scenario.trustors)
+        for value in scenario.responsibility.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_competence_memoized(self, graph):
+        scenario = build_scenario(graph, seed=1)
+        node = scenario.trustees[0]
+        assert scenario.competence(node, "task-x") == scenario.competence(
+            node, "task-x"
+        )
+
+    def test_competence_order_independent(self, graph):
+        a = build_scenario(graph, seed=1)
+        b = build_scenario(graph, seed=1)
+        node = a.trustees[0]
+        # Query b in a different order first.
+        b.competence(node, "task-y")
+        assert a.competence(node, "task-x") == b.competence(node, "task-x")
+
+    def test_competence_in_unit_interval(self, graph):
+        scenario = build_scenario(graph, seed=1)
+        for node in scenario.trustees[:10]:
+            assert 0.0 <= scenario.competence(node, "t") <= 1.0
+
+
+class TestNeighborQueries:
+    def test_one_hop_trustee_neighbors(self):
+        graph = SocialGraph.from_edges([(0, 1), (0, 2), (1, 3)])
+        scenario = build_scenario(
+            graph, seed=0, roles=RoleConfig(0.0, 0.0)
+        )
+        scenario.trustees = [1, 3]
+        assert scenario.trustee_neighbors(0, hops=1) == [1]
+
+    def test_two_hop_trustee_neighbors(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 3), (3, 4)])
+        scenario = build_scenario(
+            graph, seed=0, roles=RoleConfig(0.0, 0.0)
+        )
+        scenario.trustees = [3, 4]
+        assert scenario.trustee_neighbors(0, hops=2) == [3]
+        assert scenario.trustee_neighbors(0, hops=3) == [3, 4]
+
+    def test_self_excluded(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        scenario = build_scenario(graph, seed=0, roles=RoleConfig(0.0, 0.0))
+        scenario.trustees = [0, 1]
+        assert 0 not in scenario.trustee_neighbors(0, hops=1)

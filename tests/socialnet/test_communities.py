@@ -1,0 +1,72 @@
+"""Tests for Louvain community detection."""
+
+import pytest
+
+from repro.socialnet.communities import louvain_communities
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.modularity import modularity
+
+
+class TestLouvain:
+    def test_partitions_all_nodes(self, two_cliques):
+        partition = louvain_communities(two_cliques, seed=1)
+        assert set(partition) == set(two_cliques.nodes())
+
+    def test_labels_are_dense_integers(self, two_cliques):
+        partition = louvain_communities(two_cliques, seed=1)
+        labels = set(partition.values())
+        assert labels == set(range(len(labels)))
+
+    def test_finds_planted_cliques(self, two_cliques):
+        partition = louvain_communities(two_cliques, seed=1)
+        first = {partition[n] for n in (0, 1, 2, 3)}
+        second = {partition[n] for n in (4, 5, 6, 7)}
+        assert len(first) == 1
+        assert len(second) == 1
+        assert first != second
+
+    def test_beats_trivial_partition(self, two_cliques):
+        partition = louvain_communities(two_cliques, seed=1)
+        trivial = {node: 0 for node in two_cliques.nodes()}
+        assert modularity(two_cliques, partition) >= modularity(
+            two_cliques, trivial
+        )
+
+    def test_deterministic_for_seed(self, two_cliques):
+        a = louvain_communities(two_cliques, seed=5)
+        b = louvain_communities(two_cliques, seed=5)
+        assert a == b
+
+    def test_empty_graph(self):
+        assert louvain_communities(SocialGraph()) == {}
+
+    def test_no_edges_gives_singletons(self):
+        g = SocialGraph()
+        for node in range(4):
+            g.add_node(node)
+        partition = louvain_communities(g, seed=0)
+        assert len(set(partition.values())) == 4
+
+    def test_many_planted_cliques(self):
+        # Five 5-cliques in a ring; Louvain should recover ~5 communities.
+        g = SocialGraph()
+        for block in range(5):
+            members = list(range(block * 5, block * 5 + 5))
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    g.add_edge(u, v)
+            g.add_edge(block * 5, ((block + 1) % 5) * 5)
+        partition = louvain_communities(g, seed=2)
+        count = len(set(partition.values()))
+        assert count == 5
+
+    def test_quality_on_planted_graph(self):
+        g = SocialGraph()
+        for block in range(4):
+            members = list(range(block * 6, block * 6 + 6))
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    g.add_edge(u, v)
+            g.add_edge(block * 6, ((block + 1) % 4) * 6)
+        partition = louvain_communities(g, seed=3)
+        assert modularity(g, partition) > 0.6

@@ -1,0 +1,74 @@
+"""Tests for the three named (calibrated) networks."""
+
+import pytest
+
+from repro.socialnet.datasets import (
+    NETWORK_PROFILES,
+    TABLE1_REFERENCE,
+    facebook,
+    gplus,
+    load_network,
+    twitter,
+)
+from repro.socialnet.metrics import average_clustering_coefficient
+
+
+class TestFactories:
+    @pytest.mark.parametrize("name", ["facebook", "gplus", "twitter"])
+    def test_node_and_edge_counts_match_table1(self, name):
+        graph = load_network(name, seed=0)
+        reference = TABLE1_REFERENCE[name]
+        assert graph.node_count == reference["nodes"]
+        assert graph.edge_count == reference["edges"]
+
+    def test_named_helpers_match_load(self):
+        assert facebook(seed=0).edge_count == load_network(
+            "facebook", 0
+        ).edge_count
+        assert gplus(seed=0).node_count == 358
+        assert twitter(seed=0).node_count == 244
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            load_network("myspace")
+
+    @pytest.mark.parametrize("name", ["facebook", "gplus", "twitter"])
+    def test_connected(self, name):
+        assert load_network(name, seed=0).is_connected()
+
+    def test_deterministic(self):
+        a = facebook(seed=3)
+        b = facebook(seed=3)
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))
+
+
+class TestCalibration:
+    def test_clustering_ordering_matches_paper(self):
+        # Table 1: Facebook (0.49) > Google+ (0.39) > Twitter (0.27).
+        cc = {
+            name: average_clustering_coefficient(load_network(name, seed=0))
+            for name in NETWORK_PROFILES
+        }
+        assert cc["facebook"] > cc["gplus"] > cc["twitter"]
+
+    @pytest.mark.parametrize("name", ["facebook", "gplus", "twitter"])
+    def test_clustering_within_tolerance(self, name):
+        graph = load_network(name, seed=0)
+        measured = average_clustering_coefficient(graph)
+        reference = TABLE1_REFERENCE[name]["avg_clustering"]
+        assert measured == pytest.approx(reference, abs=0.08)
+
+    def test_degree_ordering_matches_paper(self):
+        degrees = {
+            name: 2.0 * load_network(name, 0).edge_count
+            / load_network(name, 0).node_count
+            for name in NETWORK_PROFILES
+        }
+        assert degrees["facebook"] > degrees["gplus"] > degrees["twitter"]
+
+    def test_reference_table_complete(self):
+        for name, reference in TABLE1_REFERENCE.items():
+            for key in ("nodes", "edges", "avg_degree", "diameter",
+                        "avg_path_length", "avg_clustering", "modularity",
+                        "communities"):
+                assert key in reference, (name, key)

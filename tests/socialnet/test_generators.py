@@ -1,0 +1,104 @@
+"""Tests for the synthetic community-graph generator."""
+
+import pytest
+
+from repro.socialnet.generators import (
+    CommunityGraphProfile,
+    generate_community_graph,
+)
+from repro.socialnet.metrics import average_clustering_coefficient
+
+
+def small_profile(**overrides) -> CommunityGraphProfile:
+    defaults = dict(
+        name="small",
+        nodes=40,
+        target_edges=120,
+        community_sizes=(12, 10, 10, 8),
+        intra_bias=0.9,
+        triadic_fraction=0.4,
+        locality=1,
+    )
+    defaults.update(overrides)
+    return CommunityGraphProfile(**defaults)
+
+
+class TestProfileValidation:
+    def test_sizes_must_sum_to_nodes(self):
+        with pytest.raises(ValueError, match="sum"):
+            small_profile(community_sizes=(10, 10))
+
+    def test_bias_range(self):
+        with pytest.raises(ValueError):
+            small_profile(intra_bias=1.5)
+
+    def test_triadic_range(self):
+        with pytest.raises(ValueError):
+            small_profile(triadic_fraction=-0.1)
+
+    def test_locality_minimum(self):
+        with pytest.raises(ValueError):
+            small_profile(locality=0)
+
+    def test_density_cap_range(self):
+        with pytest.raises(ValueError):
+            small_profile(max_intra_density=0.0)
+
+    def test_edge_budget_bounded(self):
+        with pytest.raises(ValueError, match="maximum"):
+            small_profile(target_edges=10_000)
+
+
+class TestGeneration:
+    def test_exact_node_and_edge_counts(self):
+        graph = generate_community_graph(small_profile(), seed=0)
+        assert graph.node_count == 40
+        assert graph.edge_count == 120
+
+    def test_connected(self):
+        graph = generate_community_graph(small_profile(), seed=0)
+        assert graph.is_connected()
+
+    def test_deterministic_per_seed(self):
+        a = generate_community_graph(small_profile(), seed=7)
+        b = generate_community_graph(small_profile(), seed=7)
+        assert sorted(map(sorted, a.edges())) == sorted(map(sorted, b.edges()))
+
+    def test_different_seeds_differ(self):
+        a = generate_community_graph(small_profile(), seed=1)
+        b = generate_community_graph(small_profile(), seed=2)
+        assert sorted(map(sorted, a.edges())) != sorted(map(sorted, b.edges()))
+
+    def test_triadic_fraction_raises_clustering(self):
+        sparse = generate_community_graph(
+            small_profile(triadic_fraction=0.0, intra_bias=0.5, locality=3),
+            seed=3,
+        )
+        clustered = generate_community_graph(
+            small_profile(triadic_fraction=0.8), seed=3
+        )
+        assert average_clustering_coefficient(clustered) > \
+            average_clustering_coefficient(sparse)
+
+    def test_single_community_profile(self):
+        profile = CommunityGraphProfile(
+            name="one", nodes=12, target_edges=30, community_sizes=(12,),
+        )
+        graph = generate_community_graph(profile, seed=0)
+        assert graph.edge_count == 30
+        assert graph.is_connected()
+
+    def test_density_cap_limits_small_communities(self):
+        # With a tight cap, small communities stay below clique density.
+        profile = small_profile(max_intra_density=0.5, triadic_fraction=0.0)
+        graph = generate_community_graph(profile, seed=0)
+        # The last community holds nodes 32..39.
+        members = list(range(32, 40))
+        member_set = set(members)
+        intra = sum(
+            1 for u in members
+            for v in graph.neighbors(u) if v in member_set
+        ) // 2
+        capacity = len(members) * (len(members) - 1) // 2
+        # Cap 0.5 plus triadic spillover tolerance.
+        assert intra <= capacity * 0.75

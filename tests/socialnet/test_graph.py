@@ -1,0 +1,102 @@
+"""Tests for the SocialGraph container."""
+
+import pytest
+
+from repro.socialnet.graph import SocialGraph
+
+
+class TestConstruction:
+    def test_add_node_idempotent(self):
+        g = SocialGraph()
+        g.add_node(1)
+        g.add_node(1)
+        assert g.node_count == 1
+
+    def test_add_edge_creates_nodes(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        assert g.has_node(1) and g.has_node(2)
+        assert g.edge_count == 1
+
+    def test_add_edge_idempotent(self):
+        g = SocialGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.edge_count == 1
+
+    def test_self_loop_rejected(self):
+        g = SocialGraph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_none_node_rejected(self):
+        g = SocialGraph()
+        with pytest.raises(ValueError):
+            g.add_node(None)
+
+    def test_from_edges(self, triangle):
+        assert triangle.node_count == 3
+        assert triangle.edge_count == 3
+
+
+class TestQueries:
+    def test_neighbors(self, triangle):
+        assert triangle.neighbors(0) == {1, 2}
+
+    def test_neighbors_returns_copy(self, triangle):
+        triangle.neighbors(0).clear()
+        assert triangle.neighbors(0) == {1, 2}
+
+    def test_neighbors_unknown_node(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.neighbors(99)
+
+    def test_degree(self, star_graph):
+        assert star_graph.degree(0) == 5
+        assert star_graph.degree(1) == 1
+
+    def test_degree_unknown_node(self, star_graph):
+        with pytest.raises(KeyError):
+            star_graph.degree(99)
+
+    def test_edges_listed_once(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        normalized = {frozenset(e) for e in edges}
+        assert len(normalized) == 3
+
+    def test_contains_and_len(self, path_graph):
+        assert 3 in path_graph
+        assert 99 not in path_graph
+        assert len(path_graph) == 5
+
+    def test_has_edge(self, path_graph):
+        assert path_graph.has_edge(0, 1)
+        assert path_graph.has_edge(1, 0)
+        assert not path_graph.has_edge(0, 2)
+
+
+class TestComponents:
+    def test_connected_graph(self, path_graph):
+        assert path_graph.is_connected()
+
+    def test_disconnected_graph(self):
+        g = SocialGraph.from_edges([(0, 1), (2, 3)])
+        assert not g.is_connected()
+
+    def test_empty_graph_is_connected(self):
+        assert SocialGraph().is_connected()
+
+    def test_largest_component(self):
+        g = SocialGraph.from_edges([(0, 1), (1, 2), (5, 6)])
+        component = g.largest_component()
+        assert set(component.nodes()) == {0, 1, 2}
+
+    def test_subgraph_induces_edges(self, triangle):
+        sub = triangle.subgraph([0, 1])
+        assert sub.edge_count == 1
+        assert sub.has_edge(0, 1)
+
+    def test_subgraph_ignores_unknown_nodes(self, triangle):
+        sub = triangle.subgraph([0, 1, 99])
+        assert not sub.has_node(99)

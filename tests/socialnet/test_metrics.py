@@ -1,0 +1,104 @@
+"""Tests for the Table 1 connectivity metrics."""
+
+import pytest
+
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.metrics import (
+    average_clustering_coefficient,
+    average_degree,
+    average_path_length,
+    connectivity_report,
+    diameter,
+    local_clustering_coefficient,
+)
+
+
+class TestAverageDegree:
+    def test_triangle(self, triangle):
+        assert average_degree(triangle) == pytest.approx(2.0)
+
+    def test_star(self, star_graph):
+        # 5 edges, 6 nodes -> 10/6.
+        assert average_degree(star_graph) == pytest.approx(10.0 / 6.0)
+
+    def test_empty(self):
+        assert average_degree(SocialGraph()) == 0.0
+
+
+class TestDiameter:
+    def test_path_graph(self, path_graph):
+        assert diameter(path_graph) == 4
+
+    def test_triangle(self, triangle):
+        assert diameter(triangle) == 1
+
+    def test_star(self, star_graph):
+        assert diameter(star_graph) == 2
+
+    def test_single_node(self):
+        g = SocialGraph()
+        g.add_node(0)
+        assert diameter(g) == 0
+
+    def test_disconnected_uses_largest_component(self):
+        g = SocialGraph.from_edges([(0, 1), (1, 2), (2, 3), (10, 11)])
+        assert diameter(g) == 3
+
+
+class TestAveragePathLength:
+    def test_triangle(self, triangle):
+        assert average_path_length(triangle) == pytest.approx(1.0)
+
+    def test_path_graph(self, path_graph):
+        # Pairwise distances of a 5-path: mean = 2.0.
+        assert average_path_length(path_graph) == pytest.approx(2.0)
+
+    def test_single_node(self):
+        g = SocialGraph()
+        g.add_node(0)
+        assert average_path_length(g) == 0.0
+
+
+class TestClustering:
+    def test_triangle_fully_clustered(self, triangle):
+        for node in triangle.nodes():
+            assert local_clustering_coefficient(triangle, node) == 1.0
+        assert average_clustering_coefficient(triangle) == 1.0
+
+    def test_star_has_zero_clustering(self, star_graph):
+        assert average_clustering_coefficient(star_graph) == 0.0
+
+    def test_degree_one_node_zero(self, path_graph):
+        assert local_clustering_coefficient(path_graph, 0) == 0.0
+
+    def test_half_clustered(self):
+        # Node 0 adjacent to 1,2,3; only edge (1,2) exists among them.
+        g = SocialGraph.from_edges([(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert local_clustering_coefficient(g, 0) == pytest.approx(1.0 / 3.0)
+
+    def test_two_cliques_bridge(self, two_cliques):
+        # Non-bridge clique members are fully clustered.
+        assert local_clustering_coefficient(two_cliques, 0) == 1.0
+        # Bridge endpoints are less clustered.
+        assert local_clustering_coefficient(two_cliques, 3) < 1.0
+
+
+class TestConnectivityReport:
+    def test_report_fields(self, two_cliques):
+        report = connectivity_report(two_cliques)
+        assert report.nodes == 8
+        assert report.edges == 13
+        assert report.diameter == 3
+        assert report.modularity is not None
+        assert report.communities is not None and report.communities >= 2
+
+    def test_report_without_communities(self, triangle):
+        report = connectivity_report(triangle, with_communities=False)
+        assert report.modularity is None
+        assert report.communities is None
+
+    def test_as_row_has_table1_columns(self, triangle):
+        row = connectivity_report(triangle, with_communities=False).as_row()
+        for column in ("Network", "Nodes", "Edges", "Avg Degree", "Diameter",
+                       "Avg Path Length", "Avg Clustering"):
+            assert column in row

@@ -1,0 +1,46 @@
+"""Tests for Newman modularity."""
+
+import pytest
+
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.modularity import modularity
+
+
+class TestModularity:
+    def test_single_community_is_zero(self, triangle):
+        partition = {node: 0 for node in triangle.nodes()}
+        assert modularity(triangle, partition) == pytest.approx(0.0)
+
+    def test_planted_partition_positive(self, two_cliques):
+        partition = {n: (0 if n <= 3 else 1) for n in two_cliques.nodes()}
+        assert modularity(two_cliques, partition) > 0.3
+
+    def test_bad_partition_worse_than_planted(self, two_cliques):
+        planted = {n: (0 if n <= 3 else 1) for n in two_cliques.nodes()}
+        # Interleaved labels cut through both cliques.
+        scrambled = {n: n % 2 for n in two_cliques.nodes()}
+        assert modularity(two_cliques, planted) > modularity(
+            two_cliques, scrambled
+        )
+
+    def test_singleton_partition_negative(self, triangle):
+        partition = {node: node for node in triangle.nodes()}
+        assert modularity(triangle, partition) < 0.0
+
+    def test_no_edges_is_zero(self):
+        g = SocialGraph()
+        g.add_node(0)
+        g.add_node(1)
+        assert modularity(g, {0: 0, 1: 1}) == 0.0
+
+    def test_missing_node_rejected(self, triangle):
+        with pytest.raises(ValueError, match="missing"):
+            modularity(triangle, {0: 0, 1: 0})
+
+    def test_known_value_two_cliques(self):
+        # Two triangles joined by one edge; planted split.
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+        g = SocialGraph.from_edges(edges)
+        partition = {0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1}
+        # m=7; each community: L=3, d=7 -> Q = 2*(3/7 - (7/14)^2) = 5/14.
+        assert modularity(g, partition) == pytest.approx(5.0 / 14.0)

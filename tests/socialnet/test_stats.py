@@ -1,0 +1,96 @@
+"""Tests for the additional graph statistics."""
+
+import pytest
+
+from repro.socialnet.datasets import facebook
+from repro.socialnet.graph import SocialGraph
+from repro.socialnet.stats import (
+    degree_assortativity,
+    degree_histogram,
+    degree_summary,
+    k_core_decomposition,
+    max_core_number,
+)
+
+
+class TestDegreeStats:
+    def test_histogram_counts(self, star_graph):
+        histogram = degree_histogram(star_graph)
+        assert histogram == {5: 1, 1: 5}
+
+    def test_summary_of_triangle(self, triangle):
+        summary = degree_summary(triangle)
+        assert summary.minimum == summary.maximum == 2
+        assert summary.mean == 2.0
+        assert summary.std == 0.0
+
+    def test_summary_median_even_count(self):
+        g = SocialGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        # degrees: 1, 2, 2, 1 -> sorted 1,1,2,2 -> median 1.5.
+        assert degree_summary(g).median == 1.5
+
+    def test_summary_empty_graph(self):
+        summary = degree_summary(SocialGraph())
+        assert summary.mean == 0.0
+
+    def test_histogram_sums_to_node_count(self):
+        g = facebook(seed=0)
+        histogram = degree_histogram(g)
+        assert sum(histogram.values()) == g.node_count
+
+
+class TestAssortativity:
+    def test_regular_graph_degenerate(self, triangle):
+        # All degrees equal -> zero variance -> 0 by convention.
+        assert degree_assortativity(triangle) == 0.0
+
+    def test_star_is_disassortative(self, star_graph):
+        assert degree_assortativity(star_graph) < 0.0
+
+    def test_empty_graph(self):
+        assert degree_assortativity(SocialGraph()) == 0.0
+
+    def test_range(self):
+        g = facebook(seed=0)
+        r = degree_assortativity(g)
+        assert -1.0 <= r <= 1.0
+
+
+class TestKCore:
+    def test_triangle_is_2_core(self, triangle):
+        core = k_core_decomposition(triangle)
+        assert all(value == 2 for value in core.values())
+
+    def test_star_core_numbers(self, star_graph):
+        core = k_core_decomposition(star_graph)
+        assert core[0] == 1
+        assert all(core[leaf] == 1 for leaf in range(1, 6))
+
+    def test_clique_with_tail(self):
+        # 4-clique (core 3) with a pendant path (core 1).
+        g = SocialGraph.from_edges([
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+            (3, 4), (4, 5),
+        ])
+        core = k_core_decomposition(g)
+        assert core[0] == core[1] == core[2] == 3
+        assert core[4] == core[5] == 1
+
+    def test_every_node_assigned(self):
+        g = facebook(seed=0)
+        core = k_core_decomposition(g)
+        assert set(core) == set(g.nodes())
+
+    def test_max_core_positive_on_dense_graph(self):
+        assert max_core_number(facebook(seed=0)) >= 5
+
+    def test_max_core_empty(self):
+        assert max_core_number(SocialGraph()) == 0
+
+    def test_isolated_nodes_core_zero(self):
+        g = SocialGraph()
+        g.add_node(0)
+        g.add_edge(1, 2)
+        core = k_core_decomposition(g)
+        assert core[0] == 0
+        assert core[1] == 1
