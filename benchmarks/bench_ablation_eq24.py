@@ -8,15 +8,15 @@ per trustor.
 
 from repro.analysis.report import ComparisonReport
 from repro.analysis.tables import render_table
-from repro.simulation.selfdelegation import SelfDelegationSimulation
-from repro.socialnet.datasets import NETWORK_PROFILES, load_network
+from repro.simulation.registry import get
+from repro.socialnet.datasets import NETWORK_PROFILES
+
+SPEC = get("eq24-selfdelegation")
 
 
 def _compute():
     return {
-        name: SelfDelegationSimulation(
-            load_network(name, seed=0), tasks_per_trustor=60, seed=1
-        ).run()
+        name: SPEC.run_full(seed=1, network=name, tasks_per_trustor=60)
         for name in NETWORK_PROFILES
     }
 

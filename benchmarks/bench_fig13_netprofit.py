@@ -5,22 +5,23 @@ three networks (Section 5.6)."""
 from repro.analysis.ascii_chart import ascii_chart
 from repro.analysis.report import ComparisonReport
 from repro.analysis.series import LabelledSeries
-from repro.simulation.config import DelegationConfig
-from repro.simulation.delegation import DelegationSimulation
-from repro.socialnet.datasets import NETWORK_PROFILES, load_network
+from repro.simulation.registry import get
+from repro.socialnet.datasets import NETWORK_PROFILES
 
 ITERATIONS = 3000
+SPEC = get("fig13-delegation")
 
 
 def _compute():
     results = {}
     for name in NETWORK_PROFILES:
-        simulation = DelegationSimulation(
-            load_network(name, seed=0),
-            DelegationConfig(iterations=ITERATIONS),
-            seed=1,
+        results[name] = tuple(
+            SPEC.run_full(
+                seed=1, network=name, iterations=ITERATIONS,
+                strategy=strategy,
+            )
+            for strategy in ("first", "second")
         )
-        results[name] = simulation.run_both_strategies()
     return results
 
 

@@ -4,11 +4,11 @@ attack, with vs without evaluating the cost aspect (Section 5.6)."""
 from repro.analysis.ascii_chart import ascii_chart
 from repro.analysis.report import ComparisonReport
 from repro.analysis.series import LabelledSeries
-from repro.iotnet.experiments import ActiveTimeExperiment
+from repro.simulation.registry import get
 
 
 def _compute():
-    return ActiveTimeExperiment(tasks_per_trustor=50, seed=1).run()
+    return get("fig14-activetime").run_full(seed=1)
 
 
 def test_fig14_active_time(once):

@@ -7,11 +7,18 @@ from repro.analysis.report import ComparisonReport
 from repro.analysis.series import LabelledSeries
 from repro.simulation.config import EnvironmentConfig
 from repro.simulation.environment import EnvironmentSimulation
+from repro.simulation.registry import get
 
 
 def _compute():
+    # The tracker curves come from the shared scenario spec; the local
+    # simulation object supplies tracking_errors / config access, and the
+    # spec call takes its parameters from it so the two cannot drift.
     simulation = EnvironmentSimulation(EnvironmentConfig(runs=100), seed=1)
-    return simulation, simulation.run()
+    result = get("fig15-environment").run_full(
+        seed=simulation.seed, runs=simulation.config.runs
+    )
+    return simulation, result
 
 
 def test_fig15_environment_tracking(once):

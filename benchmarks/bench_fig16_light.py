@@ -5,11 +5,11 @@ dynamic-environment factor (Section 5.7)."""
 from repro.analysis.ascii_chart import ascii_chart
 from repro.analysis.report import ComparisonReport
 from repro.analysis.series import LabelledSeries
-from repro.iotnet.experiments import LightingExperiment
+from repro.simulation.registry import get
 
 
 def _compute():
-    return LightingExperiment(seed=1).run()
+    return get("fig16-light").run_full(seed=1)
 
 
 def test_fig16_light_condition(once):

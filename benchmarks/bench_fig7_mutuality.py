@@ -3,17 +3,19 @@ threshold θ ∈ {0, 0.3, 0.6} over the three networks (Section 5.3)."""
 
 from repro.analysis.report import ComparisonReport
 from repro.analysis.tables import render_table
-from repro.simulation.mutuality import sweep_thresholds
-from repro.socialnet.datasets import NETWORK_PROFILES, load_network
+from repro.simulation.registry import get
+from repro.socialnet.datasets import NETWORK_PROFILES
 
 THRESHOLDS = (0.0, 0.3, 0.6)
+SPEC = get("fig7-mutuality")
 
 
 def _compute():
     return {
-        name: sweep_thresholds(
-            load_network(name, seed=0), thresholds=THRESHOLDS, seed=1
-        )
+        name: [
+            SPEC.run_full(seed=1, network=name, threshold=threshold)
+            for threshold in THRESHOLDS
+        ]
         for name in NETWORK_PROFILES
     }
 

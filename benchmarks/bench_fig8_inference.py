@@ -5,11 +5,11 @@ experimental IoT network, with vs without the inferential-transfer model
 from repro.analysis.ascii_chart import ascii_chart
 from repro.analysis.report import ComparisonReport
 from repro.analysis.series import LabelledSeries
-from repro.iotnet.experiments import InferenceExperiment
+from repro.simulation.registry import get
 
 
 def _compute():
-    return InferenceExperiment(runs=50, seed=1).run()
+    return get("fig8-inference").run_full(seed=1)
 
 
 def test_fig8_inference(once):

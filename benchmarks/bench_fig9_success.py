@@ -6,17 +6,23 @@ from repro.analysis.ascii_chart import ascii_chart
 from repro.analysis.report import ComparisonReport
 from repro.analysis.series import LabelledSeries
 from repro.core.transitivity import TransitivityMode
-from repro.simulation.transitivity import sweep_characteristics
-from repro.socialnet.datasets import NETWORK_PROFILES, load_network
+from repro.simulation.registry import get
+from repro.socialnet.datasets import NETWORK_PROFILES
 
 COUNTS = (4, 5, 6, 7)
+SPEC = get("fig9-transitivity")
 
 
 def _compute():
     return {
-        name: sweep_characteristics(
-            load_network(name, seed=0), counts=COUNTS, seed=1
-        )
+        name: [
+            SPEC.run_full(
+                seed=1, network=name, num_characteristics=count,
+                mode=mode.value,
+            )
+            for count in COUNTS
+            for mode in TransitivityMode
+        ]
         for name in NETWORK_PROFILES
     }
 

@@ -5,9 +5,8 @@ potential trustees per method and network (Section 5.5)."""
 from repro.analysis.report import ComparisonReport
 from repro.analysis.tables import render_table
 from repro.core.transitivity import TransitivityMode
-from repro.simulation.config import TransitivityConfig
-from repro.simulation.transitivity import TransitivitySimulation
-from repro.socialnet.datasets import NETWORK_PROFILES, load_network
+from repro.simulation.registry import get
+from repro.socialnet.datasets import NETWORK_PROFILES
 
 # Paper's Table 2 values, for side-by-side printing.
 PAPER_TABLE2 = {
@@ -23,17 +22,16 @@ PAPER_TABLE2 = {
 }
 
 
+SPEC = get("table2-properties")
+
+
 def _compute():
     results = {}
     for name in NETWORK_PROFILES:
-        simulation = TransitivitySimulation(
-            load_network(name, seed=0),
-            TransitivityConfig(num_characteristics=4),
-            seed=1,
-            property_based_tasks=True,
-        )
         for mode in TransitivityMode:
-            results[(mode, name)] = simulation.run(mode)
+            results[(mode, name)] = SPEC.run_full(
+                seed=1, network=name, mode=mode.value
+            )
     return results
 
 

@@ -96,3 +96,78 @@ def load_rows(text: str) -> List[Dict[str, object]]:
         if not isinstance(row, dict):
             raise ValueError("every row must be a JSON object")
     return rows
+
+
+# ---------------------------------------------------------------------------
+# multi-seed sweeps (repro sweep / SweepResult)
+# ---------------------------------------------------------------------------
+
+_SWEEP_KEYS = (
+    "scenario", "kind", "seeds", "timing", "mean", "per_seed", "variance",
+)
+
+
+def _reduced_to_payload(result) -> Dict[str, object]:
+    """A RateSummary or SeriesResult as a plain JSON object."""
+    if hasattr(result, "success_rate"):
+        return {
+            "success_rate": result.success_rate,
+            "unavailable_rate": result.unavailable_rate,
+            "abuse_rate": result.abuse_rate,
+            "total_requests": result.total_requests,
+        }
+    return {"label": result.label, "values": list(result.values)}
+
+
+def sweep_to_payload(sweep) -> Dict[str, object]:
+    """A :class:`~repro.simulation.sweep.SweepResult` as a JSON-ready dict.
+
+    Carries the per-seed results, the mean, the across-seed variance and
+    the wall-clock timing of the run — everything downstream regression
+    tracking needs to compare a sweep against an earlier one.
+    """
+    return {
+        "scenario": sweep.scenario,
+        "kind": sweep.kind,
+        "seeds": list(sweep.seeds),
+        "timing": {
+            "wall_seconds": sweep.timing.wall_seconds,
+            "seeds": sweep.timing.seeds,
+            "workers": sweep.timing.workers,
+            "backend": sweep.timing.backend,
+        },
+        "mean": _reduced_to_payload(sweep.mean),
+        "per_seed": [_reduced_to_payload(r) for r in sweep.per_seed],
+        "variance": (
+            dict(sweep.variance) if isinstance(sweep.variance, Mapping)
+            else list(sweep.variance)
+        ),
+    }
+
+
+def sweep_to_json(sweep, indent: int = 2) -> str:
+    """Serialize a sweep result; inverse of :func:`load_sweep`."""
+    return json.dumps(sweep_to_payload(sweep), indent=indent, sort_keys=True)
+
+
+def load_sweep(text: str) -> Dict[str, object]:
+    """Parse and validate a sweep export written by :func:`sweep_to_json`.
+
+    Returns the payload dict (the same shape :func:`sweep_to_payload`
+    produces), so ``load_sweep(sweep_to_json(s)) == sweep_to_payload(s)``
+    round-trips exactly — JSON float serialization is lossless.
+    """
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError("expected a JSON object")
+    missing = [key for key in _SWEEP_KEYS if key not in payload]
+    if missing:
+        raise ValueError(f"sweep export missing keys: {missing}")
+    if payload["kind"] not in ("rates", "series"):
+        raise ValueError(f"bad sweep kind: {payload['kind']!r}")
+    timing = payload["timing"]
+    if not isinstance(timing, dict) or "wall_seconds" not in timing:
+        raise ValueError("sweep timing must carry wall_seconds")
+    if len(payload["per_seed"]) != len(payload["seeds"]):
+        raise ValueError("per_seed results do not match the seed list")
+    return payload

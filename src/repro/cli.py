@@ -5,10 +5,16 @@ Usage::
     python -m repro table1
     python -m repro fig7 --network facebook --seed 2
     python -m repro fig15 --json results.json
+    python -m repro sweep fig7-mutuality --seeds 8 --workers 4 --json out.json
+    python -m repro sweep --list
     python -m repro list
 
-Each subcommand runs the corresponding experiment, prints the table or
-ASCII chart, and optionally writes a machine-readable JSON export.
+Each artifact subcommand runs the corresponding experiment, prints the
+table or ASCII chart, and optionally writes a machine-readable JSON
+export.  ``sweep`` runs any registered scenario once per seed — fanned
+out over a worker pool when ``--workers`` exceeds one, bit-identical to
+the sequential run either way — and reports the seed-averaged result,
+the across-seed variance and the wall-clock timing.
 """
 
 from __future__ import annotations
@@ -198,6 +204,63 @@ def cmd_fig16(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.export import sweep_to_json
+    from repro.simulation import registry
+    from repro.simulation.sweep import run_sweep, seed_range
+
+    if args.list or args.scenario is None:
+        print("registered scenarios:")
+        for spec in registry.specs():
+            print(f"  {spec.name:<22} {spec.description}")
+        return 0
+
+    try:
+        sweep = run_sweep(
+            args.scenario,
+            seed_range(args.seeds, first=args.first_seed),
+            workers=args.workers,
+            backend=args.backend,
+            smoke=args.smoke,
+        )
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    lines = [f"sweep: {sweep.scenario} ({sweep.kind})"]
+    if sweep.kind == "rates":
+        for metric, value in sweep.mean.as_row().items():
+            lines.append(
+                f"  {metric:<12} mean {value:.4f}  "
+                f"variance {sweep.variance[_RATE_KEYS[metric]]:.6f}"
+            )
+        lines.append(f"  total requests: {sweep.mean.total_requests}")
+    else:
+        values = sweep.mean.values
+        lines.append(f"  series '{sweep.mean.label}': {len(values)} points")
+        lines.append(
+            f"  mean of means {sum(values) / len(values):.4f}, "
+            f"max pointwise variance "
+            f"{max(sweep.variance) if sweep.variance else 0.0:.6f}"
+        )
+    timing = sweep.timing
+    lines.append(
+        f"  {timing.seeds} seeds x {timing.workers} workers "
+        f"({timing.backend}): {timing.wall_seconds:.2f}s "
+        f"({timing.seeds_per_second():.1f} seeds/s)"
+    )
+    _emit(args, "\n".join(lines), sweep_to_json(sweep))
+    return 0
+
+
+_RATE_KEYS = {
+    "success": "success_rate",
+    "unavailable": "unavailable_rate",
+    "abuse": "abuse_rate",
+}
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -236,6 +299,30 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "fig15":
             sub.add_argument("--runs", type=int, default=100,
                              help="independent runs to average")
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a registered scenario over many seeds, optionally in "
+             "parallel",
+    )
+    sweep.add_argument("scenario", nargs="?", default=None,
+                       help="registered scenario name (see --list)")
+    sweep.add_argument("--list", action="store_true",
+                       help="list registered scenarios and exit")
+    sweep.add_argument("--seeds", type=int, default=8,
+                       help="number of seeds to run (default 8)")
+    sweep.add_argument("--first-seed", type=int, default=1,
+                       help="first seed of the range (default 1)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="pool size; 1 = sequential (default)")
+    sweep.add_argument("--backend", choices=("process", "thread"),
+                       default="process",
+                       help="pool backend when workers > 1")
+    sweep.add_argument("--smoke", action="store_true",
+                       help="use the scenario's scaled-down smoke "
+                            "parameters (CI-sized)")
+    sweep.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the sweep export to PATH")
     return parser
 
 
@@ -246,7 +333,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("available artifacts:")
         for name in sorted(_COMMANDS):
             print(f"  {name}")
+        print("  sweep (multi-seed runner; `repro sweep --list`)")
         return 0
+    if args.command == "sweep":
+        return cmd_sweep(args)
     return _COMMANDS[args.command](args)
 
 

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import enum
 import random
+import weakref
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.agent import TrusteeAgent, TrustorAgent
 from repro.core.environment import EnvironmentAwareUpdater, EnvironmentReading
@@ -62,6 +63,32 @@ class DelegationOutcome:
         return self.gain - self.damage - self.cost
 
 
+class _StoreCache:
+    """Memoized pre-evaluation state derived from one trust store.
+
+    Valid only while the store's write counter stands still *and* the
+    engine's policy/inferrer are the same objects that filled it; the
+    engine drops the whole cache the moment any of those move, so a
+    stale entry can never outlive the write (or reconfiguration) that
+    would change it.  Tasks key by the full ``Task`` value — name,
+    characteristics and weights — because the inference path depends on
+    more than the name.
+    """
+
+    __slots__ = ("version", "policy", "inferrer", "factors", "rankings")
+
+    def __init__(self, version: int, policy: object, inferrer: object) -> None:
+        self.version = version
+        self.policy = policy
+        self.inferrer = inferrer
+        # (trustee, task) -> OutcomeFactors
+        self.factors: Dict[Tuple[NodeId, Task], OutcomeFactors] = {}
+        # (task, candidate ids) -> [(trustee id, score), ...]
+        self.rankings: Dict[
+            Tuple[Task, Tuple[NodeId, ...]], List[Tuple[NodeId, float]]
+        ] = {}
+
+
 @dataclass
 class DelegationEngine:
     """Coordinates trustor/trustee agents through delegation rounds.
@@ -88,6 +115,28 @@ class DelegationEngine:
     inferrer: Optional[CharacteristicInferrer] = None
     environment_updater: Optional[EnvironmentAwareUpdater] = None
     rng: random.Random = field(default_factory=random.Random)
+    # Candidate-ranking fast path: pre-evaluation is pure in the trustor's
+    # store, so results are memoized per store and invalidated by the
+    # store's write counter.  ``memoize=False`` restores the always-
+    # recompute behavior (the oracle the cache tests compare against).
+    memoize: bool = True
+    _caches: "weakref.WeakKeyDictionary" = field(
+        default_factory=weakref.WeakKeyDictionary, repr=False, compare=False
+    )
+
+    def _cache_for(self, trustor: TrustorAgent) -> _StoreCache:
+        """The trustor's memo, reset on store writes or reconfiguration."""
+        store = trustor.store
+        cache = self._caches.get(store)
+        if (
+            cache is None
+            or cache.version != store.version
+            or cache.policy is not self.policy
+            or cache.inferrer is not self.inferrer
+        ):
+            cache = _StoreCache(store.version, self.policy, self.inferrer)
+            self._caches[store] = cache
+        return cache
 
     # ------------------------------------------------------------------
     # pre-evaluation
@@ -96,6 +145,25 @@ class DelegationEngine:
         self, trustor: TrustorAgent, trustee: TrusteeAgent, task: Task
     ) -> OutcomeFactors:
         """The trustor's expectation toward one candidate for ``task``.
+
+        Memoized per (trustee, task) until the trustor's store is written
+        (see ``memoize``); the underlying computation is deterministic in
+        the store state, so the cache is observationally transparent.
+        """
+        if not self.memoize:
+            return self._compute_expected_factors(trustor, trustee, task)
+        cache = self._cache_for(trustor)
+        key = (trustee.node_id, task)
+        hit = cache.factors.get(key)
+        if hit is None:
+            hit = self._compute_expected_factors(trustor, trustee, task)
+            cache.factors[key] = hit
+        return hit
+
+    def _compute_expected_factors(
+        self, trustor: TrustorAgent, trustee: TrusteeAgent, task: Task
+    ) -> OutcomeFactors:
+        """The uncached expectation computation.
 
         Direct experience wins; otherwise, with an inferrer configured, the
         success-rate aspect is inferred from characteristic-sharing tasks
@@ -143,7 +211,35 @@ class DelegationEngine:
         task: Task,
         candidates: Sequence[TrusteeAgent],
     ) -> List[Tuple[TrusteeAgent, float]]:
-        """Candidates ordered by policy score, best first."""
+        """Candidates ordered by policy score, best first.
+
+        The ranking for one (task, candidate list) is memoized against the
+        trustor's store version: repeated rankings between store writes —
+        batched pre-evaluation, multi-round probing — skip both the factor
+        lookups and the sort.
+        """
+        if not self.memoize:
+            return self._compute_ranking(trustor, task, candidates)
+        cache = self._cache_for(trustor)
+        key = (task, tuple(t.node_id for t in candidates))
+        hit = cache.rankings.get(key)
+        if hit is None:
+            ranked = self._compute_ranking(trustor, task, candidates)
+            cache.rankings[key] = [
+                (trustee.node_id, score) for trustee, score in ranked
+            ]
+            return ranked
+        # Rehydrate agent references from the caller's candidate list —
+        # the cache stores ids only, so stale agent objects never leak.
+        by_id = {trustee.node_id: trustee for trustee in candidates}
+        return [(by_id[node_id], score) for node_id, score in hit]
+
+    def _compute_ranking(
+        self,
+        trustor: TrustorAgent,
+        task: Task,
+        candidates: Sequence[TrusteeAgent],
+    ) -> List[Tuple[TrusteeAgent, float]]:
         scored = [
             (trustee, self.policy.score(self.expected_factors(trustor, trustee, task)))
             for trustee in candidates

@@ -42,6 +42,18 @@ class TrustStore:
         self._history: Dict[_Key, List[DelegationRecord]] = defaultdict(list)
         self._usage: Dict[NodeId, List[UsageRecord]] = defaultdict(list)
         self._known_tasks: Dict[NodeId, Dict[str, Task]] = defaultdict(dict)
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic write counter.
+
+        Bumped by every mutation (``set_expected``, ``record_delegation``,
+        ``record_usage``), so readers that memoize derived values — the
+        engine's candidate-ranking fast path — can invalidate on change
+        without subscribing to individual writes.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # expected factors
@@ -65,6 +77,7 @@ class TrustStore:
         """Overwrite the expectation (used to seed scenarios and tests)."""
         self._expected[(counterpart, task.name)] = factors
         self._known_tasks[counterpart][task.name] = task
+        self._version += 1
 
     def record_delegation(
         self, record: DelegationRecord, task: Task
@@ -79,6 +92,7 @@ class TrustStore:
         self._expected[key] = refreshed
         self._history[key].append(record)
         self._known_tasks[record.trustee][task.name] = task
+        self._version += 1
         return refreshed
 
     def history(self, counterpart: NodeId, task: Task) -> List[DelegationRecord]:
@@ -107,6 +121,7 @@ class TrustStore:
     def record_usage(self, usage: UsageRecord) -> None:
         """Log one use of the owner's resources by ``usage.trustor``."""
         self._usage[usage.trustor].append(usage)
+        self._version += 1
 
     def usage_log(self, trustor: NodeId) -> List[UsageRecord]:
         """All logged uses by ``trustor`` (empty for strangers)."""

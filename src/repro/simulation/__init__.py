@@ -10,6 +10,17 @@ One module per experiment family:
 
 All simulations are deterministic for a given seed and operate over the
 three calibrated networks of :mod:`repro.socialnet.datasets`.
+
+The multi-seed runtime lives next to them:
+
+* :mod:`repro.simulation.runner` — sequential repeat-and-average (the
+  oracle),
+* :mod:`repro.simulation.parallel` — the same API over a process/thread
+  pool, bit-identical to the oracle by construction,
+* :mod:`repro.simulation.registry` — every experiment as a named,
+  picklable :class:`ScenarioSpec`,
+* :mod:`repro.simulation.sweep` — ``repro sweep``'s engine: per-seed
+  results, mean, variance and wall-clock timing for one scenario.
 """
 
 from repro.simulation.config import (
@@ -24,8 +35,16 @@ from repro.simulation.environment import (
     EnvironmentTrackingResult,
 )
 from repro.simulation.mutuality import MutualityResult, MutualitySimulation
+from repro.simulation.parallel import ParallelRunner, RunTiming
+from repro.simulation.registry import ScenarioSpec
 from repro.simulation.results import RateSummary
-from repro.simulation.runner import average_rates, average_series
+from repro.simulation.runner import (
+    average_rates,
+    average_series,
+    combine_rates,
+    combine_series,
+)
+from repro.simulation.sweep import SweepResult, run_sweep, seed_range
 from repro.simulation.scenario import Scenario, build_scenario
 from repro.simulation.selfdelegation import (
     SelfDelegationResult,
@@ -46,14 +65,22 @@ __all__ = [
     "MutualityResult",
     "MutualitySimulation",
     "NetProfitSeries",
+    "ParallelRunner",
     "RateSummary",
+    "RunTiming",
     "Scenario",
+    "ScenarioSpec",
     "SelfDelegationResult",
     "SelfDelegationSimulation",
+    "SweepResult",
     "TransitivityConfig",
     "TransitivityResult",
     "TransitivitySimulation",
     "average_rates",
     "average_series",
     "build_scenario",
+    "combine_rates",
+    "combine_series",
+    "run_sweep",
+    "seed_range",
 ]

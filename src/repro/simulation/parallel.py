@@ -1,0 +1,147 @@
+"""Parallel multi-seed runtime: fan seeds out over a worker pool.
+
+:class:`ParallelRunner` exposes the same ``average_rates`` /
+``average_series`` API as :mod:`repro.simulation.runner` but distributes
+the per-seed runs over a :mod:`concurrent.futures` pool.  Results are
+collected back **in seed order** and reduced with the exact helpers the
+sequential path uses (:func:`~repro.simulation.runner.combine_rates` /
+:func:`~repro.simulation.runner.combine_series`), so for a deterministic
+``run`` callable the output is bit-identical to the sequential oracle —
+the property the equivalence suite in ``tests/simulation`` asserts for
+every registered scenario.
+
+Backends:
+
+* ``"process"`` — :class:`~concurrent.futures.ProcessPoolExecutor`; the
+  ``run`` callable must be picklable (module-level functions and
+  :func:`functools.partial` of them qualify — every spec produced by
+  :mod:`repro.simulation.registry` is).  Unpicklable callables degrade
+  to the sequential fallback rather than erroring.
+* ``"thread"`` — :class:`~concurrent.futures.ThreadPoolExecutor`; no
+  pickling constraint, useful under the GIL only for I/O-bound runs but
+  invaluable for cheap equivalence testing.
+
+``workers <= 1`` always runs sequentially in-process (the fallback and
+the oracle).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.simulation.results import RateSummary, SeriesResult
+from repro.simulation.runner import combine_rates, combine_series
+
+T = TypeVar("T")
+
+_BACKENDS = ("process", "thread")
+
+
+@dataclass(frozen=True)
+class RunTiming:
+    """Wall-clock accounting of one multi-seed map."""
+
+    wall_seconds: float
+    seeds: int
+    workers: int
+    backend: str
+
+    def seeds_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return float("inf")
+        return self.seeds / self.wall_seconds
+
+
+def default_workers() -> int:
+    """Worker count when none is given: one per CPU, at least one."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _is_picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+@dataclass
+class ParallelRunner:
+    """Multi-seed runner over a process or thread pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` means one per CPU.  ``workers <= 1`` runs
+        sequentially (the oracle path).
+    backend:
+        ``"process"`` (default) or ``"thread"``.
+    """
+
+    workers: Optional[int] = None
+    backend: str = "process"
+    last_timing: Optional[RunTiming] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers is None:
+            self.workers = default_workers()
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+
+    # ------------------------------------------------------------------
+    def map_seeds(
+        self, run: Callable[[int], T], seeds: Sequence[int]
+    ) -> List[T]:
+        """Per-seed results, in seed order, timed into ``last_timing``."""
+        if not seeds:
+            raise ValueError("need at least one seed")
+        workers = min(self.workers or 1, len(seeds))
+        start = time.perf_counter()
+        if workers <= 1:
+            results = [run(seed) for seed in seeds]
+        elif self.backend == "process" and not _is_picklable(run):
+            # An unpicklable callable cannot cross a process boundary;
+            # degrade to the sequential oracle instead of erroring so
+            # ad-hoc closures still work everywhere.
+            results = [run(seed) for seed in seeds]
+            workers = 1
+        else:
+            pool_cls = (
+                ProcessPoolExecutor if self.backend == "process"
+                else ThreadPoolExecutor
+            )
+            with pool_cls(max_workers=workers) as pool:
+                results = list(pool.map(run, seeds))
+        self.last_timing = RunTiming(
+            wall_seconds=time.perf_counter() - start,
+            seeds=len(seeds),
+            workers=workers,
+            backend=self.backend if workers > 1 else "sequential",
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    # the sequential-compatible API
+    # ------------------------------------------------------------------
+    def average_rates(
+        self, run: Callable[[int], RateSummary], seeds: Sequence[int]
+    ) -> RateSummary:
+        """Parallel drop-in for :func:`repro.simulation.runner.average_rates`."""
+        return combine_rates(self.map_seeds(run, seeds))
+
+    def average_series(
+        self, run: Callable[[int], SeriesResult], seeds: Sequence[int]
+    ) -> SeriesResult:
+        """Parallel drop-in for :func:`repro.simulation.runner.average_series`."""
+        return combine_series(self.map_seeds(run, seeds))

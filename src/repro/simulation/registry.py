@@ -1,0 +1,379 @@
+"""Named scenario registry: every figure/table experiment as one spec.
+
+Each :class:`ScenarioSpec` wraps one of the paper's seed-driven
+experiments behind a uniform, *picklable* per-seed entry point, so the
+benchmarks, the ``repro sweep`` CLI and the sequential-vs-parallel
+equivalence suite all run exactly the same code:
+
+* ``spec.run_full(seed)`` — the experiment's native result object
+  (what a bench renders and asserts shapes on);
+* ``spec.run(seed)`` — the result reduced to the common multi-seed
+  shapes (:class:`RateSummary` for ``kind == "rates"``,
+  :class:`SeriesResult` for ``kind == "series"``) that
+  ``average_rates`` / ``average_series`` know how to combine;
+* ``spec.bound()`` — a :func:`functools.partial` of a module-level
+  function, safe to ship to a :class:`ProcessPoolExecutor` worker.
+
+``defaults`` reproduce the bench-scale parameters; ``smoke`` are the
+scaled-down overrides the test suite and CI smoke invocation use.
+Graphs are rebuilt per worker from their profile name (and cached per
+process), so a spec never has to pickle a network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache, partial
+from typing import Callable, Dict, List, Mapping, Tuple, Union
+
+from repro.core.policy import NetProfitPolicy, SuccessRatePolicy
+from repro.core.transitivity import TransitivityMode
+from repro.simulation.config import (
+    DelegationConfig,
+    EnvironmentConfig,
+    MutualityConfig,
+    TransitivityConfig,
+)
+from repro.simulation.delegation import DelegationSimulation
+from repro.simulation.environment import EnvironmentSimulation
+from repro.simulation.mutuality import MutualitySimulation
+from repro.simulation.results import RateSummary, SeriesResult
+from repro.simulation.selfdelegation import SelfDelegationSimulation
+from repro.simulation.transitivity import TransitivitySimulation
+from repro.socialnet.graph import SocialGraph
+
+Reduced = Union[RateSummary, SeriesResult]
+_Params = Tuple[Tuple[str, object], ...]
+
+
+@lru_cache(maxsize=None)
+def _graph(network: str, graph_seed: int) -> SocialGraph:
+    """Per-process cache of the calibrated networks (cheap to rebuild)."""
+    from repro.socialnet.datasets import load_network
+
+    return load_network(network, seed=graph_seed)
+
+
+# ---------------------------------------------------------------------------
+# per-scenario run functions (module-level: picklable via partial)
+# ---------------------------------------------------------------------------
+
+def _full_fig7(params: Mapping[str, object], seed: int):
+    config = MutualityConfig(
+        threshold=params["threshold"],
+        warmup_interactions=params["warmup_interactions"],
+        requests_per_trustor=params["requests_per_trustor"],
+    )
+    graph = _graph(params["network"], params["graph_seed"])
+    return MutualitySimulation(graph, config, seed=seed).run()
+
+
+def _reduce_fig7(result) -> RateSummary:
+    return result.rates
+
+
+def _full_transitivity(params: Mapping[str, object], seed: int):
+    config = TransitivityConfig(
+        num_characteristics=params["num_characteristics"],
+    )
+    graph = _graph(params["network"], params["graph_seed"])
+    simulation = TransitivitySimulation(
+        graph, config, seed=seed,
+        property_based_tasks=params["property_based_tasks"],
+    )
+    return simulation.run(TransitivityMode(params["mode"]))
+
+
+def _reduce_transitivity(result) -> RateSummary:
+    return RateSummary(
+        success_rate=result.success_rate,
+        unavailable_rate=result.unavailable_rate,
+        abuse_rate=0.0,
+        total_requests=len(result.inquiry_counts),
+    )
+
+
+_POLICIES = {
+    "first": SuccessRatePolicy,
+    "second": NetProfitPolicy,
+}
+
+
+def _full_fig13(params: Mapping[str, object], seed: int):
+    config = DelegationConfig(iterations=params["iterations"])
+    graph = _graph(params["network"], params["graph_seed"])
+    simulation = DelegationSimulation(graph, config, seed=seed)
+    strategy = params["strategy"]
+    return simulation.run(_POLICIES[strategy](), f"{strategy} strategy")
+
+
+def _reduce_fig13(result) -> SeriesResult:
+    return result.series
+
+
+def _full_fig15(params: Mapping[str, object], seed: int):
+    config = EnvironmentConfig(runs=params["runs"])
+    return EnvironmentSimulation(config, seed=seed).run()
+
+
+def _reduce_fig15(result) -> SeriesResult:
+    return result.proposed
+
+
+def _full_eq24(params: Mapping[str, object], seed: int):
+    graph = _graph(params["network"], params["graph_seed"])
+    simulation = SelfDelegationSimulation(
+        graph, tasks_per_trustor=params["tasks_per_trustor"], seed=seed
+    )
+    return simulation.run()
+
+
+def _reduce_eq24(result) -> SeriesResult:
+    # One point per dispatch policy so pointwise averaging across seeds
+    # yields the mean profit per policy (plus the delegation share).
+    return SeriesResult(
+        label="profit: self / delegate / eq24 / share",
+        values=[
+            result.always_self,
+            result.always_delegate,
+            result.eq24,
+            result.eq24_delegation_share,
+        ],
+    )
+
+
+def _full_fig8(params: Mapping[str, object], seed: int):
+    from repro.iotnet.experiments import InferenceExperiment
+
+    return InferenceExperiment(runs=params["runs"], seed=seed).run()
+
+
+def _reduce_fig8(result) -> SeriesResult:
+    return SeriesResult("% honest selected (with model)", result.with_model)
+
+
+def _full_fig14(params: Mapping[str, object], seed: int):
+    from repro.iotnet.experiments import ActiveTimeExperiment
+
+    return ActiveTimeExperiment(
+        tasks_per_trustor=params["tasks_per_trustor"], seed=seed
+    ).run()
+
+
+def _reduce_fig14(result) -> SeriesResult:
+    return SeriesResult("active time ms (with model)", result.with_model)
+
+
+def _full_fig16(params: Mapping[str, object], seed: int):
+    from repro.iotnet.experiments import LightingExperiment
+
+    return LightingExperiment(seed=seed).run()
+
+
+def _reduce_fig16(result) -> SeriesResult:
+    return SeriesResult("net profit (with model)", result.with_model)
+
+
+def _run_scenario(name: str, params: _Params, seed: int) -> Reduced:
+    """Reduced per-seed result; the picklable pool-worker entry point."""
+    spec = get(name)
+    return spec._reduce(spec._full(dict(params), seed))
+
+
+# ---------------------------------------------------------------------------
+# the spec and the registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, parameterized, picklable experiment."""
+
+    name: str
+    kind: str  # "rates" | "series"
+    description: str
+    defaults: Mapping[str, object]
+    smoke: Mapping[str, object] = field(default_factory=dict)
+    _full: Callable = None
+    _reduce: Callable = None
+
+    def params(self, smoke: bool = False, **overrides: object) -> Dict[str, object]:
+        """Effective parameters: defaults, then smoke, then overrides."""
+        merged = dict(self.defaults)
+        if smoke:
+            merged.update(self.smoke)
+        unknown = set(overrides) - set(merged)
+        if unknown:
+            raise ValueError(
+                f"unknown parameter(s) for {self.name}: {sorted(unknown)}"
+            )
+        merged.update(overrides)
+        return merged
+
+    def bound(
+        self, smoke: bool = False, **overrides: object
+    ) -> Callable[[int], Reduced]:
+        """A picklable ``run(seed)`` with parameters baked in."""
+        merged = self.params(smoke=smoke, **overrides)
+        return partial(
+            _run_scenario, self.name, tuple(sorted(merged.items()))
+        )
+
+    def run(self, seed: int, smoke: bool = False, **overrides: object) -> Reduced:
+        """One reduced per-seed result (what multi-seed averaging combines)."""
+        return self._reduce(self.run_full(seed, smoke=smoke, **overrides))
+
+    def run_full(self, seed: int, smoke: bool = False, **overrides: object):
+        """The experiment's native result object (what benches assert on)."""
+        return self._full(self.params(smoke=smoke, **overrides), seed)
+
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def _register(spec: ScenarioSpec) -> ScenarioSpec:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate scenario name: {spec.name}")
+    if spec.kind not in ("rates", "series"):
+        raise ValueError(f"bad kind for {spec.name}: {spec.kind}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> ScenarioSpec:
+    """Look up a scenario; raises ``KeyError`` with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(names())}"
+        ) from None
+
+
+def names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def specs() -> List[ScenarioSpec]:
+    """All registered specs, sorted by name."""
+    return [_REGISTRY[name] for name in names()]
+
+
+_register(ScenarioSpec(
+    name="fig7-mutuality",
+    kind="rates",
+    description="Fig. 7: delegation rates under the reverse-evaluation "
+                "gate (one network, one threshold)",
+    defaults={
+        "network": "facebook", "graph_seed": 0, "threshold": 0.3,
+        "warmup_interactions": 30, "requests_per_trustor": 10,
+    },
+    smoke={
+        "network": "twitter", "warmup_interactions": 5,
+        "requests_per_trustor": 2,
+    },
+    _full=_full_fig7,
+    _reduce=_reduce_fig7,
+))
+
+_register(ScenarioSpec(
+    name="fig9-transitivity",
+    kind="rates",
+    description="Figs. 9-12: transitive trustee search (one network, one "
+                "K, one method)",
+    defaults={
+        "network": "facebook", "graph_seed": 0, "num_characteristics": 4,
+        "mode": TransitivityMode.AGGRESSIVE.value,
+        "property_based_tasks": False,
+    },
+    smoke={"network": "twitter"},
+    _full=_full_transitivity,
+    _reduce=_reduce_transitivity,
+))
+
+_register(ScenarioSpec(
+    name="table2-properties",
+    kind="rates",
+    description="Table 2: transitivity with node-property-derived task "
+                "characteristics",
+    defaults={
+        "network": "facebook", "graph_seed": 0, "num_characteristics": 4,
+        "mode": TransitivityMode.AGGRESSIVE.value,
+        "property_based_tasks": True,
+    },
+    smoke={"network": "twitter"},
+    _full=_full_transitivity,
+    _reduce=_reduce_transitivity,
+))
+
+_register(ScenarioSpec(
+    name="fig13-delegation",
+    kind="series",
+    description="Fig. 13: per-iteration net profit under one selection "
+                "strategy",
+    defaults={
+        "network": "facebook", "graph_seed": 0, "iterations": 3000,
+        "strategy": "second",
+    },
+    smoke={"network": "twitter", "iterations": 30},
+    _full=_full_fig13,
+    _reduce=_reduce_fig13,
+))
+
+_register(ScenarioSpec(
+    name="fig15-environment",
+    kind="series",
+    description="Fig. 15: proposed tracker's expected success rate over "
+                "the environment schedule (runs=1 per seed; multi-seed "
+                "averaging replaces the internal repetition)",
+    defaults={"runs": 1},
+    smoke={},
+    _full=_full_fig15,
+    _reduce=_reduce_fig15,
+))
+
+_register(ScenarioSpec(
+    name="eq24-selfdelegation",
+    kind="series",
+    description="Eq. 24: mean profit of always-self / always-delegate / "
+                "eq24 dispatch plus delegation share",
+    defaults={
+        "network": "facebook", "graph_seed": 0, "tasks_per_trustor": 50,
+    },
+    smoke={"network": "twitter", "tasks_per_trustor": 5},
+    _full=_full_eq24,
+    _reduce=_reduce_eq24,
+))
+
+_register(ScenarioSpec(
+    name="fig8-inference",
+    kind="series",
+    description="Fig. 8: % of trustors selecting honest trustees with the "
+                "inference model, per experiment index",
+    defaults={"runs": 50},
+    smoke={"runs": 3},
+    _full=_full_fig8,
+    _reduce=_reduce_fig8,
+))
+
+_register(ScenarioSpec(
+    name="fig14-activetime",
+    kind="series",
+    description="Fig. 14: trustor active time under the fragment-packet "
+                "attack, cost-aware policy",
+    defaults={"tasks_per_trustor": 50},
+    smoke={"tasks_per_trustor": 3},
+    _full=_full_fig14,
+    _reduce=_reduce_fig14,
+))
+
+_register(ScenarioSpec(
+    name="fig16-light",
+    kind="series",
+    description="Fig. 16: net profit over the lighting schedule with the "
+                "environment de-bias",
+    defaults={},
+    smoke={},
+    _full=_full_fig16,
+    _reduce=_reduce_fig16,
+))

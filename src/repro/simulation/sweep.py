@@ -1,0 +1,95 @@
+"""Multi-seed sweep of a registered scenario, with timing and variance.
+
+``run_sweep`` is the one entry point behind ``repro sweep`` and the
+equivalence/export tests: it resolves a scenario by name, fans the seeds
+out via :class:`~repro.simulation.parallel.ParallelRunner` (sequentially
+when ``workers == 1``), and packages the per-seed results, their mean,
+the per-metric (or per-point) variance across seeds, and the wall-clock
+timing of the map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.simulation import registry
+from repro.simulation.parallel import ParallelRunner, RunTiming
+from repro.simulation.results import RateSummary, SeriesResult
+from repro.simulation.runner import combine_rates, combine_series
+
+Reduced = Union[RateSummary, SeriesResult]
+
+
+def _variance(values: Sequence[float]) -> float:
+    """Population variance across seeds (0.0 for a single seed)."""
+    count = len(values)
+    mean = sum(values) / count
+    return sum((value - mean) ** 2 for value in values) / count
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything one multi-seed sweep produced."""
+
+    scenario: str
+    kind: str  # "rates" | "series"
+    seeds: List[int]
+    timing: RunTiming
+    per_seed: List[Reduced]
+    mean: Reduced
+    # rates: variance per rate metric; series: pointwise variance.
+    variance: Union[Dict[str, float], List[float]]
+
+
+def seed_range(count: int, first: int = 1) -> List[int]:
+    """The canonical seed list for an ``N``-seed sweep: first..first+N-1."""
+    if count < 1:
+        raise ValueError("need at least one seed")
+    return list(range(first, first + count))
+
+
+def run_sweep(
+    scenario: str,
+    seeds: Sequence[int],
+    workers: int = 1,
+    backend: str = "process",
+    smoke: bool = False,
+    overrides: Optional[Dict[str, object]] = None,
+) -> SweepResult:
+    """Run ``scenario`` once per seed and aggregate.
+
+    The reduction is shared with the sequential oracle, so for the same
+    seed list the mean is bit-identical no matter the worker count.
+    """
+    spec = registry.get(scenario)
+    run = spec.bound(smoke=smoke, **(overrides or {}))
+    runner = ParallelRunner(workers=workers, backend=backend)
+    per_seed = runner.map_seeds(run, list(seeds))
+    timing = runner.last_timing
+
+    if spec.kind == "rates":
+        mean: Reduced = combine_rates(per_seed)
+        variance: Union[Dict[str, float], List[float]] = {
+            "success_rate": _variance([r.success_rate for r in per_seed]),
+            "unavailable_rate": _variance(
+                [r.unavailable_rate for r in per_seed]
+            ),
+            "abuse_rate": _variance([r.abuse_rate for r in per_seed]),
+        }
+    else:
+        mean = combine_series(per_seed)
+        variance = [
+            _variance([series.values[i] for series in per_seed])
+            for i in range(len(mean.values))
+        ]
+
+    return SweepResult(
+        scenario=spec.name,
+        kind=spec.kind,
+        seeds=list(seeds),
+        timing=timing,
+        per_seed=per_seed,
+        mean=mean,
+        variance=variance,
+    )

@@ -1,0 +1,229 @@
+"""Tests for the candidate-ranking fast path (memoized pre-evaluation).
+
+The cache must be observationally transparent: a memoizing engine and a
+``memoize=False`` engine fed the same RNG must produce identical
+rankings, factors and delegation outcomes, and any store write must
+invalidate the affected trustor's memo immediately.
+"""
+
+import random
+
+import pytest
+
+from repro.core.agent import (
+    HonestTrusteeBehavior,
+    ResponsibleTrustorBehavior,
+    TrusteeAgent,
+    TrustorAgent,
+)
+from repro.core.engine import DelegationEngine, run_rounds
+from repro.core.inference import CharacteristicInferrer
+from repro.core.records import OutcomeFactors
+from repro.core.task import Task
+
+
+def make_trustor(name="alice") -> TrustorAgent:
+    return TrustorAgent(
+        node_id=name,
+        behavior=ResponsibleTrustorBehavior(responsibility=1.0),
+    )
+
+
+def make_trustee(name, competence=0.8) -> TrusteeAgent:
+    return TrusteeAgent(
+        node_id=name,
+        behavior=HonestTrusteeBehavior(competence=competence),
+    )
+
+
+@pytest.fixture
+def task() -> Task:
+    return Task("sensing", characteristics=("sensor",))
+
+
+@pytest.fixture
+def trustor() -> TrustorAgent:
+    return make_trustor()
+
+
+@pytest.fixture
+def trustees():
+    return [make_trustee(f"t{i}") for i in range(4)]
+
+
+def seed_expectations(trustor, trustees, task):
+    rng = random.Random(42)
+    for trustee in trustees:
+        trustor.store.set_expected(
+            trustee.node_id, task,
+            OutcomeFactors(
+                success_rate=rng.random(), gain=rng.random(),
+                damage=rng.random() / 4, cost=rng.random() / 4,
+            ),
+        )
+
+
+class TestStoreVersion:
+    def test_version_starts_at_zero(self, trustor):
+        assert trustor.store.version == 0
+
+    def test_every_write_bumps_version(self, trustor, trustees, task):
+        store = trustor.store
+        store.set_expected(
+            "t0", task, OutcomeFactors(1.0, 1.0, 0.0, 0.0)
+        )
+        assert store.version == 1
+        from repro.core.records import DelegationRecord, UsageRecord
+
+        store.record_delegation(
+            DelegationRecord(
+                trustor="alice", trustee="t0", task_name=task.name,
+                succeeded=True, gain=1.0, damage=0.0, cost=0.0,
+            ),
+            task,
+        )
+        assert store.version == 2
+        store.record_usage(
+            UsageRecord(trustor="bob", trustee="alice", abusive=False)
+        )
+        assert store.version == 3
+
+
+class TestTransparency:
+    def test_ranking_identical_with_and_without_cache(
+        self, trustor, trustees, task
+    ):
+        seed_expectations(trustor, trustees, task)
+        cached = DelegationEngine(memoize=True)
+        uncached = DelegationEngine(memoize=False)
+        for _ in range(3):  # repeated calls exercise cache hits
+            assert [
+                (t.node_id, score)
+                for t, score in cached.rank_candidates(trustor, task, trustees)
+            ] == [
+                (t.node_id, score)
+                for t, score in uncached.rank_candidates(trustor, task, trustees)
+            ]
+
+    def test_expected_factors_identical_with_inferrer(self, trustor, task):
+        trustee = make_trustee("t0")
+        related = Task("related", characteristics=("sensor", "gps"))
+        trustor.store.set_expected(
+            "t0", related, OutcomeFactors(0.7, 0.6, 0.1, 0.2)
+        )
+        cached = DelegationEngine(
+            memoize=True, inferrer=CharacteristicInferrer()
+        )
+        uncached = DelegationEngine(
+            memoize=False, inferrer=CharacteristicInferrer()
+        )
+        assert cached.expected_factors(
+            trustor, trustee, task
+        ) == uncached.expected_factors(trustor, trustee, task)
+        # Second call must come from the memo and still agree.
+        assert cached.expected_factors(
+            trustor, trustee, task
+        ) == uncached.expected_factors(trustor, trustee, task)
+
+    def test_full_rounds_identical_with_and_without_cache(self, task):
+        outcomes = {}
+        for memoize in (True, False):
+            trustor = make_trustor()
+            trustees = [make_trustee(f"t{i}", 0.5) for i in range(3)]
+            seed_expectations(trustor, trustees, task)
+            engine = DelegationEngine(
+                memoize=memoize, rng=random.Random(7)
+            )
+            outcomes[memoize] = run_rounds(
+                engine, [(trustor, task, trustees)] * 20
+            )
+        assert outcomes[True] == outcomes[False]
+
+
+class TestInvalidation:
+    def test_store_write_invalidates_ranking(self, trustor, trustees, task):
+        seed_expectations(trustor, trustees, task)
+        engine = DelegationEngine(memoize=True)
+        first = engine.rank_candidates(trustor, task, trustees)
+
+        # Promote the currently-worst candidate far above everyone.
+        worst = first[-1][0]
+        trustor.store.set_expected(
+            worst.node_id, task, OutcomeFactors(1.0, 10.0, 0.0, 0.0)
+        )
+        refreshed = engine.rank_candidates(trustor, task, trustees)
+        assert refreshed[0][0].node_id == worst.node_id
+
+    def test_expected_factors_refresh_after_write(self, trustor, task):
+        trustee = make_trustee("t0")
+        engine = DelegationEngine(memoize=True)
+        before = engine.expected_factors(trustor, trustee, task)
+        trustor.store.set_expected(
+            "t0", task, OutcomeFactors(0.123, 0.456, 0.0, 0.0)
+        )
+        after = engine.expected_factors(trustor, trustee, task)
+        assert after != before
+        assert after.success_rate == 0.123
+
+    def test_cached_ranking_rehydrates_current_agents(
+        self, trustor, trustees, task
+    ):
+        seed_expectations(trustor, trustees, task)
+        engine = DelegationEngine(memoize=True)
+        engine.rank_candidates(trustor, task, trustees)
+
+        clones = [make_trustee(t.node_id) for t in trustees]
+        ranked = engine.rank_candidates(trustor, task, clones)
+        returned = {id(t) for t, _ in ranked}
+        assert returned <= {id(t) for t in clones}
+
+    def test_distinct_candidate_lists_cached_separately(
+        self, trustor, trustees, task
+    ):
+        seed_expectations(trustor, trustees, task)
+        engine = DelegationEngine(memoize=True)
+        full = engine.rank_candidates(trustor, task, trustees)
+        subset = engine.rank_candidates(trustor, task, trustees[:2])
+        assert len(full) == 4
+        assert len(subset) == 2
+
+    def test_same_named_tasks_with_different_characteristics_not_conflated(
+        self, trustor
+    ):
+        """The inference path reads characteristics, not just the name."""
+        trustee = make_trustee("t0")
+        trustor.store.set_expected(
+            "t0", Task("gps-history", characteristics=("gps",)),
+            OutcomeFactors(0.9, 0.5, 0.1, 0.1),
+        )
+        trustor.store.set_expected(
+            "t0", Task("image-history", characteristics=("image",)),
+            OutcomeFactors(0.2, 0.5, 0.1, 0.1),
+        )
+        cached = DelegationEngine(
+            memoize=True, inferrer=CharacteristicInferrer()
+        )
+        uncached = DelegationEngine(
+            memoize=False, inferrer=CharacteristicInferrer()
+        )
+        gps_variant = Task("fresh", characteristics=("gps",))
+        image_variant = Task("fresh", characteristics=("image",))
+        for variant in (gps_variant, image_variant):
+            assert cached.expected_factors(
+                trustor, trustee, variant
+            ) == uncached.expected_factors(trustor, trustee, variant)
+
+    def test_policy_swap_invalidates_ranking(self, trustor, trustees, task):
+        from repro.core.policy import SuccessRatePolicy
+
+        seed_expectations(trustor, trustees, task)
+        engine = DelegationEngine(memoize=True)
+        engine.rank_candidates(trustor, task, trustees)
+        engine.policy = SuccessRatePolicy()
+        swapped = engine.rank_candidates(trustor, task, trustees)
+        oracle = DelegationEngine(
+            memoize=False, policy=SuccessRatePolicy()
+        ).rank_candidates(trustor, task, trustees)
+        assert [(t.node_id, s) for t, s in swapped] == [
+            (t.node_id, s) for t, s in oracle
+        ]

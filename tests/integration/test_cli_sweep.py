@@ -1,0 +1,75 @@
+"""Tests for the ``repro sweep`` subcommand."""
+
+import pytest
+
+from repro.analysis.export import load_sweep
+from repro.cli import main
+from repro.simulation.sweep import run_sweep, seed_range
+
+
+class TestSweepCli:
+    def test_list_scenarios(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7-mutuality" in out
+        assert "fig15-environment" in out
+
+    def test_no_scenario_lists(self, capsys):
+        assert main(["sweep"]) == 0
+        assert "registered scenarios" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits_cleanly(self, capsys):
+        assert main(["sweep", "fig99-nope", "--smoke"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "fig7-mutuality" in err
+
+    def test_zero_seeds_exits_cleanly(self, capsys):
+        assert main(["sweep", "fig7-mutuality", "--seeds", "0"]) == 2
+        assert "at least one seed" in capsys.readouterr().err
+
+    def test_zero_workers_exits_cleanly(self, capsys):
+        assert main([
+            "sweep", "fig7-mutuality", "--workers", "0", "--smoke",
+        ]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_rates_sweep_prints_mean_variance_timing(self, capsys):
+        assert main([
+            "sweep", "fig7-mutuality", "--seeds", "3", "--smoke",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "success" in out and "variance" in out
+        assert "seeds/s" in out
+        assert "sequential" in out
+
+    def test_series_sweep_parallel_thread(self, capsys):
+        assert main([
+            "sweep", "fig15-environment", "--seeds", "4",
+            "--workers", "2", "--backend", "thread", "--smoke",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "series" in out
+        assert "2 workers (thread)" in out
+
+    def test_json_export_is_loadable_and_matches_library(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "fig15-environment", "--seeds", "3",
+            "--first-seed", "5", "--smoke", "--json", str(path),
+        ]) == 0
+        payload = load_sweep(path.read_text())
+        assert payload["scenario"] == "fig15-environment"
+        assert payload["seeds"] == [5, 6, 7]
+
+        library = run_sweep(
+            "fig15-environment", seed_range(3, first=5), workers=1,
+            smoke=True,
+        )
+        assert payload["mean"]["values"] == library.mean.values
+        assert payload["timing"]["wall_seconds"] > 0.0
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig7-mutuality", "--backend", "carrier-pigeon"])

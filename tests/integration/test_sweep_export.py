@@ -1,0 +1,90 @@
+"""Round-trip tests for the sweep JSON export (timing + variance fields)."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import load_sweep, sweep_to_json, sweep_to_payload
+from repro.simulation.sweep import run_sweep, seed_range
+
+
+@pytest.fixture(scope="module")
+def rates_sweep():
+    return run_sweep("fig7-mutuality", seed_range(3), workers=1, smoke=True)
+
+
+@pytest.fixture(scope="module")
+def series_sweep():
+    return run_sweep(
+        "fig15-environment", seed_range(3), workers=2, backend="thread",
+        smoke=True,
+    )
+
+
+class TestRoundTrip:
+    def test_rates_write_read_equal(self, rates_sweep):
+        text = sweep_to_json(rates_sweep)
+        assert load_sweep(text) == sweep_to_payload(rates_sweep)
+
+    def test_series_write_read_equal(self, series_sweep):
+        text = sweep_to_json(series_sweep)
+        assert load_sweep(text) == sweep_to_payload(series_sweep)
+
+    def test_timing_fields_survive(self, series_sweep):
+        payload = load_sweep(sweep_to_json(series_sweep))
+        timing = payload["timing"]
+        assert timing["wall_seconds"] > 0.0
+        assert timing["seeds"] == 3
+        assert timing["workers"] == 2
+        assert timing["backend"] == "thread"
+
+    def test_variance_fields_survive(self, rates_sweep, series_sweep):
+        rates_payload = load_sweep(sweep_to_json(rates_sweep))
+        assert set(rates_payload["variance"]) == {
+            "success_rate", "unavailable_rate", "abuse_rate",
+        }
+        assert all(v >= 0.0 for v in rates_payload["variance"].values())
+
+        series_payload = load_sweep(sweep_to_json(series_sweep))
+        assert len(series_payload["variance"]) == len(
+            series_payload["mean"]["values"]
+        )
+
+    def test_per_seed_results_survive_exactly(self, rates_sweep):
+        payload = load_sweep(sweep_to_json(rates_sweep))
+        assert len(payload["per_seed"]) == 3
+        for exported, original in zip(
+            payload["per_seed"], rates_sweep.per_seed
+        ):
+            assert exported["success_rate"] == original.success_rate
+            assert exported["total_requests"] == original.total_requests
+
+
+class TestValidation:
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            load_sweep("[1, 2, 3]")
+
+    def test_missing_keys_rejected(self, rates_sweep):
+        payload = sweep_to_payload(rates_sweep)
+        del payload["timing"]
+        with pytest.raises(ValueError, match="missing keys.*timing"):
+            load_sweep(json.dumps(payload))
+
+    def test_bad_kind_rejected(self, rates_sweep):
+        payload = sweep_to_payload(rates_sweep)
+        payload["kind"] = "histogram"
+        with pytest.raises(ValueError, match="bad sweep kind"):
+            load_sweep(json.dumps(payload))
+
+    def test_timing_without_wall_seconds_rejected(self, rates_sweep):
+        payload = sweep_to_payload(rates_sweep)
+        payload["timing"] = {"workers": 2}
+        with pytest.raises(ValueError, match="wall_seconds"):
+            load_sweep(json.dumps(payload))
+
+    def test_per_seed_count_mismatch_rejected(self, rates_sweep):
+        payload = sweep_to_payload(rates_sweep)
+        payload["per_seed"] = payload["per_seed"][:-1]
+        with pytest.raises(ValueError, match="per_seed"):
+            load_sweep(json.dumps(payload))

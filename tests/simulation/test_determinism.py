@@ -1,0 +1,92 @@
+"""Determinism regression tests: golden values for the seeded streams.
+
+The parallel runtime is only provably equivalent to the sequential
+oracle if the per-seed ground truth never depends on *where* or *when*
+it is drawn.  These tests pin the actual values produced by
+``simulation.rng.spawn`` and ``Scenario.competence`` for fixed seeds, so
+any change that silently shifts the ground truth — a reordered draw, a
+different hash salt, a shared stream — fails loudly instead of skewing
+every figure.
+"""
+
+import pytest
+
+from repro.simulation.rng import spawn
+from repro.simulation.scenario import build_scenario
+from repro.socialnet.graph import SocialGraph
+
+
+def hexa_graph() -> SocialGraph:
+    return SocialGraph.from_edges(
+        [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 0)], name="hexa"
+    )
+
+
+class TestSpawnGolden:
+    def test_fixed_scope_golden_values(self):
+        stream = spawn(7, "mutuality", "roles")
+        assert [stream.random() for _ in range(3)] == [
+            0.2670024846500728,
+            0.14701364078151713,
+            0.2065354502584561,
+        ]
+
+    def test_scenario_scope_golden_values(self):
+        stream = spawn(0, "scenario", "responsibility", "triangle")
+        assert [stream.random() for _ in range(3)] == [
+            0.9372469961297278,
+            0.18057485765235293,
+            0.48677924919924465,
+        ]
+
+    def test_same_scope_same_stream(self):
+        first = spawn(11, "a", "b", 0.5)
+        second = spawn(11, "a", "b", 0.5)
+        assert [first.random() for _ in range(5)] == [
+            second.random() for _ in range(5)
+        ]
+
+    def test_different_scopes_differ(self):
+        assert spawn(11, "a").random() != spawn(11, "b").random()
+        assert spawn(11, "a").random() != spawn(12, "a").random()
+
+
+class TestScenarioGolden:
+    def test_roles_and_responsibility_golden(self):
+        scenario = build_scenario(hexa_graph(), seed=3)
+        assert scenario.trustors == [0, 2]
+        assert scenario.trustees == [3, 4]
+        assert scenario.responsibility == {
+            0: 0.15721037037637609,
+            2: 0.6973229779572131,
+        }
+
+    def test_competence_golden(self):
+        scenario = build_scenario(hexa_graph(), seed=3)
+        assert scenario.competence(3, "resource-use") == pytest.approx(
+            0.8440341254255479, abs=0.0
+        )
+        assert scenario.competence(4, "resource-use") == pytest.approx(
+            0.04689986252736855, abs=0.0
+        )
+        assert scenario.competence(3, "char-0") == pytest.approx(
+            0.06772754163288486, abs=0.0
+        )
+        assert scenario.competence(4, "char-0") == pytest.approx(
+            0.15347528668919752, abs=0.0
+        )
+
+    def test_competence_order_independent(self):
+        """Ground truth must not depend on who asks first."""
+        forward = build_scenario(hexa_graph(), seed=3)
+        backward = build_scenario(hexa_graph(), seed=3)
+        keys = [(3, "resource-use"), (4, "char-0"), (3, "char-0")]
+        drawn_forward = {k: forward.competence(*k) for k in keys}
+        drawn_backward = {
+            k: backward.competence(*k) for k in reversed(keys)
+        }
+        assert drawn_forward == drawn_backward
+
+    def test_competence_memoized(self):
+        scenario = build_scenario(hexa_graph(), seed=3)
+        assert scenario.competence(3, "x") is scenario.competence(3, "x")

@@ -1,0 +1,102 @@
+"""The sequential-vs-parallel equivalence suite (the PR's headline).
+
+For **every registered scenario**, the parallel runtime must return
+*bit-identical* results to the sequential oracle — same per-seed values,
+same mean, for any worker count and backend.  Equality is asserted with
+``==`` on the result dataclasses, i.e. exact float comparison: the two
+paths share the reduction code and the per-seed runs are deterministic,
+so there is no tolerance to hide behind.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.simulation import registry
+from repro.simulation.parallel import ParallelRunner
+from repro.simulation.runner import average_rates, average_series
+from repro.simulation.sweep import run_sweep, seed_range
+
+SEEDS = [11, 12, 13]
+
+
+def _sequential_average(spec, seeds):
+    run = spec.bound(smoke=True)
+    if spec.kind == "rates":
+        return average_rates(run, seeds)
+    return average_series(run, seeds)
+
+
+def _parallel_average(spec, seeds, workers, backend):
+    run = spec.bound(smoke=True)
+    runner = ParallelRunner(workers=workers, backend=backend)
+    if spec.kind == "rates":
+        return runner.average_rates(run, seeds)
+    return runner.average_series(run, seeds)
+
+
+@pytest.mark.parametrize("name", registry.names())
+class TestEveryScenario:
+    def test_thread_pool_identical_to_sequential(self, name):
+        spec = registry.get(name)
+        sequential = _sequential_average(spec, SEEDS)
+        parallel = _parallel_average(spec, SEEDS, workers=3, backend="thread")
+        assert sequential == parallel
+
+    def test_one_worker_identical_to_sequential(self, name):
+        spec = registry.get(name)
+        sequential = _sequential_average(spec, SEEDS)
+        one_worker = _parallel_average(spec, SEEDS, workers=1, backend="process")
+        assert sequential == one_worker
+
+
+class TestProcessPool:
+    """Process-pool equivalence incl. the 8-seed / 4-worker criterion."""
+
+    def test_eight_seeds_four_workers_identical(self):
+        seeds = seed_range(8)
+        sequential = run_sweep("fig15-environment", seeds, workers=1,
+                               smoke=True)
+        parallel = run_sweep("fig15-environment", seeds, workers=4,
+                             backend="process", smoke=True)
+        assert parallel.per_seed == sequential.per_seed
+        assert parallel.mean == sequential.mean
+        assert parallel.variance == sequential.variance
+        assert parallel.timing.workers == 4
+        assert parallel.timing.backend == "process"
+        assert parallel.timing.wall_seconds > 0.0
+        assert sequential.timing.backend == "sequential"
+
+    def test_process_pool_identical_on_a_graph_scenario(self):
+        spec = registry.get("fig7-mutuality")
+        sequential = _sequential_average(spec, SEEDS)
+        parallel = _parallel_average(spec, SEEDS, workers=3, backend="process")
+        assert sequential == parallel
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2 or bool(os.environ.get("CI")),
+    reason="wall-clock speedup needs >1 CPU and a quiet machine "
+           "(shared CI runners make timing assertions flaky)",
+)
+def test_parallel_measurably_faster_on_multicore():
+    """8 seeds / 4 workers beat the sequential run on real hardware.
+
+    Per-seed work is padded to ~0.2 s so pool startup cannot dominate;
+    the 1.3x bar is deliberately conservative for a 4-way fan-out.
+    """
+    seeds = seed_range(8)
+    overrides = {"iterations": 400, "network": "twitter"}
+
+    start = time.perf_counter()
+    sequential = run_sweep("fig13-delegation", seeds, workers=1, smoke=True,
+                           overrides=overrides)
+    sequential_wall = time.perf_counter() - start
+
+    parallel = run_sweep("fig13-delegation", seeds, workers=4,
+                         backend="process", smoke=True, overrides=overrides)
+
+    assert parallel.mean == sequential.mean
+    assert parallel.timing.wall_seconds < sequential_wall / 1.3

@@ -1,0 +1,121 @@
+"""Unit tests for the parallel multi-seed runtime."""
+
+import pickle
+
+import pytest
+
+from repro.simulation.parallel import ParallelRunner, default_workers
+from repro.simulation.results import RateSummary, SeriesResult
+from repro.simulation.runner import average_rates, average_series
+
+
+def rates_run(seed: int) -> RateSummary:
+    """Module-level (hence picklable) deterministic per-seed run."""
+    return RateSummary(
+        success_rate=(seed % 7) / 7.0,
+        unavailable_rate=(seed % 3) / 3.0,
+        abuse_rate=(seed % 5) / 5.0,
+        total_requests=seed,
+    )
+
+
+def series_run(seed: int) -> SeriesResult:
+    return SeriesResult("s", [float(seed), seed / 3.0, seed * 7.0])
+
+
+def ragged_run(seed: int) -> SeriesResult:
+    return SeriesResult("ragged", [0.0] * (seed % 3 + 1))
+
+
+class TestConstruction:
+    def test_default_workers_at_least_one(self):
+        assert default_workers() >= 1
+        assert ParallelRunner().workers >= 1
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ParallelRunner(backend="greenlet")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelRunner(workers=0)
+
+
+class TestMapSeeds:
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            ParallelRunner(workers=1).map_seeds(rates_run, [])
+
+    def test_results_in_seed_order(self):
+        runner = ParallelRunner(workers=3, backend="thread")
+        seeds = [9, 1, 5, 2]
+        results = runner.map_seeds(series_run, seeds)
+        assert results == [series_run(seed) for seed in seeds]
+
+    def test_sequential_timing_recorded(self):
+        runner = ParallelRunner(workers=1)
+        runner.map_seeds(rates_run, [1, 2, 3])
+        timing = runner.last_timing
+        assert timing.seeds == 3
+        assert timing.workers == 1
+        assert timing.backend == "sequential"
+        assert timing.wall_seconds >= 0.0
+        assert timing.seeds_per_second() > 0.0
+
+    def test_parallel_timing_recorded(self):
+        runner = ParallelRunner(workers=2, backend="thread")
+        runner.map_seeds(rates_run, [1, 2, 3])
+        assert runner.last_timing.workers == 2
+        assert runner.last_timing.backend == "thread"
+
+    def test_workers_capped_by_seed_count(self):
+        runner = ParallelRunner(workers=8, backend="thread")
+        runner.map_seeds(rates_run, [4, 5])
+        assert runner.last_timing.workers == 2
+
+    def test_unpicklable_run_falls_back_sequentially(self):
+        offset = 0.25
+        closure = lambda seed: RateSummary(  # noqa: E731 - deliberately unpicklable
+            success_rate=offset, unavailable_rate=0.0, abuse_rate=0.0
+        )
+        with pytest.raises(Exception):
+            pickle.dumps(closure)
+        runner = ParallelRunner(workers=4, backend="process")
+        results = runner.map_seeds(closure, [1, 2])
+        assert [r.success_rate for r in results] == [0.25, 0.25]
+        assert runner.last_timing.backend == "sequential"
+
+
+class TestAveragingAPI:
+    def test_average_rates_matches_oracle_thread(self):
+        seeds = [3, 1, 4, 1, 5]
+        runner = ParallelRunner(workers=3, backend="thread")
+        assert runner.average_rates(rates_run, seeds) == average_rates(
+            rates_run, seeds
+        )
+
+    def test_average_rates_matches_oracle_process(self):
+        seeds = [2, 7, 1, 8]
+        runner = ParallelRunner(workers=2, backend="process")
+        assert runner.average_rates(rates_run, seeds) == average_rates(
+            rates_run, seeds
+        )
+
+    def test_average_series_matches_oracle(self):
+        seeds = [6, 2, 8]
+        runner = ParallelRunner(workers=3, backend="thread")
+        assert runner.average_series(series_run, seeds) == average_series(
+            series_run, seeds
+        )
+
+    def test_ragged_series_rejected_in_parallel_path(self):
+        runner = ParallelRunner(workers=2, backend="thread")
+        with pytest.raises(ValueError, match="lengths"):
+            runner.average_series(ragged_run, [1, 2])
+
+    def test_single_worker_is_the_oracle(self):
+        seeds = [10, 20]
+        runner = ParallelRunner(workers=1)
+        assert runner.average_rates(rates_run, seeds) == average_rates(
+            rates_run, seeds
+        )

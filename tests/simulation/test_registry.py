@@ -1,0 +1,80 @@
+"""Tests for the named scenario registry."""
+
+import pickle
+
+import pytest
+
+from repro.simulation import registry
+from repro.simulation.results import RateSummary, SeriesResult
+
+EXPECTED_SCENARIOS = {
+    "fig7-mutuality",
+    "fig9-transitivity",
+    "table2-properties",
+    "fig13-delegation",
+    "fig15-environment",
+    "eq24-selfdelegation",
+    "fig8-inference",
+    "fig14-activetime",
+    "fig16-light",
+}
+
+
+class TestLookup:
+    def test_every_bench_family_registered(self):
+        assert EXPECTED_SCENARIOS <= set(registry.names())
+
+    def test_names_sorted(self):
+        assert registry.names() == sorted(registry.names())
+
+    def test_specs_align_with_names(self):
+        assert [spec.name for spec in registry.specs()] == registry.names()
+
+    def test_unknown_scenario_lists_known_names(self):
+        with pytest.raises(KeyError, match="fig7-mutuality"):
+            registry.get("fig99-nope")
+
+    def test_kinds_valid(self):
+        assert all(
+            spec.kind in ("rates", "series") for spec in registry.specs()
+        )
+
+
+class TestParams:
+    def test_defaults_then_smoke_then_overrides(self):
+        spec = registry.get("fig7-mutuality")
+        params = spec.params(smoke=True, threshold=0.6)
+        assert params["network"] == "twitter"  # smoke override
+        assert params["threshold"] == 0.6  # explicit override
+        assert params["warmup_interactions"] == 5  # smoke override
+
+    def test_unknown_override_rejected(self):
+        spec = registry.get("fig7-mutuality")
+        with pytest.raises(ValueError, match="unknown parameter"):
+            spec.params(warp_factor=9)
+
+    def test_smoke_keys_are_subset_of_defaults(self):
+        for spec in registry.specs():
+            assert set(spec.smoke) <= set(spec.defaults), spec.name
+
+
+class TestRun:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SCENARIOS))
+    def test_reduced_type_matches_kind(self, name):
+        spec = registry.get(name)
+        result = spec.run(seed=1, smoke=True)
+        expected = RateSummary if spec.kind == "rates" else SeriesResult
+        assert isinstance(result, expected)
+
+    def test_bound_is_picklable(self):
+        for spec in registry.specs():
+            pickle.dumps(spec.bound(smoke=True))
+
+    def test_bound_equals_run(self):
+        spec = registry.get("fig15-environment")
+        assert spec.bound(smoke=True)(4) == spec.run(seed=4, smoke=True)
+
+    def test_run_is_deterministic_per_seed(self):
+        spec = registry.get("fig7-mutuality")
+        assert spec.run(seed=2, smoke=True) == spec.run(seed=2, smoke=True)
+        assert spec.run(seed=2, smoke=True) != spec.run(seed=3, smoke=True)
