@@ -9,40 +9,13 @@ truth while the naive estimate is dragged toward the attackers' claims.
 
 from repro.analysis.report import ComparisonReport
 from repro.analysis.tables import render_table
-from repro.core.attacks import (
-    BadMouthingAttacker,
-    BallotStuffingAttacker,
-    OpportunisticServiceAttacker,
-    SelfPromotingAttacker,
-    run_attack_scenario,
-)
+from repro.simulation.registry import get
 
-SCENARIOS = {
-    # (attacker factory, target's true trust)
-    "bad-mouthing": (lambda i: BadMouthingAttacker(), 0.8),
-    "ballot-stuffing": (
-        lambda i: BallotStuffingAttacker(coalition=frozenset({"target"})),
-        0.2,
-    ),
-    "self-promoting": (lambda i: SelfPromotingAttacker(), 0.5),
-    "opportunistic": (
-        lambda i: OpportunisticServiceAttacker(honest_phase=5), 0.8,
-    ),
-}
+SPEC = get("ablation-attacks")
 
 
 def _compute():
-    return {
-        name: run_attack_scenario(
-            target_trust=target,
-            honest_count=6,
-            attacker_factory=factory,
-            attacker_count=6,
-            rounds=80,
-            seed=1,
-        )
-        for name, (factory, target) in SCENARIOS.items()
-    }
+    return SPEC.run_full(seed=1)
 
 
 def test_ablation_attack_resilience(once):

@@ -9,34 +9,13 @@ step.
 
 from repro.analysis.report import ComparisonReport
 from repro.analysis.tables import render_table
-from repro.simulation.config import EnvironmentConfig
-from repro.simulation.environment import EnvironmentSimulation
+from repro.simulation.registry import get
 
-BETAS = (0.5, 0.8, 0.9, 0.98)
+SPEC = get("ablation-beta")
 
 
 def _compute():
-    results = {}
-    for beta in BETAS:
-        simulation = EnvironmentSimulation(
-            EnvironmentConfig(runs=60, beta=beta), seed=1
-        )
-        result = simulation.run()
-        errors = simulation.tracking_errors(result)
-        # Lag: proposed-tracker error over the 20 iterations after the
-        # first environment step.
-        post_step = result.proposed.values[100:120]
-        lag_error = sum(abs(v - 0.8) for v in post_step) / len(post_step)
-        # Noise: variance-like wiggle in the stable middle of phase 1.
-        stable = result.proposed.values[60:100]
-        mean = sum(stable) / len(stable)
-        noise = sum((v - mean) ** 2 for v in stable) / len(stable)
-        results[beta] = {
-            "mae": errors["proposed"],
-            "lag": lag_error,
-            "noise": noise,
-        }
-    return results
+    return SPEC.run_full(seed=1)
 
 
 def test_ablation_forgetting_factor(once):

@@ -8,39 +8,19 @@ with independently erring recommenders, Eq. 7 is exactly the probability
 of an even number of errors along the chain.
 """
 
-import random
-
 from repro.analysis.report import ComparisonReport
 from repro.analysis.tables import render_table
-from repro.core.transitivity import combine_chain, traditional_chain
+from repro.core.transitivity import combine_chain
+from repro.simulation.registry import get
+
+SPEC = get("ablation-combiner")
 
 
 def _compute():
-    rng = random.Random(1)
-    rows = []
-    for length in (1, 2, 3, 4):
-        gaps = []
-        for _ in range(2000):
-            hops = [rng.uniform(0.5, 1.0) for _ in range(length)]
-            gaps.append(combine_chain(hops) - traditional_chain(hops))
-        rows.append({
-            "path length": length,
-            "mean gap (eq7 - eq5)": sum(gaps) / len(gaps),
-            "max gap": max(gaps),
-        })
-
-    # Monte-Carlo estimator check at length 2: probability that the
-    # composed judgment is correct equals Eq. 7.
-    t1, t2 = 0.8, 0.7
-    correct = 0
-    trials = 60_000
-    for _ in range(trials):
-        first_ok = rng.random() < t1
-        second_ok = rng.random() < t2
-        if first_ok == second_ok:
-            correct += 1
-    simulated = correct / trials
-    return rows, simulated, t1, t2
+    result = SPEC.run_full(seed=1)
+    return (
+        result["rows"], result["simulated"], result["t1"], result["t2"],
+    )
 
 
 def test_ablation_combiner(once):

@@ -8,32 +8,13 @@ the fragment-packet attack and the energy saved by evaluating cost.
 
 from repro.analysis.report import ComparisonReport
 from repro.analysis.tables import render_table
-from repro.iotnet.energy import EnergyMeter
-from repro.iotnet.experiments import ActiveTimeExperiment
+from repro.simulation.registry import get
+
+SPEC = get("ablation-energy")
 
 
 def _compute():
-    result = ActiveTimeExperiment(tasks_per_trustor=50, seed=1).run()
-
-    def total_energy_mj(series):
-        meter = EnergyMeter(budget_mj=1e9)
-        for active_ms in series:
-            # Trustor's active window: radio receiving half the time,
-            # MCU processing the rest.
-            meter.receive(active_ms * 0.5)
-            meter.compute(active_ms * 0.5)
-        return meter.consumed_mj
-
-    return {
-        "without": {
-            "series": result.without_model,
-            "energy_mj": total_energy_mj(result.without_model),
-        },
-        "with": {
-            "series": result.with_model,
-            "energy_mj": total_energy_mj(result.with_model),
-        },
-    }
+    return SPEC.run_full(seed=1)
 
 
 def test_ablation_energy_cost(once):

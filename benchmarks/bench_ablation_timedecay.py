@@ -5,63 +5,23 @@ The paper argues a time factor alone "is not sufficient to model the
 effect of the dynamic environment": it forgets faster but still
 converges to the environment-degraded rate, not the intrinsic
 competence.  This ablation measures exactly that.
-"""
 
-import random
+Note: folding this bench into the scenario registry made its RNG
+stream seed-dependent (the sweep seed now keys each run's generator),
+so absolute MAE values differ from pre-registry revisions of this
+bench; the shape claims asserted below are seed-robust.
+"""
 
 from repro.analysis.report import ComparisonReport
 from repro.analysis.tables import render_table
-from repro.core.environment import EnvironmentReading, cannikin_debias
-from repro.core.timedecay import DecayingTrustLedger
-from repro.core.update import forget
+from repro.simulation.registry import get
 
-ACTUAL = 0.8
-PHASES = ((100, 1.0), (100, 0.4), (100, 0.7))
-RUNS = 60
-
-
-def _level_at(iteration):
-    remaining = iteration
-    for length, level in PHASES:
-        if remaining < length:
-            return level
-        remaining -= length
-    return PHASES[-1][1]
+SPEC = get("ablation-timedecay")
 
 
 def _compute():
-    total = sum(length for length, _ in PHASES)
-    sums = {"traditional": [0.0] * total, "decay": [0.0] * total,
-            "proposed": [0.0] * total}
-    for run in range(RUNS):
-        rng = random.Random(repr(("timedecay-ablation", run)))
-        est_traditional = 1.0
-        est_proposed = 1.0
-        ledger = DecayingTrustLedger(decay=0.9, default_trust=1.0)
-        for iteration in range(total):
-            level = _level_at(iteration)
-            reading = EnvironmentReading(trustor_env=level,
-                                         trustee_env=level)
-            observed = 1.0 if rng.random() < ACTUAL * level else 0.0
-            est_traditional = forget(est_traditional, observed, 0.9)
-            est_proposed = min(1.0, forget(
-                est_proposed, cannikin_debias(observed, reading), 0.9
-            ))
-            ledger.observe("target", observed, time=float(iteration))
-            sums["traditional"][iteration] += est_traditional
-            sums["decay"][iteration] += ledger.trust(
-                "target", now=float(iteration)
-            )
-            sums["proposed"][iteration] += est_proposed
-    curves = {
-        name: [value / RUNS for value in series]
-        for name, series in sums.items()
-    }
-    maes = {
-        name: sum(abs(v - ACTUAL) for v in series) / len(series)
-        for name, series in curves.items()
-    }
-    return curves, maes
+    result = SPEC.run_full(seed=1)
+    return result["curves"], result["maes"]
 
 
 def test_ablation_time_decay(once):

@@ -10,22 +10,13 @@ motivates the shared-statistics substitution the Fig. 7 simulation uses
 
 from repro.analysis.report import ComparisonReport
 from repro.analysis.tables import render_table
-from repro.simulation.config import MutualityConfig
-from repro.simulation.mutuality import sweep_thresholds
-from repro.socialnet.datasets import facebook
+from repro.simulation.registry import get
 
-THRESHOLDS = (0.0, 0.6)
+SPEC = get("ablation-whitewashing")
 
 
 def _compute():
-    graph = facebook(seed=0)
-    return {
-        label: sweep_thresholds(
-            graph, thresholds=THRESHOLDS, seed=1,
-            config=MutualityConfig(shared_logs=shared),
-        )
-        for label, shared in (("shared", True), ("private", False))
-    }
+    return SPEC.run_full(seed=1)
 
 
 def test_ablation_whitewashing(once):

@@ -6,16 +6,13 @@ from repro.analysis.ascii_chart import ascii_chart
 from repro.analysis.report import ComparisonReport
 from repro.analysis.series import LabelledSeries
 from repro.core.transitivity import TransitivityMode
-from repro.simulation.config import TransitivityConfig
-from repro.simulation.transitivity import TransitivitySimulation
-from repro.socialnet.datasets import facebook
+from repro.simulation.registry import get
+
+SPEC = get("fig12-overhead")
 
 
 def _compute():
-    simulation = TransitivitySimulation(
-        facebook(seed=0), TransitivityConfig(num_characteristics=4), seed=1
-    )
-    return {mode: simulation.run(mode) for mode in TransitivityMode}
+    return SPEC.run_full(seed=1)
 
 
 def test_fig12_search_overhead(once):

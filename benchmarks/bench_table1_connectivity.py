@@ -7,13 +7,15 @@ match exactly; clustering must preserve the cross-network ordering.
 
 from repro.analysis.report import ComparisonReport
 from repro.analysis.tables import render_table
-from repro.socialnet.datasets import NETWORK_PROFILES, TABLE1_REFERENCE, load_network
-from repro.socialnet.metrics import connectivity_report
+from repro.simulation.registry import get
+from repro.socialnet.datasets import NETWORK_PROFILES, TABLE1_REFERENCE
+
+SPEC = get("table1-connectivity")
 
 
 def _compute():
     return {
-        name: connectivity_report(load_network(name, seed=0))
+        name: SPEC.run_full(seed=0, network=name)
         for name in NETWORK_PROFILES
     }
 

@@ -107,24 +107,13 @@ _SWEEP_KEYS = (
 )
 
 
-def _reduced_to_payload(result) -> Dict[str, object]:
-    """A RateSummary or SeriesResult as a plain JSON object."""
-    if hasattr(result, "success_rate"):
-        return {
-            "success_rate": result.success_rate,
-            "unavailable_rate": result.unavailable_rate,
-            "abuse_rate": result.abuse_rate,
-            "total_requests": result.total_requests,
-        }
-    return {"label": result.label, "values": list(result.values)}
-
-
 def sweep_to_payload(sweep) -> Dict[str, object]:
     """A :class:`~repro.simulation.sweep.SweepResult` as a JSON-ready dict.
 
-    Carries the per-seed results, the mean, the across-seed variance and
-    the wall-clock timing of the run — everything downstream regression
-    tracking needs to compare a sweep against an earlier one.
+    Carries the per-seed results, the mean, the across-seed variance,
+    the wall-clock timing of the run and the persistent-cache hit/miss
+    accounting — everything downstream regression tracking needs to
+    compare a sweep against an earlier one.
     """
     return {
         "scenario": sweep.scenario,
@@ -135,9 +124,15 @@ def sweep_to_payload(sweep) -> Dict[str, object]:
             "seeds": sweep.timing.seeds,
             "workers": sweep.timing.workers,
             "backend": sweep.timing.backend,
+            "chunk_size": sweep.timing.chunk_size,
         },
-        "mean": _reduced_to_payload(sweep.mean),
-        "per_seed": [_reduced_to_payload(r) for r in sweep.per_seed],
+        "cache": {
+            "enabled": sweep.cache_enabled,
+            "hits": sweep.cache_hits,
+            "misses": sweep.cache_misses,
+        },
+        "mean": sweep.mean.to_payload(),
+        "per_seed": [r.to_payload() for r in sweep.per_seed],
         "variance": (
             dict(sweep.variance) if isinstance(sweep.variance, Mapping)
             else list(sweep.variance)
@@ -168,6 +163,17 @@ def load_sweep(text: str) -> Dict[str, object]:
     timing = payload["timing"]
     if not isinstance(timing, dict) or "wall_seconds" not in timing:
         raise ValueError("sweep timing must carry wall_seconds")
+    # Exports written before the result cache existed have no cache
+    # block; default it so old artifacts stay comparable.
+    cache = payload.setdefault(
+        "cache", {"enabled": False, "hits": 0, "misses": 0}
+    )
+    if not isinstance(cache, dict) or not {"hits", "misses"} <= set(cache):
+        raise ValueError("sweep cache block must carry hits/misses")
+    if not isinstance(payload["per_seed"], list) or not isinstance(
+        payload["seeds"], list
+    ):
+        raise ValueError("per_seed and seeds must be JSON arrays")
     if len(payload["per_seed"]) != len(payload["seeds"]):
         raise ValueError("per_seed results do not match the seed list")
     return payload

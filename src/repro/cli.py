@@ -12,9 +12,11 @@ Usage::
 Each artifact subcommand runs the corresponding experiment, prints the
 table or ASCII chart, and optionally writes a machine-readable JSON
 export.  ``sweep`` runs any registered scenario once per seed — fanned
-out over a worker pool when ``--workers`` exceeds one, bit-identical to
-the sequential run either way — and reports the seed-averaged result,
-the across-seed variance and the wall-clock timing.
+out in seed batches over a worker pool when ``--workers`` exceeds one,
+replaying seeds already present in the persistent result cache,
+bit-identical to a cold sequential run either way — and reports the
+seed-averaged result, the across-seed variance, the wall-clock timing
+and the cache hit/miss counts.
 """
 
 from __future__ import annotations
@@ -207,6 +209,7 @@ def cmd_fig16(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.export import sweep_to_json
     from repro.simulation import registry
+    from repro.simulation.cache import default_cache_dir
     from repro.simulation.sweep import run_sweep, seed_range
 
     if args.list or args.scenario is None:
@@ -215,6 +218,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(f"  {spec.name:<22} {spec.description}")
         return 0
 
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or str(default_cache_dir())
+
     try:
         sweep = run_sweep(
             args.scenario,
@@ -222,6 +230,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             workers=args.workers,
             backend=args.backend,
             smoke=args.smoke,
+            chunk_size=args.chunk_size,
+            cache_dir=cache_dir,
         )
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else str(error)
@@ -247,9 +257,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     timing = sweep.timing
     lines.append(
         f"  {timing.seeds} seeds x {timing.workers} workers "
-        f"({timing.backend}): {timing.wall_seconds:.2f}s "
+        f"({timing.backend}, chunks of {timing.chunk_size}): "
+        f"{timing.wall_seconds:.2f}s "
         f"({timing.seeds_per_second():.1f} seeds/s)"
     )
+    if sweep.cache_enabled:
+        lines.append(
+            f"  cache: {sweep.cache_hits} hit(s), "
+            f"{sweep.cache_misses} miss(es) [{cache_dir}]"
+        )
     _emit(args, "\n".join(lines), sweep_to_json(sweep))
     return 0
 
@@ -302,8 +318,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = subparsers.add_parser(
         "sweep",
-        help="run a registered scenario over many seeds, optionally in "
-             "parallel",
+        help="run a registered scenario over many seeds: chunked "
+             "parallel fan-out plus a persistent result cache, "
+             "bit-identical to a cold sequential run",
     )
     sweep.add_argument("scenario", nargs="?", default=None,
                        help="registered scenario name (see --list)")
@@ -318,6 +335,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--backend", choices=("process", "thread"),
                        default="process",
                        help="pool backend when workers > 1")
+    sweep.add_argument("--chunk-size", type=int, default=None,
+                       metavar="N",
+                       help="seeds per pool task; default auto-sizes to "
+                            "four task waves per worker (results are "
+                            "identical for any value)")
+    sweep.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persistent result cache location (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro/sweeps); "
+                            "cached seeds are replayed, only missing "
+                            "seeds are computed")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache entirely (no reads, "
+                            "no writes)")
     sweep.add_argument("--smoke", action="store_true",
                        help="use the scenario's scaled-down smoke "
                             "parameters (CI-sized)")

@@ -20,7 +20,9 @@ The multi-seed runtime lives next to them:
 * :mod:`repro.simulation.registry` — every experiment as a named,
   picklable :class:`ScenarioSpec`,
 * :mod:`repro.simulation.sweep` — ``repro sweep``'s engine: per-seed
-  results, mean, variance and wall-clock timing for one scenario.
+  results, mean, variance and wall-clock timing for one scenario,
+* :mod:`repro.simulation.cache` — persistent cross-process cache of
+  per-seed results keyed by (scenario, params, seed, code version).
 """
 
 from repro.simulation.config import (
@@ -44,6 +46,7 @@ from repro.simulation.runner import (
     combine_rates,
     combine_series,
 )
+from repro.simulation.cache import CacheStats, SweepCache, default_cache_dir
 from repro.simulation.sweep import SweepResult, run_sweep, seed_range
 from repro.simulation.scenario import Scenario, build_scenario
 from repro.simulation.selfdelegation import (
@@ -56,6 +59,7 @@ from repro.simulation.transitivity import (
 )
 
 __all__ = [
+    "CacheStats",
     "DelegationConfig",
     "DelegationSimulation",
     "EnvironmentConfig",
@@ -72,6 +76,7 @@ __all__ = [
     "ScenarioSpec",
     "SelfDelegationResult",
     "SelfDelegationSimulation",
+    "SweepCache",
     "SweepResult",
     "TransitivityConfig",
     "TransitivityResult",
@@ -81,6 +86,7 @@ __all__ = [
     "build_scenario",
     "combine_rates",
     "combine_series",
+    "default_cache_dir",
     "run_sweep",
     "seed_range",
 ]

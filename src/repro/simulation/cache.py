@@ -1,0 +1,200 @@
+"""Persistent cross-process result cache for multi-seed sweeps.
+
+A sweep's unit of work is one ``(scenario, params, seed)`` triple, and
+its reduced result (:class:`RateSummary` / :class:`SeriesResult`) is a
+handful of floats — tiny to store, expensive to recompute.
+:class:`SweepCache` persists each per-seed result as one JSON file on
+disk, keyed by a content hash of::
+
+    (scenario name, effective params, seed, code version)
+
+so repeated ``repro sweep`` invocations, and incrementally grown ones
+(``--seeds 8`` after ``--seeds 4``), only compute the seeds they have
+never seen.  The cache is *cross-process* by construction: it is plain
+files, written atomically (temp file + ``os.replace``), so concurrent
+sweeps — or pool workers of different sweeps — can share one directory
+without coordination.
+
+Correctness properties:
+
+* **Bit-identical replay.**  Floats round-trip through JSON losslessly
+  (``repr``-based serialization), so a warm-cache rerun reproduces the
+  cold run's reduced results exactly — the equivalence suite asserts
+  ``==`` on the dataclasses, with no tolerance.
+* **Code-version invalidation.**  The key includes
+  :func:`code_version`, a hash over every ``.py`` source file of the
+  :mod:`repro` package: any code change produces fresh keys, so a stale
+  cache can never leak results computed by older logic.
+* **Corruption tolerance.**  An unreadable, truncated or shape-invalid
+  cache file is treated as a miss and recomputed (and overwritten);
+  the cache can only ever cost a recompute, never wrong results.
+
+``REPRO_CACHE_DIR`` overrides the default location
+(``$XDG_CACHE_HOME/repro/sweeps`` or ``~/.cache/repro/sweeps``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Tuple, Union
+
+from repro.simulation.results import RateSummary, SeriesResult
+
+Reduced = Union[RateSummary, SeriesResult]
+Params = Tuple[Tuple[str, object], ...]
+
+_ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Where sweep results cache by default.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise the XDG cache home convention.
+    """
+    override = os.environ.get(_ENV_CACHE_DIR)
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro" / "sweeps"
+
+
+def _package_source_files() -> Iterable[Path]:
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    return sorted(package_root.rglob("*.py"))
+
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file; the cache's invalidation token.
+
+    Computed once per process — any edit to the package flips it, so
+    results computed by different code never collide in the cache.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        digest = hashlib.sha256()
+        for path in _package_source_files():
+            digest.update(str(path.name).encode())
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one sweep's cache traffic."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass
+class SweepCache:
+    """File-per-result cache of reduced per-seed sweep outputs.
+
+    One instance tracks its own :class:`CacheStats`; ``run_sweep``
+    creates one per invocation so the export can report this sweep's
+    hits and misses, not the directory's lifetime totals.
+    """
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        # expanduser: a literal "~/..." (README example, service env
+        # files) must mean the home cache, not a ./~ directory.
+        self.root = Path(self.root).expanduser()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(scenario: str, params: Params, seed: int,
+            version: Optional[str] = None) -> str:
+        """Content hash naming one per-seed result."""
+        version = code_version() if version is None else version
+        token = repr((scenario, tuple(params), seed, version))
+        return hashlib.sha256(token.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small for big sweeps.
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Reduced]:
+        """The cached reduced result, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            result = _payload_to_reduced(payload["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Truncated write, bad JSON, wrong shape: recompute rather
+            # than trust it.  The eventual put() overwrites the file.
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: Reduced, scenario: str = "",
+            seed: Optional[int] = None) -> None:
+        """Persist one reduced result atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "result": _reduced_to_payload(result),
+            # Debug metadata only; the key is the contract.
+            "scenario": scenario,
+            "seed": seed,
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+
+# ---------------------------------------------------------------------------
+# reduced-result (de)serialization
+# ---------------------------------------------------------------------------
+
+# The cache's payloads are the dataclasses' own ``to_payload`` dicts
+# (shared with the sweep JSON export) plus a ``kind`` tag so replay can
+# dispatch without guessing.
+_KINDS = {"rates": RateSummary, "series": SeriesResult}
+
+
+def _reduced_to_payload(result: Reduced) -> dict:
+    for kind, cls in _KINDS.items():
+        if isinstance(result, cls):
+            return {"kind": kind, **result.to_payload()}
+    raise TypeError(f"cannot cache result of type {type(result).__name__}")
+
+
+def _payload_to_reduced(payload: dict) -> Reduced:
+    kind = payload["kind"]
+    if kind not in _KINDS:
+        raise ValueError(f"unknown cached result kind: {kind!r}")
+    return _KINDS[kind].from_payload(payload)

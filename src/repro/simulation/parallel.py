@@ -8,7 +8,20 @@ sequential path uses (:func:`~repro.simulation.runner.combine_rates` /
 :func:`~repro.simulation.runner.combine_series`), so for a deterministic
 ``run`` callable the output is bit-identical to the sequential oracle —
 the property the equivalence suite in ``tests/simulation`` asserts for
-every registered scenario.
+every registered scenario and every chunk size.
+
+Scheduling is **chunked**: instead of one pool task per seed, seeds are
+grouped into contiguous batches of ``chunk_size`` and each task runs a
+whole batch.  One task per seed (``chunk_size=1``) pays pool dispatch +
+pickling once *per seed*, which dominates for cheap scenarios; batching
+amortizes that overhead while a worker's per-process scenario arena
+(:mod:`repro.simulation.registry`) is reused across every seed in its
+batches.  ``chunk_size=None`` (the default) picks
+``ceil(len(seeds) / (workers * 4))`` — four waves of tasks per worker,
+enough slack for dynamic load balancing without per-seed dispatch.
+Chunking never changes results: chunks are contiguous, ``pool.map``
+returns them in submission order, and the flattened list is exactly the
+seed-ordered list the sequential oracle produces.
 
 Backends:
 
@@ -16,23 +29,29 @@ Backends:
   ``run`` callable must be picklable (module-level functions and
   :func:`functools.partial` of them qualify — every spec produced by
   :mod:`repro.simulation.registry` is).  Unpicklable callables degrade
-  to the sequential fallback rather than erroring.
+  to the sequential fallback with a one-time :class:`RuntimeWarning`
+  naming the callable, so a pool-bound-looking sweep is diagnosable.
 * ``"thread"`` — :class:`~concurrent.futures.ThreadPoolExecutor`; no
   pickling constraint, useful under the GIL only for I/O-bound runs but
   invaluable for cheap equivalence testing.
 
 ``workers <= 1`` always runs sequentially in-process (the fallback and
-the oracle).
+the oracle).  An ``initializer`` (with ``initargs``) runs once per pool
+worker before any task — the hook :func:`repro.simulation.sweep.run_sweep`
+uses to materialize the scenario arena once per process.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, TypeVar
+from functools import partial
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.simulation.results import RateSummary, SeriesResult
 from repro.simulation.runner import combine_rates, combine_series
@@ -40,6 +59,10 @@ from repro.simulation.runner import combine_rates, combine_series
 T = TypeVar("T")
 
 _BACKENDS = ("process", "thread")
+
+# Callables already warned about (by description) when they forced the
+# sequential fallback; one warning per callable, not one per sweep.
+_WARNED_UNPICKLABLE: set = set()
 
 
 @dataclass(frozen=True)
@@ -50,6 +73,7 @@ class RunTiming:
     seeds: int
     workers: int
     backend: str
+    chunk_size: int = 1
 
     def seeds_per_second(self) -> float:
         if self.wall_seconds <= 0.0:
@@ -62,12 +86,67 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def auto_chunk_size(seeds: int, workers: int) -> int:
+    """Default batch size: four waves of tasks per worker.
+
+    ``ceil(seeds / (workers * 4))`` keeps every worker busy with a few
+    tasks (so a slow chunk can be balanced around) while still
+    amortizing dispatch overhead over multiple seeds per task.
+    """
+    if seeds < 1:
+        raise ValueError("need at least one seed")
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    return max(1, math.ceil(seeds / (workers * 4)))
+
+
+def _chunked(seeds: Sequence[int], chunk_size: int) -> List[Tuple[int, ...]]:
+    """Contiguous seed batches, preserving order."""
+    return [
+        tuple(seeds[start:start + chunk_size])
+        for start in range(0, len(seeds), chunk_size)
+    ]
+
+
+def _run_chunk(run: Callable[[int], T], seeds: Sequence[int]) -> List[T]:
+    """One pool task: a batch of seeds through the same run callable."""
+    return [run(seed) for seed in seeds]
+
+
 def _is_picklable(obj: object) -> bool:
     try:
         pickle.dumps(obj)
     except Exception:
         return False
     return True
+
+
+def _describe_callable(run: Callable) -> str:
+    """A stable human-readable name for warning messages."""
+    if isinstance(run, partial):
+        return f"functools.partial({_describe_callable(run.func)})"
+    for attr in ("__qualname__", "__name__"):
+        name = getattr(run, attr, None)
+        if name:
+            module = getattr(run, "__module__", None)
+            return f"{module}.{name}" if module else name
+    return repr(run)
+
+
+def _warn_unpicklable_once(run: Callable) -> None:
+    description = _describe_callable(run)
+    if description in _WARNED_UNPICKLABLE:
+        return
+    _WARNED_UNPICKLABLE.add(description)
+    warnings.warn(
+        f"run callable {description} is not picklable; the process pool "
+        f"cannot execute it, so the sweep degrades to sequential "
+        f"in-process execution. Use a module-level function (or a "
+        f"functools.partial of one, e.g. ScenarioSpec.bound()) to keep "
+        f"the pool, or backend='thread' if pickling is impossible.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -81,10 +160,20 @@ class ParallelRunner:
         sequentially (the oracle path).
     backend:
         ``"process"`` (default) or ``"thread"``.
+    chunk_size:
+        Seeds per pool task.  ``None`` (default) picks
+        :func:`auto_chunk_size`; any positive value is honoured and the
+        result is bit-identical regardless.
+    initializer / initargs:
+        Run once per pool worker before its first task (both backends).
+        Under the process backend they must be picklable.
     """
 
     workers: Optional[int] = None
     backend: str = "process"
+    chunk_size: Optional[int] = None
+    initializer: Optional[Callable[..., None]] = None
+    initargs: Tuple = ()
     last_timing: Optional[RunTiming] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -98,6 +187,8 @@ class ParallelRunner:
             self.workers = default_workers()
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
 
     # ------------------------------------------------------------------
     def map_seeds(
@@ -107,27 +198,51 @@ class ParallelRunner:
         if not seeds:
             raise ValueError("need at least one seed")
         workers = min(self.workers or 1, len(seeds))
+        chunk_size = 1
+        if workers > 1:
+            chunk_size = (
+                self.chunk_size if self.chunk_size is not None
+                else auto_chunk_size(len(seeds), workers)
+            )
+            # A single chunk leaves nothing to parallelize; don't pay
+            # for a pool that would run it on one worker anyway.
+            workers = min(workers, math.ceil(len(seeds) / chunk_size))
         start = time.perf_counter()
         if workers <= 1:
+            if self.initializer is not None:
+                self.initializer(*self.initargs)
             results = [run(seed) for seed in seeds]
         elif self.backend == "process" and not _is_picklable(run):
             # An unpicklable callable cannot cross a process boundary;
             # degrade to the sequential oracle instead of erroring so
             # ad-hoc closures still work everywhere.
+            _warn_unpicklable_once(run)
+            if self.initializer is not None:
+                self.initializer(*self.initargs)
             results = [run(seed) for seed in seeds]
             workers = 1
         else:
+            chunks = _chunked(seeds, chunk_size)
             pool_cls = (
                 ProcessPoolExecutor if self.backend == "process"
                 else ThreadPoolExecutor
             )
-            with pool_cls(max_workers=workers) as pool:
-                results = list(pool.map(run, seeds))
+            with pool_cls(
+                max_workers=workers,
+                initializer=self.initializer,
+                initargs=self.initargs,
+            ) as pool:
+                results = [
+                    result
+                    for batch in pool.map(partial(_run_chunk, run), chunks)
+                    for result in batch
+                ]
         self.last_timing = RunTiming(
             wall_seconds=time.perf_counter() - start,
             seeds=len(seeds),
             workers=workers,
             backend=self.backend if workers > 1 else "sequential",
+            chunk_size=chunk_size,
         )
         return results
 

@@ -5,8 +5,13 @@ experiments behind a uniform, *picklable* per-seed entry point, so the
 benchmarks, the ``repro sweep`` CLI and the sequential-vs-parallel
 equivalence suite all run exactly the same code:
 
-* ``spec.run_full(seed)`` — the experiment's native result object
-  (what a bench renders and asserts shapes on);
+* ``spec.build_once(...)`` — the scenario **arena**: everything
+  seed-independent (graph, configs), materialized once and reused
+  across seeds;
+* ``spec.run_with_seed(arena, seed, ...)`` — one seeded run against a
+  prebuilt arena, returning the experiment's native result object;
+* ``spec.run_full(seed)`` — arena lookup + seeded run in one call (what
+  a bench renders and asserts shapes on);
 * ``spec.run(seed)`` — the result reduced to the common multi-seed
   shapes (:class:`RateSummary` for ``kind == "rates"``,
   :class:`SeriesResult` for ``kind == "series"``) that
@@ -14,20 +19,41 @@ equivalence suite all run exactly the same code:
 * ``spec.bound()`` — a :func:`functools.partial` of a module-level
   function, safe to ship to a :class:`ProcessPoolExecutor` worker.
 
+Arenas live in a **per-process store** keyed by ``(scenario, params)``:
+the first seed a worker executes builds the arena, every later seed in
+that worker reuses it, and :func:`warm_arena` is the pool initializer
+:func:`repro.simulation.sweep.run_sweep` installs so the build happens
+before the first task rather than inside it.  A scenario whose run
+mutates the shared state it was built from sets ``reusable=False`` and
+gets a fresh arena per seed instead.
+
 ``defaults`` reproduce the bench-scale parameters; ``smoke`` are the
 scaled-down overrides the test suite and CI smoke invocation use.
 Graphs are rebuilt per worker from their profile name (and cached per
 process), so a spec never has to pickle a network.
+
+Besides the nine figure/table experiments, the registry names the
+remaining bench families — Table 1 connectivity, the Fig. 12 search
+overhead, and the six ablations — so *every* bench computes through a
+named spec and ``repro sweep`` can drive all of them.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from functools import lru_cache, partial
 from typing import Callable, Dict, List, Mapping, Tuple, Union
 
+from repro.core.attacks import (
+    BadMouthingAttacker,
+    BallotStuffingAttacker,
+    OpportunisticServiceAttacker,
+    SelfPromotingAttacker,
+    run_attack_scenario,
+)
 from repro.core.policy import NetProfitPolicy, SuccessRatePolicy
-from repro.core.transitivity import TransitivityMode
+from repro.core.transitivity import TransitivityMode, combine_chain, traditional_chain
 from repro.simulation.config import (
     DelegationConfig,
     EnvironmentConfig,
@@ -36,14 +62,14 @@ from repro.simulation.config import (
 )
 from repro.simulation.delegation import DelegationSimulation
 from repro.simulation.environment import EnvironmentSimulation
-from repro.simulation.mutuality import MutualitySimulation
+from repro.simulation.mutuality import MutualitySimulation, sweep_thresholds
 from repro.simulation.results import RateSummary, SeriesResult
 from repro.simulation.selfdelegation import SelfDelegationSimulation
 from repro.simulation.transitivity import TransitivitySimulation
 from repro.socialnet.graph import SocialGraph
 
 Reduced = Union[RateSummary, SeriesResult]
-_Params = Tuple[Tuple[str, object], ...]
+Params = Tuple[Tuple[str, object], ...]
 
 
 @lru_cache(maxsize=None)
@@ -55,30 +81,46 @@ def _graph(network: str, graph_seed: int) -> SocialGraph:
 
 
 # ---------------------------------------------------------------------------
-# per-scenario run functions (module-level: picklable via partial)
+# per-scenario build/run functions (module-level: picklable via partial)
+#
+# ``_build_*`` materializes the seed-independent arena (graph + configs);
+# ``_seed_*`` runs one seed against it.  Nothing in a ``_seed_*`` function
+# may mutate the arena unless the spec sets ``reusable=False``.
 # ---------------------------------------------------------------------------
 
-def _full_fig7(params: Mapping[str, object], seed: int):
-    config = MutualityConfig(
-        threshold=params["threshold"],
-        warmup_interactions=params["warmup_interactions"],
-        requests_per_trustor=params["requests_per_trustor"],
-    )
-    graph = _graph(params["network"], params["graph_seed"])
-    return MutualitySimulation(graph, config, seed=seed).run()
+def _build_fig7(params: Mapping[str, object]) -> Dict[str, object]:
+    return {
+        "graph": _graph(params["network"], params["graph_seed"]),
+        "config": MutualityConfig(
+            threshold=params["threshold"],
+            warmup_interactions=params["warmup_interactions"],
+            requests_per_trustor=params["requests_per_trustor"],
+        ),
+    }
+
+
+def _seed_fig7(arena, params: Mapping[str, object], seed: int):
+    return MutualitySimulation(
+        arena["graph"], arena["config"], seed=seed
+    ).run()
 
 
 def _reduce_fig7(result) -> RateSummary:
     return result.rates
 
 
-def _full_transitivity(params: Mapping[str, object], seed: int):
-    config = TransitivityConfig(
-        num_characteristics=params["num_characteristics"],
-    )
-    graph = _graph(params["network"], params["graph_seed"])
+def _build_transitivity(params: Mapping[str, object]) -> Dict[str, object]:
+    return {
+        "graph": _graph(params["network"], params["graph_seed"]),
+        "config": TransitivityConfig(
+            num_characteristics=params["num_characteristics"],
+        ),
+    }
+
+
+def _seed_transitivity(arena, params: Mapping[str, object], seed: int):
     simulation = TransitivitySimulation(
-        graph, config, seed=seed,
+        arena["graph"], arena["config"], seed=seed,
         property_based_tasks=params["property_based_tasks"],
     )
     return simulation.run(TransitivityMode(params["mode"]))
@@ -99,10 +141,17 @@ _POLICIES = {
 }
 
 
-def _full_fig13(params: Mapping[str, object], seed: int):
-    config = DelegationConfig(iterations=params["iterations"])
-    graph = _graph(params["network"], params["graph_seed"])
-    simulation = DelegationSimulation(graph, config, seed=seed)
+def _build_fig13(params: Mapping[str, object]) -> Dict[str, object]:
+    return {
+        "graph": _graph(params["network"], params["graph_seed"]),
+        "config": DelegationConfig(iterations=params["iterations"]),
+    }
+
+
+def _seed_fig13(arena, params: Mapping[str, object], seed: int):
+    simulation = DelegationSimulation(
+        arena["graph"], arena["config"], seed=seed
+    )
     strategy = params["strategy"]
     return simulation.run(_POLICIES[strategy](), f"{strategy} strategy")
 
@@ -111,19 +160,26 @@ def _reduce_fig13(result) -> SeriesResult:
     return result.series
 
 
-def _full_fig15(params: Mapping[str, object], seed: int):
-    config = EnvironmentConfig(runs=params["runs"])
-    return EnvironmentSimulation(config, seed=seed).run()
+def _build_fig15(params: Mapping[str, object]) -> Dict[str, object]:
+    return {"config": EnvironmentConfig(runs=params["runs"])}
+
+
+def _seed_fig15(arena, params: Mapping[str, object], seed: int):
+    return EnvironmentSimulation(arena["config"], seed=seed).run()
 
 
 def _reduce_fig15(result) -> SeriesResult:
     return result.proposed
 
 
-def _full_eq24(params: Mapping[str, object], seed: int):
-    graph = _graph(params["network"], params["graph_seed"])
+def _build_eq24(params: Mapping[str, object]) -> Dict[str, object]:
+    return {"graph": _graph(params["network"], params["graph_seed"])}
+
+
+def _seed_eq24(arena, params: Mapping[str, object], seed: int):
     simulation = SelfDelegationSimulation(
-        graph, tasks_per_trustor=params["tasks_per_trustor"], seed=seed
+        arena["graph"], tasks_per_trustor=params["tasks_per_trustor"],
+        seed=seed,
     )
     return simulation.run()
 
@@ -142,7 +198,12 @@ def _reduce_eq24(result) -> SeriesResult:
     )
 
 
-def _full_fig8(params: Mapping[str, object], seed: int):
+def _build_nothing(params: Mapping[str, object]) -> Dict[str, object]:
+    """Arena for scenarios whose state is entirely seed-dependent."""
+    return {}
+
+
+def _seed_fig8(arena, params: Mapping[str, object], seed: int):
     from repro.iotnet.experiments import InferenceExperiment
 
     return InferenceExperiment(runs=params["runs"], seed=seed).run()
@@ -152,7 +213,7 @@ def _reduce_fig8(result) -> SeriesResult:
     return SeriesResult("% honest selected (with model)", result.with_model)
 
 
-def _full_fig14(params: Mapping[str, object], seed: int):
+def _seed_fig14(arena, params: Mapping[str, object], seed: int):
     from repro.iotnet.experiments import ActiveTimeExperiment
 
     return ActiveTimeExperiment(
@@ -164,7 +225,7 @@ def _reduce_fig14(result) -> SeriesResult:
     return SeriesResult("active time ms (with model)", result.with_model)
 
 
-def _full_fig16(params: Mapping[str, object], seed: int):
+def _seed_fig16(arena, params: Mapping[str, object], seed: int):
     from repro.iotnet.experiments import LightingExperiment
 
     return LightingExperiment(seed=seed).run()
@@ -174,10 +235,353 @@ def _reduce_fig16(result) -> SeriesResult:
     return SeriesResult("net profit (with model)", result.with_model)
 
 
-def _run_scenario(name: str, params: _Params, seed: int) -> Reduced:
+# --- Table 1 / Fig. 12 / ablations (the remaining bench families) ----------
+
+def _seed_table1(arena, params: Mapping[str, object], seed: int):
+    from repro.socialnet.datasets import load_network
+    from repro.socialnet.metrics import connectivity_report
+
+    # The sweep seed drives the generator, so a multi-seed sweep measures
+    # the generator's variance around the paper's calibration targets.
+    return connectivity_report(load_network(params["network"], seed=seed))
+
+
+def _reduce_table1(report) -> SeriesResult:
+    return SeriesResult(
+        "connectivity: nodes / edges / avg degree / avg clustering",
+        [
+            float(report.nodes),
+            float(report.edges),
+            report.average_degree,
+            report.average_clustering,
+        ],
+    )
+
+
+def _seed_fig12(arena, params: Mapping[str, object], seed: int):
+    simulation = TransitivitySimulation(
+        arena["graph"], arena["config"], seed=seed
+    )
+    return {mode: simulation.run(mode) for mode in TransitivityMode}
+
+
+def _reduce_fig12(results) -> SeriesResult:
+    def mean_inquiries(mode: TransitivityMode) -> float:
+        counts = results[mode].inquiry_counts
+        return sum(counts) / len(counts)
+
+    return SeriesResult(
+        "mean inquiries: traditional / conservative / aggressive",
+        [mean_inquiries(mode) for mode in TransitivityMode],
+    )
+
+
+def _attack_bad_mouthing(index: int):
+    return BadMouthingAttacker()
+
+
+def _attack_ballot_stuffing(index: int):
+    return BallotStuffingAttacker(coalition=frozenset({"target"}))
+
+
+def _attack_self_promoting(index: int):
+    return SelfPromotingAttacker()
+
+
+def _attack_opportunistic(index: int):
+    return OpportunisticServiceAttacker(honest_phase=5)
+
+
+# (attacker factory, target's true trust) per adversary model; insertion
+# order is the order `_reduce_attacks` reports in.
+ATTACK_SCENARIOS: Dict[str, Tuple[Callable, float]] = {
+    "bad-mouthing": (_attack_bad_mouthing, 0.8),
+    "ballot-stuffing": (_attack_ballot_stuffing, 0.2),
+    "self-promoting": (_attack_self_promoting, 0.5),
+    "opportunistic": (_attack_opportunistic, 0.8),
+}
+
+
+def _seed_attacks(arena, params: Mapping[str, object], seed: int):
+    return {
+        name: run_attack_scenario(
+            target_trust=target,
+            honest_count=params["honest_count"],
+            attacker_factory=factory,
+            attacker_count=params["attacker_count"],
+            rounds=params["rounds"],
+            seed=seed,
+        )
+        for name, (factory, target) in ATTACK_SCENARIOS.items()
+    }
+
+
+def _reduce_attacks(results) -> SeriesResult:
+    return SeriesResult(
+        "defended error: " + " / ".join(ATTACK_SCENARIOS),
+        [results[name].defended_error for name in ATTACK_SCENARIOS],
+    )
+
+
+def _seed_beta(arena, params: Mapping[str, object], seed: int):
+    results = {}
+    for beta in params["betas"]:
+        simulation = EnvironmentSimulation(
+            EnvironmentConfig(runs=params["runs"], beta=beta), seed=seed
+        )
+        result = simulation.run()
+        errors = simulation.tracking_errors(result)
+        # Lag: proposed-tracker error over the 20 iterations after the
+        # first environment step.
+        post_step = result.proposed.values[100:120]
+        lag_error = sum(abs(v - 0.8) for v in post_step) / len(post_step)
+        # Noise: variance-like wiggle in the stable middle of phase 1.
+        stable = result.proposed.values[60:100]
+        mean = sum(stable) / len(stable)
+        noise = sum((v - mean) ** 2 for v in stable) / len(stable)
+        results[beta] = {
+            "mae": errors["proposed"],
+            "lag": lag_error,
+            "noise": noise,
+        }
+    return results
+
+
+def _reduce_beta(results) -> SeriesResult:
+    return SeriesResult(
+        "tracking MAE per beta: " + " / ".join(str(b) for b in results),
+        [metrics["mae"] for metrics in results.values()],
+    )
+
+
+def _seed_combiner(arena, params: Mapping[str, object], seed: int):
+    rng = random.Random(seed)
+    rows = []
+    for length in params["lengths"]:
+        gaps = []
+        for _ in range(params["samples"]):
+            hops = [rng.uniform(0.5, 1.0) for _ in range(length)]
+            gaps.append(combine_chain(hops) - traditional_chain(hops))
+        rows.append({
+            "path length": length,
+            "mean gap (eq7 - eq5)": sum(gaps) / len(gaps),
+            "max gap": max(gaps),
+        })
+
+    # Monte-Carlo estimator check at length 2: probability that the
+    # composed judgment is correct equals Eq. 7.
+    t1, t2 = 0.8, 0.7
+    correct = 0
+    trials = params["trials"]
+    for _ in range(trials):
+        first_ok = rng.random() < t1
+        second_ok = rng.random() < t2
+        if first_ok == second_ok:
+            correct += 1
+    return {
+        "rows": rows,
+        "simulated": correct / trials,
+        "t1": t1,
+        "t2": t2,
+    }
+
+
+def _reduce_combiner(result) -> SeriesResult:
+    return SeriesResult(
+        "mean eq7-eq5 gap per path length",
+        [row["mean gap (eq7 - eq5)"] for row in result["rows"]],
+    )
+
+
+def _seed_energy(arena, params: Mapping[str, object], seed: int):
+    from repro.iotnet.energy import EnergyMeter
+    from repro.iotnet.experiments import ActiveTimeExperiment
+
+    result = ActiveTimeExperiment(
+        tasks_per_trustor=params["tasks_per_trustor"], seed=seed
+    ).run()
+
+    def total_energy_mj(series):
+        meter = EnergyMeter(budget_mj=1e9)
+        for active_ms in series:
+            # Trustor's active window: radio receiving half the time,
+            # MCU processing the rest.
+            meter.receive(active_ms * 0.5)
+            meter.compute(active_ms * 0.5)
+        return meter.consumed_mj
+
+    return {
+        "without": {
+            "series": result.without_model,
+            "energy_mj": total_energy_mj(result.without_model),
+        },
+        "with": {
+            "series": result.with_model,
+            "energy_mj": total_energy_mj(result.with_model),
+        },
+    }
+
+
+def _reduce_energy(results) -> SeriesResult:
+    return SeriesResult(
+        "energy mJ per trustor: without / with model",
+        [results["without"]["energy_mj"], results["with"]["energy_mj"]],
+    )
+
+
+_TIMEDECAY_ACTUAL = 0.8
+_TIMEDECAY_PHASES = ((100, 1.0), (100, 0.4), (100, 0.7))
+
+
+def _timedecay_level_at(iteration: int) -> float:
+    remaining = iteration
+    for length, level in _TIMEDECAY_PHASES:
+        if remaining < length:
+            return level
+        remaining -= length
+    return _TIMEDECAY_PHASES[-1][1]
+
+
+def _seed_timedecay(arena, params: Mapping[str, object], seed: int):
+    from repro.core.environment import EnvironmentReading, cannikin_debias
+    from repro.core.timedecay import DecayingTrustLedger
+    from repro.core.update import forget
+
+    runs = params["runs"]
+    total = sum(length for length, _ in _TIMEDECAY_PHASES)
+    sums = {"traditional": [0.0] * total, "decay": [0.0] * total,
+            "proposed": [0.0] * total}
+    for run in range(runs):
+        rng = random.Random(repr(("timedecay-ablation", seed, run)))
+        est_traditional = 1.0
+        est_proposed = 1.0
+        ledger = DecayingTrustLedger(decay=0.9, default_trust=1.0)
+        for iteration in range(total):
+            level = _timedecay_level_at(iteration)
+            reading = EnvironmentReading(trustor_env=level,
+                                         trustee_env=level)
+            observed = 1.0 if rng.random() < _TIMEDECAY_ACTUAL * level else 0.0
+            est_traditional = forget(est_traditional, observed, 0.9)
+            est_proposed = min(1.0, forget(
+                est_proposed, cannikin_debias(observed, reading), 0.9
+            ))
+            ledger.observe("target", observed, time=float(iteration))
+            sums["traditional"][iteration] += est_traditional
+            sums["decay"][iteration] += ledger.trust(
+                "target", now=float(iteration)
+            )
+            sums["proposed"][iteration] += est_proposed
+    curves = {
+        name: [value / runs for value in series]
+        for name, series in sums.items()
+    }
+    maes = {
+        name: sum(abs(v - _TIMEDECAY_ACTUAL) for v in series) / len(series)
+        for name, series in curves.items()
+    }
+    return {"curves": curves, "maes": maes}
+
+
+def _reduce_timedecay(result) -> SeriesResult:
+    maes = result["maes"]
+    return SeriesResult(
+        "tracking MAE: " + " / ".join(maes),
+        list(maes.values()),
+    )
+
+
+def _build_whitewashing(params: Mapping[str, object]) -> Dict[str, object]:
+    return {"graph": _graph(params["network"], params["graph_seed"])}
+
+
+def _seed_whitewashing(arena, params: Mapping[str, object], seed: int):
+    return {
+        label: sweep_thresholds(
+            arena["graph"], thresholds=params["thresholds"], seed=seed,
+            config=MutualityConfig(shared_logs=shared),
+        )
+        for label, shared in (("shared", True), ("private", False))
+    }
+
+
+def _reduce_whitewashing(results) -> SeriesResult:
+    labels = []
+    values = []
+    for label, sweep in results.items():
+        for result in sweep:
+            labels.append(f"{label}@{result.threshold:g}")
+            values.append(result.rates.abuse_rate)
+    return SeriesResult("abuse rate: " + " / ".join(labels), values)
+
+
+def _run_scenario(name: str, params: Params, seed: int) -> Reduced:
     """Reduced per-seed result; the picklable pool-worker entry point."""
     spec = get(name)
-    return spec._reduce(spec._full(dict(params), seed))
+    return spec._reduce(
+        spec._seed_run(_arena(name, params), dict(params), seed)
+    )
+
+
+# ---------------------------------------------------------------------------
+# the per-process arena store
+# ---------------------------------------------------------------------------
+
+def _hashable(value: object) -> object:
+    """A hashable stand-in for a parameter value (lists/sets/dicts ->
+    tuples), so any override accepted by ``params()`` can key the arena
+    store and the result cache."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_hashable(item) for item in value))
+    if isinstance(value, dict):
+        return tuple(
+            (key, _hashable(item)) for key, item in sorted(value.items())
+        )
+    return value
+
+
+_ARENAS: Dict[Tuple[str, Params], object] = {}
+
+
+def _arena(name: str, params: Params):
+    """The (possibly cached) arena for one ``(scenario, params)`` pair.
+
+    Reusable scenarios build once per process and share across every
+    seed that process executes; non-reusable ones get a fresh arena per
+    call.
+    """
+    spec = get(name)
+    if not spec.reusable:
+        return spec._build(dict(params))
+    key = (name, params)
+    try:
+        return _ARENAS[key]
+    except KeyError:
+        arena = spec._build(dict(params))
+        _ARENAS[key] = arena
+        return arena
+
+
+def warm_arena(name: str, params: Params) -> None:
+    """Pool-worker initializer: materialize the arena before any task.
+
+    Safe to call with any registered scenario; a non-reusable spec is a
+    no-op (its arenas are per-seed by definition).
+    """
+    spec = _REGISTRY.get(name)
+    if spec is not None and spec.reusable:
+        _arena(name, params)
+
+
+def arena_store_size() -> int:
+    """How many arenas this process currently holds (test/introspection)."""
+    return len(_ARENAS)
+
+
+def clear_arenas() -> None:
+    """Drop every cached arena in this process (test isolation)."""
+    _ARENAS.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -186,18 +590,32 @@ def _run_scenario(name: str, params: _Params, seed: int) -> Reduced:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One named, parameterized, picklable experiment."""
+    """One named, parameterized, picklable experiment.
+
+    ``_build`` materializes the seed-independent arena; ``_seed_run``
+    executes one seed against it; ``_reduce`` maps the native result to
+    the common multi-seed shape.  ``reusable=False`` opts out of the
+    per-process arena store for runs that mutate their arena.
+    """
 
     name: str
     kind: str  # "rates" | "series"
     description: str
     defaults: Mapping[str, object]
     smoke: Mapping[str, object] = field(default_factory=dict)
-    _full: Callable = None
+    _build: Callable = _build_nothing
+    _seed_run: Callable = None
     _reduce: Callable = None
+    reusable: bool = True
 
     def params(self, smoke: bool = False, **overrides: object) -> Dict[str, object]:
-        """Effective parameters: defaults, then smoke, then overrides."""
+        """Effective parameters: defaults, then smoke, then overrides.
+
+        Container values are normalized to hashable, deterministically
+        ordered tuples (list -> tuple, set -> sorted tuple) so every
+        execution path — direct ``run_full``, pool-bound ``bound()``,
+        arena store, cache key — sees byte-identical parameters.
+        """
         merged = dict(self.defaults)
         if smoke:
             merged.update(self.smoke)
@@ -207,15 +625,34 @@ class ScenarioSpec:
                 f"unknown parameter(s) for {self.name}: {sorted(unknown)}"
             )
         merged.update(overrides)
-        return merged
+        return {name: _hashable(value) for name, value in merged.items()}
+
+    def params_key(self, smoke: bool = False, **overrides: object) -> Params:
+        """The effective parameters as a sorted, hashable tuple."""
+        return tuple(sorted(self.params(smoke=smoke, **overrides).items()))
 
     def bound(
         self, smoke: bool = False, **overrides: object
     ) -> Callable[[int], Reduced]:
         """A picklable ``run(seed)`` with parameters baked in."""
-        merged = self.params(smoke=smoke, **overrides)
         return partial(
-            _run_scenario, self.name, tuple(sorted(merged.items()))
+            _run_scenario, self.name, self.params_key(smoke=smoke, **overrides)
+        )
+
+    def build_once(self, smoke: bool = False, **overrides: object):
+        """The scenario arena for the effective parameters.
+
+        Reusable specs share the arena through the per-process store;
+        non-reusable ones build fresh.
+        """
+        return _arena(self.name, self.params_key(smoke=smoke, **overrides))
+
+    def run_with_seed(
+        self, arena, seed: int, smoke: bool = False, **overrides: object
+    ):
+        """One seeded run against a prebuilt arena (native result)."""
+        return self._seed_run(
+            arena, self.params(smoke=smoke, **overrides), seed
         )
 
     def run(self, seed: int, smoke: bool = False, **overrides: object) -> Reduced:
@@ -224,7 +661,10 @@ class ScenarioSpec:
 
     def run_full(self, seed: int, smoke: bool = False, **overrides: object):
         """The experiment's native result object (what benches assert on)."""
-        return self._full(self.params(smoke=smoke, **overrides), seed)
+        return self.run_with_seed(
+            self.build_once(smoke=smoke, **overrides), seed,
+            smoke=smoke, **overrides,
+        )
 
 
 _REGISTRY: Dict[str, ScenarioSpec] = {}
@@ -272,7 +712,8 @@ _register(ScenarioSpec(
         "network": "twitter", "warmup_interactions": 5,
         "requests_per_trustor": 2,
     },
-    _full=_full_fig7,
+    _build=_build_fig7,
+    _seed_run=_seed_fig7,
     _reduce=_reduce_fig7,
 ))
 
@@ -287,7 +728,8 @@ _register(ScenarioSpec(
         "property_based_tasks": False,
     },
     smoke={"network": "twitter"},
-    _full=_full_transitivity,
+    _build=_build_transitivity,
+    _seed_run=_seed_transitivity,
     _reduce=_reduce_transitivity,
 ))
 
@@ -302,7 +744,8 @@ _register(ScenarioSpec(
         "property_based_tasks": True,
     },
     smoke={"network": "twitter"},
-    _full=_full_transitivity,
+    _build=_build_transitivity,
+    _seed_run=_seed_transitivity,
     _reduce=_reduce_transitivity,
 ))
 
@@ -316,7 +759,8 @@ _register(ScenarioSpec(
         "strategy": "second",
     },
     smoke={"network": "twitter", "iterations": 30},
-    _full=_full_fig13,
+    _build=_build_fig13,
+    _seed_run=_seed_fig13,
     _reduce=_reduce_fig13,
 ))
 
@@ -328,7 +772,8 @@ _register(ScenarioSpec(
                 "averaging replaces the internal repetition)",
     defaults={"runs": 1},
     smoke={},
-    _full=_full_fig15,
+    _build=_build_fig15,
+    _seed_run=_seed_fig15,
     _reduce=_reduce_fig15,
 ))
 
@@ -341,7 +786,8 @@ _register(ScenarioSpec(
         "network": "facebook", "graph_seed": 0, "tasks_per_trustor": 50,
     },
     smoke={"network": "twitter", "tasks_per_trustor": 5},
-    _full=_full_eq24,
+    _build=_build_eq24,
+    _seed_run=_seed_eq24,
     _reduce=_reduce_eq24,
 ))
 
@@ -352,7 +798,7 @@ _register(ScenarioSpec(
                 "inference model, per experiment index",
     defaults={"runs": 50},
     smoke={"runs": 3},
-    _full=_full_fig8,
+    _seed_run=_seed_fig8,
     _reduce=_reduce_fig8,
 ))
 
@@ -363,7 +809,7 @@ _register(ScenarioSpec(
                 "attack, cost-aware policy",
     defaults={"tasks_per_trustor": 50},
     smoke={"tasks_per_trustor": 3},
-    _full=_full_fig14,
+    _seed_run=_seed_fig14,
     _reduce=_reduce_fig14,
 ))
 
@@ -374,6 +820,100 @@ _register(ScenarioSpec(
                 "environment de-bias",
     defaults={},
     smoke={},
-    _full=_full_fig16,
+    _seed_run=_seed_fig16,
     _reduce=_reduce_fig16,
+))
+
+_register(ScenarioSpec(
+    name="table1-connectivity",
+    kind="series",
+    description="Table 1: connectivity characteristics of one calibrated "
+                "network (the sweep seed drives the generator)",
+    defaults={"network": "facebook"},
+    smoke={"network": "twitter"},
+    _seed_run=_seed_table1,
+    _reduce=_reduce_table1,
+))
+
+_register(ScenarioSpec(
+    name="fig12-overhead",
+    kind="series",
+    description="Fig. 12: mean inquired nodes per trustor for the three "
+                "trust-transfer methods",
+    defaults={
+        "network": "facebook", "graph_seed": 0, "num_characteristics": 4,
+    },
+    smoke={"network": "twitter"},
+    _build=_build_transitivity,
+    _seed_run=_seed_fig12,
+    _reduce=_reduce_fig12,
+))
+
+_register(ScenarioSpec(
+    name="ablation-attacks",
+    kind="series",
+    description="Ablation: defended estimate error under the four "
+                "adversary models at 50% attackers",
+    defaults={"honest_count": 6, "attacker_count": 6, "rounds": 80},
+    smoke={"rounds": 10},
+    _seed_run=_seed_attacks,
+    _reduce=_reduce_attacks,
+))
+
+_register(ScenarioSpec(
+    name="ablation-beta",
+    kind="series",
+    description="Ablation: Fig. 15 tracking MAE per forgetting factor "
+                "(history weight)",
+    defaults={"runs": 60, "betas": (0.5, 0.8, 0.9, 0.98)},
+    smoke={"runs": 4},
+    _seed_run=_seed_beta,
+    _reduce=_reduce_beta,
+))
+
+_register(ScenarioSpec(
+    name="ablation-combiner",
+    kind="series",
+    description="Ablation: mean Eq. 7 vs Eq. 5 trust-transfer gap per "
+                "path length (Monte-Carlo)",
+    defaults={"samples": 2000, "trials": 60000, "lengths": (1, 2, 3, 4)},
+    smoke={"samples": 100, "trials": 2000},
+    _seed_run=_seed_combiner,
+    _reduce=_reduce_combiner,
+))
+
+_register(ScenarioSpec(
+    name="ablation-energy",
+    kind="series",
+    description="Ablation: CC2530-scale energy cost of the Fig. 14 attack "
+                "without vs with the proposed model",
+    defaults={"tasks_per_trustor": 50},
+    smoke={"tasks_per_trustor": 3},
+    _seed_run=_seed_energy,
+    _reduce=_reduce_energy,
+))
+
+_register(ScenarioSpec(
+    name="ablation-timedecay",
+    kind="series",
+    description="Ablation: time-decay vs environment de-bias tracking MAE "
+                "on the Fig. 15 schedule",
+    defaults={"runs": 60},
+    smoke={"runs": 4},
+    _seed_run=_seed_timedecay,
+    _reduce=_reduce_timedecay,
+))
+
+_register(ScenarioSpec(
+    name="ablation-whitewashing",
+    kind="series",
+    description="Ablation: abuse rate with shared vs private usage logs "
+                "across reverse-evaluation thresholds",
+    defaults={
+        "network": "facebook", "graph_seed": 0, "thresholds": (0.0, 0.6),
+    },
+    smoke={"network": "twitter"},
+    _build=_build_whitewashing,
+    _seed_run=_seed_whitewashing,
+    _reduce=_reduce_whitewashing,
 ))

@@ -27,6 +27,27 @@ class RateSummary:
             "abuse": round(self.abuse_rate, 4),
         }
 
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready dict; the one place the field list is spelled out
+        for serialization (sweep exports and the result cache both use
+        it)."""
+        return {
+            "success_rate": self.success_rate,
+            "unavailable_rate": self.unavailable_rate,
+            "abuse_rate": self.abuse_rate,
+            "total_requests": self.total_requests,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "RateSummary":
+        """Inverse of :meth:`to_payload`; lossless for JSON round-trips."""
+        return cls(
+            success_rate=float(payload["success_rate"]),
+            unavailable_rate=float(payload["unavailable_rate"]),
+            abuse_rate=float(payload["abuse_rate"]),
+            total_requests=int(payload["total_requests"]),
+        )
+
 
 @dataclass
 class SeriesResult:
@@ -59,6 +80,18 @@ class SeriesResult:
             raise ValueError("series is empty")
         tail = self.values[-count:]
         return sum(tail) / len(tail)
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready dict (see :meth:`RateSummary.to_payload`)."""
+        return {"label": self.label, "values": list(self.values)}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "SeriesResult":
+        """Inverse of :meth:`to_payload`; lossless for JSON round-trips."""
+        return cls(
+            label=str(payload["label"]),
+            values=[float(value) for value in payload["values"]],
+        )
 
 
 def mean(values: Sequence[float]) -> float:

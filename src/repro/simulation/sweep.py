@@ -1,19 +1,39 @@
 """Multi-seed sweep of a registered scenario, with timing and variance.
 
 ``run_sweep`` is the one entry point behind ``repro sweep`` and the
-equivalence/export tests: it resolves a scenario by name, fans the seeds
-out via :class:`~repro.simulation.parallel.ParallelRunner` (sequentially
-when ``workers == 1``), and packages the per-seed results, their mean,
-the per-metric (or per-point) variance across seeds, and the wall-clock
-timing of the map.
+equivalence/export tests: it resolves a scenario by name, consults the
+persistent result cache (:mod:`repro.simulation.cache`) for seeds it has
+already computed, fans the *missing* seeds out via
+:class:`~repro.simulation.parallel.ParallelRunner` (sequentially when
+``workers == 1``), and packages the per-seed results, their mean, the
+per-metric (or per-point) variance across seeds, the wall-clock timing
+of the map, and the cache's hit/miss accounting.
+
+Throughput levers, all result-neutral (bit-identical per the
+equivalence suite):
+
+* ``workers`` / ``backend`` — pool fan-out (PR 1);
+* ``chunk_size`` — seeds per pool task; ``None`` auto-sizes to four
+  task waves per worker, amortizing dispatch overhead for cheap
+  scenarios;
+* per-worker **scenario arenas** — the pool initializer materializes
+  the scenario's seed-independent state (graph + configs) once per
+  worker process via :func:`repro.simulation.registry.warm_arena`;
+* ``cache_dir`` — when set, per-seed reduced results persist across
+  processes keyed by ``(scenario, params, seed, code version)``, so
+  repeated and incrementally grown sweeps only compute missing seeds.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.simulation import registry
+from repro.simulation.cache import SweepCache
 from repro.simulation.parallel import ParallelRunner, RunTiming
 from repro.simulation.results import RateSummary, SeriesResult
 from repro.simulation.runner import combine_rates, combine_series
@@ -40,6 +60,10 @@ class SweepResult:
     mean: Reduced
     # rates: variance per rate metric; series: pointwise variance.
     variance: Union[Dict[str, float], List[float]]
+    # Persistent-cache accounting for this invocation.
+    cache_enabled: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 def seed_range(count: int, first: int = 1) -> List[int]:
@@ -56,17 +80,90 @@ def run_sweep(
     backend: str = "process",
     smoke: bool = False,
     overrides: Optional[Dict[str, object]] = None,
+    chunk_size: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> SweepResult:
     """Run ``scenario`` once per seed and aggregate.
 
     The reduction is shared with the sequential oracle, so for the same
-    seed list the mean is bit-identical no matter the worker count.
+    seed list the mean is bit-identical no matter the worker count, the
+    chunk size, or whether results were replayed from the cache
+    (``cache_dir=None`` disables caching entirely — no reads, no
+    writes).
     """
     spec = registry.get(scenario)
-    run = spec.bound(smoke=smoke, **(overrides or {}))
-    runner = ParallelRunner(workers=workers, backend=backend)
-    per_seed = runner.map_seeds(run, list(seeds))
-    timing = runner.last_timing
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    overrides = overrides or {}
+    run = spec.bound(smoke=smoke, **overrides)
+    params = spec.params_key(smoke=smoke, **overrides)
+
+    # Constructed before the cache is consulted so invalid
+    # workers/backend/chunk_size are rejected regardless of cache state.
+    runner = ParallelRunner(
+        workers=workers,
+        backend=backend,
+        chunk_size=chunk_size,
+        # Build the scenario's seed-independent arena once per worker,
+        # before its first task.
+        initializer=registry.warm_arena,
+        initargs=(spec.name, params),
+    )
+
+    cache = SweepCache(Path(cache_dir)) if cache_dir is not None else None
+    start = time.perf_counter()
+
+    collected: Dict[int, Reduced] = {}
+    missing = seeds
+    keys: Dict[int, str] = {}
+    if cache is not None:
+        keys = {
+            seed: SweepCache.key(spec.name, params, seed) for seed in seeds
+        }
+        missing = []
+        for seed in seeds:
+            cached = cache.get(keys[seed])
+            if cached is None:
+                missing.append(seed)
+            else:
+                collected[seed] = cached
+
+    timing: Optional[RunTiming] = None
+    if missing:
+        computed = runner.map_seeds(run, missing)
+        timing = runner.last_timing
+        cache_writable = True
+        for seed, result in zip(missing, computed):
+            collected[seed] = result
+            if cache is not None and cache_writable:
+                try:
+                    cache.put(keys[seed], result, scenario=spec.name,
+                              seed=seed)
+                except OSError as error:
+                    # An unwritable cache (read-only dir, full disk) must
+                    # never cost the results that were just computed.
+                    cache_writable = False
+                    warnings.warn(
+                        f"sweep cache write to {cache.root} failed "
+                        f"({error}); continuing without persisting "
+                        f"results",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+    # Timing always describes the whole invocation: every requested
+    # seed, total wall clock (map + cache traffic).  Workers/backend/
+    # chunk_size come from the map when one ran; an all-hits replay is
+    # its own "cache" backend.
+    timing = RunTiming(
+        wall_seconds=time.perf_counter() - start,
+        seeds=len(seeds),
+        workers=timing.workers if timing is not None else 1,
+        backend=timing.backend if timing is not None else "cache",
+        chunk_size=timing.chunk_size if timing is not None else 1,
+    )
+
+    per_seed = [collected[seed] for seed in seeds]
 
     if spec.kind == "rates":
         mean: Reduced = combine_rates(per_seed)
@@ -87,9 +184,12 @@ def run_sweep(
     return SweepResult(
         scenario=spec.name,
         kind=spec.kind,
-        seeds=list(seeds),
+        seeds=seeds,
         timing=timing,
         per_seed=per_seed,
         mean=mean,
         variance=variance,
+        cache_enabled=cache is not None,
+        cache_hits=cache.stats.hits if cache is not None else 0,
+        cache_misses=cache.stats.misses if cache is not None else 0,
     )

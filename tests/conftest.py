@@ -8,6 +8,17 @@ from repro.core.task import Task
 from repro.socialnet.graph import SocialGraph
 
 
+@pytest.fixture(autouse=True)
+def _isolated_sweep_cache(tmp_path, monkeypatch):
+    """Point the persistent sweep cache at a per-test directory.
+
+    ``repro sweep`` caches by default; without this, CLI tests would
+    write into (and worse, replay from) the developer's real cache,
+    making second runs of the suite behave differently from the first.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "sweep-cache"))
+
+
 @pytest.fixture
 def triangle() -> SocialGraph:
     """Three mutually connected nodes."""

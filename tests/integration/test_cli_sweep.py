@@ -49,7 +49,7 @@ class TestSweepCli:
         ]) == 0
         out = capsys.readouterr().out
         assert "series" in out
-        assert "2 workers (thread)" in out
+        assert "2 workers (thread, chunks of" in out
 
     def test_json_export_is_loadable_and_matches_library(
         self, capsys, tmp_path
@@ -73,3 +73,65 @@ class TestSweepCli:
     def test_bad_backend_rejected(self):
         with pytest.raises(SystemExit):
             main(["sweep", "fig7-mutuality", "--backend", "carrier-pigeon"])
+
+    def test_bad_chunk_size_exits_cleanly(self, capsys):
+        assert main([
+            "sweep", "fig15-environment", "--chunk-size", "0",
+            "--workers", "2", "--smoke",
+        ]) == 2
+        assert "chunk_size" in capsys.readouterr().err
+
+    def test_explicit_chunk_size_reported(self, capsys):
+        assert main([
+            "sweep", "fig15-environment", "--seeds", "4", "--workers", "2",
+            "--backend", "thread", "--chunk-size", "2", "--smoke",
+        ]) == 0
+        assert "chunks of 2" in capsys.readouterr().out
+
+
+class TestSweepCacheCli:
+    def test_default_cache_reports_misses_then_hits(self, capsys):
+        args = ["sweep", "fig15-environment", "--seeds", "3", "--smoke"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache: 0 hit(s), 3 miss(es)" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache: 3 hit(s), 0 miss(es)" in second
+
+    def test_cache_dir_flag_is_honoured(self, capsys, tmp_path):
+        cache_dir = tmp_path / "explicit-cache"
+        args = [
+            "sweep", "fig15-environment", "--seeds", "2", "--smoke",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert str(cache_dir) in out
+        assert list(cache_dir.rglob("*.json"))
+
+    def test_no_cache_bypasses_and_hides_cache_line(self, capsys, tmp_path):
+        assert main([
+            "sweep", "fig15-environment", "--seeds", "2", "--smoke",
+            "--no-cache", "--cache-dir", str(tmp_path / "never"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cache:" not in out
+        assert not (tmp_path / "never").exists()
+
+    def test_json_export_carries_cache_counts(self, capsys, tmp_path):
+        path = tmp_path / "sweep.json"
+        args = [
+            "sweep", "fig15-environment", "--seeds", "3", "--smoke",
+            "--json", str(path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        cold = load_sweep(path.read_text())
+        assert cold["cache"] == {"enabled": True, "hits": 0, "misses": 3}
+        assert main(args) == 0
+        warm = load_sweep(path.read_text())
+        assert warm["cache"] == {"enabled": True, "hits": 3, "misses": 0}
+        assert warm["mean"] == cold["mean"]
+        assert warm["per_seed"] == cold["per_seed"]
+        assert warm["timing"]["backend"] == "cache"

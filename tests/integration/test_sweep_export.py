@@ -37,6 +37,17 @@ class TestRoundTrip:
         assert timing["seeds"] == 3
         assert timing["workers"] == 2
         assert timing["backend"] == "thread"
+        assert timing["chunk_size"] >= 1
+
+    def test_cache_fields_survive(self, rates_sweep, series_sweep):
+        # These sweeps ran without a cache_dir: accounting says so.
+        payload = load_sweep(sweep_to_json(rates_sweep))
+        assert payload["cache"] == {
+            "enabled": False, "hits": 0, "misses": 0,
+        }
+        assert load_sweep(sweep_to_json(series_sweep))["cache"][
+            "enabled"
+        ] is False
 
     def test_variance_fields_survive(self, rates_sweep, series_sweep):
         rates_payload = load_sweep(sweep_to_json(rates_sweep))
@@ -87,4 +98,19 @@ class TestValidation:
         payload = sweep_to_payload(rates_sweep)
         payload["per_seed"] = payload["per_seed"][:-1]
         with pytest.raises(ValueError, match="per_seed"):
+            load_sweep(json.dumps(payload))
+
+    def test_missing_cache_block_defaults(self, rates_sweep):
+        # Exports written before the cache existed must stay loadable.
+        payload = sweep_to_payload(rates_sweep)
+        del payload["cache"]
+        loaded = load_sweep(json.dumps(payload))
+        assert loaded["cache"] == {
+            "enabled": False, "hits": 0, "misses": 0,
+        }
+
+    def test_cache_block_without_counts_rejected(self, rates_sweep):
+        payload = sweep_to_payload(rates_sweep)
+        payload["cache"] = {"enabled": True}
+        with pytest.raises(ValueError, match="hits/misses"):
             load_sweep(json.dumps(payload))

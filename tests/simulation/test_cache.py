@@ -1,0 +1,230 @@
+"""Tests for the persistent cross-process sweep result cache."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.simulation.cache import (
+    CacheStats,
+    SweepCache,
+    code_version,
+    default_cache_dir,
+)
+from repro.simulation.results import RateSummary, SeriesResult
+from repro.simulation.sweep import run_sweep, seed_range
+
+PARAMS = (("network", "twitter"), ("threshold", 0.3))
+
+
+def _cache_files(root: Path):
+    return sorted(root.rglob("*.json"))
+
+
+class TestKey:
+    def test_key_is_stable(self):
+        assert SweepCache.key("fig7", PARAMS, 1) == SweepCache.key(
+            "fig7", PARAMS, 1
+        )
+
+    def test_key_varies_with_every_component(self):
+        base = SweepCache.key("fig7", PARAMS, 1, version="v1")
+        assert SweepCache.key("fig9", PARAMS, 1, version="v1") != base
+        assert SweepCache.key(
+            "fig7", (("network", "gplus"),), 1, version="v1"
+        ) != base
+        assert SweepCache.key("fig7", PARAMS, 2, version="v1") != base
+        assert SweepCache.key("fig7", PARAMS, 1, version="v2") != base
+
+    def test_default_version_is_code_version(self):
+        assert SweepCache.key("fig7", PARAMS, 1) == SweepCache.key(
+            "fig7", PARAMS, 1, version=code_version()
+        )
+
+    def test_code_version_is_short_hex_and_cached(self):
+        version = code_version()
+        assert len(version) == 16
+        int(version, 16)  # hex
+        assert code_version() == version
+
+
+class TestRoundTrip:
+    def test_rates_round_trip(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        result = RateSummary(0.5, 0.25, 0.125, total_requests=7)
+        cache.put("a" * 64, result, scenario="s", seed=1)
+        assert cache.get("a" * 64) == result
+
+    def test_series_round_trip_bit_identical(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        values = [0.1 + 0.2, 1.0 / 3.0, 1e-17, 123456.789]
+        result = SeriesResult("curve", values)
+        cache.put("b" * 64, result)
+        replayed = cache.get("b" * 64)
+        assert replayed == result
+        assert replayed.values == values  # exact float equality
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        assert cache.get("c" * 64) is None
+        assert cache.stats == CacheStats(hits=0, misses=1)
+
+    def test_hit_miss_accounting(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("d" * 64, SeriesResult("s", [1.0]))
+        cache.get("d" * 64)
+        cache.get("e" * 64)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.lookups == 2
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("f" * 64, SeriesResult("s", [1.0]))
+        (path,) = _cache_files(tmp_path)
+        path.write_text("{ not json")
+        assert cache.get("f" * 64) is None
+        assert cache.stats.misses == 1
+
+    def test_wrong_shape_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("0" * 64, SeriesResult("s", [1.0]))
+        (path,) = _cache_files(tmp_path)
+        path.write_text(json.dumps({"result": {"kind": "histogram"}}))
+        assert cache.get("0" * 64) is None
+
+
+class TestDefaultDir:
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_tilde_expands_everywhere(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "~/env-cache")
+        assert default_cache_dir() == Path.home() / "env-cache"
+        assert SweepCache("~/lib-cache").root == Path.home() / "lib-cache"
+
+    def test_xdg_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro" / "sweeps"
+
+
+class TestRunSweepWithCache:
+    SCENARIO = "fig15-environment"
+
+    def test_cold_run_is_all_misses(self, tmp_path):
+        sweep = run_sweep(self.SCENARIO, seed_range(3), smoke=True,
+                          cache_dir=tmp_path)
+        assert sweep.cache_enabled
+        assert sweep.cache_hits == 0
+        assert sweep.cache_misses == 3
+        assert len(_cache_files(tmp_path)) == 3
+
+    def test_warm_rerun_is_all_hits_and_bit_identical(self, tmp_path):
+        cold = run_sweep(self.SCENARIO, seed_range(3), smoke=True,
+                         cache_dir=tmp_path)
+        warm = run_sweep(self.SCENARIO, seed_range(3), smoke=True,
+                         cache_dir=tmp_path)
+        assert warm.cache_hits == 3
+        assert warm.cache_misses == 0
+        assert warm.per_seed == cold.per_seed
+        assert warm.mean == cold.mean
+        assert warm.variance == cold.variance
+        assert warm.timing.backend == "cache"
+
+    def test_incremental_seed_growth_reuses_prior_seeds(self, tmp_path):
+        small = run_sweep(self.SCENARIO, seed_range(4), smoke=True,
+                          cache_dir=tmp_path)
+        grown = run_sweep(self.SCENARIO, seed_range(8), smoke=True,
+                          cache_dir=tmp_path)
+        assert grown.cache_hits == 4
+        assert grown.cache_misses == 4
+        # Timing describes the whole invocation, not just the 4
+        # recomputed seeds.
+        assert grown.timing.seeds == 8
+        # The first four per-seed results are replays of the small sweep.
+        assert grown.per_seed[:4] == small.per_seed
+        # And identical to computing the eight seeds from scratch.
+        fresh = run_sweep(self.SCENARIO, seed_range(8), smoke=True)
+        assert grown.per_seed == fresh.per_seed
+        assert grown.mean == fresh.mean
+
+    def test_different_params_do_not_collide(self, tmp_path):
+        run_sweep("fig7-mutuality", seed_range(2), smoke=True,
+                  cache_dir=tmp_path)
+        other = run_sweep("fig7-mutuality", seed_range(2), smoke=True,
+                          overrides={"threshold": 0.6},
+                          cache_dir=tmp_path)
+        assert other.cache_hits == 0
+        assert other.cache_misses == 2
+
+    def test_no_cache_dir_bypasses_reads_and_writes(self, tmp_path):
+        sweep = run_sweep(self.SCENARIO, seed_range(2), smoke=True,
+                          cache_dir=None)
+        assert not sweep.cache_enabled
+        assert sweep.cache_hits == 0
+        assert sweep.cache_misses == 0
+        assert _cache_files(tmp_path) == []
+
+    def test_corrupt_cache_file_recomputes(self, tmp_path):
+        clean = run_sweep(self.SCENARIO, seed_range(3), smoke=True,
+                          cache_dir=tmp_path)
+        victim = _cache_files(tmp_path)[1]
+        victim.write_text("truncated garbage")
+        recovered = run_sweep(self.SCENARIO, seed_range(3), smoke=True,
+                              cache_dir=tmp_path)
+        assert recovered.cache_hits == 2
+        assert recovered.cache_misses == 1
+        assert recovered.per_seed == clean.per_seed
+        assert recovered.mean == clean.mean
+        # The corrupt entry was rewritten; a third run is all hits.
+        third = run_sweep(self.SCENARIO, seed_range(3), smoke=True,
+                          cache_dir=tmp_path)
+        assert third.cache_hits == 3
+
+    def test_cache_shared_across_worker_counts(self, tmp_path):
+        sequential = run_sweep(self.SCENARIO, seed_range(4), smoke=True,
+                               cache_dir=tmp_path)
+        parallel = run_sweep(self.SCENARIO, seed_range(4), workers=2,
+                             backend="thread", smoke=True,
+                             cache_dir=tmp_path)
+        assert parallel.cache_hits == 4
+        assert parallel.per_seed == sequential.per_seed
+
+    def test_empty_seed_list_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="seed"):
+            run_sweep(self.SCENARIO, [], smoke=True, cache_dir=tmp_path)
+
+    def test_runner_args_validated_even_on_warm_cache(self, tmp_path):
+        run_sweep(self.SCENARIO, seed_range(2), smoke=True,
+                  cache_dir=tmp_path)
+        # An all-hits replay must reject bad arguments exactly like a
+        # cold run would.
+        with pytest.raises(ValueError, match="chunk_size"):
+            run_sweep(self.SCENARIO, seed_range(2), smoke=True,
+                      cache_dir=tmp_path, chunk_size=0)
+        with pytest.raises(ValueError, match="workers"):
+            run_sweep(self.SCENARIO, seed_range(2), smoke=True,
+                      cache_dir=tmp_path, workers=-5)
+        with pytest.raises(ValueError, match="backend"):
+            run_sweep(self.SCENARIO, seed_range(2), smoke=True,
+                      cache_dir=tmp_path, backend="bogus")
+
+    def test_unwritable_cache_warns_but_returns_results(
+        self, tmp_path, monkeypatch
+    ):
+        def refuse(self, key, result, scenario="", seed=None):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(SweepCache, "put", refuse)
+        with pytest.warns(RuntimeWarning, match="cache write.*failed"):
+            sweep = run_sweep(self.SCENARIO, seed_range(3), smoke=True,
+                              cache_dir=tmp_path)
+        # The computed results survive the failed persist...
+        clean = run_sweep(self.SCENARIO, seed_range(3), smoke=True)
+        assert sweep.per_seed == clean.per_seed
+        assert sweep.mean == clean.mean
+        # ...and nothing was written.
+        monkeypatch.undo()
+        assert _cache_files(tmp_path) == []

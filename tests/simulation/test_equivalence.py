@@ -1,11 +1,13 @@
 """The sequential-vs-parallel equivalence suite (the PR's headline).
 
-For **every registered scenario**, the parallel runtime must return
+For **every registered scenario**, the sweep runtime must return
 *bit-identical* results to the sequential oracle — same per-seed values,
-same mean, for any worker count and backend.  Equality is asserted with
-``==`` on the result dataclasses, i.e. exact float comparison: the two
-paths share the reduction code and the per-seed runs are deterministic,
-so there is no tolerance to hide behind.
+same mean — for any worker count, any backend, any ``chunk_size``, and
+whether the seeds were computed cold or replayed from the persistent
+result cache.  Equality is asserted with ``==`` on the result
+dataclasses, i.e. exact float comparison: every path shares the
+reduction code and the per-seed runs are deterministic, so there is no
+tolerance to hide behind.
 """
 
 import os
@@ -20,17 +22,26 @@ from repro.simulation.sweep import run_sweep, seed_range
 
 SEEDS = [11, 12, 13]
 
+# The oracle is deterministic, so each (scenario, seeds) pair is computed
+# once and shared by every comparison in this module.
+_ORACLE_MEMO = {}
+
 
 def _sequential_average(spec, seeds):
-    run = spec.bound(smoke=True)
-    if spec.kind == "rates":
-        return average_rates(run, seeds)
-    return average_series(run, seeds)
+    key = (spec.name, tuple(seeds))
+    if key not in _ORACLE_MEMO:
+        run = spec.bound(smoke=True)
+        if spec.kind == "rates":
+            _ORACLE_MEMO[key] = average_rates(run, seeds)
+        else:
+            _ORACLE_MEMO[key] = average_series(run, seeds)
+    return _ORACLE_MEMO[key]
 
 
-def _parallel_average(spec, seeds, workers, backend):
+def _parallel_average(spec, seeds, workers, backend, chunk_size=None):
     run = spec.bound(smoke=True)
-    runner = ParallelRunner(workers=workers, backend=backend)
+    runner = ParallelRunner(workers=workers, backend=backend,
+                            chunk_size=chunk_size)
     if spec.kind == "rates":
         return runner.average_rates(run, seeds)
     return runner.average_series(run, seeds)
@@ -49,6 +60,27 @@ class TestEveryScenario:
         sequential = _sequential_average(spec, SEEDS)
         one_worker = _parallel_average(spec, SEEDS, workers=1, backend="process")
         assert sequential == one_worker
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, len(SEEDS) + 1])
+    def test_any_chunk_size_identical_to_sequential(self, name, chunk_size):
+        spec = registry.get(name)
+        sequential = _sequential_average(spec, SEEDS)
+        chunked = _parallel_average(
+            spec, SEEDS, workers=3, backend="thread", chunk_size=chunk_size
+        )
+        assert sequential == chunked
+
+    def test_warm_cache_rerun_identical(self, name, tmp_path):
+        spec = registry.get(name)
+        cold = run_sweep(name, SEEDS, workers=1, smoke=True,
+                         cache_dir=tmp_path)
+        warm = run_sweep(name, SEEDS, workers=1, smoke=True,
+                         cache_dir=tmp_path)
+        assert warm.cache_hits == len(SEEDS)
+        assert warm.per_seed == cold.per_seed
+        assert warm.variance == cold.variance
+        # ...and both match the uncached sequential oracle, bit for bit.
+        assert warm.mean == cold.mean == _sequential_average(spec, SEEDS)
 
 
 class TestProcessPool:
@@ -73,6 +105,19 @@ class TestProcessPool:
         sequential = _sequential_average(spec, SEEDS)
         parallel = _parallel_average(spec, SEEDS, workers=3, backend="process")
         assert sequential == parallel
+
+    @pytest.mark.parametrize("chunk_size", [2, 3])
+    def test_chunked_process_pool_identical(self, chunk_size):
+        seeds = seed_range(8)
+        sequential = run_sweep("fig15-environment", seeds, workers=1,
+                               smoke=True)
+        chunked = run_sweep("fig15-environment", seeds, workers=4,
+                            backend="process", smoke=True,
+                            chunk_size=chunk_size)
+        assert chunked.per_seed == sequential.per_seed
+        assert chunked.mean == sequential.mean
+        assert chunked.timing.chunk_size == chunk_size
+        assert chunked.timing.backend == "process"
 
 
 @pytest.mark.slow

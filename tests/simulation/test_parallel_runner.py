@@ -1,10 +1,25 @@
 """Unit tests for the parallel multi-seed runtime."""
 
 import pickle
+import warnings
+from contextlib import contextmanager
 
 import pytest
 
-from repro.simulation.parallel import ParallelRunner, default_workers
+
+@contextmanager
+def warnings_none():
+    """Fail the block if any warning is emitted inside it."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        yield
+
+from repro.simulation import parallel
+from repro.simulation.parallel import (
+    ParallelRunner,
+    auto_chunk_size,
+    default_workers,
+)
 from repro.simulation.results import RateSummary, SeriesResult
 from repro.simulation.runner import average_rates, average_series
 
@@ -40,6 +55,73 @@ class TestConstruction:
         with pytest.raises(ValueError, match="workers"):
             ParallelRunner(workers=0)
 
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            ParallelRunner(chunk_size=0)
+
+
+class TestChunking:
+    def test_auto_chunk_size_is_four_waves_per_worker(self):
+        assert auto_chunk_size(seeds=64, workers=4) == 4  # 16 tasks
+        assert auto_chunk_size(seeds=8, workers=4) == 1
+        assert auto_chunk_size(seeds=100, workers=8) == 4  # ceil(100/32)
+        assert auto_chunk_size(seeds=1, workers=16) == 1
+
+    def test_auto_chunk_size_validates(self):
+        with pytest.raises(ValueError, match="seed"):
+            auto_chunk_size(seeds=0, workers=2)
+        with pytest.raises(ValueError, match="workers"):
+            auto_chunk_size(seeds=4, workers=0)
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 7, 100])
+    def test_any_chunk_size_preserves_seed_order(self, chunk_size):
+        runner = ParallelRunner(workers=3, backend="thread",
+                                chunk_size=chunk_size)
+        seeds = [9, 1, 5, 2, 8, 3, 6]
+        results = runner.map_seeds(series_run, seeds)
+        assert results == [series_run(seed) for seed in seeds]
+
+    def test_chunk_size_recorded_in_timing(self):
+        runner = ParallelRunner(workers=2, backend="thread", chunk_size=2)
+        runner.map_seeds(rates_run, [1, 2, 3, 4])
+        assert runner.last_timing.chunk_size == 2
+        assert runner.last_timing.backend == "thread"
+
+    def test_single_chunk_skips_the_pool(self):
+        # One chunk leaves nothing to parallelize, so no pool is paid for.
+        runner = ParallelRunner(workers=4, backend="process", chunk_size=10)
+        results = runner.map_seeds(rates_run, [1, 2, 3])
+        assert results == [rates_run(seed) for seed in [1, 2, 3]]
+        assert runner.last_timing.backend == "sequential"
+        assert runner.last_timing.workers == 1
+
+    def test_workers_capped_by_chunk_count(self):
+        runner = ParallelRunner(workers=4, backend="thread", chunk_size=3)
+        runner.map_seeds(rates_run, [1, 2, 3, 4, 5, 6])
+        assert runner.last_timing.workers == 2  # only two chunks exist
+
+
+def _record_initialized():
+    _INITIALIZED.append(True)
+
+
+_INITIALIZED = []
+
+
+class TestInitializer:
+    def test_initializer_runs_in_thread_pool(self):
+        _INITIALIZED.clear()
+        runner = ParallelRunner(workers=2, backend="thread",
+                                initializer=_record_initialized)
+        runner.map_seeds(rates_run, [1, 2, 3, 4])
+        assert len(_INITIALIZED) >= 1
+
+    def test_initializer_runs_on_sequential_path(self):
+        _INITIALIZED.clear()
+        runner = ParallelRunner(workers=1, initializer=_record_initialized)
+        runner.map_seeds(rates_run, [1, 2])
+        assert _INITIALIZED == [True]
+
 
 class TestMapSeeds:
     def test_empty_seeds_rejected(self):
@@ -73,17 +155,30 @@ class TestMapSeeds:
         runner.map_seeds(rates_run, [4, 5])
         assert runner.last_timing.workers == 2
 
-    def test_unpicklable_run_falls_back_sequentially(self):
+    def test_unpicklable_run_falls_back_sequentially_with_warning(self):
         offset = 0.25
         closure = lambda seed: RateSummary(  # noqa: E731 - deliberately unpicklable
             success_rate=offset, unavailable_rate=0.0, abuse_rate=0.0
         )
         with pytest.raises(Exception):
             pickle.dumps(closure)
+        parallel._WARNED_UNPICKLABLE.clear()
         runner = ParallelRunner(workers=4, backend="process")
-        results = runner.map_seeds(closure, [1, 2])
+        with pytest.warns(RuntimeWarning, match="not picklable") as caught:
+            results = runner.map_seeds(closure, [1, 2])
+        # The callable is named, so the degradation is diagnosable.
+        assert "<lambda>" in str(caught[0].message)
         assert [r.success_rate for r in results] == [0.25, 0.25]
         assert runner.last_timing.backend == "sequential"
+
+    def test_unpicklable_warning_fires_once_per_callable(self):
+        closure = lambda seed: rates_run(seed)  # noqa: E731
+        parallel._WARNED_UNPICKLABLE.clear()
+        runner = ParallelRunner(workers=2, backend="process")
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            runner.map_seeds(closure, [1, 2])
+        with warnings_none():
+            runner.map_seeds(closure, [3, 4])
 
 
 class TestAveragingAPI:

@@ -17,6 +17,16 @@ EXPECTED_SCENARIOS = {
     "fig8-inference",
     "fig14-activetime",
     "fig16-light",
+    # The remaining bench families, folded in so `repro sweep` can drive
+    # every bench through a named spec.
+    "table1-connectivity",
+    "fig12-overhead",
+    "ablation-attacks",
+    "ablation-beta",
+    "ablation-combiner",
+    "ablation-energy",
+    "ablation-timedecay",
+    "ablation-whitewashing",
 }
 
 
@@ -78,3 +88,126 @@ class TestRun:
         spec = registry.get("fig7-mutuality")
         assert spec.run(seed=2, smoke=True) == spec.run(seed=2, smoke=True)
         assert spec.run(seed=2, smoke=True) != spec.run(seed=3, smoke=True)
+
+
+def _build_counting(params):
+    _BUILD_CALLS.append(dict(params))
+    return {"token": object()}
+
+
+def _seed_identity(arena, params, seed):
+    return arena
+
+
+def _reduce_noop(result):
+    from repro.simulation.results import SeriesResult
+
+    return SeriesResult("noop", [0.0])
+
+
+_BUILD_CALLS = []
+
+
+@pytest.fixture
+def synthetic_spec(request):
+    """Register a throwaway spec (cleaned up afterwards)."""
+    def make(name, reusable):
+        spec = registry.ScenarioSpec(
+            name=name,
+            kind="series",
+            description="synthetic arena test spec",
+            defaults={"knob": 1},
+            _build=_build_counting,
+            _seed_run=_seed_identity,
+            _reduce=_reduce_noop,
+            reusable=reusable,
+        )
+        registry._register(spec)
+        request.addfinalizer(lambda: registry._REGISTRY.pop(name, None))
+        return spec
+
+    _BUILD_CALLS.clear()
+    registry.clear_arenas()
+    return make
+
+
+class TestArenas:
+    def test_build_once_is_shared_across_seeds(self, synthetic_spec):
+        spec = synthetic_spec("synthetic-reusable", reusable=True)
+        first = spec.build_once()
+        second = spec.build_once()
+        assert first is second
+        assert len(_BUILD_CALLS) == 1
+        # run_full goes through the same store: still no rebuild.
+        spec.run_full(seed=1)
+        spec.run_full(seed=2)
+        assert len(_BUILD_CALLS) == 1
+
+    def test_different_params_get_different_arenas(self, synthetic_spec):
+        spec = synthetic_spec("synthetic-params", reusable=True)
+        assert spec.build_once() is not spec.build_once(knob=2)
+        assert len(_BUILD_CALLS) == 2
+
+    def test_non_reusable_spec_rebuilds_per_seed(self, synthetic_spec):
+        spec = synthetic_spec("synthetic-fresh", reusable=False)
+        assert spec.build_once() is not spec.build_once()
+        spec.run_full(seed=1)
+        spec.run_full(seed=1)
+        assert len(_BUILD_CALLS) == 4
+        assert registry.arena_store_size() == 0
+
+    def test_warm_arena_prebuilds(self, synthetic_spec):
+        spec = synthetic_spec("synthetic-warm", reusable=True)
+        registry.warm_arena(spec.name, spec.params_key())
+        assert len(_BUILD_CALLS) == 1
+        spec.run_full(seed=5)
+        assert len(_BUILD_CALLS) == 1
+
+    def test_warm_arena_ignores_unknown_and_non_reusable(self, synthetic_spec):
+        registry.warm_arena("no-such-scenario", ())
+        spec = synthetic_spec("synthetic-skip", reusable=False)
+        registry.warm_arena(spec.name, spec.params_key())
+        assert _BUILD_CALLS == []
+
+    def test_clear_arenas_forces_rebuild(self, synthetic_spec):
+        spec = synthetic_spec("synthetic-clear", reusable=True)
+        spec.build_once()
+        registry.clear_arenas()
+        spec.build_once()
+        assert len(_BUILD_CALLS) == 2
+
+    def test_run_with_seed_uses_the_given_arena(self, synthetic_spec):
+        spec = synthetic_spec("synthetic-explicit", reusable=True)
+        arena = spec.build_once()
+        assert spec.run_with_seed(arena, seed=3) is arena
+
+    def test_unhashable_override_values_are_normalized(self):
+        # A list override must work (hash into the arena store / cache
+        # key) exactly like the equivalent tuple.
+        spec = registry.get("ablation-beta")
+        as_list = spec.params_key(smoke=True, betas=[0.5, 0.9])
+        as_tuple = spec.params_key(smoke=True, betas=(0.5, 0.9))
+        assert as_list == as_tuple
+        hash(as_list)
+        result = spec.run(seed=1, smoke=True, betas=[0.5, 0.9])
+        assert result == spec.run(seed=1, smoke=True, betas=(0.5, 0.9))
+
+    def test_container_overrides_identical_across_paths(self):
+        # params() normalizes once, so the direct path (run_full) and
+        # the pool path (bound) see byte-identical parameters even for
+        # a set-valued override.
+        spec = registry.get("ablation-beta")
+        betas = {0.9, 0.5, 0.98, 0.8}
+        direct = spec.run(seed=1, smoke=True, betas=betas)
+        pooled = spec.bound(smoke=True, betas=betas)(1)
+        assert direct == pooled
+        assert spec.params(smoke=True, betas=betas)["betas"] == (
+            0.5, 0.8, 0.9, 0.98,
+        )
+
+    def test_every_registered_spec_builds_an_arena(self):
+        registry.clear_arenas()
+        for spec in registry.specs():
+            arena = spec.build_once(smoke=True)
+            assert isinstance(arena, dict)
+        registry.clear_arenas()
