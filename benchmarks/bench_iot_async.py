@@ -1,0 +1,167 @@
+"""IoT exchange-backend benchmark — records timings, asserts only
+equivalence.
+
+Runs the canonical golden workload (:mod:`repro.iotnet.golden`) over a
+ladder of topology sizes through both exchange backends and writes
+``BENCH_iot.json``:
+
+* per size: sync vs async **wall time**, the async **virtual makespan**
+  (the simulated radio schedule length — receiver-side overlap makes it
+  shorter than the serial sum of latencies), frame/exchange counts;
+* ``max_devices``: the largest topology exercised, with the async
+  backend verified **byte-for-byte identical** to the sync oracle at
+  every size;
+* a Fig. 14 section timing the full experiment through both backends
+  (``ActiveTimeExperiment``), equally equivalence-gated.
+
+Timing is *recorded, never asserted* — shared CI runners make timing
+assertions flaky.  What **is** asserted (and exits non-zero from the
+CLI) is correctness: every size must produce bit-identical captures.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_iot_async.py \
+        --smoke --out BENCH_iot.json
+    PYTHONPATH=src python -m pytest -o python_files="bench_*.py" \
+        benchmarks/bench_iot_async.py -s
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.iotnet.experiments import ActiveTimeExperiment
+from repro.iotnet.golden import capture
+from repro.simulation.cache import code_version
+
+SMOKE_SIZES = (8, 64)
+FULL_SIZES = (8, 64, 256, 1000)
+SEED = 1
+FIG14_TASKS_SMOKE = 3
+FIG14_TASKS_FULL = 20
+
+
+def _timed_capture(devices: int, backend: str):
+    start = time.perf_counter()
+    run = capture(devices, seed=SEED, backend=backend)
+    return run, time.perf_counter() - start
+
+
+def run_bench(sizes=SMOKE_SIZES, fig14_tasks=FIG14_TASKS_SMOKE) -> dict:
+    """Both backends at every size; returns the ``BENCH_iot.json``
+    payload.  Raises ``AssertionError`` if any size diverges — the only
+    failure this bench can produce."""
+    ladder = []
+    for devices in sizes:
+        sync_run, sync_wall = _timed_capture(devices, "sync")
+        async_run, async_wall = _timed_capture(devices, "async")
+        assert sync_run.blob == async_run.blob, (
+            f"{devices}-device async capture diverges from the sync oracle"
+        )
+        ladder.append({
+            "devices": devices,
+            "exchanges": async_run.exchanges,
+            "frames": async_run.frames,
+            "sync_wall_seconds": sync_wall,
+            "async_wall_seconds": async_wall,
+            "async_virtual_ms": async_run.virtual_ms,
+            "equivalent": True,
+        })
+
+    fig14 = {}
+    for backend in ("sync", "async"):
+        start = time.perf_counter()
+        result = ActiveTimeExperiment(
+            tasks_per_trustor=fig14_tasks, seed=SEED, backend=backend,
+        ).run()
+        fig14[backend] = {
+            "wall_seconds": time.perf_counter() - start,
+            "with_model": result.with_model,
+            "without_model": result.without_model,
+        }
+    assert fig14["sync"]["with_model"] == fig14["async"]["with_model"], (
+        "fig14 async series diverges from sync"
+    )
+    assert fig14["sync"]["without_model"] == (
+        fig14["async"]["without_model"]
+    ), "fig14 async series diverges from sync"
+
+    return {
+        "seed": SEED,
+        "code_version": code_version(),
+        "equivalent": True,
+        "max_devices": max(sizes),
+        "sizes": ladder,
+        "fig14": {
+            "tasks_per_trustor": fig14_tasks,
+            "sync_wall_seconds": fig14["sync"]["wall_seconds"],
+            "async_wall_seconds": fig14["async"]["wall_seconds"],
+            "series_identical": True,
+        },
+    }
+
+
+def test_iot_async_bench(once):
+    """Bench harness entry: smoke scale, equivalence-gated."""
+    payload = once(lambda: run_bench())
+    assert payload["equivalent"]
+    assert payload["max_devices"] == max(SMOKE_SIZES)
+    assert all(entry["equivalent"] for entry in payload["sizes"])
+    assert payload["fig14"]["series_identical"]
+    print()
+    print(_summary(payload))
+
+
+def _summary(payload: dict) -> str:
+    lines = [
+        f"iot exchange backends — up to {payload['max_devices']} devices "
+        f"(code {payload['code_version']}, byte-identical at every size)"
+    ]
+    for entry in payload["sizes"]:
+        lines.append(
+            f"  {entry['devices']:>5} devices: sync "
+            f"{entry['sync_wall_seconds']:7.3f}s, async "
+            f"{entry['async_wall_seconds']:7.3f}s "
+            f"({entry['frames']} frames, virtual makespan "
+            f"{entry['async_virtual_ms']:.0f} ms)"
+        )
+    fig14 = payload["fig14"]
+    lines.append(
+        f"  fig14 ({fig14['tasks_per_trustor']} tasks/trustor): sync "
+        f"{fig14['sync_wall_seconds']:.3f}s, async "
+        f"{fig14['async_wall_seconds']:.3f}s, series identical"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="IoT async-backend benchmark; fails only on "
+                    "correctness (equivalence), never on timing.",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"size ladder {SMOKE_SIZES} instead of "
+                             f"{FULL_SIZES}")
+    parser.add_argument("--out", default="BENCH_iot.json",
+                        help="artifact path (default BENCH_iot.json)")
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    tasks = FIG14_TASKS_SMOKE if args.smoke else FIG14_TASKS_FULL
+    try:
+        payload = run_bench(sizes=sizes, fig14_tasks=tasks)
+    except AssertionError as error:
+        print(f"EQUIVALENCE FAILURE: {error}", file=sys.stderr)
+        return 1
+    Path(args.out).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(_summary(payload))
+    print(f"[artifact written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -161,7 +161,9 @@ def cmd_fig15(args: argparse.Namespace) -> int:
 def cmd_fig8(args: argparse.Namespace) -> int:
     from repro.iotnet.experiments import InferenceExperiment
 
-    result = InferenceExperiment(runs=50, seed=args.seed).run()
+    result = InferenceExperiment(
+        runs=50, seed=args.seed, backend=args.backend
+    ).run()
     curves = [
         LabelledSeries("With Proposed Model", result.with_model),
         LabelledSeries("Without Proposed Model", result.without_model),
@@ -177,7 +179,7 @@ def cmd_fig8(args: argparse.Namespace) -> int:
 def cmd_fig14(args: argparse.Namespace) -> int:
     from repro.iotnet.experiments import ActiveTimeExperiment
 
-    result = ActiveTimeExperiment(seed=args.seed).run()
+    result = ActiveTimeExperiment(seed=args.seed, backend=args.backend).run()
     curves = [
         LabelledSeries("Without Proposed Model", result.without_model),
         LabelledSeries("With Proposed Model", result.with_model),
@@ -193,7 +195,7 @@ def cmd_fig14(args: argparse.Namespace) -> int:
 def cmd_fig16(args: argparse.Namespace) -> int:
     from repro.iotnet.experiments import LightingExperiment
 
-    result = LightingExperiment(seed=args.seed).run()
+    result = LightingExperiment(seed=args.seed, backend=args.backend).run()
     curves = [
         LabelledSeries("With Proposed Model", result.with_model),
         LabelledSeries("Without Proposed Model", result.without_model),
@@ -315,6 +317,12 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "fig15":
             sub.add_argument("--runs", type=int, default=100,
                              help="independent runs to average")
+        if name in ("fig8", "fig14", "fig16"):
+            sub.add_argument("--backend", choices=("sync", "async"),
+                             default="sync",
+                             help="IoT exchange backend: the sequential "
+                                  "oracle or the asyncio stack "
+                                  "(bit-identical results)")
 
     sweep = subparsers.add_parser(
         "sweep",

@@ -12,9 +12,21 @@ simulates that testbed:
 * :mod:`repro.iotnet.device` — node devices and the coordinator,
 * :mod:`repro.iotnet.sensors` — optical sensors and light schedules,
 * :mod:`repro.iotnet.network` — the 5-group experimental topology,
-* :mod:`repro.iotnet.experiments` — the Fig. 8 / Fig. 14 / Fig. 16 runs.
+* :mod:`repro.iotnet.experiments` — the Fig. 8 / Fig. 14 / Fig. 16 runs,
+* :mod:`repro.iotnet.aio` — the deterministic asyncio exchange stack
+  (bit-identical to the sequential oracle),
+* :mod:`repro.iotnet.golden` — shared sync/async golden-capture helpers.
 """
 
+from repro.iotnet.aio import (
+    AsyncExchangeEngine,
+    ExchangeAccounting,
+    ExchangeRequest,
+    FrameLossError,
+    StalledExchangeError,
+    SyncExchangeEngine,
+    exchange_engine,
+)
 from repro.iotnet.device import Coordinator, NodeDevice
 from repro.iotnet.energy import EnergyMeter, EnergyProfile, account_exchange
 from repro.iotnet.experiments import (
@@ -23,19 +35,27 @@ from repro.iotnet.experiments import (
     LightingExperiment,
 )
 from repro.iotnet.messages import Frame, FrameKind, Reassembler, fragment_payload
-from repro.iotnet.network import ExperimentalNetwork, NodeGroup
+from repro.iotnet.network import (
+    ExperimentalNetwork,
+    NodeGroup,
+    UnknownDeviceError,
+)
 from repro.iotnet.radio import RadioChannel, RadioConfig
 from repro.iotnet.sensors import LightEnvironment, LightPhase, OpticalSensor
 from repro.iotnet.stack import ZStack
 
 __all__ = [
     "ActiveTimeExperiment",
+    "AsyncExchangeEngine",
     "Coordinator",
     "EnergyMeter",
     "EnergyProfile",
+    "ExchangeAccounting",
+    "ExchangeRequest",
     "ExperimentalNetwork",
     "Frame",
     "FrameKind",
+    "FrameLossError",
     "InferenceExperiment",
     "LightEnvironment",
     "LightPhase",
@@ -46,7 +66,11 @@ __all__ = [
     "RadioChannel",
     "RadioConfig",
     "Reassembler",
+    "StalledExchangeError",
+    "SyncExchangeEngine",
+    "UnknownDeviceError",
     "ZStack",
     "account_exchange",
+    "exchange_engine",
     "fragment_payload",
 ]

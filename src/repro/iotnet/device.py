@@ -22,12 +22,71 @@ from repro.iotnet.stack import ZStack
 
 @dataclass
 class TransmissionReport:
-    """Cost accounting of one logical message exchange."""
+    """Cost accounting of one logical message exchange.
+
+    The ``*_total_*`` fields snapshot the devices' active-time
+    accumulators immediately before and after this exchange's commit.
+    Consumers that need the exact float delta an interleaved sequential
+    run would observe (``after - before``, *not* the re-summed parts)
+    read these instead of re-deriving — that is how the async backend
+    stays bit-identical to the sync oracle.
+    """
 
     frames: int
     delivered: bool
     sender_active_ms: float
     receiver_active_ms: float
+    delivered_frames: int = 0
+    sender_total_before_ms: float = 0.0
+    sender_total_after_ms: float = 0.0
+    receiver_total_before_ms: float = 0.0
+    receiver_total_after_ms: float = 0.0
+
+
+def commit_exchange(
+    sender: "NodeDevice",
+    receiver: "NodeDevice",
+    *,
+    frames: int,
+    delivered_all: bool,
+    delivered_frames: int,
+    sender_active_ms: float,
+    receiver_active_ms: float,
+    completed_payload: Optional[str] = None,
+) -> TransmissionReport:
+    """Apply one exchange's effects to both devices and build its report.
+
+    This is the **single** commit point shared by the synchronous
+    :meth:`NodeDevice.send_message` and the async engine's in-order
+    retirement: inbox delivery, active-time accumulation, the TX/CPU
+    and RX/CPU energy split.  Keeping it in one place makes the async
+    backend's bit-identity to the sync oracle hold by construction —
+    any future change to exchange accounting lands on both backends at
+    once.
+    """
+    sender_total_before = sender.active_time_ms
+    receiver_total_before = receiver.active_time_ms
+    if completed_payload is not None:
+        receiver.inbox.append(completed_payload)
+    sender.active_time_ms += sender_active_ms
+    receiver.active_time_ms += receiver_active_ms
+    if sender.energy is not None:
+        sender.energy.transmit(sender_active_ms * 0.5)
+        sender.energy.compute(sender_active_ms * 0.5)
+    if receiver.energy is not None:
+        receiver.energy.receive(receiver_active_ms * 0.5)
+        receiver.energy.compute(receiver_active_ms * 0.5)
+    return TransmissionReport(
+        frames=frames,
+        delivered=delivered_all,
+        sender_active_ms=sender_active_ms,
+        receiver_active_ms=receiver_active_ms,
+        delivered_frames=delivered_frames,
+        sender_total_before_ms=sender_total_before,
+        sender_total_after_ms=sender.active_time_ms,
+        receiver_total_before_ms=receiver_total_before,
+        receiver_total_after_ms=receiver.active_time_ms,
+    )
 
 
 class NodeDevice:
@@ -61,21 +120,26 @@ class NodeDevice:
         payload: str,
         max_fragment_size: int = 64,
         kind: FrameKind = FrameKind.DATA,
+        message_id: Optional[int] = None,
     ) -> TransmissionReport:
         """Send one logical message, possibly as multiple fragments.
 
         Both sides pay the full stack traversal per frame plus the air
         latency; completed payloads land in the receiver's ``inbox``.
         A small ``max_fragment_size`` multiplies the frame count — the
-        Fig. 14 fragment-packet attack.
+        Fig. 14 fragment-packet attack.  ``message_id`` lets an
+        exchange engine assign deterministic ids (defaults to the
+        process-global frame counter).
         """
         frames = fragment_payload(
             self.device_id, destination.device_id, payload,
-            max_fragment_size, kind,
+            max_fragment_size, kind, message_id=message_id,
         )
         sender_active = 0.0
         receiver_active = 0.0
         delivered_all = True
+        delivered_frames = 0
+        completed_payload: Optional[str] = None
         for frame in frames:
             down = self.stack.send_down(frame)
             sender_active += down.latency_ms
@@ -83,26 +147,22 @@ class NodeDevice:
             if not delivery.delivered:
                 delivered_all = False
                 continue
+            delivered_frames += 1
             sender_active += delivery.latency_ms
             receiver_active += delivery.latency_ms
             up = destination.stack.receive_up(frame)
             receiver_active += up.latency_ms
             completed = destination._reassembler.accept(frame)
             if completed is not None:
-                destination.inbox.append(completed)
-        self.active_time_ms += sender_active
-        destination.active_time_ms += receiver_active
-        if self.energy is not None:
-            self.energy.transmit(sender_active * 0.5)
-            self.energy.compute(sender_active * 0.5)
-        if destination.energy is not None:
-            destination.energy.receive(receiver_active * 0.5)
-            destination.energy.compute(receiver_active * 0.5)
-        return TransmissionReport(
+                completed_payload = completed
+        return commit_exchange(
+            self, destination,
             frames=len(frames),
-            delivered=delivered_all,
+            delivered_all=delivered_all,
+            delivered_frames=delivered_frames,
             sender_active_ms=sender_active,
             receiver_active_ms=receiver_active,
+            completed_payload=completed_payload,
         )
 
     def drain_inbox(self) -> List[str]:

@@ -15,7 +15,7 @@ Current draws follow the CC2530 datasheet's orders of magnitude
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.ids import validate_non_negative
 
@@ -48,10 +48,17 @@ class EnergyMeter:
     profile: EnergyProfile = field(default_factory=EnergyProfile)
     budget_mj: float = 10_000.0
     consumed_mj: float = 0.0
+    # Opt-in itemized ledger: one (state, duration_ms, energy_mj) entry
+    # per draw.  The async-equivalence golden suite compares ledgers
+    # byte for byte across backends.
+    keep_ledger: bool = False
+    ledger: Optional[List[Tuple[str, float, float]]] = None
 
     def __post_init__(self) -> None:
         validate_non_negative(self.budget_mj, "budget_mj")
         validate_non_negative(self.consumed_mj, "consumed_mj")
+        if self.keep_ledger and self.ledger is None:
+            self.ledger = []
 
     @property
     def remaining_mj(self) -> float:
@@ -67,27 +74,30 @@ class EnergyMeter:
             return 0.0
         return self.remaining_mj / self.budget_mj
 
-    def _draw(self, power_mw: float, duration_ms: float) -> float:
+    def _draw(self, power_mw: float, duration_ms: float,
+              state: str) -> float:
         validate_non_negative(duration_ms, "duration_ms")
         energy_mj = power_mw * duration_ms / 1000.0
         self.consumed_mj += energy_mj
+        if self.ledger is not None:
+            self.ledger.append((state, duration_ms, energy_mj))
         return energy_mj
 
     def transmit(self, duration_ms: float) -> float:
         """Account a TX burst; returns the energy spent (mJ)."""
-        return self._draw(self.profile.tx_mw, duration_ms)
+        return self._draw(self.profile.tx_mw, duration_ms, "tx")
 
     def receive(self, duration_ms: float) -> float:
         """Account an RX window; returns the energy spent (mJ)."""
-        return self._draw(self.profile.rx_mw, duration_ms)
+        return self._draw(self.profile.rx_mw, duration_ms, "rx")
 
     def compute(self, duration_ms: float) -> float:
         """Account active-MCU time; returns the energy spent (mJ)."""
-        return self._draw(self.profile.cpu_mw, duration_ms)
+        return self._draw(self.profile.cpu_mw, duration_ms, "cpu")
 
     def sleep(self, duration_ms: float) -> float:
         """Account sleep time; returns the energy spent (mJ)."""
-        return self._draw(self.profile.sleep_mw, duration_ms)
+        return self._draw(self.profile.sleep_mw, duration_ms, "sleep")
 
     def willingness(self) -> float:
         """A [0, 1] willingness factor driven by remaining battery.

@@ -13,6 +13,18 @@
 Every experiment exchanges real frames over the simulated Z-Stack and
 radio, and trustors report their selections to the coordinator, which
 aggregates the published metric exactly as the paper's host computer did.
+
+Each experiment takes a ``backend`` switch (``"sync"`` default,
+``"async"``): frames either run through the sequential oracle
+(:class:`~repro.iotnet.aio.SyncExchangeEngine`, exactly the seed
+behavior) or through the event-loop stack
+(:class:`~repro.iotnet.aio.AsyncExchangeEngine`), which overlaps radio
+waits across devices while staying **bit-identical** — the golden and
+property suites assert equality with no tolerance.  Selection logic
+always runs sequentially (it draws from the experiment's own RNG);
+only the frame exchanges are batched per round and handed to the
+engine, and neither engine touches the experiment RNG, so deferring
+the flush is result-neutral by construction.
 """
 
 from __future__ import annotations
@@ -24,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.inference import CharacteristicInferrer
 from repro.core.task import Task
 from repro.core.update import forget
+from repro.iotnet.aio import ExchangeRequest, exchange_engine
 from repro.iotnet.messages import FrameKind
 from repro.iotnet.network import ExperimentalNetwork
 from repro.iotnet.sensors import LightEnvironment, OpticalSensor
@@ -78,6 +91,7 @@ class InferenceExperiment:
         malicious_trust: float = 0.25,
         estimate_noise: float = 0.35,
         seed: int = 0,
+        backend: str = "sync",
     ) -> None:
         self.network = network if network is not None else ExperimentalNetwork(seed=seed)
         self.runs = runs
@@ -85,6 +99,8 @@ class InferenceExperiment:
         self.malicious_trust = malicious_trust
         self.estimate_noise = estimate_noise
         self.seed = seed
+        self.backend = backend
+        self.engine = exchange_engine(backend, network=self.network, seed=seed)
         self.inferrer = CharacteristicInferrer()
 
     def _experience(
@@ -113,6 +129,7 @@ class InferenceExperiment:
             honest_with = 0
             honest_without = 0
             total = 0
+            report_requests: List[ExchangeRequest] = []
             for group in self.network.groups:
                 trustees = group.trustees
                 histories = {
@@ -141,11 +158,13 @@ class InferenceExperiment:
 
                     # The trustor reports its selection to the coordinator
                     # (exercising the stack + radio as the hardware did).
-                    trustor.send_message(
-                        coordinator,
-                        f"{trustor.device_id}:selected={chosen_with}",
+                    report_requests.append(ExchangeRequest(
+                        source=trustor.device_id,
+                        destination=coordinator.device_id,
+                        payload=f"{trustor.device_id}:selected={chosen_with}",
                         kind=FrameKind.REPORT,
-                    )
+                    ))
+            self.engine.run_exchanges(report_requests)
             coordinator.receive_reports()
             with_model.append(100.0 * honest_with / total)
             without_model.append(100.0 * honest_without / total)
@@ -192,6 +211,7 @@ class ActiveTimeExperiment:
         cost_scale_ms: float = 600.0,
         beta_cost: float = 0.95,
         seed: int = 0,
+        backend: str = "sync",
     ) -> None:
         self.network = network if network is not None else ExperimentalNetwork(seed=seed)
         self.tasks_per_trustor = tasks_per_trustor
@@ -203,24 +223,27 @@ class ActiveTimeExperiment:
         self.cost_scale_ms = cost_scale_ms
         self.beta_cost = beta_cost
         self.seed = seed
+        self.backend = backend
+        self.engine = exchange_engine(backend, network=self.network, seed=seed)
 
-    def _interact(self, trustor, trustee) -> float:
-        """One request/response exchange; returns the trustor's active ms."""
-        before = trustor.active_time_ms
-        trustor.send_message(trustee, "request", kind=FrameKind.REQUEST)
-        fragment_size = (
+    def _fragment_size(self, trustee) -> int:
+        return (
             self.honest_fragment_size
             if self.network.is_honest_trustee(trustee.device_id)
             else self.attack_fragment_size
         )
-        trustee.send_message(
-            trustor, self.payload, max_fragment_size=fragment_size,
-            kind=FrameKind.RESPONSE,
-        )
-        return trustor.active_time_ms - before
 
     def _run_policy(self, use_cost: bool) -> List[float]:
-        """Average trustor active time per task index under one policy."""
+        """Average trustor active time per task index under one policy.
+
+        Selections run first (they draw from the experiment RNG, which
+        neither engine touches; no trustor appears twice in a round, so
+        no selection reads a cost its own round wrote), then the round's
+        request/response exchanges flush through the engine.  Each
+        interaction's active time is the trustor accumulator *after*
+        its response commit minus the value *before* its request commit
+        — exactly the float the interleaved oracle computes.
+        """
         gain_of = {
             trustee.device_id: (
                 self.honest_gain
@@ -234,7 +257,7 @@ class ActiveTimeExperiment:
 
         for task_index in range(self.tasks_per_trustor):
             rng = _spawn(self.seed, "active-time", use_cost, task_index)
-            active_samples: List[float] = []
+            planned: List[Tuple[object, object]] = []
             for group in self.network.groups:
                 for trustor in group.trustors:
                     def score(trustee) -> float:
@@ -251,15 +274,39 @@ class ActiveTimeExperiment:
                         t for t in group.trustees
                         if score(t) >= best_score - 1e-9
                     ]
-                    trustee = rng.choice(top)
-                    active_ms = self._interact(trustor, trustee)
-                    active_samples.append(active_ms)
+                    planned.append((trustor, rng.choice(top)))
 
-                    key = (trustor.device_id, trustee.device_id)
-                    observed = active_ms / self.cost_scale_ms
-                    expected_cost[key] = forget(
-                        expected_cost.get(key, 0.0), observed, self.beta_cost
-                    )
+            requests: List[ExchangeRequest] = []
+            for trustor, trustee in planned:
+                requests.append(ExchangeRequest(
+                    source=trustor.device_id,
+                    destination=trustee.device_id,
+                    payload="request",
+                    kind=FrameKind.REQUEST,
+                ))
+                requests.append(ExchangeRequest(
+                    source=trustee.device_id,
+                    destination=trustor.device_id,
+                    payload=self.payload,
+                    max_fragment_size=self._fragment_size(trustee),
+                    kind=FrameKind.RESPONSE,
+                ))
+            reports = self.engine.run_exchanges(requests)
+
+            active_samples: List[float] = []
+            for index, (trustor, trustee) in enumerate(planned):
+                request_report = reports[2 * index]
+                response_report = reports[2 * index + 1]
+                active_ms = (
+                    response_report.receiver_total_after_ms
+                    - request_report.sender_total_before_ms
+                )
+                active_samples.append(active_ms)
+                key = (trustor.device_id, trustee.device_id)
+                observed = active_ms / self.cost_scale_ms
+                expected_cost[key] = forget(
+                    expected_cost.get(key, 0.0), observed, self.beta_cost
+                )
             series.append(sum(active_samples) / len(active_samples))
         return series
 
@@ -325,6 +372,7 @@ class LightingExperiment:
         cost_units: float = 10.0,
         beta: float = 0.85,
         seed: int = 0,
+        backend: str = "sync",
     ) -> None:
         self.network = network if network is not None else ExperimentalNetwork(seed=seed)
         self.schedule = schedule if schedule is not None else LightEnvironment()
@@ -336,6 +384,8 @@ class LightingExperiment:
         self.cost_units = cost_units
         self.beta = beta
         self.seed = seed
+        self.backend = backend
+        self.engine = exchange_engine(backend, network=self.network, seed=seed)
 
     def _malicious_available(self, experiment_index: int) -> bool:
         """Malicious devices only accept during the final LIGHT phase."""
@@ -356,6 +406,7 @@ class LightingExperiment:
     def _run_policy(self, use_environment: bool) -> List[float]:
         expected_success: Dict[Tuple[str, str], float] = {}
         series: List[float] = []
+        coordinator = self.network.coordinator
 
         for experiment_index in range(self.schedule.total_experiments):
             rng = _spawn(self.seed, "lighting", use_environment,
@@ -364,6 +415,7 @@ class LightingExperiment:
             env_indicator = self.sensor.environment_indicator(lux)
             malicious_open = self._malicious_available(experiment_index)
             profit = 0.0
+            report_requests: List[ExchangeRequest] = []
 
             for group in self.network.groups:
                 available = [
@@ -406,6 +458,19 @@ class LightingExperiment:
                     expected_success[key] = forget(
                         expected_success.get(key, 1.0), observed, self.beta
                     )
+                    # The trustor reports its selection over the radio,
+                    # as the paper's host-computer log collection did.
+                    report_requests.append(ExchangeRequest(
+                        source=trustor.device_id,
+                        destination=coordinator.device_id,
+                        payload=(
+                            f"{trustor.device_id}:"
+                            f"selected={trustee.device_id}"
+                        ),
+                        kind=FrameKind.REPORT,
+                    ))
+            self.engine.run_exchanges(report_requests)
+            coordinator.receive_reports()
             series.append(profit)
         return series
 

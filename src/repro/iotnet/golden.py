@@ -1,0 +1,139 @@
+"""Golden-capture helpers for the sync/async equivalence suite.
+
+The async exchange backend's contract is *bit-identical replay* of the
+sync oracle.  This module gives the golden tests, the Hypothesis
+properties and :mod:`benchmarks.bench_iot_async` one shared definition
+of:
+
+* :func:`make_topology` — a deterministic N-device network (compact
+  layout, energy meters with ledgers attached);
+* :func:`exchange_workload` — a seeded canonical workload: every node
+  messages its ring successor and every trustor reports to the
+  coordinator;
+* :func:`capture` — run the workload through one backend and serialize
+  **everything observable** (per-frame radio traces, per-device active
+  times, inboxes, energy totals and itemized ledgers, per-exchange
+  reports) to canonical JSON bytes.
+
+Two captures are comparable iff their byte strings are equal — no
+tolerances, no normalization beyond JSON canonicalization.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict, List
+
+from repro.iotnet.aio import ExchangeRequest, exchange_engine
+from repro.iotnet.messages import FrameKind
+from repro.iotnet.network import ExperimentalNetwork
+
+
+def make_topology(
+    devices: int, seed: int = 0, keep_ledger: bool = True
+) -> ExperimentalNetwork:
+    """A deterministic ``devices``-node network (coordinator excluded).
+
+    Counts divisible by 8 build groups of (3 trustors, 3 honest,
+    2 dishonest); divisible by 6, the paper's (2, 2, 2); anything else
+    one all-trustor group.  The compact spiral layout keeps every pair
+    in radio range at any scale.
+    """
+    if devices < 1:
+        raise ValueError("need at least one device")
+    if devices % 8 == 0:
+        groups, composition = devices // 8, (3, 3, 2)
+    elif devices % 6 == 0:
+        groups, composition = devices // 6, (2, 2, 2)
+    else:
+        groups, composition = 1, (devices, 0, 0)
+    network = ExperimentalNetwork(
+        groups=groups,
+        trustors_per_group=composition[0],
+        honest_per_group=composition[1],
+        dishonest_per_group=composition[2],
+        seed=seed,
+        layout="compact",
+    )
+    network.attach_energy(budget_mj=1e9, keep_ledger=keep_ledger)
+    return network
+
+
+def exchange_workload(
+    network: ExperimentalNetwork, seed: int = 0
+) -> List[ExchangeRequest]:
+    """The canonical seeded workload over a topology.
+
+    Every node device sends a DATA message to its ring successor (the
+    coordinator when it is alone), with seeded payload sizes and
+    fragment sizes so reassembly and the fragment-latency path are both
+    exercised; every trustor then reports to the coordinator.
+    """
+    rng = random.Random(repr(("iot-golden-workload", seed)))
+    nodes = network.node_devices
+    requests: List[ExchangeRequest] = []
+    for index, device in enumerate(nodes):
+        peer = nodes[(index + 1) % len(nodes)]
+        if peer is device:
+            peer = network.coordinator
+        payload = chr(ord("a") + index % 26) * rng.randint(1, 160)
+        requests.append(ExchangeRequest(
+            source=device.device_id,
+            destination=peer.device_id,
+            payload=payload,
+            max_fragment_size=rng.choice((16, 64)),
+        ))
+    for trustor in network.trustors:
+        requests.append(ExchangeRequest(
+            source=trustor.device_id,
+            destination=network.coordinator.device_id,
+            payload=f"{trustor.device_id}:ok",
+            kind=FrameKind.REPORT,
+        ))
+    return requests
+
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """One backend's observable outcome, plus engine telemetry."""
+
+    blob: bytes  # canonical JSON of every observable effect
+    virtual_ms: float  # virtual makespan (0.0 for the sync backend)
+    exchanges: int
+    frames: int
+
+
+def capture(devices: int, seed: int, backend: str,
+            queue_capacity: int = 8) -> GoldenRun:
+    """Build the topology, run the workload, serialize the outcome."""
+    network = make_topology(devices, seed=seed)
+    journal: List[Dict[str, object]] = []
+    network.channel.journal = journal
+    engine = exchange_engine(
+        backend, network=network, seed=seed, queue_capacity=queue_capacity,
+    )
+    requests = exchange_workload(network, seed=seed)
+    reports = engine.run_exchanges(requests)
+
+    state = {
+        "devices": {
+            device.device_id: {
+                "active_time_ms": device.active_time_ms,
+                "inbox": list(device.inbox),
+                "energy_mj": device.energy.consumed_mj,
+                "ledger": device.energy.ledger,
+            }
+            for device in network.all_devices
+        },
+        "frames": journal,
+        "reports": [asdict(report) for report in reports],
+    }
+    blob = json.dumps(state, sort_keys=True).encode()
+    return GoldenRun(
+        blob=blob,
+        virtual_ms=getattr(engine, "last_virtual_ms", 0.0),
+        exchanges=len(requests),
+        frames=len(journal),
+    )

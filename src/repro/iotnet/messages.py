@@ -65,6 +65,7 @@ def fragment_payload(
     payload: str,
     max_fragment_size: int,
     kind: FrameKind = FrameKind.DATA,
+    message_id: Optional[int] = None,
 ) -> List[Frame]:
     """Split a payload into frames of at most ``max_fragment_size`` bytes.
 
@@ -72,6 +73,11 @@ def fragment_payload(
     the number of frames (and therefore the per-frame latency the receiver
     pays).  An empty payload still produces one empty frame so every
     logical message is observable on air.
+
+    ``message_id`` defaults to a process-global counter; the exchange
+    engines pass an explicit engine-assigned id so sync and async runs
+    label frames identically (a requirement of the byte-for-byte golden
+    traces).
     """
     if max_fragment_size < 1:
         raise ValueError("max_fragment_size must be at least 1")
@@ -82,7 +88,8 @@ def fragment_payload(
         remaining = remaining[max_fragment_size:]
     if not pieces:
         pieces = [""]
-    message_id = next(_frame_counter)
+    if message_id is None:
+        message_id = next(_frame_counter)
     return [
         Frame(
             source=source,

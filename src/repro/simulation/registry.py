@@ -206,7 +206,10 @@ def _build_nothing(params: Mapping[str, object]) -> Dict[str, object]:
 def _seed_fig8(arena, params: Mapping[str, object], seed: int):
     from repro.iotnet.experiments import InferenceExperiment
 
-    return InferenceExperiment(runs=params["runs"], seed=seed).run()
+    return InferenceExperiment(
+        runs=params["runs"], seed=seed,
+        backend=params.get("backend", "sync"),
+    ).run()
 
 
 def _reduce_fig8(result) -> SeriesResult:
@@ -217,7 +220,8 @@ def _seed_fig14(arena, params: Mapping[str, object], seed: int):
     from repro.iotnet.experiments import ActiveTimeExperiment
 
     return ActiveTimeExperiment(
-        tasks_per_trustor=params["tasks_per_trustor"], seed=seed
+        tasks_per_trustor=params["tasks_per_trustor"], seed=seed,
+        backend=params.get("backend", "sync"),
     ).run()
 
 
@@ -227,12 +231,32 @@ def _reduce_fig14(result) -> SeriesResult:
 
 def _seed_fig16(arena, params: Mapping[str, object], seed: int):
     from repro.iotnet.experiments import LightingExperiment
+    from repro.iotnet.sensors import LightEnvironment, LightPhase
 
-    return LightingExperiment(seed=seed).run()
+    phases = params.get("phases")
+    schedule = None
+    if phases is not None:
+        schedule = LightEnvironment([
+            LightPhase(experiments=count, lux=lux, label=label)
+            for count, lux, label in phases
+        ])
+    return LightingExperiment(
+        schedule=schedule, seed=seed,
+        backend=params.get("backend", "sync"),
+    ).run()
 
 
 def _reduce_fig16(result) -> SeriesResult:
     return SeriesResult("net profit (with model)", result.with_model)
+
+
+# A shortened Fig. 16 lighting schedule for smoke/CI runs: same
+# LIGHT/DARK/LIGHT shape, 15 experiments instead of 50.
+_FIG16_SMOKE_PHASES = (
+    (5, 500.0, "LIGHT"),
+    (5, 15.0, "DARK"),
+    (5, 500.0, "LIGHT"),
+)
 
 
 # --- Table 1 / Fig. 12 / ablations (the remaining bench families) ----------
@@ -796,7 +820,18 @@ _register(ScenarioSpec(
     kind="series",
     description="Fig. 8: % of trustors selecting honest trustees with the "
                 "inference model, per experiment index",
-    defaults={"runs": 50},
+    defaults={"runs": 50, "backend": "sync"},
+    smoke={"runs": 3},
+    _seed_run=_seed_fig8,
+    _reduce=_reduce_fig8,
+))
+
+_register(ScenarioSpec(
+    name="fig8-inference-async",
+    kind="series",
+    description="Fig. 8 through the asyncio exchange backend "
+                "(bit-identical to fig8-inference by the golden suite)",
+    defaults={"runs": 50, "backend": "async"},
     smoke={"runs": 3},
     _seed_run=_seed_fig8,
     _reduce=_reduce_fig8,
@@ -807,7 +842,18 @@ _register(ScenarioSpec(
     kind="series",
     description="Fig. 14: trustor active time under the fragment-packet "
                 "attack, cost-aware policy",
-    defaults={"tasks_per_trustor": 50},
+    defaults={"tasks_per_trustor": 50, "backend": "sync"},
+    smoke={"tasks_per_trustor": 3},
+    _seed_run=_seed_fig14,
+    _reduce=_reduce_fig14,
+))
+
+_register(ScenarioSpec(
+    name="fig14-activetime-async",
+    kind="series",
+    description="Fig. 14 through the asyncio exchange backend "
+                "(bit-identical to fig14-activetime by the golden suite)",
+    defaults={"tasks_per_trustor": 50, "backend": "async"},
     smoke={"tasks_per_trustor": 3},
     _seed_run=_seed_fig14,
     _reduce=_reduce_fig14,
@@ -818,8 +864,19 @@ _register(ScenarioSpec(
     kind="series",
     description="Fig. 16: net profit over the lighting schedule with the "
                 "environment de-bias",
-    defaults={},
-    smoke={},
+    defaults={"backend": "sync", "phases": None},
+    smoke={"phases": _FIG16_SMOKE_PHASES},
+    _seed_run=_seed_fig16,
+    _reduce=_reduce_fig16,
+))
+
+_register(ScenarioSpec(
+    name="fig16-light-async",
+    kind="series",
+    description="Fig. 16 through the asyncio exchange backend "
+                "(bit-identical to fig16-light by the golden suite)",
+    defaults={"backend": "async", "phases": None},
+    smoke={"phases": _FIG16_SMOKE_PHASES},
     _seed_run=_seed_fig16,
     _reduce=_reduce_fig16,
 ))

@@ -1,0 +1,97 @@
+"""Backend-switch tests: Figs. 8/14/16 sync vs async, bit-identical."""
+
+import pytest
+
+from repro.iotnet.experiments import (
+    ActiveTimeExperiment,
+    InferenceExperiment,
+    LightingExperiment,
+)
+from repro.iotnet.network import ExperimentalNetwork
+from repro.iotnet.sensors import LightEnvironment, LightPhase
+from repro.simulation import registry
+
+SHORT_SCHEDULE = LightEnvironment([
+    LightPhase(4, 500.0, "LIGHT"),
+    LightPhase(4, 15.0, "DARK"),
+    LightPhase(4, 500.0, "LIGHT"),
+])
+
+
+class TestBackendSwitch:
+    def test_default_backend_is_sync(self):
+        assert InferenceExperiment(runs=1).backend == "sync"
+        assert ActiveTimeExperiment(tasks_per_trustor=1).backend == "sync"
+        assert LightingExperiment(schedule=SHORT_SCHEDULE).backend == "sync"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            InferenceExperiment(runs=1, backend="turbo")
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+class TestSyncAsyncBitIdentical:
+    def test_fig8_inference(self, seed):
+        sync = InferenceExperiment(runs=4, seed=seed).run()
+        aio = InferenceExperiment(runs=4, seed=seed, backend="async").run()
+        assert sync.with_model == aio.with_model
+        assert sync.without_model == aio.without_model
+
+    def test_fig14_activetime(self, seed):
+        sync = ActiveTimeExperiment(tasks_per_trustor=4, seed=seed).run()
+        aio = ActiveTimeExperiment(
+            tasks_per_trustor=4, seed=seed, backend="async"
+        ).run()
+        assert sync.with_model == aio.with_model
+        assert sync.without_model == aio.without_model
+
+    def test_fig16_lighting(self, seed):
+        sync = LightingExperiment(schedule=SHORT_SCHEDULE, seed=seed).run()
+        aio = LightingExperiment(
+            schedule=SHORT_SCHEDULE, seed=seed, backend="async"
+        ).run()
+        assert sync.with_model == aio.with_model
+        assert sync.without_model == aio.without_model
+        assert sync.labels == aio.labels
+
+    def test_fig14_device_state_identical(self, seed):
+        """Not just the published series: the whole network agrees."""
+        states = {}
+        for backend in ("sync", "async"):
+            network = ExperimentalNetwork(seed=seed)
+            ActiveTimeExperiment(
+                network=network, tasks_per_trustor=3, seed=seed,
+                backend=backend,
+            ).run()
+            states[backend] = {
+                d.device_id: (d.active_time_ms, tuple(d.inbox))
+                for d in network.all_devices
+            }
+        assert states["sync"] == states["async"]
+
+
+@pytest.mark.parametrize("pair", [
+    ("fig8-inference", "fig8-inference-async"),
+    ("fig14-activetime", "fig14-activetime-async"),
+    ("fig16-light", "fig16-light-async"),
+])
+def test_registry_async_variant_bit_identical(pair):
+    """The registered async scenarios reduce to the exact sync values,
+    so any sweep over them is interchangeable with the sync sweep."""
+    sync_name, async_name = pair
+    sync_spec = registry.get(sync_name)
+    async_spec = registry.get(async_name)
+    for seed in (1, 2):
+        assert sync_spec.run(seed, smoke=True) == (
+            async_spec.run(seed, smoke=True)
+        )
+
+
+def test_lighting_reports_reach_coordinator():
+    """Fig. 16 now exchanges real report frames (both backends)."""
+    network = ExperimentalNetwork(seed=2)
+    LightingExperiment(
+        network=network, schedule=SHORT_SCHEDULE, seed=2,
+    ).run()
+    # 10 trustors x 12 experiments x 2 policies.
+    assert len(network.coordinator.collected_reports) == 240

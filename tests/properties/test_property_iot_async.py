@@ -1,0 +1,138 @@
+"""Hypothesis properties of the async IoT exchange backend.
+
+Three invariants, over random topologies, workloads and seeds:
+
+* **Equivalence** — the async backend reproduces the sync oracle's
+  device state (active times, energy totals, inboxes) exactly, for any
+  topology/seed/queue capacity;
+* **Experiment equivalence** — the Figs. 8/14 experiments publish
+  bit-identical trust/cost series under either backend;
+* **Conservation** — cancellation/timeout paths never lose frames:
+  every created frame is delivered-and-processed or counted dropped.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.iotnet.aio import ExchangeRequest, exchange_engine
+from repro.iotnet.experiments import ActiveTimeExperiment, InferenceExperiment
+from repro.iotnet.messages import FrameKind
+from repro.iotnet.network import ExperimentalNetwork
+
+topologies = st.fixed_dictionaries({
+    "groups": st.integers(min_value=1, max_value=2),
+    "trustors_per_group": st.integers(min_value=1, max_value=2),
+    "honest_per_group": st.integers(min_value=1, max_value=2),
+    "dishonest_per_group": st.integers(min_value=0, max_value=2),
+})
+
+
+def build_network(shape, seed, layout="compact"):
+    network = ExperimentalNetwork(seed=seed, layout=layout, **shape)
+    network.attach_energy(budget_mj=1e9)
+    return network
+
+
+def random_workload(network, rng_seed, timeouts=False):
+    """A seeded random workload over every device pair direction."""
+    import random
+
+    rng = random.Random(repr(("iot-property-workload", rng_seed)))
+    devices = network.all_devices
+    requests = []
+    for _ in range(rng.randint(1, 12)):
+        source, destination = rng.sample(devices, 2)
+        requests.append(ExchangeRequest(
+            source=source.device_id,
+            destination=destination.device_id,
+            payload=rng.choice("xyz") * rng.randint(0, 120),
+            max_fragment_size=rng.choice((4, 16, 64)),
+            kind=rng.choice(list(FrameKind)),
+            timeout_ms=(
+                rng.choice((None, 0.0, 10.0, 50.0)) if timeouts else None
+            ),
+        ))
+    return requests
+
+
+def device_state(network):
+    return {
+        device.device_id: (
+            device.active_time_ms,
+            device.energy.consumed_mj,
+            tuple(device.inbox),
+        )
+        for device in network.all_devices
+    }
+
+
+@settings(max_examples=20, deadline=None)
+@given(shape=topologies, seed=st.integers(0, 2**16),
+       capacity=st.integers(1, 8))
+def test_sync_async_device_state_identical(shape, seed, capacity):
+    states = {}
+    for backend in ("sync", "async"):
+        network = build_network(shape, seed)
+        engine = exchange_engine(
+            backend, network=network, seed=seed, queue_capacity=capacity,
+        )
+        engine.run_exchanges(random_workload(network, seed))
+        states[backend] = device_state(network)
+    assert states["sync"] == states["async"]
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**16), tasks=st.integers(1, 3))
+def test_activetime_trust_values_identical(seed, tasks):
+    """Final expected-cost ("trust") series match bit for bit."""
+    sync = ActiveTimeExperiment(tasks_per_trustor=tasks, seed=seed).run()
+    aio = ActiveTimeExperiment(
+        tasks_per_trustor=tasks, seed=seed, backend="async"
+    ).run()
+    assert sync.with_model == aio.with_model
+    assert sync.without_model == aio.without_model
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_inference_selections_identical(seed):
+    sync = InferenceExperiment(runs=2, seed=seed).run()
+    aio = InferenceExperiment(runs=2, seed=seed, backend="async").run()
+    assert sync.with_model == aio.with_model
+    assert sync.without_model == aio.without_model
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=topologies, seed=st.integers(0, 2**16),
+       capacity=st.integers(1, 4))
+def test_timeouts_never_lose_frames(shape, seed, capacity):
+    """Conservation under cancellation: created == delivered + dropped,
+    and every delivered frame is processed by its receiver."""
+    network = build_network(shape, seed)
+    engine = exchange_engine(
+        "async", network=network, seed=seed, queue_capacity=capacity,
+    )
+    requests = random_workload(network, seed, timeouts=True)
+    reports = engine.run_exchanges(requests)
+    accounting = engine.accounting
+    assert len(reports) == len(requests)
+    assert accounting.frames_created == (
+        accounting.frames_delivered + accounting.frames_dropped
+    )
+    assert accounting.frames_processed == accounting.frames_delivered
+    accounting.verify()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_async_run_is_reproducible(seed):
+    """Same seed, same workload -> byte-identical device state."""
+    outcomes = []
+    for _ in range(2):
+        network = build_network(
+            {"groups": 1, "trustors_per_group": 2, "honest_per_group": 1,
+             "dishonest_per_group": 1}, seed,
+        )
+        engine = exchange_engine("async", network=network, seed=seed)
+        engine.run_exchanges(random_workload(network, seed, timeouts=True))
+        outcomes.append(device_state(network))
+    assert outcomes[0] == outcomes[1]
