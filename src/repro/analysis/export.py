@@ -130,6 +130,13 @@ def sweep_to_payload(sweep) -> Dict[str, object]:
             "enabled": sweep.cache_enabled,
             "hits": sweep.cache_hits,
             "misses": sweep.cache_misses,
+            "errors": sweep.cache_errors,
+        },
+        # Work-queue accounting; all zero for the pool backends.
+        "distributed": {
+            "tasks": sweep.tasks_total,
+            "steals": sweep.steals,
+            "requeues": sweep.requeues,
         },
         "mean": sweep.mean.to_payload(),
         "per_seed": [r.to_payload() for r in sweep.per_seed],
@@ -164,12 +171,23 @@ def load_sweep(text: str) -> Dict[str, object]:
     if not isinstance(timing, dict) or "wall_seconds" not in timing:
         raise ValueError("sweep timing must carry wall_seconds")
     # Exports written before the result cache existed have no cache
-    # block; default it so old artifacts stay comparable.
+    # block; default it so old artifacts stay comparable.  Likewise the
+    # error count and the distributed block, which arrived later.
     cache = payload.setdefault(
         "cache", {"enabled": False, "hits": 0, "misses": 0}
     )
     if not isinstance(cache, dict) or not {"hits", "misses"} <= set(cache):
         raise ValueError("sweep cache block must carry hits/misses")
+    cache.setdefault("errors", 0)
+    distributed = payload.setdefault(
+        "distributed", {"tasks": 0, "steals": 0, "requeues": 0}
+    )
+    if not isinstance(distributed, dict) or not (
+        {"tasks", "steals", "requeues"} <= set(distributed)
+    ):
+        raise ValueError(
+            "sweep distributed block must carry tasks/steals/requeues"
+        )
     if not isinstance(payload["per_seed"], list) or not isinstance(
         payload["seeds"], list
     ):

@@ -6,6 +6,9 @@ Usage::
     python -m repro fig7 --network facebook --seed 2
     python -m repro fig15 --json results.json
     python -m repro sweep fig7-mutuality --seeds 8 --workers 4 --json out.json
+    python -m repro sweep fig15-environment --distributed --queue-dir /mnt/q
+    python -m repro worker /mnt/q --drain
+    python -m repro cache stats
     python -m repro sweep --list
     python -m repro list
 
@@ -225,15 +228,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     else:
         cache_dir = args.cache_dir or str(default_cache_dir())
 
+    backend = "distributed" if args.distributed else args.backend
+    if not args.distributed:
+        for flag, value in (("--queue-dir", args.queue_dir),
+                            ("--lease-ttl", args.lease_ttl)):
+            if value is not None:
+                print(f"error: {flag} requires --distributed",
+                      file=sys.stderr)
+                return 2
+
     try:
         sweep = run_sweep(
             args.scenario,
             seed_range(args.seeds, first=args.first_seed),
             workers=args.workers,
-            backend=args.backend,
+            backend=backend,
             smoke=args.smoke,
             chunk_size=args.chunk_size,
             cache_dir=cache_dir,
+            queue_dir=args.queue_dir,
+            lease_ttl=args.lease_ttl,
         )
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else str(error)
@@ -264,11 +278,111 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"({timing.seeds_per_second():.1f} seeds/s)"
     )
     if sweep.cache_enabled:
+        errors = (
+            f", {sweep.cache_errors} error(s)" if sweep.cache_errors else ""
+        )
         lines.append(
             f"  cache: {sweep.cache_hits} hit(s), "
-            f"{sweep.cache_misses} miss(es) [{cache_dir}]"
+            f"{sweep.cache_misses} miss(es){errors} [{cache_dir}]"
+        )
+    if args.distributed:
+        lines.append(
+            f"  queue: {sweep.tasks_total} task(s), "
+            f"{sweep.steals} steal(s), {sweep.requeues} requeue(s)"
+            + (f" [{args.queue_dir}]" if args.queue_dir else "")
         )
     _emit(args, "\n".join(lines), sweep_to_json(sweep))
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Long-running worker daemon draining a shared sweep queue dir."""
+    from repro.simulation.cache import default_cache_dir
+    from repro.simulation.distributed import (
+        default_worker_id,
+        worker_loop,
+    )
+
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir or str(default_cache_dir())
+    owner = args.worker_id or default_worker_id()
+    mode = "drain" if args.drain else "daemon"
+    print(f"worker {owner} ({mode}) serving {args.queue_dir}")
+    try:
+        stats = worker_loop(
+            args.queue_dir,
+            cache_dir,
+            owner=owner,
+            poll=args.poll,
+            lease_ttl=args.lease_ttl,
+            drain=args.drain,
+            max_tasks=args.max_tasks,
+            _daemon=True,
+        )
+    except KeyboardInterrupt:
+        print(f"worker {owner} interrupted")
+        return 0
+    print(
+        f"worker {owner} done: {stats.tasks_done} task(s), "
+        f"{stats.seeds_run} seed(s), {stats.cache_hits} hit(s), "
+        f"{stats.cache_misses} miss(es), {stats.steals} steal(s), "
+        f"{stats.repairs} repair(s)"
+    )
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Cache maintenance: size/version census and stale-version pruning."""
+    import json as _json
+
+    from repro.simulation.cache import (
+        cache_usage,
+        default_cache_dir,
+        prune_stale,
+    )
+
+    root = args.cache_dir or str(default_cache_dir())
+    if args.action == "stats":
+        usage = cache_usage(root)
+        lines = [
+            f"cache: {usage.root}",
+            f"  entries: {usage.entries} "
+            f"({usage.total_bytes / 1024:.1f} KiB)",
+            f"  current code version: {usage.current_version} "
+            f"({usage.current_entries} entry/ies)",
+            f"  stale entries: {usage.stale_entries}",
+        ]
+        for version, count in sorted(usage.versions.items()):
+            marker = " (current)" if version == usage.current_version else ""
+            lines.append(f"    {version}: {count}{marker}")
+        payload = {
+            "root": str(usage.root),
+            "entries": usage.entries,
+            "total_bytes": usage.total_bytes,
+            "versions": usage.versions,
+            "current_version": usage.current_version,
+        }
+    else:  # prune
+        report = prune_stale(root, dry_run=args.dry_run)
+        tag = " [dry run]" if report.dry_run else ""
+        lines = [
+            f"cache: {report.root}",
+            f"  pruned {report.removed} stale entry/ies "
+            f"({report.freed_bytes / 1024:.1f} KiB), kept "
+            f"{report.kept}{tag}",
+        ]
+        payload = {
+            "root": str(report.root),
+            "examined": report.examined,
+            "removed": report.removed,
+            "freed_bytes": report.freed_bytes,
+            "kept": report.kept,
+            "dry_run": report.dry_run,
+        }
+    _emit(args, "\n".join(lines),
+          _json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -359,8 +473,69 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--smoke", action="store_true",
                        help="use the scenario's scaled-down smoke "
                             "parameters (CI-sized)")
+    sweep.add_argument("--distributed", action="store_true",
+                       help="run over the shared-directory work queue "
+                            "instead of an in-process pool; --workers "
+                            "local daemons are spawned (0 = rely on "
+                            "external `repro worker` daemons)")
+    sweep.add_argument("--queue-dir", metavar="DIR", default=None,
+                       help="shared work-queue directory for "
+                            "--distributed (default: a private temp "
+                            "dir); point external workers at the same "
+                            "path to join the sweep")
+    sweep.add_argument("--lease-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="heartbeat age after which a worker's task "
+                            "lease may be stolen (default 30; must "
+                            "exceed the slowest single-seed runtime)")
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="also write the sweep export to PATH")
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="long-running worker daemon: claim and execute seed-chunk "
+             "tasks from a shared sweep queue directory",
+    )
+    worker.add_argument("queue_dir", metavar="QUEUE_DIR",
+                        help="the shared work-queue directory to serve")
+    worker.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent result cache location (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro/sweeps)")
+    worker.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the result cache; "
+                             "results still reach the done markers")
+    worker.add_argument("--drain", action="store_true",
+                        help="exit once nothing is claimable instead of "
+                             "polling forever")
+    worker.add_argument("--poll", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="idle poll interval (default 0.5)")
+    worker.add_argument("--lease-ttl", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="age after which another worker's lease "
+                             "counts as dead and is stolen (default 30)")
+    worker.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                        help="exit after completing N tasks")
+    worker.add_argument("--worker-id", default=None, metavar="ID",
+                        help="lease owner id (default: host-pid)")
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="sweep result cache maintenance: stats and "
+             "prune-by-code-version",
+    )
+    cache.add_argument("action", choices=("stats", "prune"),
+                       help="'stats' reports size and per-code-version "
+                            "entry counts; 'prune' removes entries from "
+                            "other code versions")
+    cache.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="cache location (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro/sweeps)")
+    cache.add_argument("--dry-run", action="store_true",
+                       help="report what prune would remove without "
+                            "deleting anything")
+    cache.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the report as JSON to PATH")
     return parser
 
 
@@ -372,9 +547,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in sorted(_COMMANDS):
             print(f"  {name}")
         print("  sweep (multi-seed runner; `repro sweep --list`)")
+        print("  worker (distributed sweep worker daemon)")
+        print("  cache (result cache stats / prune)")
         return 0
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "worker":
+        return cmd_worker(args)
+    if args.command == "cache":
+        return cmd_cache(args)
     return _COMMANDS[args.command](args)
 
 

@@ -22,7 +22,10 @@ The multi-seed runtime lives next to them:
 * :mod:`repro.simulation.sweep` — ``repro sweep``'s engine: per-seed
   results, mean, variance and wall-clock timing for one scenario,
 * :mod:`repro.simulation.cache` — persistent cross-process cache of
-  per-seed results keyed by (scenario, params, seed, code version).
+  per-seed results keyed by (scenario, params, seed, code version),
+* :mod:`repro.simulation.distributed` — shared-directory work queue:
+  seed-chunk task files claimed via atomic lease files, worker daemons
+  with heartbeats, work stealing off expired leases.
 """
 
 from repro.simulation.config import (
@@ -47,6 +50,7 @@ from repro.simulation.runner import (
     combine_series,
 )
 from repro.simulation.cache import CacheStats, SweepCache, default_cache_dir
+from repro.simulation.distributed import WorkQueue, worker_loop
 from repro.simulation.sweep import SweepResult, run_sweep, seed_range
 from repro.simulation.scenario import Scenario, build_scenario
 from repro.simulation.selfdelegation import (
@@ -81,6 +85,7 @@ __all__ = [
     "TransitivityConfig",
     "TransitivityResult",
     "TransitivitySimulation",
+    "WorkQueue",
     "average_rates",
     "average_series",
     "build_scenario",
@@ -89,4 +94,5 @@ __all__ = [
     "default_cache_dir",
     "run_sweep",
     "seed_range",
+    "worker_loop",
 ]

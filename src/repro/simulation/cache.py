@@ -39,9 +39,10 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional, Tuple, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from repro.simulation.results import RateSummary, SeriesResult
 
@@ -92,10 +93,16 @@ def code_version() -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting of one sweep's cache traffic."""
+    """Hit/miss/error accounting of one sweep's cache traffic.
+
+    ``errors`` counts results that could not be *persisted* (read-only
+    directory, full disk): the sweep still returns them, but a rerun
+    will recompute those seeds — silent until this counter surfaced it.
+    """
 
     hits: int = 0
     misses: int = 0
+    errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -151,15 +158,19 @@ class SweepCache:
         return result
 
     def put(self, key: str, result: Reduced, scenario: str = "",
-            seed: Optional[int] = None) -> None:
+            seed: Optional[int] = None,
+            version: Optional[str] = None) -> None:
         """Persist one reduced result atomically."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "result": _reduced_to_payload(result),
-            # Debug metadata only; the key is the contract.
+            # Metadata: the key is the contract; scenario/seed are debug
+            # aids, version lets `repro cache prune` drop entries keyed
+            # by code this checkout no longer runs.
             "scenario": scenario,
             "seed": seed,
+            "version": code_version() if version is None else version,
         }
         handle = tempfile.NamedTemporaryFile(
             "w", dir=path.parent, suffix=".tmp", delete=False
@@ -198,3 +209,163 @@ def _payload_to_reduced(payload: dict) -> Reduced:
     if kind not in _KINDS:
         raise ValueError(f"unknown cached result kind: {kind!r}")
     return _KINDS[kind].from_payload(payload)
+
+
+def reduced_to_payload(result: Reduced) -> dict:
+    """Public form of the cache's result serialization.
+
+    The distributed work queue inlines the same payloads into its done
+    markers, so a sweep collected from done files is byte-identical to
+    one replayed from the cache.
+    """
+    return _reduced_to_payload(result)
+
+
+def reduced_from_payload(payload: dict) -> Reduced:
+    """Inverse of :func:`reduced_to_payload`."""
+    return _payload_to_reduced(payload)
+
+
+# ---------------------------------------------------------------------------
+# maintenance tooling (`repro cache`)
+# ---------------------------------------------------------------------------
+
+# Version label for entries whose payload predates the version field or
+# cannot be parsed at all; both are prunable — nothing current wrote them.
+UNKNOWN_VERSION = "unknown"
+
+
+@dataclass(frozen=True)
+class CacheUsage:
+    """What one cache directory currently holds."""
+
+    root: Path
+    entries: int
+    total_bytes: int
+    versions: Dict[str, int]
+    current_version: str
+
+    @property
+    def current_entries(self) -> int:
+        return self.versions.get(self.current_version, 0)
+
+    @property
+    def stale_entries(self) -> int:
+        return self.entries - self.current_entries
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """Outcome of one prune pass."""
+
+    root: Path
+    examined: int
+    removed: int
+    freed_bytes: int
+    kept: int
+    dry_run: bool
+
+
+def _entry_files(root: Path) -> Iterable[Path]:
+    """Every entry file under the two-level fan-out, sorted."""
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("??/*.json"))
+
+
+def _entry_version(path: Path) -> str:
+    """The code version recorded in one entry (``unknown`` if absent)."""
+    try:
+        payload = json.loads(path.read_text())
+        version = payload.get("version")
+    except Exception:
+        return UNKNOWN_VERSION
+    return version if isinstance(version, str) else UNKNOWN_VERSION
+
+
+def cache_usage(root: Union[str, Path]) -> CacheUsage:
+    """Size and per-code-version census of one cache directory."""
+    root = Path(root).expanduser()
+    versions: Dict[str, int] = {}
+    entries = 0
+    total = 0
+    for path in _entry_files(root):
+        entries += 1
+        try:
+            total += path.stat().st_size
+        except OSError:
+            pass
+        version = _entry_version(path)
+        versions[version] = versions.get(version, 0) + 1
+    return CacheUsage(
+        root=root,
+        entries=entries,
+        total_bytes=total,
+        versions=versions,
+        current_version=code_version(),
+    )
+
+
+# A .tmp file this old cannot belong to a live put(): writes are
+# sub-second, so anything beyond an hour is a crashed writer's orphan.
+_TMP_ORPHAN_AGE_SECONDS = 3600.0
+
+
+def prune_stale(
+    root: Union[str, Path],
+    keep_version: Optional[str] = None,
+    dry_run: bool = False,
+) -> PruneReport:
+    """Remove entries not written by ``keep_version`` (default: current).
+
+    Any code change flips :func:`code_version`, so after an upgrade the
+    old entries are dead weight — unreachable by every new key.  Also
+    sweeps up orphaned ``.tmp`` files from crashed writers — but only
+    ones old enough that no live writer can still own them, so pruning
+    never races a concurrent sweep's in-flight ``put``.  With
+    ``dry_run`` nothing is deleted; the report says what would be.
+    """
+    root = Path(root).expanduser()
+    keep = code_version() if keep_version is None else keep_version
+    examined = removed = kept = freed = 0
+    victims = []
+    for path in _entry_files(root):
+        examined += 1
+        if _entry_version(path) == keep:
+            kept += 1
+        else:
+            victims.append(path)
+    if root.is_dir():
+        cutoff = time.time() - _TMP_ORPHAN_AGE_SECONDS
+        for tmp in root.glob("??/*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    victims.append(tmp)
+            except OSError:
+                continue  # completed or claimed while we looked
+    for path in victims:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        if not dry_run:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+        removed += 1
+        freed += size
+    if not dry_run and root.is_dir():
+        for fanout in root.glob("??"):
+            try:
+                fanout.rmdir()  # only succeeds when emptied
+            except OSError:
+                pass
+    return PruneReport(
+        root=root,
+        examined=examined,
+        removed=removed,
+        freed_bytes=freed,
+        kept=kept,
+        dry_run=dry_run,
+    )

@@ -1,0 +1,845 @@
+"""Distributed sweep execution over a shared-directory work queue.
+
+One sweep becomes a directory of **task files** (one seed chunk each)
+that any number of worker processes — on this machine or on any machine
+mounting the same volume — drain concurrently.  There is no broker and
+no network protocol: the filesystem primitives the PR-2 result cache
+already relies on (atomic ``os.replace`` publishes, ``O_CREAT|O_EXCL``
+creation) are enough to hand out work safely.
+
+Queue layout (one subdirectory per sweep under the queue dir)::
+
+    queue-dir/
+      sweep-<params-hash>-<nonce>/
+        manifest.json            # scenario, params, seeds, chunks, code version
+        tasks/task-0000.json     # one seed chunk: {"scenario", "params", "seeds"}
+        leases/task-0000.lease   # claim file: owner id inside, heartbeat = mtime
+        leases/task-0000.stale-* # steal tombstone (one per reclaim event)
+        leases/task-0000.requeue-* # repair marker (one per corrupt-task rewrite)
+        done/task-0000.json      # result marker: per-seed payloads + counters
+        faults/                  # exactly-once flags for injected faults
+
+Claiming is mutually exclusive by construction: a **fresh** claim is an
+``os.open(lease, O_CREAT | O_EXCL)`` — exactly one concurrent claimer
+can create the file.  A **steal** (work stealing) first renames the
+expired lease to a uniquely named tombstone — ``os.rename`` succeeds
+for exactly one stealer — and then re-creates the lease with the same
+``O_EXCL`` create, which remains the single arbiter even against a
+racing fresh claimer.  While executing, the owner touches the lease's
+mtime before every seed (the heartbeat); a lease whose mtime is older
+than ``lease_ttl`` belongs to a dead or wedged worker and is fair game
+for any live one.  ``lease_ttl`` must exceed the longest single-seed
+runtime, since the heartbeat is per-seed.
+
+Results flow through the PR-2 cache *and* the done marker: each seed's
+reduced result is ``put`` into the shared :class:`SweepCache` (so other
+sweeps replay it) and inlined into the task's done marker (so
+collection never depends on the cache being writable).  A worker that
+dies after caching some seeds loses nothing: the stealer's cache
+lookups turn those seeds into hits and only the rest recompute — every
+execution is idempotent and byte-identical, so double completion of a
+task is benign by design.
+
+Crash recovery, concretely:
+
+* **worker SIGKILLed mid-chunk** — its lease stops heartbeating,
+  expires after ``lease_ttl``, and any live worker steals the task
+  (counted as a *steal*, visible in :class:`SweepResult`);
+* **corrupt task file** — the manifest is the source of truth; any
+  worker (or the coordinator) rewrites the task file from it
+  atomically (counted as a *requeue* via a content-keyed marker, so
+  concurrent repairers do not double-count);
+* **every worker dead** — the coordinating ``run_sweep`` notices the
+  queue stalling and drains the remaining tasks inline, so a
+  distributed sweep always terminates with the oracle's results.
+
+Fault injection (the test harness's hook): ``REPRO_WORKER_FAULT`` set
+to ``sigkill:<seed>`` makes **one** worker daemon (exactly once per
+sweep, arbitrated by an ``O_EXCL`` flag file) SIGKILL itself right
+before running that seed.  Only daemon workers honour it — the
+coordinator's inline drain never kills the caller's process.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import signal
+import socket
+import tempfile
+import time
+import warnings
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.simulation import registry
+from repro.simulation.cache import (
+    SweepCache,
+    code_version,
+    reduced_from_payload,
+    reduced_to_payload,
+)
+from repro.simulation.parallel import auto_chunk_size
+from repro.simulation.results import RateSummary, SeriesResult
+
+Reduced = Union[RateSummary, SeriesResult]
+Params = Tuple[Tuple[str, object], ...]
+
+DEFAULT_LEASE_TTL = 30.0
+DEFAULT_POLL = 0.05
+_ENV_FAULT = "REPRO_WORKER_FAULT"
+
+# Sweeps already warned about (by id) for a code-version mismatch.
+_WARNED_VERSION_SKEW: set = set()
+
+
+# ---------------------------------------------------------------------------
+# parameter signatures: one canonical shape on both sides of the JSON gap
+# ---------------------------------------------------------------------------
+
+def params_signature(params) -> Params:
+    """The canonical, order-independent form of a parameter set.
+
+    Accepts a mapping or an iterable of ``(name, value)`` pairs in any
+    insertion order and returns the sorted tuple-of-pairs every key in
+    the system (task files, lease math, :meth:`SweepCache.key`) is
+    computed from.  Container values normalize exactly like
+    :meth:`ScenarioSpec.params` does, so a parameter set that took the
+    JSON round trip through a task file signs identically to the one
+    the coordinator hashed.
+    """
+    pairs = params.items() if hasattr(params, "items") else params
+    return tuple(sorted(
+        (str(name), registry._hashable(value)) for name, value in pairs
+    ))
+
+
+def rehydrate_params(pairs: Sequence[Sequence[object]]) -> Params:
+    """Rebuild a params tuple from its JSON form (lists back to tuples)."""
+    return params_signature(tuple((name, value) for name, value in pairs))
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Publish ``payload`` at ``path`` via temp file + ``os.replace``."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=path.parent, suffix=".tmp", delete=False
+    )
+    try:
+        with handle:
+            json.dump(payload, handle)
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> Optional[dict]:
+    """The parsed JSON object at ``path``, or ``None`` if unreadable."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def default_worker_id() -> str:
+    """A worker identity unique enough for lease files: host + pid."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+# ---------------------------------------------------------------------------
+# claims and counters
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Claim:
+    """One successful lease on one task."""
+
+    task_id: str
+    lease_path: Path
+    owner: str
+    stolen: bool
+
+
+@dataclass(frozen=True)
+class QueueCounters:
+    """Lifetime accounting of one sweep's queue, read from its files."""
+
+    tasks: int
+    done: int
+    steals: int
+    repairs: int
+
+    @property
+    def requeues(self) -> int:
+        """Every event that put a task back in play: steals + repairs."""
+        return self.steals + self.repairs
+
+
+@dataclass
+class WorkerStats:
+    """What one worker (or one drain pass) processed."""
+
+    tasks_done: int = 0
+    seeds_run: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_errors: int = 0
+    steals: int = 0
+    repairs: int = 0
+
+
+# ---------------------------------------------------------------------------
+# the work queue (one sweep)
+# ---------------------------------------------------------------------------
+
+class WorkQueue:
+    """One sweep's task files, leases and done markers on a shared volume.
+
+    The coordinator creates it (:meth:`create`); workers discover it
+    (:meth:`discover`) and drive :meth:`claim` / :meth:`heartbeat` /
+    :meth:`mark_done` / :meth:`release`; anyone may :meth:`repair`.
+    All state is files, so every operation is safe across processes and
+    machines sharing the directory.
+    """
+
+    def __init__(self, sweep_dir: Path, manifest: dict) -> None:
+        self.sweep_dir = Path(sweep_dir)
+        self.manifest = manifest
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        queue_dir: Union[str, Path],
+        scenario: str,
+        params: Params,
+        seeds: Sequence[int],
+        chunk_size: int,
+    ) -> "WorkQueue":
+        """Shard ``seeds`` into task files under a fresh sweep directory.
+
+        Chunks are contiguous and order-preserving (the same batches
+        :class:`ParallelRunner` would form), so any chunk size merges
+        back into the identical seed-ordered result list.  The manifest
+        is written last: a sweep directory is invisible to workers
+        until its tasks are all in place.
+        """
+        seeds = [int(seed) for seed in seeds]
+        if not seeds:
+            raise ValueError("need at least one seed")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        params = params_signature(params)
+        digest = sha256(
+            repr((scenario, params, tuple(seeds), code_version())).encode()
+        ).hexdigest()[:12]
+        sweep_id = f"sweep-{digest}-{os.urandom(4).hex()}"
+        sweep_dir = Path(queue_dir) / sweep_id
+        for sub in ("tasks", "leases", "done", "faults"):
+            (sweep_dir / sub).mkdir(parents=True, exist_ok=True)
+
+        chunks = [
+            seeds[start:start + chunk_size]
+            for start in range(0, len(seeds), chunk_size)
+        ]
+        task_ids = [f"task-{index:04d}" for index in range(len(chunks))]
+        params_json = [[name, value] for name, value in params]
+        for task_id, chunk in zip(task_ids, chunks):
+            _atomic_write_json(sweep_dir / "tasks" / f"{task_id}.json", {
+                "task": task_id,
+                "scenario": scenario,
+                "params": params_json,
+                "seeds": chunk,
+            })
+        manifest = {
+            "sweep": sweep_id,
+            "scenario": scenario,
+            "params": params_json,
+            "seeds": seeds,
+            "chunks": dict(zip(task_ids, chunks)),
+            "chunk_size": chunk_size,
+            "code_version": code_version(),
+        }
+        _atomic_write_json(sweep_dir / "manifest.json", manifest)
+        return cls(sweep_dir, manifest)
+
+    @classmethod
+    def open(cls, sweep_dir: Union[str, Path]) -> "WorkQueue":
+        """Attach to an existing sweep directory (raises if unreadable)."""
+        sweep_dir = Path(sweep_dir)
+        manifest = _read_json(sweep_dir / "manifest.json")
+        if manifest is None:
+            raise FileNotFoundError(
+                f"no readable manifest under {sweep_dir}"
+            )
+        return cls(sweep_dir, manifest)
+
+    @classmethod
+    def discover(cls, queue_dir: Union[str, Path]) -> List["WorkQueue"]:
+        """Every openable sweep under ``queue_dir``, in sorted order."""
+        queue_dir = Path(queue_dir)
+        if not queue_dir.is_dir():
+            return []
+        queues = []
+        for child in sorted(queue_dir.iterdir()):
+            try:
+                queues.append(cls.open(child))
+            except (FileNotFoundError, NotADirectoryError):
+                continue
+        return queues
+
+    # -- introspection -------------------------------------------------
+    @property
+    def sweep_id(self) -> str:
+        return self.manifest["sweep"]
+
+    def task_ids(self) -> List[str]:
+        return sorted(self.manifest["chunks"])
+
+    def _task_path(self, task_id: str) -> Path:
+        return self.sweep_dir / "tasks" / f"{task_id}.json"
+
+    def _lease_path(self, task_id: str) -> Path:
+        return self.sweep_dir / "leases" / f"{task_id}.lease"
+
+    def _done_path(self, task_id: str) -> Path:
+        return self.sweep_dir / "done" / f"{task_id}.json"
+
+    def is_done(self, task_id: str) -> bool:
+        return self._done_path(task_id).exists()
+
+    def pending(self) -> List[str]:
+        """Task ids without a done marker yet."""
+        return [t for t in self.task_ids() if not self.is_done(t)]
+
+    def done_count(self) -> int:
+        """How many tasks have done markers (one directory listing)."""
+        return len(list((self.sweep_dir / "done").glob("*.json")))
+
+    def active_leases(self) -> int:
+        """How many tasks are currently leased (one directory listing)."""
+        return len(list((self.sweep_dir / "leases").glob("*.lease")))
+
+    def is_complete(self) -> bool:
+        return not self.pending()
+
+    def read_task(self, task_id: str) -> Optional[dict]:
+        """The task file's payload, or ``None`` when corrupt/missing."""
+        payload = _read_json(self._task_path(task_id))
+        if payload is None or not isinstance(payload.get("seeds"), list):
+            return None
+        return payload
+
+    def counters(self) -> QueueCounters:
+        """Steal/requeue accounting recovered from the marker files."""
+        leases = self.sweep_dir / "leases"
+        steals = len(list(leases.glob("*.stale-*")))
+        repairs = len(list(leases.glob("*.requeue-*")))
+        return QueueCounters(
+            tasks=len(self.task_ids()),
+            done=sum(1 for t in self.task_ids() if self.is_done(t)),
+            steals=steals,
+            repairs=repairs,
+        )
+
+    # -- leasing -------------------------------------------------------
+    def claim(
+        self, task_id: str, owner: str,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+    ) -> Optional[Claim]:
+        """Try to lease ``task_id``; ``None`` when someone else holds it.
+
+        A fresh claim creates the lease with ``O_CREAT | O_EXCL``.  A
+        lease whose heartbeat mtime is older than ``lease_ttl`` is
+        stolen: rename it to a unique tombstone (one winner), then take
+        the now-vacant slot with the same exclusive create.
+        """
+        lease = self._lease_path(task_id)
+        stolen = False
+        try:
+            fd = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = time.time() - lease.stat().st_mtime
+            except FileNotFoundError:
+                # Released or stolen this instant; retry on a later pass.
+                return None
+            if age < lease_ttl:
+                return None
+            tombstone = lease.with_name(
+                f"{task_id}.stale-{os.urandom(4).hex()}"
+            )
+            try:
+                os.rename(lease, tombstone)
+            except FileNotFoundError:
+                return None  # another stealer won the rename
+            try:
+                fd = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return None  # a fresh claimer slipped into the vacancy
+            stolen = True
+        with os.fdopen(fd, "w") as handle:
+            handle.write(owner)
+        claim = Claim(task_id, lease, owner, stolen)
+        if self.is_done(task_id):
+            # Finished between our scan and the claim; nothing to do.
+            self.release(claim)
+            return None
+        return claim
+
+    def heartbeat(self, claim: Claim) -> bool:
+        """Refresh the lease mtime; ``False`` if the lease was stolen.
+
+        A ``False`` return means another worker reclaimed the task (we
+        were presumed dead); the caller should abandon the chunk — the
+        new owner recomputes it identically.
+        """
+        try:
+            if claim.lease_path.read_text() != claim.owner:
+                return False
+            os.utime(claim.lease_path)
+        except OSError:
+            return False
+        return True
+
+    def release(self, claim: Claim) -> None:
+        """Drop the lease (after the done marker is published)."""
+        try:
+            claim.lease_path.unlink()
+        except OSError:
+            pass
+
+    # -- completion ----------------------------------------------------
+    def mark_done(self, task_id: str, payload: dict) -> None:
+        """Publish a task's results atomically (idempotent by content)."""
+        _atomic_write_json(self._done_path(task_id), payload)
+
+    def repair(self) -> int:
+        """Rewrite corrupt/missing task files from the manifest.
+
+        Any live process may call this — the manifest is the source of
+        truth for every chunk.  Each repair leaves a marker keyed by a
+        hash of the corrupt content, so two workers repairing the same
+        corruption concurrently count one requeue, not two.
+        """
+        repaired = 0
+        for task_id in self.task_ids():
+            if self.is_done(task_id):
+                continue
+            if self.read_task(task_id) is not None:
+                continue
+            path = self._task_path(task_id)
+            try:
+                corrupt = path.read_bytes()
+            except OSError:
+                corrupt = b"<missing>"
+            marker = self.sweep_dir / "leases" / (
+                f"{task_id}.requeue-{sha256(corrupt).hexdigest()[:12]}"
+            )
+            _atomic_write_json(path, {
+                "task": task_id,
+                "scenario": self.manifest["scenario"],
+                "params": self.manifest["params"],
+                "seeds": self.manifest["chunks"][task_id],
+            })
+            try:
+                # O_EXCL arbitration: of any repairers racing on the
+                # same corrupt bytes, exactly one counts the requeue.
+                os.close(os.open(
+                    marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                ))
+            except FileExistsError:
+                continue
+            repaired += 1
+        return repaired
+
+    def collect(self) -> Tuple[Dict[int, Reduced], WorkerStats]:
+        """Per-seed results and summed counters from the done markers.
+
+        Raises ``RuntimeError`` if any task is incomplete or a done
+        marker does not cover its chunk — collection is strict; the
+        wait loop is where patience lives.
+        """
+        pending = self.pending()
+        if pending:
+            raise RuntimeError(
+                f"sweep {self.sweep_id} incomplete: {pending} still pending"
+            )
+        results: Dict[int, Reduced] = {}
+        totals = WorkerStats()
+        for task_id in self.task_ids():
+            payload = _read_json(self._done_path(task_id))
+            if payload is None:
+                raise RuntimeError(
+                    f"done marker for {task_id} of {self.sweep_id} is "
+                    f"unreadable"
+                )
+            totals.tasks_done += 1
+            totals.cache_hits += int(payload.get("hits", 0))
+            totals.cache_misses += int(payload.get("misses", 0))
+            totals.cache_errors += int(payload.get("cache_errors", 0))
+            chunk = self.manifest["chunks"][task_id]
+            per_seed = payload.get("results", {})
+            for seed in chunk:
+                try:
+                    results[int(seed)] = reduced_from_payload(
+                        per_seed[str(seed)]
+                    )
+                except (KeyError, ValueError, TypeError) as error:
+                    raise RuntimeError(
+                        f"done marker for {task_id} of {self.sweep_id} "
+                        f"lacks a valid result for seed {seed}: {error}"
+                    ) from None
+                totals.seeds_run += 1
+        return results, totals
+
+    def cleanup(self) -> None:
+        """Remove the sweep directory (after a successful collect)."""
+        shutil.rmtree(self.sweep_dir, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# the worker
+# ---------------------------------------------------------------------------
+
+def _maybe_fault(queue: WorkQueue, seed: int) -> None:
+    """Honour ``REPRO_WORKER_FAULT`` (daemon workers only, exactly once).
+
+    ``sigkill:<seed>`` kills this process with SIGKILL right before it
+    would run that seed — no cleanup, no lease release: exactly the
+    crash the stale-lease reclaim exists for.  The ``O_EXCL`` flag file
+    makes the fault fire in one worker per sweep, never more.
+    """
+    spec = os.environ.get(_ENV_FAULT, "")
+    if not spec.startswith("sigkill:"):
+        return
+    try:
+        target = int(spec.split(":", 1)[1])
+    except ValueError:
+        return
+    if seed != target:
+        return
+    flag = queue.sweep_dir / "faults" / f"sigkill-{target}"
+    try:
+        fd = os.open(flag, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return  # another worker already died for this fault
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _process_task(
+    queue: WorkQueue,
+    task: dict,
+    claim: Claim,
+    cache: Optional[SweepCache],
+    stats: WorkerStats,
+    daemon: bool,
+) -> None:
+    """Execute one claimed chunk: cache-or-compute each seed, publish.
+
+    Per-seed results go through the registry's arena path (build once
+    per process, run per seed) and into the shared cache *and* the done
+    marker.  The heartbeat precedes every seed; a lost lease abandons
+    the chunk to its new owner.
+    """
+    task_id = task["task"]
+    scenario = task["scenario"]
+    params = rehydrate_params(task["params"])
+    results: Dict[str, dict] = {}
+    hits = misses = errors = 0
+    warned_unwritable = False
+    for seed in task["seeds"]:
+        if not queue.heartbeat(claim):
+            return  # stolen from us; the thief recomputes identically
+        if daemon:
+            _maybe_fault(queue, seed)
+        key = SweepCache.key(scenario, params, seed)
+        result = cache.get(key) if cache is not None else None
+        if result is not None:
+            hits += 1
+        else:
+            result = registry.run_reduced(scenario, params, seed)
+            misses += 1
+            if cache is not None:
+                try:
+                    cache.put(key, result, scenario=scenario, seed=seed)
+                except OSError as error:
+                    errors += 1
+                    if not warned_unwritable:
+                        warned_unwritable = True
+                        warnings.warn(
+                            f"worker cache write to {cache.root} failed "
+                            f"({error}); results still reach the done "
+                            f"marker",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+        results[str(seed)] = reduced_to_payload(result)
+        stats.seeds_run += 1
+    queue.mark_done(task_id, {
+        "task": task_id,
+        "sweep": queue.sweep_id,
+        "worker": claim.owner,
+        "stolen": claim.stolen,
+        "hits": hits,
+        "misses": misses,
+        "cache_errors": errors,
+        "results": results,
+    })
+    queue.release(claim)
+    stats.tasks_done += 1
+    stats.cache_hits += hits
+    stats.cache_misses += misses
+    stats.cache_errors += errors
+    if claim.stolen:
+        stats.steals += 1
+
+
+def worker_loop(
+    queue_dir: Union[str, Path],
+    cache_dir: Optional[Union[str, Path]] = None,
+    *,
+    owner: Optional[str] = None,
+    poll: float = DEFAULT_POLL,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    drain: bool = False,
+    max_tasks: Optional[int] = None,
+    stop: Optional[Callable[[], bool]] = None,
+    only_sweep: Optional[str] = None,
+    _daemon: bool = False,
+) -> WorkerStats:
+    """One worker: claim, execute and complete tasks under ``queue_dir``.
+
+    ``drain=True`` returns as soon as a full pass finds nothing
+    claimable (the coordinator's inline mode and ``repro worker
+    --drain``); otherwise the loop polls forever — the daemon mode —
+    until ``stop()`` turns true or the process is terminated.  Workers
+    also heal the queue: every pass repairs corrupt task files and
+    steals expired leases.  Sweeps written by different code (manifest
+    ``code_version`` mismatch) are skipped loudly, never executed —
+    mixing code versions would break the bit-identity contract.
+    """
+    owner = owner or default_worker_id()
+    cache = SweepCache(Path(cache_dir)) if cache_dir is not None else None
+    stats = WorkerStats()
+    while True:
+        progressed = False
+        for queue in WorkQueue.discover(queue_dir):
+            if only_sweep is not None and queue.sweep_id != only_sweep:
+                continue
+            if queue.manifest.get("code_version") != code_version():
+                if queue.sweep_id not in _WARNED_VERSION_SKEW:
+                    _WARNED_VERSION_SKEW.add(queue.sweep_id)
+                    warnings.warn(
+                        f"skipping sweep {queue.sweep_id}: its manifest "
+                        f"was written by code version "
+                        f"{queue.manifest.get('code_version')!r}, this "
+                        f"worker runs {code_version()!r}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                continue
+            stats.repairs += queue.repair()
+            for task_id in queue.task_ids():
+                if stop is not None and stop():
+                    return stats
+                if queue.is_done(task_id):
+                    continue
+                task = queue.read_task(task_id)
+                if task is None:
+                    continue  # corrupt; repaired on the next pass
+                claim = queue.claim(task_id, owner, lease_ttl)
+                if claim is None:
+                    continue
+                _process_task(queue, task, claim, cache, stats, _daemon)
+                progressed = True
+                if max_tasks is not None and stats.tasks_done >= max_tasks:
+                    return stats
+        if stop is not None and stop():
+            return stats
+        if not progressed:
+            if drain:
+                return stats
+            time.sleep(poll)
+
+
+def _local_worker_main(
+    queue_dir: str,
+    cache_dir: Optional[str],
+    poll: float,
+    lease_ttl: float,
+) -> None:
+    """Entry point of a coordinator-spawned local worker process."""
+    worker_loop(
+        queue_dir, cache_dir, poll=poll, lease_ttl=lease_ttl, _daemon=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the coordinator
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DistributedOutcome:
+    """What one distributed execution produced, for ``run_sweep``."""
+
+    results: Dict[int, Reduced]
+    chunk_size: int
+    tasks: int
+    steals: int
+    requeues: int
+    cache_errors: int
+    wall_seconds: float = 0.0
+
+
+def execute_distributed(
+    scenario: str,
+    params: Params,
+    seeds: Sequence[int],
+    *,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    cache_root: Optional[Union[str, Path]] = None,
+    queue_dir: Optional[Union[str, Path]] = None,
+    lease_ttl: Optional[float] = None,
+    poll: float = DEFAULT_POLL,
+    timeout: float = 600.0,
+) -> DistributedOutcome:
+    """Run one sweep's missing seeds through the shared-directory queue.
+
+    Shards ``seeds`` into task files under ``queue_dir`` (a private
+    temp dir when ``None``), spawns ``workers`` local worker daemons,
+    and waits for every task's done marker, stepping in itself whenever
+    nobody else is working: with ``workers=0`` the coordinator drains
+    inline as long as no external daemon holds a lease (so an attached
+    worker fleet keeps the tasks, but a lone coordinator never waits on
+    anyone); with local daemons it drains when they have all died or
+    when no done marker lands for a full stall window.  External
+    ``repro worker`` daemons pointed at the same ``queue_dir`` join
+    transparently — the lease protocol does not care who claims.
+
+    Completion is unconditional: the sweep's results are exactly the
+    sequential oracle's whether computed by local daemons, remote
+    daemons, stealers, or the coordinator itself.  ``timeout`` bounds
+    how long the queue may go *without progress* (no new done marker
+    and nothing drainable inline) before giving up — steady progress
+    never trips it, however long the sweep.
+    """
+    seeds = [int(seed) for seed in seeds]
+    if workers < 0:
+        raise ValueError("workers must be >= 0 for the distributed backend")
+    lease_ttl = DEFAULT_LEASE_TTL if lease_ttl is None else float(lease_ttl)
+    if lease_ttl <= 0:
+        raise ValueError("lease_ttl must be positive")
+    made_temp = queue_dir is None
+    if made_temp:
+        queue_root = Path(tempfile.mkdtemp(prefix="repro-queue-"))
+    else:
+        queue_root = Path(queue_dir).expanduser()
+        queue_root.mkdir(parents=True, exist_ok=True)
+    effective_chunk = (
+        chunk_size if chunk_size is not None
+        else auto_chunk_size(len(seeds), max(workers, 1))
+    )
+    start = time.perf_counter()
+    queue = WorkQueue.create(
+        queue_root, scenario, params, seeds, effective_chunk
+    )
+    cache_arg = str(cache_root) if cache_root is not None else None
+    context = multiprocessing.get_context()
+    processes = [
+        context.Process(
+            target=_local_worker_main,
+            args=(str(queue_root), cache_arg, poll, lease_ttl),
+            daemon=True,
+        )
+        for _ in range(workers)
+    ]
+    try:
+        for process in processes:
+            process.start()
+        # The stall window: how long the queue may go without a new done
+        # marker before the coordinator drains inline.  At least one
+        # lease TTL, so a crashed worker's chunk can first be stolen by
+        # its peers (that is the point of the exercise).
+        stall_window = max(lease_ttl, 1.0)
+        repair_every = max(poll * 10.0, 0.5)
+        total_tasks = len(queue.task_ids())
+        last_done = -1
+        last_progress = time.monotonic()
+        last_repair = 0.0
+        while True:
+            now = time.monotonic()
+            done_now = queue.done_count()
+            if done_now >= total_tasks:
+                break
+            if done_now != last_done:
+                last_done = done_now
+                last_progress = now
+            if now - last_progress > timeout:
+                raise RuntimeError(
+                    f"distributed sweep {queue.sweep_id} made no "
+                    f"progress for {timeout:.0f}s with {queue.pending()} "
+                    f"pending"
+                )
+            # Repair is a full scan of the task files; throttle it
+            # rather than hammering a (possibly network) volume.
+            if now - last_repair > repair_every:
+                last_repair = now
+                queue.repair()
+            peers_gone = bool(processes) and not any(
+                process.is_alive() for process in processes
+            )
+            # Drain inline when nobody else is on the job: no local
+            # daemons requested and no external lease active, every
+            # local daemon dead, or the queue stalled a full window
+            # (which also steals expired leases).
+            if ((workers == 0 and queue.active_leases() == 0)
+                    or peers_gone
+                    or now - last_progress > stall_window):
+                drained = worker_loop(
+                    queue_root,
+                    cache_arg,
+                    poll=poll,
+                    lease_ttl=lease_ttl,
+                    drain=True,
+                    only_sweep=queue.sweep_id,
+                )
+                if drained.tasks_done > 0:
+                    last_progress = time.monotonic()
+                else:
+                    # Nothing claimable yet (e.g. an orphaned lease
+                    # still inside its TTL) — wait, don't spin.
+                    time.sleep(poll)
+            else:
+                time.sleep(poll)
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5.0)
+    results, totals = queue.collect()
+    counters = queue.counters()
+    queue.cleanup()
+    if made_temp:
+        shutil.rmtree(queue_root, ignore_errors=True)
+    return DistributedOutcome(
+        results=results,
+        chunk_size=effective_chunk,
+        tasks=counters.tasks,
+        steals=counters.steals,
+        requeues=counters.requeues,
+        cache_errors=totals.cache_errors,
+        wall_seconds=time.perf_counter() - start,
+    )

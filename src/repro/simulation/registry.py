@@ -546,6 +546,17 @@ def _run_scenario(name: str, params: Params, seed: int) -> Reduced:
     )
 
 
+def run_reduced(name: str, params: Params, seed: int) -> Reduced:
+    """One reduced per-seed result from an already-normalized params key.
+
+    The entry point for callers that carry parameters in their wire
+    form (a sorted tuple of pairs, e.g. rehydrated from a distributed
+    task file) rather than as keyword overrides: same arena store, same
+    reduction, bit-identical to ``spec.run(seed)`` for equal params.
+    """
+    return _run_scenario(name, params, seed)
+
+
 # ---------------------------------------------------------------------------
 # the per-process arena store
 # ---------------------------------------------------------------------------

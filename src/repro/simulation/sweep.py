@@ -21,7 +21,13 @@ equivalence suite):
   worker process via :func:`repro.simulation.registry.warm_arena`;
 * ``cache_dir`` — when set, per-seed reduced results persist across
   processes keyed by ``(scenario, params, seed, code version)``, so
-  repeated and incrementally grown sweeps only compute missing seeds.
+  repeated and incrementally grown sweeps only compute missing seeds;
+* ``backend="distributed"`` — the missing seeds become task files in a
+  shared-directory work queue (:mod:`repro.simulation.distributed`)
+  drained by ``workers`` local worker daemons plus any external
+  ``repro worker`` processes pointed at the same ``queue_dir``; crashed
+  workers' chunks are stolen via expired lease files, and the steal /
+  requeue counts ride along in the :class:`SweepResult`.
 """
 
 from __future__ import annotations
@@ -60,10 +66,20 @@ class SweepResult:
     mean: Reduced
     # rates: variance per rate metric; series: pointwise variance.
     variance: Union[Dict[str, float], List[float]]
-    # Persistent-cache accounting for this invocation.
+    # Persistent-cache accounting for this invocation.  ``cache_errors``
+    # counts results that could not be persisted (unwritable cache dir):
+    # the sweep is complete, but those seeds will recompute next time.
     cache_enabled: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_errors: int = 0
+    # Work-queue accounting (zero unless ``backend="distributed"``):
+    # how many task files the sweep sharded into, how many were stolen
+    # off dead workers' expired leases, and how many requeue events
+    # (steals + corrupt-task repairs) the queue absorbed.
+    tasks_total: int = 0
+    steals: int = 0
+    requeues: int = 0
 
 
 def seed_range(count: int, first: int = 1) -> List[int]:
@@ -82,6 +98,8 @@ def run_sweep(
     overrides: Optional[Dict[str, object]] = None,
     chunk_size: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    queue_dir: Optional[Union[str, Path]] = None,
+    lease_ttl: Optional[float] = None,
 ) -> SweepResult:
     """Run ``scenario`` once per seed and aggregate.
 
@@ -90,6 +108,16 @@ def run_sweep(
     chunk size, or whether results were replayed from the cache
     (``cache_dir=None`` disables caching entirely — no reads, no
     writes).
+
+    ``backend="distributed"`` fans the missing seeds out over the
+    shared-directory work queue instead of an in-process pool:
+    ``workers`` local worker daemons are spawned (``0`` leaves the
+    computing to external ``repro worker`` daemons, with the caller
+    draining inline whenever the queue stalls), ``queue_dir`` names the
+    shared volume (a private temp dir when ``None``), and ``lease_ttl``
+    bounds how long a silent worker keeps its chunk before peers steal
+    it.  Both parameters are distributed-only; passing them with a pool
+    backend is an error.
     """
     spec = registry.get(scenario)
     seeds = list(seeds)
@@ -99,17 +127,36 @@ def run_sweep(
     run = spec.bound(smoke=smoke, **overrides)
     params = spec.params_key(smoke=smoke, **overrides)
 
-    # Constructed before the cache is consulted so invalid
-    # workers/backend/chunk_size are rejected regardless of cache state.
-    runner = ParallelRunner(
-        workers=workers,
-        backend=backend,
-        chunk_size=chunk_size,
-        # Build the scenario's seed-independent arena once per worker,
-        # before its first task.
-        initializer=registry.warm_arena,
-        initargs=(spec.name, params),
-    )
+    distributed = backend == "distributed"
+    runner: Optional[ParallelRunner] = None
+    if distributed:
+        # Mirror ParallelRunner's eager validation: bad arguments are
+        # rejected regardless of cache state.
+        if workers < 0:
+            raise ValueError(
+                "workers must be >= 0 for the distributed backend"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        if lease_ttl is not None and lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+    else:
+        if queue_dir is not None or lease_ttl is not None:
+            raise ValueError(
+                "queue_dir/lease_ttl require backend='distributed'"
+            )
+        # Constructed before the cache is consulted so invalid
+        # workers/backend/chunk_size are rejected regardless of cache
+        # state.
+        runner = ParallelRunner(
+            workers=workers,
+            backend=backend,
+            chunk_size=chunk_size,
+            # Build the scenario's seed-independent arena once per
+            # worker, before its first task.
+            initializer=registry.warm_arena,
+            initargs=(spec.name, params),
+        )
 
     cache = SweepCache(Path(cache_dir)) if cache_dir is not None else None
     start = time.perf_counter()
@@ -130,27 +177,58 @@ def run_sweep(
                 collected[seed] = cached
 
     timing: Optional[RunTiming] = None
-    if missing:
+    cache_errors = 0
+    tasks_total = steals = requeues = 0
+    if missing and distributed:
+        from repro.simulation.distributed import execute_distributed
+
+        outcome = execute_distributed(
+            spec.name,
+            params,
+            missing,
+            workers=workers,
+            chunk_size=chunk_size,
+            cache_root=cache.root if cache is not None else None,
+            queue_dir=queue_dir,
+            lease_ttl=lease_ttl,
+        )
+        collected.update(outcome.results)
+        cache_errors += outcome.cache_errors
+        tasks_total = outcome.tasks
+        steals = outcome.steals
+        requeues = outcome.requeues
+        timing = RunTiming(
+            wall_seconds=outcome.wall_seconds,
+            seeds=len(missing),
+            workers=workers,
+            backend="distributed",
+            chunk_size=outcome.chunk_size,
+        )
+    elif missing:
         computed = runner.map_seeds(run, missing)
         timing = runner.last_timing
-        cache_writable = True
+        warned_unwritable = False
         for seed, result in zip(missing, computed):
             collected[seed] = result
-            if cache is not None and cache_writable:
+            if cache is not None:
                 try:
                     cache.put(keys[seed], result, scenario=spec.name,
                               seed=seed)
                 except OSError as error:
                     # An unwritable cache (read-only dir, full disk) must
-                    # never cost the results that were just computed.
-                    cache_writable = False
-                    warnings.warn(
-                        f"sweep cache write to {cache.root} failed "
-                        f"({error}); continuing without persisting "
-                        f"results",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
+                    # never cost the results that were just computed; it
+                    # is counted per seed so the export shows exactly how
+                    # much a rerun will recompute.
+                    cache.stats.errors += 1
+                    if not warned_unwritable:
+                        warned_unwritable = True
+                        warnings.warn(
+                            f"sweep cache write to {cache.root} failed "
+                            f"({error}); continuing without persisting "
+                            f"results",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
     # Timing always describes the whole invocation: every requested
     # seed, total wall clock (map + cache traffic).  Workers/backend/
     # chunk_size come from the map when one ran; an all-hits replay is
@@ -192,4 +270,10 @@ def run_sweep(
         cache_enabled=cache is not None,
         cache_hits=cache.stats.hits if cache is not None else 0,
         cache_misses=cache.stats.misses if cache is not None else 0,
+        cache_errors=(
+            cache.stats.errors if cache is not None else 0
+        ) + cache_errors,
+        tasks_total=tasks_total,
+        steals=steals,
+        requeues=requeues,
     )

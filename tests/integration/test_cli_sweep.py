@@ -128,10 +128,14 @@ class TestSweepCacheCli:
         assert main(args) == 0
         capsys.readouterr()
         cold = load_sweep(path.read_text())
-        assert cold["cache"] == {"enabled": True, "hits": 0, "misses": 3}
+        assert cold["cache"] == {
+            "enabled": True, "hits": 0, "misses": 3, "errors": 0,
+        }
         assert main(args) == 0
         warm = load_sweep(path.read_text())
-        assert warm["cache"] == {"enabled": True, "hits": 3, "misses": 0}
+        assert warm["cache"] == {
+            "enabled": True, "hits": 3, "misses": 0, "errors": 0,
+        }
         assert warm["mean"] == cold["mean"]
         assert warm["per_seed"] == cold["per_seed"]
         assert warm["timing"]["backend"] == "cache"

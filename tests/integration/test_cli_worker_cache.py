@@ -1,0 +1,190 @@
+"""Tests for the ``repro worker`` and ``repro cache`` subcommands, and
+the ``repro sweep --distributed`` wiring that ties them together."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import load_sweep
+from repro.cli import main
+from repro.simulation import registry
+from repro.simulation.cache import SweepCache
+from repro.simulation.distributed import WorkQueue
+from repro.simulation.results import RateSummary
+from repro.simulation.sweep import run_sweep, seed_range
+
+SCENARIO = "fig15-environment"
+
+
+def _stage_queue(queue_dir, seeds=(1, 2, 3), chunk_size=1):
+    spec = registry.get(SCENARIO)
+    return WorkQueue.create(
+        queue_dir, SCENARIO, spec.params_key(smoke=True),
+        list(seeds), chunk_size,
+    )
+
+
+class TestWorkerCli:
+    def test_drain_completes_a_staged_queue(self, tmp_path, capsys):
+        queue = _stage_queue(tmp_path / "q")
+        assert main([
+            "worker", str(tmp_path / "q"), "--drain",
+            "--cache-dir", str(tmp_path / "c"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 task(s)" in out
+        assert "3 seed(s)" in out
+        assert queue.is_complete()
+        results, _ = queue.collect()
+        spec = registry.get(SCENARIO)
+        assert results[2] == spec.run(2, smoke=True)
+
+    def test_drain_on_empty_queue_exits_cleanly(self, tmp_path, capsys):
+        assert main(["worker", str(tmp_path), "--drain"]) == 0
+        assert "0 task(s)" in capsys.readouterr().out
+
+    def test_max_tasks_bounds_the_session(self, tmp_path, capsys):
+        queue = _stage_queue(tmp_path / "q", seeds=(1, 2, 3, 4))
+        assert main([
+            "worker", str(tmp_path / "q"), "--drain", "--no-cache",
+            "--max-tasks", "2", "--worker-id", "bounded",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "worker bounded" in out
+        assert "2 task(s)" in out
+        assert len(queue.pending()) == 2
+
+    def test_worker_results_replay_into_a_sweep(self, tmp_path):
+        """Seeds computed by a CLI worker are cache hits for the next
+        ``run_sweep`` over the same scenario."""
+        _stage_queue(tmp_path / "q", seeds=(1, 2))
+        assert main([
+            "worker", str(tmp_path / "q"), "--drain",
+            "--cache-dir", str(tmp_path / "c"),
+        ]) == 0
+        sweep = run_sweep(SCENARIO, seed_range(2), smoke=True,
+                          cache_dir=tmp_path / "c")
+        assert sweep.cache_hits == 2
+        assert sweep.cache_misses == 0
+
+
+class TestSweepDistributedCli:
+    def test_distributed_sweep_prints_queue_counters(
+        self, tmp_path, capsys
+    ):
+        json_path = tmp_path / "out.json"
+        assert main([
+            "sweep", SCENARIO, "--seeds", "3", "--smoke",
+            "--distributed", "--workers", "0",
+            "--queue-dir", str(tmp_path / "q"),
+            "--cache-dir", str(tmp_path / "c"),
+            "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "distributed" in out
+        assert "queue: 3 task(s), 0 steal(s), 0 requeue(s)" in out
+        payload = load_sweep(json_path.read_text())
+        assert payload["timing"]["backend"] == "distributed"
+        assert payload["distributed"]["tasks"] == 3
+
+    def test_distributed_matches_plain_sweep_bitwise(self, tmp_path):
+        plain = run_sweep(SCENARIO, seed_range(3), workers=1, smoke=True)
+        assert main([
+            "sweep", SCENARIO, "--seeds", "3", "--smoke",
+            "--distributed", "--workers", "2", "--no-cache",
+            "--queue-dir", str(tmp_path / "q"),
+            "--json", str(tmp_path / "out.json"),
+        ]) == 0
+        payload = load_sweep((tmp_path / "out.json").read_text())
+        assert payload["mean"] == plain.mean.to_payload()
+
+    def test_queue_dir_without_distributed_rejected(self, capsys):
+        assert main([
+            "sweep", SCENARIO, "--smoke",
+            "--queue-dir", "/tmp/somewhere",
+        ]) == 2
+        assert "--distributed" in capsys.readouterr().err
+
+    def test_lease_ttl_without_distributed_rejected(self, capsys):
+        assert main([
+            "sweep", SCENARIO, "--smoke", "--lease-ttl", "5",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--lease-ttl" in err and "--distributed" in err
+
+    def test_negative_workers_rejected(self, capsys):
+        assert main([
+            "sweep", SCENARIO, "--smoke", "--distributed",
+            "--workers", "-1",
+        ]) == 2
+        assert "workers" in capsys.readouterr().err
+
+
+class TestCacheCli:
+    def _put(self, root, seed, version=None):
+        cache = SweepCache(root)
+        key = SweepCache.key("cli", (("p", 1),), seed,
+                             version=version or "k")
+        cache.put(key, RateSummary(0.1, 0.2, 0.3), scenario="cli",
+                  seed=seed, version=version)
+
+    def test_stats_reports_entries_and_versions(self, tmp_path, capsys):
+        self._put(tmp_path, 1)
+        self._put(tmp_path, 2, version="00ld00ld00ld00ld")
+        json_path = tmp_path / "stats.json"
+        assert main([
+            "cache", "stats", "--cache-dir", str(tmp_path),
+            "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+        assert "stale entries: 1" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["entries"] == 2
+        assert payload["versions"]["00ld00ld00ld00ld"] == 1
+
+    def test_prune_dry_run_then_real(self, tmp_path, capsys):
+        self._put(tmp_path, 1)
+        self._put(tmp_path, 2, version="00ld00ld00ld00ld")
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path), "--dry-run",
+        ]) == 0
+        assert "[dry run]" in capsys.readouterr().out
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--json", str(tmp_path / "prune.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 stale" in out
+        payload = json.loads((tmp_path / "prune.json").read_text())
+        assert payload["removed"] == 1
+        assert payload["kept"] == 1
+        # Idempotent: a second prune finds nothing stale.
+        assert main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+        ]) == 0
+        assert "pruned 0 stale" in capsys.readouterr().out
+
+    def test_stats_on_empty_cache(self, tmp_path, capsys):
+        assert main([
+            "cache", "stats", "--cache-dir", str(tmp_path / "empty"),
+        ]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_cache_respects_env_default(self, tmp_path, monkeypatch,
+                                        capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        run_sweep(SCENARIO, seed_range(2), smoke=True,
+                  cache_dir=tmp_path / "env-cache")
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+        assert str(tmp_path / "env-cache") in out
+
+
+class TestListMentionsNewCommands:
+    def test_top_level_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "worker" in out
+        assert "cache" in out

@@ -43,11 +43,27 @@ class TestRoundTrip:
         # These sweeps ran without a cache_dir: accounting says so.
         payload = load_sweep(sweep_to_json(rates_sweep))
         assert payload["cache"] == {
-            "enabled": False, "hits": 0, "misses": 0,
+            "enabled": False, "hits": 0, "misses": 0, "errors": 0,
         }
         assert load_sweep(sweep_to_json(series_sweep))["cache"][
             "enabled"
         ] is False
+
+    def test_distributed_fields_survive(self, rates_sweep, tmp_path):
+        # Pool sweeps carry an all-zero queue block...
+        payload = load_sweep(sweep_to_json(rates_sweep))
+        assert payload["distributed"] == {
+            "tasks": 0, "steals": 0, "requeues": 0,
+        }
+        # ...while a distributed sweep exports its task count.
+        sweep = run_sweep(
+            "fig15-environment", seed_range(3), workers=0,
+            backend="distributed", smoke=True, queue_dir=tmp_path,
+        )
+        distributed = load_sweep(sweep_to_json(sweep))["distributed"]
+        assert distributed["tasks"] == 3
+        assert distributed["steals"] == 0
+        assert distributed["requeues"] == 0
 
     def test_variance_fields_survive(self, rates_sweep, series_sweep):
         rates_payload = load_sweep(sweep_to_json(rates_sweep))
@@ -106,11 +122,31 @@ class TestValidation:
         del payload["cache"]
         loaded = load_sweep(json.dumps(payload))
         assert loaded["cache"] == {
-            "enabled": False, "hits": 0, "misses": 0,
+            "enabled": False, "hits": 0, "misses": 0, "errors": 0,
+        }
+
+    def test_missing_errors_and_distributed_blocks_default(
+        self, rates_sweep
+    ):
+        # Exports written before PR 4 lack the error count and the
+        # queue block; both default so old artifacts stay comparable.
+        payload = sweep_to_payload(rates_sweep)
+        del payload["cache"]["errors"]
+        del payload["distributed"]
+        loaded = load_sweep(json.dumps(payload))
+        assert loaded["cache"]["errors"] == 0
+        assert loaded["distributed"] == {
+            "tasks": 0, "steals": 0, "requeues": 0,
         }
 
     def test_cache_block_without_counts_rejected(self, rates_sweep):
         payload = sweep_to_payload(rates_sweep)
         payload["cache"] = {"enabled": True}
         with pytest.raises(ValueError, match="hits/misses"):
+            load_sweep(json.dumps(payload))
+
+    def test_distributed_block_without_counts_rejected(self, rates_sweep):
+        payload = sweep_to_payload(rates_sweep)
+        payload["distributed"] = {"tasks": 1}
+        with pytest.raises(ValueError, match="steals/requeues"):
             load_sweep(json.dumps(payload))

@@ -228,3 +228,164 @@ class TestRunSweepWithCache:
         # ...and nothing was written.
         monkeypatch.undo()
         assert _cache_files(tmp_path) == []
+
+
+class TestCacheErrorsSurfaced:
+    """Regression: an unwritable cache used to warn and then silently
+    report the affected seeds as plain misses; the error count now
+    rides through ``SweepResult`` and the JSON export."""
+
+    SCENARIO = "fig15-environment"
+
+    def test_unwritable_cache_dir_counts_every_failed_persist(
+        self, tmp_path
+    ):
+        # A path whose parent is a regular file: every mkdir/put fails
+        # with OSError regardless of the uid running the suite (a
+        # chmod-based read-only dir would not stop root).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("i am a file, not a directory")
+        bad_dir = blocker / "cache"
+        with pytest.warns(RuntimeWarning, match="cache write.*failed"):
+            sweep = run_sweep(self.SCENARIO, seed_range(3), smoke=True,
+                              cache_dir=bad_dir)
+        assert sweep.cache_errors == 3
+        assert sweep.cache_misses == 3
+        assert sweep.cache_hits == 0
+        # The results themselves are unharmed.
+        clean = run_sweep(self.SCENARIO, seed_range(3), smoke=True)
+        assert sweep.per_seed == clean.per_seed
+
+    def test_error_count_reaches_the_json_export(self, tmp_path):
+        from repro.analysis.export import load_sweep, sweep_to_json
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("still a file")
+        with pytest.warns(RuntimeWarning):
+            sweep = run_sweep(self.SCENARIO, seed_range(2), smoke=True,
+                              cache_dir=blocker / "cache")
+        payload = load_sweep(sweep_to_json(sweep))
+        assert payload["cache"] == {
+            "enabled": True, "hits": 0, "misses": 2, "errors": 2,
+        }
+
+    def test_distributed_worker_put_errors_surface_too(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("file again")
+        with pytest.warns(RuntimeWarning, match="cache write"):
+            sweep = run_sweep(
+                self.SCENARIO, seed_range(3), smoke=True,
+                backend="distributed", workers=0,
+                queue_dir=tmp_path / "q", cache_dir=blocker / "cache",
+            )
+        # The done markers carried the results despite the dead cache.
+        assert sweep.cache_errors == 3
+        clean = run_sweep(self.SCENARIO, seed_range(3), smoke=True)
+        assert sweep.per_seed == clean.per_seed
+
+    def test_healthy_cache_reports_zero_errors(self, tmp_path):
+        sweep = run_sweep(self.SCENARIO, seed_range(2), smoke=True,
+                          cache_dir=tmp_path)
+        assert sweep.cache_errors == 0
+
+
+class TestUsageAndPrune:
+    """`repro cache` backing: the census and the prune pass."""
+
+    def _seed_entries(self, root, count, version=None):
+        cache = SweepCache(root)
+        for index in range(count):
+            key = SweepCache.key("census", PARAMS, index, version="fixed")
+            cache.put(key, RateSummary(0.1, 0.2, 0.3, total_requests=1),
+                      scenario="census", seed=index, version=version)
+
+    def test_usage_counts_entries_and_versions(self, tmp_path):
+        from repro.simulation.cache import cache_usage
+
+        self._seed_entries(tmp_path, 3)
+        self._seed_entries(tmp_path / "old", 2, version="feedface")
+        usage = cache_usage(tmp_path)
+        assert usage.entries == 3
+        assert usage.total_bytes > 0
+        assert usage.versions == {code_version(): 3}
+        assert usage.stale_entries == 0
+        old = cache_usage(tmp_path / "old")
+        assert old.versions == {"feedface": 2}
+        assert old.stale_entries == 2
+
+    def test_usage_of_missing_dir_is_empty(self, tmp_path):
+        from repro.simulation.cache import cache_usage
+
+        usage = cache_usage(tmp_path / "never-created")
+        assert usage.entries == 0
+        assert usage.versions == {}
+
+    def test_prune_removes_only_stale_versions(self, tmp_path):
+        from repro.simulation.cache import cache_usage, prune_stale
+
+        cache = SweepCache(tmp_path)
+        current_key = SweepCache.key("keep", PARAMS, 1)
+        cache.put(current_key, RateSummary(0.5, 0.25, 0.25),
+                  scenario="keep", seed=1)
+        stale_key = SweepCache.key("drop", PARAMS, 1, version="old")
+        cache.put(stale_key, RateSummary(0.5, 0.25, 0.25),
+                  scenario="drop", seed=1, version="0123456789abcdef")
+
+        report = prune_stale(tmp_path)
+        assert report.examined == 2
+        assert report.removed == 1
+        assert report.kept == 1
+        assert report.freed_bytes > 0
+        assert cache.get(current_key) is not None
+        assert cache_usage(tmp_path).entries == 1
+
+    def test_prune_dry_run_deletes_nothing(self, tmp_path):
+        from repro.simulation.cache import cache_usage, prune_stale
+
+        self._seed_entries(tmp_path, 2, version="0ldc0de0ldc0de00")
+        report = prune_stale(tmp_path, dry_run=True)
+        assert report.dry_run
+        assert report.removed == 2
+        assert cache_usage(tmp_path).entries == 2
+
+    def test_prune_drops_versionless_and_corrupt_entries(self, tmp_path):
+        import os
+        import time
+
+        from repro.simulation.cache import prune_stale
+
+        fanout = tmp_path / "ab"
+        fanout.mkdir(parents=True)
+        (fanout / ("a" * 64 + ".json")).write_text(
+            json.dumps({"result": {"kind": "rates"}})  # pre-PR4: no version
+        )
+        (fanout / ("b" * 64 + ".json")).write_text("{corrupt")
+        orphan = fanout / "leftover.tmp"
+        orphan.write_text("crashed writer")
+        past = time.time() - 7200  # old enough to be a crashed writer's
+        os.utime(orphan, (past, past))
+        report = prune_stale(tmp_path)
+        assert report.removed == 3
+        assert list(tmp_path.rglob("*")) == []  # fanout dir swept too
+
+    def test_prune_spares_a_live_writers_tmp_file(self, tmp_path):
+        from repro.simulation.cache import prune_stale
+
+        fanout = tmp_path / "cd"
+        fanout.mkdir(parents=True)
+        in_flight = fanout / "being-written.tmp"
+        in_flight.write_text("a concurrent put() owns this")
+        report = prune_stale(tmp_path)
+        assert report.removed == 0
+        assert in_flight.exists()
+
+    def test_prune_keeps_entries_written_by_run_sweep(self, tmp_path):
+        from repro.simulation.cache import prune_stale
+
+        run_sweep("fig15-environment", seed_range(2), smoke=True,
+                  cache_dir=tmp_path)
+        report = prune_stale(tmp_path)
+        assert report.removed == 0 and report.kept == 2
+        warm = run_sweep("fig15-environment", seed_range(2), smoke=True,
+                         cache_dir=tmp_path)
+        assert warm.cache_hits == 2

@@ -1,0 +1,231 @@
+"""Fault injection for distributed sweeps: crashes must cost nothing.
+
+Three injected failures — a worker SIGKILLed mid-chunk, a corrupt task
+file, and a lease whose heartbeat is back-dated past the TTL — and one
+invariant: the sweep completes with results bit-identical to the
+sequential oracle, and every recovery event is visible in the
+steal/requeue counters.
+
+The SIGKILL tests use the harness built into the worker itself:
+``REPRO_WORKER_FAULT=sigkill:<seed>`` makes exactly one worker *daemon*
+kill itself (``SIGKILL``: no cleanup, no lease release) right before
+running that seed — the precise crash the stale-lease reclaim protocol
+exists to absorb.
+"""
+
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.simulation import registry
+from repro.simulation.distributed import (
+    WorkQueue,
+    worker_loop,
+)
+from repro.simulation.sweep import run_sweep, seed_range
+
+SCENARIO = "fig15-environment"
+# Generous bound for one killed-and-stolen smoke chunk on a loaded CI box.
+WAIT = 120.0
+
+
+def _oracle(seeds):
+    spec = registry.get(SCENARIO)
+    return {seed: spec.run(seed, smoke=True) for seed in seeds}
+
+
+def _make_queue(tmp_path, seeds, chunk_size):
+    spec = registry.get(SCENARIO)
+    return WorkQueue.create(
+        tmp_path / "queue", SCENARIO, spec.params_key(smoke=True),
+        seeds, chunk_size,
+    )
+
+
+def _daemon_worker(queue_dir, cache_dir, fault):
+    """Run one worker daemon in-process (forked child entry point)."""
+    os.environ["REPRO_WORKER_FAULT"] = fault
+    worker_loop(queue_dir, cache_dir, drain=True, poll=0.01, _daemon=True)
+
+
+class TestSigkillMidChunk:
+    def test_killed_worker_chunk_is_stolen_and_bit_identical(
+        self, tmp_path
+    ):
+        """Worker dies inside a chunk; a peer steals and finishes it."""
+        seeds = [1, 2, 3, 4, 5, 6]
+        queue = _make_queue(tmp_path, seeds, chunk_size=3)
+        cache_dir = str(tmp_path / "cache")
+
+        # Worker A: dies right before seed 2 — after completing seed 1
+        # of its first chunk, mid-chunk by construction.
+        context = multiprocessing.get_context("fork")
+        victim = context.Process(
+            target=_daemon_worker,
+            args=(str(tmp_path / "queue"), cache_dir, "sigkill:2"),
+        )
+        victim.start()
+        victim.join(timeout=WAIT)
+        assert victim.exitcode == -9  # died by SIGKILL, not exit()
+
+        # The crash left an orphaned lease and an unfinished task.
+        assert not queue.is_complete()
+        leases = list((queue.sweep_dir / "leases").glob("*.lease"))
+        assert len(leases) == 1
+
+        # Worker B (a live peer) steals the expired lease and drains.
+        # The lease is minutes-fresh, so expire it the honest way: wait
+        # for a short TTL rather than touching the file.
+        time.sleep(0.3)
+        stats = worker_loop(
+            tmp_path / "queue", cache_dir, drain=True, lease_ttl=0.25,
+        )
+        assert queue.is_complete()
+        assert stats.steals == 1
+
+        results, totals = queue.collect()
+        assert results == _oracle(seeds)
+        counters = queue.counters()
+        assert counters.steals == 1
+        assert counters.requeues == 1
+        # Seed 1 was cached by the victim before it died; the stealer
+        # replays it instead of recomputing.
+        assert totals.cache_hits >= 1
+
+    def test_end_to_end_run_sweep_with_killed_worker(self, tmp_path):
+        """The acceptance criterion: >=2 workers, one SIGKILLed
+        mid-chunk, and ``run_sweep`` still returns the oracle's bits
+        with the steal visible in the counters."""
+        seeds = seed_range(6)
+        sequential = run_sweep(SCENARIO, seeds, workers=1, smoke=True)
+
+        os.environ["REPRO_WORKER_FAULT"] = "sigkill:3"
+        try:
+            distributed = run_sweep(
+                SCENARIO, seeds, workers=2, backend="distributed",
+                smoke=True, queue_dir=tmp_path / "q",
+                cache_dir=tmp_path / "c", lease_ttl=0.5, chunk_size=2,
+            )
+        finally:
+            del os.environ["REPRO_WORKER_FAULT"]
+
+        assert distributed.per_seed == sequential.per_seed
+        assert distributed.mean == sequential.mean
+        assert distributed.variance == sequential.variance
+        assert distributed.steals == 1
+        assert distributed.requeues == 1
+        assert distributed.tasks_total == 3
+
+    def test_fault_fires_exactly_once_across_workers(self, tmp_path):
+        """Two daemons, one fault flag: exactly one dies, the other
+        (plus the coordinator, if needed) completes the sweep."""
+        seeds = seed_range(4)
+        os.environ["REPRO_WORKER_FAULT"] = "sigkill:1"
+        try:
+            distributed = run_sweep(
+                SCENARIO, seeds, workers=2, backend="distributed",
+                smoke=True, queue_dir=tmp_path / "q",
+                cache_dir=tmp_path / "c", lease_ttl=0.5, chunk_size=1,
+            )
+        finally:
+            del os.environ["REPRO_WORKER_FAULT"]
+        sequential = run_sweep(SCENARIO, seeds, workers=1, smoke=True)
+        assert distributed.per_seed == sequential.per_seed
+        assert distributed.steals == 1  # one death, one reclaim
+
+
+class TestCorruptTaskFile:
+    def test_worker_repairs_and_completes(self, tmp_path):
+        seeds = [1, 2, 3, 4]
+        queue = _make_queue(tmp_path, seeds, chunk_size=2)
+        (queue.sweep_dir / "tasks" / "task-0001.json").write_text(
+            "\x00 not a task \x00"
+        )
+        stats = worker_loop(tmp_path / "queue", None, drain=True)
+        assert stats.repairs == 1
+        assert queue.is_complete()
+        results, _ = queue.collect()
+        assert results == _oracle(seeds)
+        counters = queue.counters()
+        assert counters.repairs == 1
+        assert counters.requeues == 1
+        assert counters.steals == 0
+
+    def test_end_to_end_requeue_count_in_sweep_result(self, tmp_path):
+        """Corruption injected between enqueue and execution surfaces
+        as a requeue in the SweepResult counters."""
+        queue_dir = tmp_path / "q"
+        seeds = seed_range(3)
+
+        # Stage the sweep by hand so the corruption lands before any
+        # worker runs, then let the coordinator-equivalent drain it.
+        spec = registry.get(SCENARIO)
+        queue = WorkQueue.create(
+            queue_dir, SCENARIO, spec.params_key(smoke=True), seeds, 1
+        )
+        (queue.sweep_dir / "tasks" / "task-0000.json").write_text("junk")
+        worker_loop(queue_dir, tmp_path / "c", drain=True)
+        results, _ = queue.collect()
+        assert results == _oracle(seeds)
+        assert queue.counters().requeues == 1
+
+
+class TestBackdatedLease:
+    def test_expired_heartbeat_lease_is_reclaimed(self, tmp_path):
+        """A lease whose heartbeat mtime is back-dated past the TTL is
+        treated as a dead worker's and stolen."""
+        seeds = [1, 2]
+        queue = _make_queue(tmp_path, seeds, chunk_size=2)
+        claim = queue.claim("task-0000", "wedged-worker")
+        past = time.time() - 3600
+        os.utime(claim.lease_path, (past, past))
+
+        stats = worker_loop(
+            tmp_path / "queue", None, drain=True, lease_ttl=5.0,
+        )
+        assert stats.steals == 1
+        assert queue.is_complete()
+        results, _ = queue.collect()
+        assert results == _oracle(seeds)
+        assert queue.counters().steals == 1
+        # The wedged worker's heartbeat now fails: its lease is gone.
+        assert not queue.heartbeat(claim)
+
+    def test_live_lease_is_never_stolen(self, tmp_path):
+        """The other half of the contract: a fresh heartbeat protects
+        the chunk — the drain pass leaves it alone."""
+        queue = _make_queue(tmp_path, [1, 2], chunk_size=1)
+        queue.claim("task-0000", "busy-but-alive")
+        stats = worker_loop(
+            tmp_path / "queue", None, drain=True, lease_ttl=60.0,
+        )
+        # Only the unleased task was processed.
+        assert stats.tasks_done == 1
+        assert stats.steals == 0
+        assert queue.pending() == ["task-0000"]
+
+
+class TestCoordinatorOfLastResort:
+    def test_sweep_completes_when_every_worker_dies(self, tmp_path):
+        """All local daemons dead: the coordinator notices the stall
+        and drains inline — a distributed sweep always terminates."""
+        seeds = seed_range(3)
+        sequential = run_sweep(SCENARIO, seeds, workers=1, smoke=True)
+        # Every worker that picks up seed 1's task dies... but the
+        # exactly-once flag means only the first daemon dies; with one
+        # worker the coordinator must finish the job itself.
+        os.environ["REPRO_WORKER_FAULT"] = "sigkill:1"
+        try:
+            distributed = run_sweep(
+                SCENARIO, seeds, workers=1, backend="distributed",
+                smoke=True, queue_dir=tmp_path / "q",
+                cache_dir=tmp_path / "c", lease_ttl=0.5, chunk_size=3,
+            )
+        finally:
+            del os.environ["REPRO_WORKER_FAULT"]
+        assert distributed.per_seed == sequential.per_seed
+        assert distributed.mean == sequential.mean
+        assert distributed.steals >= 1

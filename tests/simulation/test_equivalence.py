@@ -70,6 +70,28 @@ class TestEveryScenario:
         )
         assert sequential == chunked
 
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_distributed_identical_to_sequential(
+        self, name, workers, tmp_path
+    ):
+        """The shared-directory work queue inherits the bit-identity
+        contract: seq == parallel == distributed, for 1 and 3 local
+        worker daemons, for every registered scenario."""
+        spec = registry.get(name)
+        sequential = _sequential_average(spec, SEEDS)
+        sweep = run_sweep(
+            name, SEEDS, workers=workers, backend="distributed",
+            smoke=True, queue_dir=tmp_path / "queue",
+            cache_dir=tmp_path / "cache",
+        )
+        assert sweep.mean == sequential
+        assert sweep.timing.backend == "distributed"
+        assert sweep.timing.workers == workers
+        assert sweep.tasks_total >= 1
+        # A healthy run recovers nothing: no steals, no requeues.
+        assert sweep.steals == 0
+        assert sweep.requeues == 0
+
     def test_warm_cache_rerun_identical(self, name, tmp_path):
         spec = registry.get(name)
         cold = run_sweep(name, SEEDS, workers=1, smoke=True,
