@@ -111,12 +111,17 @@ def sweep_to_payload(sweep) -> Dict[str, object]:
     """A :class:`~repro.simulation.sweep.SweepResult` as a JSON-ready dict.
 
     Carries the per-seed results, the mean, the across-seed variance,
-    the wall-clock timing of the run and the persistent-cache hit/miss
-    accounting — everything downstream regression tracking needs to
-    compare a sweep against an earlier one.
+    the wall-clock timing of the run, the persistent-cache hit/miss
+    accounting, and the :class:`repro.api.SweepSpec` payload that
+    described the work — everything downstream regression tracking
+    needs to compare a sweep against an earlier one and to re-submit
+    the exact same job.
     """
     return {
         "scenario": sweep.scenario,
+        # The job description (scenario/seeds/smoke/overrides); None on
+        # results rebuilt from pre-spec artifacts.
+        "spec": getattr(sweep, "spec", None),
         "kind": sweep.kind,
         "seeds": list(sweep.seeds),
         "timing": {
@@ -188,6 +193,11 @@ def load_sweep(text: str) -> Dict[str, object]:
         raise ValueError(
             "sweep distributed block must carry tasks/steals/requeues"
         )
+    # Exports written before the job API carry no spec payload; default
+    # it so pre-spec artifacts stay loadable and comparable.
+    spec = payload.setdefault("spec", None)
+    if spec is not None and not isinstance(spec, dict):
+        raise ValueError("sweep spec block must be an object or null")
     if not isinstance(payload["per_seed"], list) or not isinstance(
         payload["seeds"], list
     ):

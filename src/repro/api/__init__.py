@@ -1,0 +1,54 @@
+"""The canonical public surface of the reproduction runtime.
+
+Describe *what* to run with :class:`SweepSpec`, *how* to run it with
+:class:`ExecutionProfile`, and hand both to a :class:`Client`::
+
+    from repro.api import Client, ExecutionProfile, SweepSpec
+
+    client = Client(ExecutionProfile(workers=4))
+    handle = client.submit(SweepSpec("fig7-mutuality", seeds=range(1, 9)))
+    sweep = handle.result()
+
+    campaign = client.submit_campaign([
+        SweepSpec(name, seeds=[1, 2, 3], smoke=True)
+        for name in registry.names()
+    ])
+    campaign.result().write_exports("exports/")
+
+Everything here drives the same engine as ``repro sweep`` and the
+legacy :func:`repro.simulation.sweep.run_sweep` shim, so results are
+bit-identical across all surfaces — profiles change speed and
+placement, never values.
+"""
+
+from repro.api.client import (
+    CampaignHandle,
+    CampaignResult,
+    CancelledError,
+    Client,
+    SweepHandle,
+)
+from repro.api.spec import (
+    EXECUTION_BACKENDS,
+    CampaignManifest,
+    ExecutionProfile,
+    SweepSpec,
+    campaign_labels,
+    load_campaign_manifest,
+    validate_execution,
+)
+
+__all__ = [
+    "EXECUTION_BACKENDS",
+    "CampaignHandle",
+    "CampaignManifest",
+    "CampaignResult",
+    "CancelledError",
+    "Client",
+    "ExecutionProfile",
+    "SweepHandle",
+    "SweepSpec",
+    "campaign_labels",
+    "load_campaign_manifest",
+    "validate_execution",
+]

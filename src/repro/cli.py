@@ -6,8 +6,11 @@ Usage::
     python -m repro fig7 --network facebook --seed 2
     python -m repro fig15 --json results.json
     python -m repro sweep fig7-mutuality --seeds 8 --workers 4 --json out.json
+    python -m repro sweep --all-scenarios --seeds 8 --smoke
     python -m repro sweep fig15-environment --distributed --queue-dir /mnt/q
+    python -m repro campaign manifest.json --out-dir exports
     python -m repro worker /mnt/q --drain
+    python -m repro queue status /mnt/q
     python -m repro cache stats
     python -m repro sweep --list
     python -m repro list
@@ -19,12 +22,16 @@ out in seed batches over a worker pool when ``--workers`` exceeds one,
 replaying seeds already present in the persistent result cache,
 bit-identical to a cold sequential run either way — and reports the
 seed-averaged result, the across-seed variance, the wall-clock timing
-and the cache hit/miss counts.
+and the cache hit/miss counts.  ``sweep --all-scenarios`` and
+``campaign`` run many sweeps as one campaign through the job API
+(:mod:`repro.api`), and ``queue status`` reports a work queue's
+pending/leased/done state, lease ages and steal history.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -211,49 +218,38 @@ def cmd_fig16(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.analysis.export import sweep_to_json
-    from repro.simulation import registry
-    from repro.simulation.cache import default_cache_dir
-    from repro.simulation.sweep import run_sweep, seed_range
+def _profile_from_sweep_args(args: argparse.Namespace):
+    """The :class:`ExecutionProfile` the ``sweep`` flags describe.
 
-    if args.list or args.scenario is None:
-        print("registered scenarios:")
-        for spec in registry.specs():
-            print(f"  {spec.name:<22} {spec.description}")
-        return 0
+    One deprecated-but-pinned combination survives from the legacy CLI:
+    ``--no-cache`` together with ``--cache-dir`` lets ``--no-cache``
+    win, now with a loud stderr notice instead of silence (the new API
+    rejects the combination outright).
+    """
+    from repro.api import ExecutionProfile
 
-    if args.no_cache:
-        cache_dir = None
-    else:
-        cache_dir = args.cache_dir or str(default_cache_dir())
-
-    backend = "distributed" if args.distributed else args.backend
-    if not args.distributed:
-        for flag, value in (("--queue-dir", args.queue_dir),
-                            ("--lease-ttl", args.lease_ttl)):
-            if value is not None:
-                print(f"error: {flag} requires --distributed",
-                      file=sys.stderr)
-                return 2
-
-    try:
-        sweep = run_sweep(
-            args.scenario,
-            seed_range(args.seeds, first=args.first_seed),
-            workers=args.workers,
-            backend=backend,
-            smoke=args.smoke,
-            chunk_size=args.chunk_size,
-            cache_dir=cache_dir,
-            queue_dir=args.queue_dir,
-            lease_ttl=args.lease_ttl,
+    cache_dir = args.cache_dir
+    if args.no_cache and cache_dir is not None:
+        print(
+            "warning: --no-cache overrides --cache-dir (this combination "
+            "is deprecated and rejected by repro.api.ExecutionProfile)",
+            file=sys.stderr,
         )
-    except (KeyError, ValueError) as error:
-        message = error.args[0] if error.args else str(error)
-        print(f"error: {message}", file=sys.stderr)
-        return 2
+        cache_dir = None
+    return ExecutionProfile(
+        workers=args.workers,
+        backend="distributed" if args.distributed else args.backend,
+        chunk_size=args.chunk_size,
+        cache_dir=cache_dir,
+        no_cache=args.no_cache,
+        queue_dir=args.queue_dir,
+        lease_ttl=args.lease_ttl,
+    )
 
+
+def _sweep_text(sweep, profile, distributed: bool,
+                queue_dir: Optional[str]) -> str:
+    """The human-readable summary of one completed sweep."""
     lines = [f"sweep: {sweep.scenario} ({sweep.kind})"]
     if sweep.kind == "rates":
         for metric, value in sweep.mean.as_row().items():
@@ -283,15 +279,193 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         lines.append(
             f"  cache: {sweep.cache_hits} hit(s), "
-            f"{sweep.cache_misses} miss(es){errors} [{cache_dir}]"
+            f"{sweep.cache_misses} miss(es){errors} "
+            f"[{profile.resolved_cache_dir()}]"
         )
-    if args.distributed:
+    if distributed:
         lines.append(
             f"  queue: {sweep.tasks_total} task(s), "
             f"{sweep.steals} steal(s), {sweep.requeues} requeue(s)"
-            + (f" [{args.queue_dir}]" if args.queue_dir else "")
+            + (f" [{queue_dir}]" if queue_dir else "")
         )
-    _emit(args, "\n".join(lines), sweep_to_json(sweep))
+    return "\n".join(lines)
+
+
+def _campaign_text(result, profile) -> str:
+    """Per-sweep summary lines for a completed campaign."""
+    lines = [f"campaign: {len(result.sweeps)} sweep(s)"]
+    for label, sweep in zip(result.labels, result.sweeps):
+        timing = sweep.timing
+        cache = (
+            f", cache {sweep.cache_hits}h/{sweep.cache_misses}m"
+            if sweep.cache_enabled else ""
+        )
+        queue = (
+            f", queue {sweep.tasks_total} task(s) {sweep.steals} steal(s)"
+            if sweep.tasks_total else ""
+        )
+        lines.append(
+            f"  {label:<28} {sweep.kind:<6} {timing.seeds} seed(s) "
+            f"{timing.wall_seconds:.2f}s ({timing.backend}){cache}{queue}"
+        )
+    total = sum(sweep.timing.wall_seconds for sweep in result.sweeps)
+    lines.append(f"  total wall clock: {total:.2f}s")
+    return "\n".join(lines)
+
+
+def _campaign_payload(result) -> str:
+    from repro.analysis.export import sweep_to_payload
+
+    payload = {
+        label: sweep_to_payload(sweep)
+        for label, sweep in zip(result.labels, result.sweeps)
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.export import sweep_to_json
+    from repro.api import CampaignResult, SweepSpec, campaign_labels
+    from repro.simulation import registry
+    from repro.simulation.sweep import (
+        execute_campaign,
+        execute_sweep,
+        seed_range,
+    )
+
+    if args.list or (args.scenario is None and not args.all_scenarios):
+        print("registered scenarios:")
+        for spec in registry.specs():
+            print(f"  {spec.name:<22} {spec.description}")
+        return 0
+
+    if args.all_scenarios and args.scenario is not None:
+        print("error: give a scenario or --all-scenarios, not both",
+              file=sys.stderr)
+        return 2
+
+    if not args.distributed:
+        for flag, value in (("--queue-dir", args.queue_dir),
+                            ("--lease-ttl", args.lease_ttl)):
+            if value is not None:
+                print(f"error: {flag} requires --distributed",
+                      file=sys.stderr)
+                return 2
+
+    try:
+        profile = _profile_from_sweep_args(args)
+        seeds = seed_range(args.seeds, first=args.first_seed)
+        # The engine runs on the main thread (not through a Client
+        # handle) so Ctrl-C aborts the pool instead of letting a
+        # background thread finish the sweep at interpreter shutdown.
+        if args.all_scenarios:
+            specs = tuple(
+                SweepSpec(name, seeds, smoke=args.smoke)
+                for name in registry.names()
+            )
+            result = CampaignResult(
+                specs=specs,
+                labels=campaign_labels(specs),
+                sweeps=tuple(execute_campaign(specs, profile)),
+            )
+            _emit(args, _campaign_text(result, profile),
+                  _campaign_payload(result))
+            return 0
+        spec = SweepSpec(args.scenario, seeds, smoke=args.smoke)
+        sweep = execute_sweep(spec, profile)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    _emit(args, _sweep_text(sweep, profile, args.distributed,
+                            args.queue_dir),
+          sweep_to_json(sweep))
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a manifest of sweeps as one campaign; collect the exports."""
+    from repro.api import (
+        CampaignResult,
+        ExecutionProfile,
+        load_campaign_manifest,
+    )
+    from repro.simulation.sweep import execute_campaign
+
+    try:
+        text = open(args.manifest).read()
+    except OSError as error:
+        print(f"error: cannot read {args.manifest}: {error}",
+              file=sys.stderr)
+        return 2
+    try:
+        manifest = load_campaign_manifest(text)
+        profile = manifest.profile or ExecutionProfile()
+        # Main-thread execution (see cmd_sweep) so Ctrl-C aborts.
+        result = CampaignResult(
+            specs=manifest.specs,
+            labels=manifest.labels,
+            sweeps=tuple(execute_campaign(manifest.specs, profile)),
+        )
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    text_out = _campaign_text(result, profile)
+    if manifest.name:
+        text_out = f"campaign '{manifest.name}'\n" + text_out
+    if args.out_dir:
+        paths = result.write_exports(args.out_dir)
+        text_out += (
+            f"\n  exports: {len(paths)} file(s) under {args.out_dir}"
+        )
+    _emit(args, text_out, _campaign_payload(result))
+    return 0
+
+
+def cmd_queue(args: argparse.Namespace) -> int:
+    """Work-queue observability: pending/leased/done, lease ages, steals."""
+    from repro.simulation.distributed import queue_status
+
+    statuses = queue_status(args.queue_dir)
+    if not statuses:
+        text = f"no sweeps under {args.queue_dir}"
+        payload = json.dumps([], indent=2)
+        _emit(args, text, payload)
+        return 0
+    lines = [f"queue: {args.queue_dir} ({len(statuses)} sweep(s))"]
+    for status in statuses:
+        state = "complete" if status.complete else "in progress"
+        lines.append(
+            f"  {status.sweep_id} [{status.scenario}] {state}: "
+            f"{status.done}/{status.tasks} done, {status.pending} "
+            f"pending, {len(status.leased)} leased"
+        )
+        for lease in status.leased:
+            lines.append(
+                f"    {lease.task_id} held by {lease.owner} "
+                f"for {lease.age_seconds:.1f}s"
+            )
+        if status.steals or status.repairs:
+            stolen = ", ".join(status.steal_events)
+            lines.append(
+                f"    history: {status.steals} steal(s)"
+                + (f" [{stolen}]" if stolen else "")
+                + f", {status.repairs} repair(s), "
+                  f"{status.requeues} requeue(s)"
+            )
+        if not status.version_match:
+            lines.append(
+                "    version skew: written by other code; workers on "
+                "this version will skip it"
+            )
+    payload = json.dumps(
+        [status.to_payload() for status in statuses],
+        indent=2, sort_keys=True,
+    )
+    _emit(args, "\n".join(lines), payload)
     return 0
 
 
@@ -448,6 +622,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="registered scenario name (see --list)")
     sweep.add_argument("--list", action="store_true",
                        help="list registered scenarios and exit")
+    sweep.add_argument("--all-scenarios", action="store_true",
+                       help="sweep every registered scenario as one "
+                            "campaign (shared queue/fleet under "
+                            "--distributed) instead of naming one")
     sweep.add_argument("--seeds", type=int, default=8,
                        help="number of seeds to run (default 8)")
     sweep.add_argument("--first-seed", type=int, default=1,
@@ -536,6 +714,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "deleting anything")
     cache.add_argument("--json", metavar="PATH", default=None,
                        help="also write the report as JSON to PATH")
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run a manifest of sweeps as one campaign and collect "
+             "per-scenario exports (JSON manifest: sweeps[] of "
+             "SweepSpec payloads + optional profile)",
+    )
+    campaign.add_argument("manifest", metavar="MANIFEST",
+                          help="path to the campaign manifest JSON")
+    campaign.add_argument("--out-dir", metavar="DIR", default=None,
+                          help="write one standard sweep export per "
+                               "sweep (<label>.json) under DIR")
+    campaign.add_argument("--json", metavar="PATH", default=None,
+                          help="also write the combined "
+                               "{label: sweep export} object to PATH")
+
+    queue = subparsers.add_parser(
+        "queue",
+        help="work-queue observability (read-only)",
+    )
+    queue.add_argument("action", choices=("status",),
+                       help="'status' reports pending/leased/done per "
+                            "sweep, lease owners and ages, and the "
+                            "steal/requeue history")
+    queue.add_argument("queue_dir", metavar="QUEUE_DIR",
+                       help="the shared work-queue directory to inspect")
+    queue.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the status report as JSON to PATH")
     return parser
 
 
@@ -547,13 +753,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in sorted(_COMMANDS):
             print(f"  {name}")
         print("  sweep (multi-seed runner; `repro sweep --list`)")
+        print("  campaign (manifest of sweeps over one worker fleet)")
         print("  worker (distributed sweep worker daemon)")
+        print("  queue (work-queue status)")
         print("  cache (result cache stats / prune)")
         return 0
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "campaign":
+        return cmd_campaign(args)
     if args.command == "worker":
         return cmd_worker(args)
+    if args.command == "queue":
+        return cmd_queue(args)
     if args.command == "cache":
         return cmd_cache(args)
     return _COMMANDS[args.command](args)

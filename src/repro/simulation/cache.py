@@ -135,6 +135,19 @@ class SweepCache:
         token = repr((scenario, tuple(params), seed, version))
         return hashlib.sha256(token.encode()).hexdigest()
 
+    @staticmethod
+    def keys_for(
+        scenario: str, params: Params, seeds: Iterable[int],
+        version: Optional[str] = None,
+    ) -> Dict[int, str]:
+        """One cache key per seed of one sweep (shared by the sweep
+        engine and the distributed workers, so both sides of the queue
+        agree on what is already computed)."""
+        return {
+            seed: SweepCache.key(scenario, params, seed, version=version)
+            for seed in seeds
+        }
+
     def _path(self, key: str) -> Path:
         # Two-level fan-out keeps directories small for big sweeps.
         return self.root / key[:2] / f"{key}.json"

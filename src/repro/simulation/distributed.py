@@ -224,6 +224,7 @@ class WorkQueue:
         params: Params,
         seeds: Sequence[int],
         chunk_size: int,
+        spec_payload: Optional[dict] = None,
     ) -> "WorkQueue":
         """Shard ``seeds`` into task files under a fresh sweep directory.
 
@@ -231,7 +232,10 @@ class WorkQueue:
         :class:`ParallelRunner` would form), so any chunk size merges
         back into the identical seed-ordered result list.  The manifest
         is written last: a sweep directory is invisible to workers
-        until its tasks are all in place.
+        until its tasks are all in place.  ``spec_payload`` (the
+        :class:`repro.api.SweepSpec` JSON form, when the sweep came
+        through the job API) is embedded in the manifest purely for
+        observability — ``repro queue status`` names what is queued.
         """
         seeds = [int(seed) for seed in seeds]
         if not seeds:
@@ -269,6 +273,8 @@ class WorkQueue:
             "chunk_size": chunk_size,
             "code_version": code_version(),
         }
+        if spec_payload is not None:
+            manifest["spec"] = spec_payload
         _atomic_write_json(sweep_dir / "manifest.json", manifest)
         return cls(sweep_dir, manifest)
 
@@ -339,15 +345,22 @@ class WorkQueue:
             return None
         return payload
 
+    def steal_events(self) -> Tuple[str, ...]:
+        """The task id behind every steal tombstone, sorted — the
+        sweep's work-stealing history (one entry per reclaim event)."""
+        return tuple(sorted(
+            tombstone.name.split(".stale-")[0]
+            for tombstone in (self.sweep_dir / "leases").glob("*.stale-*")
+        ))
+
     def counters(self) -> QueueCounters:
         """Steal/requeue accounting recovered from the marker files."""
         leases = self.sweep_dir / "leases"
-        steals = len(list(leases.glob("*.stale-*")))
         repairs = len(list(leases.glob("*.requeue-*")))
         return QueueCounters(
             tasks=len(self.task_ids()),
             done=sum(1 for t in self.task_ids() if self.is_done(t)),
-            steals=steals,
+            steals=len(self.steal_events()),
             repairs=repairs,
         )
 
@@ -616,6 +629,7 @@ def worker_loop(
     max_tasks: Optional[int] = None,
     stop: Optional[Callable[[], bool]] = None,
     only_sweep: Optional[str] = None,
+    only_sweeps: Optional[Sequence[str]] = None,
     _daemon: bool = False,
 ) -> WorkerStats:
     """One worker: claim, execute and complete tasks under ``queue_dir``.
@@ -632,10 +646,15 @@ def worker_loop(
     owner = owner or default_worker_id()
     cache = SweepCache(Path(cache_dir)) if cache_dir is not None else None
     stats = WorkerStats()
+    # ``only_sweep`` (one id) and ``only_sweeps`` (a campaign's ids)
+    # compose into one allow-set; ``None``/empty means "serve all".
+    allowed = set(only_sweeps or ())
+    if only_sweep is not None:
+        allowed.add(only_sweep)
     while True:
         progressed = False
         for queue in WorkQueue.discover(queue_dir):
-            if only_sweep is not None and queue.sweep_id != only_sweep:
+            if allowed and queue.sweep_id not in allowed:
                 continue
             if queue.manifest.get("code_version") != code_version():
                 if queue.sweep_id not in _WARNED_VERSION_SKEW:
@@ -689,9 +708,24 @@ def _local_worker_main(
 # the coordinator
 # ---------------------------------------------------------------------------
 
+@dataclass(frozen=True)
+class QueuedJob:
+    """One sweep's worth of queue work: what to shard into task files.
+
+    ``spec_payload`` (the :class:`repro.api.SweepSpec` JSON form, when
+    the job came through the job API) rides into the sweep manifest so
+    ``repro queue status`` can name what is queued.
+    """
+
+    scenario: str
+    params: Params
+    seeds: Tuple[int, ...]
+    spec_payload: Optional[dict] = None
+
+
 @dataclass
 class DistributedOutcome:
-    """What one distributed execution produced, for ``run_sweep``."""
+    """What one queued sweep produced, for the sweep engine."""
 
     results: Dict[int, Reduced]
     chunk_size: int
@@ -702,10 +736,8 @@ class DistributedOutcome:
     wall_seconds: float = 0.0
 
 
-def execute_distributed(
-    scenario: str,
-    params: Params,
-    seeds: Sequence[int],
+def execute_queued(
+    jobs: Sequence[QueuedJob],
     *,
     workers: int = 1,
     chunk_size: Optional[int] = None,
@@ -714,28 +746,34 @@ def execute_distributed(
     lease_ttl: Optional[float] = None,
     poll: float = DEFAULT_POLL,
     timeout: float = 600.0,
-) -> DistributedOutcome:
-    """Run one sweep's missing seeds through the shared-directory queue.
+) -> List[DistributedOutcome]:
+    """Run one or more sweeps through the shared-directory queue.
 
-    Shards ``seeds`` into task files under ``queue_dir`` (a private
-    temp dir when ``None``), spawns ``workers`` local worker daemons,
-    and waits for every task's done marker, stepping in itself whenever
-    nobody else is working: with ``workers=0`` the coordinator drains
-    inline as long as no external daemon holds a lease (so an attached
-    worker fleet keeps the tasks, but a lone coordinator never waits on
-    anyone); with local daemons it drains when they have all died or
-    when no done marker lands for a full stall window.  External
-    ``repro worker`` daemons pointed at the same ``queue_dir`` join
-    transparently — the lease protocol does not care who claims.
+    Every job is sharded into task files under ``queue_dir`` (a private
+    temp dir when ``None``) **before** any worker starts, then one
+    fleet of ``workers`` local worker daemons drains all of them
+    concurrently — a campaign's sweeps multiplex over the same workers
+    instead of idling between scenarios.  The coordinator waits for
+    every task's done marker, stepping in itself whenever nobody else
+    is working: with ``workers=0`` it drains inline as long as no
+    external daemon holds a lease (so an attached worker fleet keeps
+    the tasks, but a lone coordinator never waits on anyone); with
+    local daemons it drains when they have all died or when no done
+    marker lands for a full stall window.  External ``repro worker``
+    daemons pointed at the same ``queue_dir`` join transparently — the
+    lease protocol does not care who claims.
 
-    Completion is unconditional: the sweep's results are exactly the
+    Completion is unconditional: every sweep's results are exactly the
     sequential oracle's whether computed by local daemons, remote
     daemons, stealers, or the coordinator itself.  ``timeout`` bounds
     how long the queue may go *without progress* (no new done marker
     and nothing drainable inline) before giving up — steady progress
-    never trips it, however long the sweep.
+    never trips it, however long the campaign.  Outcomes are returned
+    in job order; each carries the wall clock from enqueue to its own
+    collection.
     """
-    seeds = [int(seed) for seed in seeds]
+    if not jobs:
+        raise ValueError("need at least one queued job")
     if workers < 0:
         raise ValueError("workers must be >= 0 for the distributed backend")
     lease_ttl = DEFAULT_LEASE_TTL if lease_ttl is None else float(lease_ttl)
@@ -747,14 +785,50 @@ def execute_distributed(
     else:
         queue_root = Path(queue_dir).expanduser()
         queue_root.mkdir(parents=True, exist_ok=True)
-    effective_chunk = (
-        chunk_size if chunk_size is not None
-        else auto_chunk_size(len(seeds), max(workers, 1))
-    )
     start = time.perf_counter()
-    queue = WorkQueue.create(
-        queue_root, scenario, params, seeds, effective_chunk
-    )
+    try:
+        return _run_queued(
+            jobs, queue_root, start,
+            workers=workers, chunk_size=chunk_size,
+            cache_root=cache_root, lease_ttl=lease_ttl,
+            poll=poll, timeout=timeout,
+        )
+    finally:
+        # A private temp queue is useless after this call either way:
+        # on success every sweep dir was collected and cleaned, and on
+        # failure (stall timeout, unreadable done marker) nobody can
+        # ever reach the directory again — don't leak it.
+        if made_temp:
+            shutil.rmtree(queue_root, ignore_errors=True)
+
+
+def _run_queued(
+    jobs: Sequence[QueuedJob],
+    queue_root: Path,
+    start: float,
+    *,
+    workers: int,
+    chunk_size: Optional[int],
+    cache_root: Optional[Union[str, Path]],
+    lease_ttl: float,
+    poll: float,
+    timeout: float,
+) -> List[DistributedOutcome]:
+    """The enqueue / fleet / wait / collect body of ``execute_queued``."""
+    queues: List[WorkQueue] = []
+    chunk_sizes: List[int] = []
+    for job in jobs:
+        seeds = [int(seed) for seed in job.seeds]
+        effective_chunk = (
+            chunk_size if chunk_size is not None
+            else auto_chunk_size(len(seeds), max(workers, 1))
+        )
+        chunk_sizes.append(effective_chunk)
+        queues.append(WorkQueue.create(
+            queue_root, job.scenario, job.params, seeds, effective_chunk,
+            spec_payload=job.spec_payload,
+        ))
+    our_sweeps = [queue.sweep_id for queue in queues]
     cache_arg = str(cache_root) if cache_root is not None else None
     context = multiprocessing.get_context()
     processes = [
@@ -774,29 +848,33 @@ def execute_distributed(
         # its peers (that is the point of the exercise).
         stall_window = max(lease_ttl, 1.0)
         repair_every = max(poll * 10.0, 0.5)
-        total_tasks = len(queue.task_ids())
+        total_tasks = sum(len(queue.task_ids()) for queue in queues)
         last_done = -1
         last_progress = time.monotonic()
         last_repair = 0.0
         while True:
             now = time.monotonic()
-            done_now = queue.done_count()
+            done_now = sum(queue.done_count() for queue in queues)
             if done_now >= total_tasks:
                 break
             if done_now != last_done:
                 last_done = done_now
                 last_progress = now
             if now - last_progress > timeout:
+                pending = {
+                    queue.sweep_id: queue.pending()
+                    for queue in queues if not queue.is_complete()
+                }
                 raise RuntimeError(
-                    f"distributed sweep {queue.sweep_id} made no "
-                    f"progress for {timeout:.0f}s with {queue.pending()} "
-                    f"pending"
+                    f"distributed execution made no progress for "
+                    f"{timeout:.0f}s with {pending} pending"
                 )
             # Repair is a full scan of the task files; throttle it
             # rather than hammering a (possibly network) volume.
             if now - last_repair > repair_every:
                 last_repair = now
-                queue.repair()
+                for queue in queues:
+                    queue.repair()
             peers_gone = bool(processes) and not any(
                 process.is_alive() for process in processes
             )
@@ -804,7 +882,8 @@ def execute_distributed(
             # daemons requested and no external lease active, every
             # local daemon dead, or the queue stalled a full window
             # (which also steals expired leases).
-            if ((workers == 0 and queue.active_leases() == 0)
+            active = sum(queue.active_leases() for queue in queues)
+            if ((workers == 0 and active == 0)
                     or peers_gone
                     or now - last_progress > stall_window):
                 drained = worker_loop(
@@ -813,7 +892,7 @@ def execute_distributed(
                     poll=poll,
                     lease_ttl=lease_ttl,
                     drain=True,
-                    only_sweep=queue.sweep_id,
+                    only_sweeps=our_sweeps,
                 )
                 if drained.tasks_done > 0:
                     last_progress = time.monotonic()
@@ -829,17 +908,174 @@ def execute_distributed(
                 process.terminate()
         for process in processes:
             process.join(timeout=5.0)
-    results, totals = queue.collect()
+    outcomes = []
+    for queue, effective_chunk in zip(queues, chunk_sizes):
+        results, totals = queue.collect()
+        counters = queue.counters()
+        queue.cleanup()
+        outcomes.append(DistributedOutcome(
+            results=results,
+            chunk_size=effective_chunk,
+            tasks=counters.tasks,
+            steals=counters.steals,
+            requeues=counters.requeues,
+            cache_errors=totals.cache_errors,
+            wall_seconds=time.perf_counter() - start,
+        ))
+    return outcomes
+
+
+def execute_distributed(
+    scenario: str,
+    params: Params,
+    seeds: Sequence[int],
+    *,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    cache_root: Optional[Union[str, Path]] = None,
+    queue_dir: Optional[Union[str, Path]] = None,
+    lease_ttl: Optional[float] = None,
+    poll: float = DEFAULT_POLL,
+    timeout: float = 600.0,
+) -> DistributedOutcome:
+    """Run one sweep's missing seeds through the shared-directory queue.
+
+    The single-sweep form of :func:`execute_queued` — see there for the
+    coordination contract (worker fleet, inline-drain fallback, stall
+    timeout, unconditional bit-identical completion).
+    """
+    return execute_queued(
+        [QueuedJob(
+            scenario=scenario,
+            params=params_signature(params),
+            seeds=tuple(int(seed) for seed in seeds),
+        )],
+        workers=workers,
+        chunk_size=chunk_size,
+        cache_root=cache_root,
+        queue_dir=queue_dir,
+        lease_ttl=lease_ttl,
+        poll=poll,
+        timeout=timeout,
+    )[0]
+
+
+# ---------------------------------------------------------------------------
+# queue observability (`repro queue status`)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LeaseStatus:
+    """One live lease: who holds which task, and how stale it is."""
+
+    task_id: str
+    owner: str
+    age_seconds: float
+
+
+@dataclass(frozen=True)
+class SweepStatus:
+    """One sweep's queue state, read entirely from its files.
+
+    ``steal_events`` lists the task id behind every steal tombstone —
+    the sweep's work-stealing history, one entry per reclaim.
+    ``version_match`` is ``False`` when the manifest was written by a
+    different code version (workers skip such sweeps loudly).
+    """
+
+    sweep_id: str
+    scenario: str
+    seeds: Tuple[int, ...]
+    tasks: int
+    done: int
+    leased: Tuple[LeaseStatus, ...]
+    steals: int
+    repairs: int
+    steal_events: Tuple[str, ...]
+    version_match: bool
+    spec: Optional[dict] = None
+
+    @property
+    def pending(self) -> int:
+        """Tasks with neither a done marker nor a live lease."""
+        return max(self.tasks - self.done - len(self.leased), 0)
+
+    @property
+    def complete(self) -> bool:
+        return self.done >= self.tasks
+
+    @property
+    def requeues(self) -> int:
+        return self.steals + self.repairs
+
+    def to_payload(self) -> dict:
+        return {
+            "sweep": self.sweep_id,
+            "scenario": self.scenario,
+            "seeds": list(self.seeds),
+            "tasks": self.tasks,
+            "done": self.done,
+            "pending": self.pending,
+            "leased": [
+                {
+                    "task": lease.task_id,
+                    "owner": lease.owner,
+                    "age_seconds": lease.age_seconds,
+                }
+                for lease in self.leased
+            ],
+            "steals": self.steals,
+            "repairs": self.repairs,
+            "requeues": self.requeues,
+            "steal_events": list(self.steal_events),
+            "version_match": self.version_match,
+            "spec": self.spec,
+        }
+
+
+def _sweep_status(queue: WorkQueue, now: float) -> SweepStatus:
+    leases = []
+    for lease_path in sorted(
+        (queue.sweep_dir / "leases").glob("*.lease")
+    ):
+        task_id = lease_path.name[:-len(".lease")]
+        try:
+            owner = lease_path.read_text().strip()
+            age = max(now - lease_path.stat().st_mtime, 0.0)
+        except OSError:
+            continue  # released/stolen while we looked
+        leases.append(LeaseStatus(
+            task_id=task_id, owner=owner or "?", age_seconds=age,
+        ))
     counters = queue.counters()
-    queue.cleanup()
-    if made_temp:
-        shutil.rmtree(queue_root, ignore_errors=True)
-    return DistributedOutcome(
-        results=results,
-        chunk_size=effective_chunk,
+    return SweepStatus(
+        sweep_id=queue.sweep_id,
+        scenario=str(queue.manifest.get("scenario", "?")),
+        seeds=tuple(
+            int(seed) for seed in queue.manifest.get("seeds", [])
+        ),
         tasks=counters.tasks,
+        done=counters.done,
+        leased=tuple(leases),
         steals=counters.steals,
-        requeues=counters.requeues,
-        cache_errors=totals.cache_errors,
-        wall_seconds=time.perf_counter() - start,
+        repairs=counters.repairs,
+        steal_events=queue.steal_events(),
+        version_match=(
+            queue.manifest.get("code_version") == code_version()
+        ),
+        spec=queue.manifest.get("spec"),
     )
+
+
+def queue_status(queue_dir: Union[str, Path]) -> List[SweepStatus]:
+    """The live state of every sweep under ``queue_dir``, sorted by id.
+
+    Pure observation: reads manifests, done markers, lease files and
+    steal/requeue tombstones; never claims, repairs or deletes
+    anything, so it is safe to run next to a live fleet.
+    """
+    now = time.time()
+    return [
+        _sweep_status(queue, now)
+        for queue in WorkQueue.discover(queue_dir)
+    ]

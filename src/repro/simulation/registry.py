@@ -561,19 +561,26 @@ def run_reduced(name: str, params: Params, seed: int) -> Reduced:
 # the per-process arena store
 # ---------------------------------------------------------------------------
 
-def _hashable(value: object) -> object:
+def hashable_value(value: object) -> object:
     """A hashable stand-in for a parameter value (lists/sets/dicts ->
     tuples), so any override accepted by ``params()`` can key the arena
-    store and the result cache."""
+    store, the result cache, a distributed task file, or a
+    :class:`repro.api.SweepSpec` — every parameter consumer normalizes
+    through this one function, which is what makes their keys agree."""
     if isinstance(value, (list, tuple)):
-        return tuple(_hashable(item) for item in value)
+        return tuple(hashable_value(item) for item in value)
     if isinstance(value, (set, frozenset)):
-        return tuple(sorted(_hashable(item) for item in value))
+        return tuple(sorted(hashable_value(item) for item in value))
     if isinstance(value, dict):
         return tuple(
-            (key, _hashable(item)) for key, item in sorted(value.items())
+            (key, hashable_value(item))
+            for key, item in sorted(value.items())
         )
     return value
+
+
+# Original (private) name; existing callers keep working.
+_hashable = hashable_value
 
 
 _ARENAS: Dict[Tuple[str, Params], object] = {}
@@ -660,7 +667,9 @@ class ScenarioSpec:
                 f"unknown parameter(s) for {self.name}: {sorted(unknown)}"
             )
         merged.update(overrides)
-        return {name: _hashable(value) for name, value in merged.items()}
+        return {
+            name: hashable_value(value) for name, value in merged.items()
+        }
 
     def params_key(self, smoke: bool = False, **overrides: object) -> Params:
         """The effective parameters as a sorted, hashable tuple."""

@@ -1,43 +1,52 @@
-"""Multi-seed sweep of a registered scenario, with timing and variance.
+"""Multi-seed sweep execution, driven by :class:`repro.api.SweepSpec`.
 
-``run_sweep`` is the one entry point behind ``repro sweep`` and the
-equivalence/export tests: it resolves a scenario by name, consults the
-persistent result cache (:mod:`repro.simulation.cache`) for seeds it has
-already computed, fans the *missing* seeds out via
-:class:`~repro.simulation.parallel.ParallelRunner` (sequentially when
-``workers == 1``), and packages the per-seed results, their mean, the
-per-metric (or per-point) variance across seeds, the wall-clock timing
-of the map, and the cache's hit/miss accounting.
+:func:`execute_sweep` is the engine behind the public API
+(:class:`repro.api.Client`), the ``repro sweep`` CLI and the legacy
+:func:`run_sweep` shim: it takes one :class:`~repro.api.spec.SweepSpec`
+(*what* to run) plus one :class:`~repro.api.spec.ExecutionProfile`
+(*how* to run it), consults the persistent result cache
+(:mod:`repro.simulation.cache`) for seeds already computed, fans the
+*missing* seeds out — over a :class:`~repro.simulation.parallel.ParallelRunner`
+pool or the shared-directory work queue
+(:mod:`repro.simulation.distributed`) — and packages the per-seed
+results, their mean, the per-metric (or per-point) variance across
+seeds, the wall-clock timing, and the cache / queue accounting.
+
+:func:`execute_campaign` runs many specs under one profile.  With a
+pool profile the sweeps run back to back; with the distributed backend
+every sweep's missing seeds are enqueued **up front** and one shared
+worker fleet (plus any external ``repro worker`` daemons on the same
+queue dir) drains them all concurrently — the multi-tenant mode the
+queue layout was designed for.  Either way each sweep's results are
+bit-identical to running it alone (the campaign equivalence suite
+asserts ``==``, no tolerance).
 
 Throughput levers, all result-neutral (bit-identical per the
-equivalence suite):
+equivalence suite): ``workers``/``backend`` pool fan-out, ``chunk_size``
+seed batching, per-worker scenario arenas, the persistent result cache,
+and ``backend="distributed"`` work-queue execution with stale-lease
+stealing.  See :class:`~repro.api.spec.ExecutionProfile` for the knob
+descriptions.
 
-* ``workers`` / ``backend`` — pool fan-out (PR 1);
-* ``chunk_size`` — seeds per pool task; ``None`` auto-sizes to four
-  task waves per worker, amortizing dispatch overhead for cheap
-  scenarios;
-* per-worker **scenario arenas** — the pool initializer materializes
-  the scenario's seed-independent state (graph + configs) once per
-  worker process via :func:`repro.simulation.registry.warm_arena`;
-* ``cache_dir`` — when set, per-seed reduced results persist across
-  processes keyed by ``(scenario, params, seed, code version)``, so
-  repeated and incrementally grown sweeps only compute missing seeds;
-* ``backend="distributed"`` — the missing seeds become task files in a
-  shared-directory work queue (:mod:`repro.simulation.distributed`)
-  drained by ``workers`` local worker daemons plus any external
-  ``repro worker`` processes pointed at the same ``queue_dir``; crashed
-  workers' chunks are stolen via expired lease files, and the steal /
-  requeue counts ride along in the :class:`SweepResult`.
+:func:`run_sweep` remains as a compatibility shim over the same engine.
+Its raw execution kwargs are deprecated; they map onto
+:class:`~repro.api.spec.ExecutionProfile` fields of the same name
+(``workers``, ``backend``, ``chunk_size``, ``cache_dir``, ``queue_dir``,
+``lease_ttl`` — with ``cache_dir=None`` meaning ``no_cache=True``, the
+one semantic difference: the profile defaults to the shared cache, the
+shim defaults to no cache).
 """
 
 from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.api.spec import ExecutionProfile, SweepSpec
 from repro.simulation import registry
 from repro.simulation.cache import SweepCache
 from repro.simulation.parallel import ParallelRunner, RunTiming
@@ -80,6 +89,11 @@ class SweepResult:
     tasks_total: int = 0
     steals: int = 0
     requeues: int = 0
+    # The SweepSpec payload this sweep executed (scenario, seeds, smoke,
+    # overrides) — rides into the JSON export so an artifact names the
+    # exact work it measured.  ``None`` only on results rebuilt from
+    # pre-spec artifacts.
+    spec: Optional[Dict[str, object]] = None
 
 
 def seed_range(count: int, first: int = 1) -> List[int]:
@@ -89,161 +103,111 @@ def seed_range(count: int, first: int = 1) -> List[int]:
     return list(range(first, first + count))
 
 
-def run_sweep(
-    scenario: str,
-    seeds: Sequence[int],
-    workers: int = 1,
-    backend: str = "process",
-    smoke: bool = False,
-    overrides: Optional[Dict[str, object]] = None,
-    chunk_size: Optional[int] = None,
-    cache_dir: Optional[Union[str, Path]] = None,
-    queue_dir: Optional[Union[str, Path]] = None,
-    lease_ttl: Optional[float] = None,
-) -> SweepResult:
-    """Run ``scenario`` once per seed and aggregate.
+# ---------------------------------------------------------------------------
+# the spec-driven engine
+# ---------------------------------------------------------------------------
 
-    The reduction is shared with the sequential oracle, so for the same
-    seed list the mean is bit-identical no matter the worker count, the
-    chunk size, or whether results were replayed from the cache
-    (``cache_dir=None`` disables caching entirely — no reads, no
-    writes).
+@dataclass
+class _SweepPlan:
+    """One sweep's prepared state: cache replays done, missing known."""
 
-    ``backend="distributed"`` fans the missing seeds out over the
-    shared-directory work queue instead of an in-process pool:
-    ``workers`` local worker daemons are spawned (``0`` leaves the
-    computing to external ``repro worker`` daemons, with the caller
-    draining inline whenever the queue stalls), ``queue_dir`` names the
-    shared volume (a private temp dir when ``None``), and ``lease_ttl``
-    bounds how long a silent worker keeps its chunk before peers steal
-    it.  Both parameters are distributed-only; passing them with a pool
-    backend is an error.
-    """
-    spec = registry.get(scenario)
-    seeds = list(seeds)
-    if not seeds:
-        raise ValueError("need at least one seed")
-    overrides = overrides or {}
-    run = spec.bound(smoke=smoke, **overrides)
-    params = spec.params_key(smoke=smoke, **overrides)
+    spec: SweepSpec
+    params: Tuple[Tuple[str, object], ...]
+    cache: Optional[SweepCache]
+    keys: Dict[int, str]
+    collected: Dict[int, Reduced]
+    missing: List[int]
+    start: float = field(default_factory=time.perf_counter)
 
-    distributed = backend == "distributed"
-    runner: Optional[ParallelRunner] = None
-    if distributed:
-        # Mirror ParallelRunner's eager validation: bad arguments are
-        # rejected regardless of cache state.
-        if workers < 0:
-            raise ValueError(
-                "workers must be >= 0 for the distributed backend"
-            )
-        if chunk_size is not None and chunk_size < 1:
-            raise ValueError("chunk_size must be at least 1")
-        if lease_ttl is not None and lease_ttl <= 0:
-            raise ValueError("lease_ttl must be positive")
-    else:
-        if queue_dir is not None or lease_ttl is not None:
-            raise ValueError(
-                "queue_dir/lease_ttl require backend='distributed'"
-            )
-        # Constructed before the cache is consulted so invalid
-        # workers/backend/chunk_size are rejected regardless of cache
-        # state.
-        runner = ParallelRunner(
-            workers=workers,
-            backend=backend,
-            chunk_size=chunk_size,
-            # Build the scenario's seed-independent arena once per
-            # worker, before its first task.
-            initializer=registry.warm_arena,
-            initargs=(spec.name, params),
-        )
 
-    cache = SweepCache(Path(cache_dir)) if cache_dir is not None else None
-    start = time.perf_counter()
-
+def _plan(spec: SweepSpec, profile: ExecutionProfile) -> _SweepPlan:
+    """Replay every cached seed; list what still needs computing."""
+    params = spec.params_key()
+    cache_dir = profile.resolved_cache_dir()
+    cache = SweepCache(cache_dir) if cache_dir is not None else None
     collected: Dict[int, Reduced] = {}
-    missing = seeds
     keys: Dict[int, str] = {}
+    missing = list(spec.seeds)
     if cache is not None:
-        keys = {
-            seed: SweepCache.key(spec.name, params, seed) for seed in seeds
-        }
+        keys = SweepCache.keys_for(spec.scenario, params, spec.seeds)
         missing = []
-        for seed in seeds:
+        for seed in spec.seeds:
             cached = cache.get(keys[seed])
             if cached is None:
                 missing.append(seed)
             else:
                 collected[seed] = cached
+    return _SweepPlan(
+        spec=spec, params=params, cache=cache, keys=keys,
+        collected=collected, missing=missing,
+    )
 
-    timing: Optional[RunTiming] = None
-    cache_errors = 0
-    tasks_total = steals = requeues = 0
-    if missing and distributed:
-        from repro.simulation.distributed import execute_distributed
 
-        outcome = execute_distributed(
-            spec.name,
-            params,
-            missing,
-            workers=workers,
-            chunk_size=chunk_size,
-            cache_root=cache.root if cache is not None else None,
-            queue_dir=queue_dir,
-            lease_ttl=lease_ttl,
-        )
-        collected.update(outcome.results)
-        cache_errors += outcome.cache_errors
-        tasks_total = outcome.tasks
-        steals = outcome.steals
-        requeues = outcome.requeues
-        timing = RunTiming(
-            wall_seconds=outcome.wall_seconds,
-            seeds=len(missing),
-            workers=workers,
-            backend="distributed",
-            chunk_size=outcome.chunk_size,
-        )
-    elif missing:
-        computed = runner.map_seeds(run, missing)
-        timing = runner.last_timing
-        warned_unwritable = False
-        for seed, result in zip(missing, computed):
-            collected[seed] = result
-            if cache is not None:
-                try:
-                    cache.put(keys[seed], result, scenario=spec.name,
-                              seed=seed)
-                except OSError as error:
-                    # An unwritable cache (read-only dir, full disk) must
-                    # never cost the results that were just computed; it
-                    # is counted per seed so the export shows exactly how
-                    # much a rerun will recompute.
-                    cache.stats.errors += 1
-                    if not warned_unwritable:
-                        warned_unwritable = True
-                        warnings.warn(
-                            f"sweep cache write to {cache.root} failed "
-                            f"({error}); continuing without persisting "
-                            f"results",
-                            RuntimeWarning,
-                            stacklevel=2,
-                        )
+def _run_pool(plan: _SweepPlan, profile: ExecutionProfile) -> RunTiming:
+    """Compute a plan's missing seeds on an in-process pool."""
+    runner = ParallelRunner(
+        workers=profile.workers,
+        backend=profile.backend,
+        chunk_size=profile.chunk_size,
+        # Build the scenario's seed-independent arena once per worker,
+        # before its first task.
+        initializer=registry.warm_arena,
+        initargs=(plan.spec.scenario, plan.params),
+    )
+    run = partial(registry.run_reduced, plan.spec.scenario, plan.params)
+    computed = runner.map_seeds(run, plan.missing)
+    cache = plan.cache
+    warned_unwritable = False
+    for seed, result in zip(plan.missing, computed):
+        plan.collected[seed] = result
+        if cache is not None:
+            try:
+                cache.put(plan.keys[seed], result,
+                          scenario=plan.spec.scenario, seed=seed)
+            except OSError as error:
+                # An unwritable cache (read-only dir, full disk) must
+                # never cost the results that were just computed; it is
+                # counted per seed so the export shows exactly how much
+                # a rerun will recompute.
+                cache.stats.errors += 1
+                if not warned_unwritable:
+                    warned_unwritable = True
+                    warnings.warn(
+                        f"sweep cache write to {cache.root} failed "
+                        f"({error}); continuing without persisting "
+                        f"results",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+    return runner.last_timing
+
+
+def _assemble(
+    plan: _SweepPlan,
+    timing: Optional[RunTiming],
+    queue_cache_errors: int = 0,
+    tasks_total: int = 0,
+    steals: int = 0,
+    requeues: int = 0,
+) -> SweepResult:
+    """Reduce a completed plan to its :class:`SweepResult`."""
+    spec = plan.spec
+    registry_spec = spec.registry_spec()
+    seeds = list(spec.seeds)
     # Timing always describes the whole invocation: every requested
     # seed, total wall clock (map + cache traffic).  Workers/backend/
     # chunk_size come from the map when one ran; an all-hits replay is
     # its own "cache" backend.
     timing = RunTiming(
-        wall_seconds=time.perf_counter() - start,
+        wall_seconds=time.perf_counter() - plan.start,
         seeds=len(seeds),
         workers=timing.workers if timing is not None else 1,
         backend=timing.backend if timing is not None else "cache",
         chunk_size=timing.chunk_size if timing is not None else 1,
     )
+    per_seed = [plan.collected[seed] for seed in seeds]
 
-    per_seed = [collected[seed] for seed in seeds]
-
-    if spec.kind == "rates":
+    if registry_spec.kind == "rates":
         mean: Reduced = combine_rates(per_seed)
         variance: Union[Dict[str, float], List[float]] = {
             "success_rate": _variance([r.success_rate for r in per_seed]),
@@ -259,9 +223,10 @@ def run_sweep(
             for i in range(len(mean.values))
         ]
 
+    cache = plan.cache
     return SweepResult(
-        scenario=spec.name,
-        kind=spec.kind,
+        scenario=spec.scenario,
+        kind=registry_spec.kind,
         seeds=seeds,
         timing=timing,
         per_seed=per_seed,
@@ -272,8 +237,189 @@ def run_sweep(
         cache_misses=cache.stats.misses if cache is not None else 0,
         cache_errors=(
             cache.stats.errors if cache is not None else 0
-        ) + cache_errors,
+        ) + queue_cache_errors,
         tasks_total=tasks_total,
         steals=steals,
         requeues=requeues,
+        spec=spec.to_payload(),
     )
+
+
+def execute_sweep(
+    spec: SweepSpec, profile: Optional[ExecutionProfile] = None
+) -> SweepResult:
+    """Run one :class:`SweepSpec` under one :class:`ExecutionProfile`.
+
+    The reduction is shared with the sequential oracle, so for the same
+    spec the mean is bit-identical no matter the worker count, the
+    chunk size, the backend, or whether results were replayed from the
+    cache — the equivalence suite's contract.
+    """
+    profile = profile if profile is not None else ExecutionProfile()
+    results = execute_campaign([spec], profile)
+    return results[0]
+
+
+def execute_campaign(
+    specs: Sequence[SweepSpec],
+    profile: Optional[ExecutionProfile] = None,
+) -> List[SweepResult]:
+    """Run many specs under one profile; one result per spec, in order.
+
+    Pool profiles run the sweeps back to back.  The distributed backend
+    enqueues every sweep's missing seeds up front and lets one worker
+    fleet — ``profile.workers`` local daemons plus any external ``repro
+    worker`` daemons on the same ``queue_dir`` — drain all of them
+    concurrently, so a regression campaign keeps every worker busy
+    instead of idling between scenarios.  Per-sweep results are
+    bit-identical to running each spec alone.
+    """
+    profile = profile if profile is not None else ExecutionProfile()
+    specs = list(specs)
+    if not specs:
+        raise ValueError("need at least one sweep spec")
+    for spec in specs:
+        if not isinstance(spec, SweepSpec):
+            raise TypeError(
+                f"expected a SweepSpec, got {type(spec).__name__}"
+            )
+    if not profile.distributed:
+        results = []
+        for spec in specs:
+            plan = _plan(spec, profile)
+            timing = _run_pool(plan, profile) if plan.missing else None
+            results.append(_assemble(plan, timing))
+        return results
+    return _execute_campaign_distributed(specs, profile)
+
+
+def _execute_campaign_distributed(
+    specs: Sequence[SweepSpec], profile: ExecutionProfile
+) -> List[SweepResult]:
+    from repro.simulation.distributed import QueuedJob, execute_queued
+
+    plans = [_plan(spec, profile) for spec in specs]
+    jobs = []
+    job_plans = []
+    for plan in plans:
+        if plan.missing:
+            jobs.append(QueuedJob(
+                scenario=plan.spec.scenario,
+                params=plan.params,
+                seeds=tuple(plan.missing),
+                spec_payload=plan.spec.to_payload(),
+            ))
+            job_plans.append(plan)
+    outcomes = []
+    if jobs:
+        cache_root = (
+            plans[0].cache.root if plans[0].cache is not None else None
+        )
+        outcomes = execute_queued(
+            jobs,
+            workers=profile.workers,
+            chunk_size=profile.chunk_size,
+            cache_root=cache_root,
+            queue_dir=profile.queue_dir,
+            lease_ttl=profile.lease_ttl,
+        )
+    results: Dict[int, SweepResult] = {}
+    for plan, outcome in zip(job_plans, outcomes):
+        plan.collected.update(outcome.results)
+        timing = RunTiming(
+            wall_seconds=outcome.wall_seconds,
+            seeds=len(plan.missing),
+            workers=profile.workers,
+            backend="distributed",
+            chunk_size=outcome.chunk_size,
+        )
+        results[id(plan)] = _assemble(
+            plan, timing,
+            queue_cache_errors=outcome.cache_errors,
+            tasks_total=outcome.tasks,
+            steals=outcome.steals,
+            requeues=outcome.requeues,
+        )
+    # All-hits plans never touched the queue: they are pure replays.
+    return [
+        results[id(plan)] if id(plan) in results else _assemble(plan, None)
+        for plan in plans
+    ]
+
+
+# ---------------------------------------------------------------------------
+# the compatibility shim
+# ---------------------------------------------------------------------------
+
+# Raw-execution-kwargs deprecation: warned at most once per process.
+_DEPRECATION_WARNED = False
+
+
+def _warn_deprecated_kwargs() -> None:
+    global _DEPRECATION_WARNED
+    if _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED = True
+    warnings.warn(
+        "passing raw execution kwargs to run_sweep() is deprecated; "
+        "describe the work with repro.api.SweepSpec and the machinery "
+        "with repro.api.ExecutionProfile, then use "
+        "repro.api.Client.submit(). The kwargs map one-to-one: workers, "
+        "backend, chunk_size, queue_dir and lease_ttl keep their names; "
+        "cache_dir=<dir> becomes ExecutionProfile(cache_dir=<dir>) and "
+        "cache_dir=None becomes ExecutionProfile(no_cache=True).",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_sweep(
+    scenario: str,
+    seeds: Sequence[int],
+    workers: int = 1,
+    backend: str = "process",
+    smoke: bool = False,
+    overrides: Optional[Dict[str, object]] = None,
+    chunk_size: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    queue_dir: Optional[Union[str, Path]] = None,
+    lease_ttl: Optional[float] = None,
+) -> SweepResult:
+    """Run ``scenario`` once per seed and aggregate (compatibility shim).
+
+    Every call builds a :class:`~repro.api.spec.SweepSpec` and an
+    :class:`~repro.api.spec.ExecutionProfile` and hands them to
+    :func:`execute_sweep` — the shim exists so the accumulated callers
+    of the kwargs signature keep working bit-identically.  New code
+    should construct the spec/profile pair directly (or use
+    :class:`repro.api.Client`); passing any execution kwarg here emits a
+    one-time :class:`DeprecationWarning` with the field mapping.
+
+    Legacy semantics preserved exactly: ``cache_dir=None`` disables
+    caching entirely (no reads, no writes), and
+    ``backend="distributed"`` with ``workers=0`` and no ``queue_dir``
+    still drains inline in the coordinator (the new API requires an
+    explicit queue dir for that combination, since nobody else could
+    ever join a private temp dir).
+    """
+    if (workers != 1 or backend != "process" or chunk_size is not None
+            or cache_dir is not None or queue_dir is not None
+            or lease_ttl is not None):
+        _warn_deprecated_kwargs()
+    spec = SweepSpec(
+        scenario, seeds, smoke=smoke, overrides=overrides or {}
+    )
+    # The shared validator in legacy mode: the one combination the new
+    # API rejects but old callers relied on (distributed + workers=0 +
+    # private temp queue dir) stays allowed here.  Legacy cache
+    # semantics: cache_dir=None always meant "no cache at all".
+    profile = ExecutionProfile._legacy(
+        workers=workers,
+        backend=backend,
+        chunk_size=chunk_size,
+        cache_dir=cache_dir,
+        no_cache=cache_dir is None,
+        queue_dir=queue_dir,
+        lease_ttl=lease_ttl,
+    )
+    return execute_sweep(spec, profile)

@@ -1,0 +1,133 @@
+"""The run_sweep compatibility shim: deprecation path and legacy modes.
+
+The shim must (a) stay bit-identical to the spec/profile engine it now
+wraps, (b) emit a one-time DeprecationWarning when called with raw
+execution kwargs, and (c) keep accepting the historical combinations
+the strict new API rejects (documented legacy allowances).
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.analysis.export import load_sweep, sweep_to_json
+from repro.api import ExecutionProfile, SweepSpec
+from repro.simulation import sweep as sweep_module
+from repro.simulation.sweep import execute_sweep, run_sweep, seed_range
+
+
+@pytest.fixture
+def fresh_deprecation(monkeypatch):
+    """Arm the one-time warning as if this were a new process."""
+    monkeypatch.setattr(sweep_module, "_DEPRECATION_WARNED", False)
+
+
+class TestDeprecationPath:
+    def test_execution_kwargs_warn_once_with_the_mapping(
+        self, fresh_deprecation
+    ):
+        with pytest.warns(DeprecationWarning, match="repro.api") as caught:
+            run_sweep("fig15-environment", [1], smoke=True, workers=2,
+                      backend="thread")
+        message = str(caught[0].message)
+        # The mapping is documented in the warning itself.
+        assert "ExecutionProfile" in message
+        assert "no_cache=True" in message
+        # Second call with kwargs: silent (once per process).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_sweep("fig15-environment", [1], smoke=True, workers=2,
+                      backend="thread")
+
+    def test_plain_calls_do_not_warn(self, fresh_deprecation):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_sweep("fig15-environment", [1], smoke=True)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"workers": 2},
+        {"backend": "thread"},
+        {"chunk_size": 1},
+        {"cache_dir": "unused"},
+    ])
+    def test_each_execution_kwarg_triggers_it(
+        self, kwargs, fresh_deprecation, tmp_path
+    ):
+        if "cache_dir" in kwargs:
+            kwargs = {"cache_dir": str(tmp_path)}
+        with pytest.warns(DeprecationWarning):
+            run_sweep("fig15-environment", [1], smoke=True, **kwargs)
+
+
+class TestShimEquivalence:
+    def test_shim_matches_the_engine_bitwise(self):
+        seeds = seed_range(3)
+        via_shim = run_sweep("fig15-environment", seeds, workers=1,
+                             smoke=True)
+        via_engine = execute_sweep(
+            SweepSpec("fig15-environment", seeds, smoke=True),
+            ExecutionProfile(no_cache=True),
+        )
+        assert via_shim.per_seed == via_engine.per_seed
+        assert via_shim.mean == via_engine.mean
+        assert via_shim.variance == via_engine.variance
+        assert via_shim.spec == via_engine.spec
+
+    def test_shim_overrides_flow_into_the_spec(self):
+        sweep = run_sweep("fig7-mutuality", [1], smoke=True,
+                          overrides={"threshold": 0.4})
+        assert sweep.spec["overrides"] == {"threshold": 0.4}
+
+    def test_legacy_inline_drain_still_accepted(self, tmp_path):
+        # The new API rejects distributed + workers=0 + no queue dir;
+        # the shim keeps the historical coordinator-drains-inline mode.
+        sweep = run_sweep("fig15-environment", [1], smoke=True,
+                          workers=0, backend="distributed",
+                          cache_dir=tmp_path)
+        assert sweep.tasks_total == 1
+        with pytest.raises(ValueError, match="queue_dir"):
+            ExecutionProfile(workers=0, backend="distributed")
+
+
+class TestLoadSweepSpecCompat:
+    def test_new_exports_carry_the_spec_block(self):
+        sweep = run_sweep("fig15-environment", [1, 2], smoke=True)
+        payload = load_sweep(sweep_to_json(sweep))
+        assert payload["spec"] == {
+            "scenario": "fig15-environment",
+            "seeds": [1, 2],
+            "smoke": True,
+            "overrides": {},
+        }
+        # The spec block round-trips into a validated SweepSpec.
+        assert SweepSpec.from_payload(payload["spec"]) == SweepSpec(
+            "fig15-environment", [1, 2], smoke=True
+        )
+
+    def test_pre_spec_artifacts_default_to_null(self):
+        """A pre-PR-5 export (no spec block) still loads."""
+        sweep = run_sweep("fig15-environment", [1], smoke=True)
+        payload = json.loads(sweep_to_json(sweep))
+        del payload["spec"]
+        loaded = load_sweep(json.dumps(payload))
+        assert loaded["spec"] is None
+        assert loaded["mean"]["values"] == sweep.mean.values
+
+    def test_pre_cache_era_artifact_still_loads(self):
+        """The oldest shape: no spec, no cache, no distributed block."""
+        sweep = run_sweep("fig15-environment", [1], smoke=True)
+        payload = json.loads(sweep_to_json(sweep))
+        for key in ("spec", "cache", "distributed"):
+            del payload[key]
+        loaded = load_sweep(json.dumps(payload))
+        assert loaded["spec"] is None
+        assert loaded["cache"]["enabled"] is False
+        assert loaded["distributed"]["tasks"] == 0
+
+    def test_malformed_spec_block_rejected(self):
+        sweep = run_sweep("fig15-environment", [1], smoke=True)
+        payload = json.loads(sweep_to_json(sweep))
+        payload["spec"] = [1, 2]
+        with pytest.raises(ValueError, match="spec block"):
+            load_sweep(json.dumps(payload))
