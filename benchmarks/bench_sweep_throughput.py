@@ -51,6 +51,9 @@ SMOKE_SEEDS = 192
 FULL_SEEDS = 512
 CACHE_SCENARIO = "fig7-mutuality"
 CACHE_SEEDS = 16
+# Kernel-backend contrast: the python-vs-vectorized pair runs the same
+# scenario sequentially, so the ratio is pure per-seed compute.
+COMPUTE_SCENARIO = "fig15-environment"
 
 
 def _mode_payload(sweep) -> dict:
@@ -142,6 +145,18 @@ def run_bench(
     assert cache_warm.mean == cache_cold.mean
     assert cache_warm.cache_hits == CACHE_SEEDS
 
+    # Kernel backends head to head: the same sweep, sequential and
+    # uncached on both sides, so the ratio isolates per-seed compute.
+    compute_python = run_sweep(COMPUTE_SCENARIO, seed_list,
+                               workers=1, smoke=smoke)
+    compute_vectorized = run_sweep(
+        COMPUTE_SCENARIO + "-vectorized", seed_list, workers=1, smoke=smoke,
+    )
+    assert compute_vectorized.per_seed == compute_python.per_seed, (
+        "vectorized kernels diverge from the python oracle"
+    )
+    assert compute_vectorized.mean == compute_python.mean
+
     return {
         "scenario": scenario,
         "seeds": seeds,
@@ -157,7 +172,17 @@ def run_bench(
             "cold": _mode_payload(cache_cold),
             "warm": _mode_payload(cache_warm),
         },
+        "compute_backends": {
+            "scenario": COMPUTE_SCENARIO,
+            "seeds": seeds,
+            "python": _mode_payload(compute_python),
+            "vectorized": _mode_payload(compute_vectorized),
+        },
         "speedups": {
+            "vectorized_vs_python": _ratio(
+                compute_python.timing.wall_seconds,
+                compute_vectorized.timing.wall_seconds,
+            ),
             "chunked_vs_per_seed": _ratio(
                 per_seed.timing.wall_seconds, chunked.timing.wall_seconds
             ),
@@ -187,6 +212,10 @@ def test_sweep_throughput(once, tmp_path):
     }
     assert payload["modes"]["warm_cache"]["cache_hits"] == 16
     assert payload["cache_section"]["warm"]["cache_hits"] == CACHE_SEEDS
+    assert set(payload["compute_backends"]) == {
+        "scenario", "seeds", "python", "vectorized",
+    }
+    assert payload["speedups"]["vectorized_vs_python"] > 0.0
     out = tmp_path / "BENCH_sweep.json"
     out.write_text(json.dumps(payload, indent=2, sort_keys=True))
     print()
@@ -220,6 +249,15 @@ def _summary(payload: dict) -> str:
         f"(worst case) / "
         f"{speedups['cache_scenario_warm_vs_cold']:.1f}x "
         f"({cache_section['scenario']})"
+    )
+    compute = payload["compute_backends"]
+    lines.append(
+        f"  kernels on {compute['scenario']} ({compute['seeds']} seeds, "
+        f"sequential): python "
+        f"{compute['python']['seeds_per_second']:.1f} seeds/s, "
+        f"vectorized "
+        f"{compute['vectorized']['seeds_per_second']:.1f} seeds/s "
+        f"({speedups['vectorized_vs_python']:.2f}x)"
     )
     return "\n".join(lines)
 

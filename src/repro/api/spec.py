@@ -55,6 +55,7 @@ def validate_execution(
     no_cache: bool = False,
     queue_dir: Optional[Union[str, Path]] = None,
     lease_ttl: Optional[float] = None,
+    compute: Optional[str] = None,
     allow_inline_drain: bool = False,
 ) -> None:
     """Reject contradictory or out-of-range execution options.
@@ -126,6 +127,10 @@ def validate_execution(
         raise ValueError(
             "no_cache conflicts with an explicit cache_dir: drop one "
             "(no_cache disables all cache reads and writes)"
+        )
+    if compute is not None and compute not in ("python", "vectorized"):
+        raise ValueError(
+            f"compute must be 'python' or 'vectorized', got {compute!r}"
         )
 
 
@@ -295,6 +300,11 @@ class ExecutionProfile:
     no_cache: bool = False
     queue_dir: Optional[str] = None
     lease_ttl: Optional[float] = None
+    # Kernel backend override for scenarios that support one
+    # ("python" | "vectorized"); None leaves each scenario's own
+    # default in place.  Result-neutral like every other field — the
+    # vectorized kernels are bit-identical by contract.
+    compute: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in ("cache_dir", "queue_dir"):
@@ -309,6 +319,7 @@ class ExecutionProfile:
             no_cache=self.no_cache,
             queue_dir=self.queue_dir,
             lease_ttl=self.lease_ttl,
+            compute=self.compute,
         )
 
     @classmethod

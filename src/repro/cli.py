@@ -244,6 +244,7 @@ def _profile_from_sweep_args(args: argparse.Namespace):
         no_cache=args.no_cache,
         queue_dir=args.queue_dir,
         lease_ttl=args.lease_ttl,
+        compute=args.compute,
     )
 
 
@@ -666,6 +667,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="heartbeat age after which a worker's task "
                             "lease may be stolen (default 30; must "
                             "exceed the slowest single-seed runtime)")
+    sweep.add_argument("--compute", choices=("python", "vectorized"),
+                       default=None,
+                       help="kernel backend for scenarios that support "
+                            "one (bit-identical results; 'vectorized' "
+                            "uses the numpy kernels and falls back to "
+                            "python where numpy is missing)")
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="also write the sweep export to PATH")
 

@@ -63,24 +63,50 @@ class DelegationOutcome:
         return self.gain - self.damage - self.cost
 
 
+def _config_fingerprint(obj: object) -> Tuple:
+    """A value-based identity for a policy/inferrer configuration.
+
+    Captures the concrete type plus every attribute's ``repr``, so a
+    *swap* to an equal-valued object keeps the cache warm while an
+    **in-place mutation** of the same object (legal on non-frozen
+    policies) invalidates it — comparing by ``is`` missed exactly that
+    case and served rankings scored under the old configuration.
+    """
+    if obj is None:
+        return (None,)
+    state = getattr(obj, "__dict__", None)
+    if state is None:  # __slots__ objects: fall back to their repr
+        return (type(obj), repr(obj))
+    return (
+        type(obj),
+        tuple(sorted(
+            (name, repr(value)) for name, value in state.items()
+        )),
+    )
+
+
 class _StoreCache:
     """Memoized pre-evaluation state derived from one trust store.
 
     Valid only while the store's write counter stands still *and* the
-    engine's policy/inferrer are the same objects that filled it; the
-    engine drops the whole cache the moment any of those move, so a
-    stale entry can never outlive the write (or reconfiguration) that
-    would change it.  Tasks key by the full ``Task`` value — name,
-    characteristics and weights — because the inference path depends on
-    more than the name.
+    engine's policy/inferrer still fingerprint the way they did when the
+    cache was filled (:func:`_config_fingerprint` — value-based, so
+    in-place reconfiguration invalidates too); the engine drops the
+    whole cache the moment any of those move, so a stale entry can never
+    outlive the write (or reconfiguration) that would change it.  Tasks
+    key by the full ``Task`` value — name, characteristics and weights —
+    because the inference path depends on more than the name.
     """
 
-    __slots__ = ("version", "policy", "inferrer", "factors", "rankings")
+    __slots__ = ("version", "policy_print", "inferrer_print", "factors",
+                 "rankings")
 
-    def __init__(self, version: int, policy: object, inferrer: object) -> None:
+    def __init__(
+        self, version: int, policy_print: Tuple, inferrer_print: Tuple
+    ) -> None:
         self.version = version
-        self.policy = policy
-        self.inferrer = inferrer
+        self.policy_print = policy_print
+        self.inferrer_print = inferrer_print
         # (trustee, task) -> OutcomeFactors
         self.factors: Dict[Tuple[NodeId, Task], OutcomeFactors] = {}
         # (task, candidate ids) -> [(trustee id, score), ...]
@@ -120,21 +146,32 @@ class DelegationEngine:
     # store's write counter.  ``memoize=False`` restores the always-
     # recompute behavior (the oracle the cache tests compare against).
     memoize: bool = True
+    # Scoring backend for rank_candidates: "vectorized" scores candidate
+    # columns through repro.core.kernels (bit-identical; falls back to
+    # python for custom policies or numpy-less hosts).
+    compute: str = "python"
     _caches: "weakref.WeakKeyDictionary" = field(
         default_factory=weakref.WeakKeyDictionary, repr=False, compare=False
     )
+
+    def __post_init__(self) -> None:
+        from repro.core.kernels import resolve_compute
+
+        self.compute = resolve_compute(self.compute)
 
     def _cache_for(self, trustor: TrustorAgent) -> _StoreCache:
         """The trustor's memo, reset on store writes or reconfiguration."""
         store = trustor.store
         cache = self._caches.get(store)
+        policy_print = _config_fingerprint(self.policy)
+        inferrer_print = _config_fingerprint(self.inferrer)
         if (
             cache is None
             or cache.version != store.version
-            or cache.policy is not self.policy
-            or cache.inferrer is not self.inferrer
+            or cache.policy_print != policy_print
+            or cache.inferrer_print != inferrer_print
         ):
-            cache = _StoreCache(store.version, self.policy, self.inferrer)
+            cache = _StoreCache(store.version, policy_print, inferrer_print)
             self._caches[store] = cache
         return cache
 
@@ -240,10 +277,28 @@ class DelegationEngine:
         task: Task,
         candidates: Sequence[TrusteeAgent],
     ) -> List[Tuple[TrusteeAgent, float]]:
+        eligible = [
+            trustee for trustee in candidates
+            if trustee.node_id != trustor.node_id
+        ]
+        if self.compute == "vectorized" and len(eligible) > 1:
+            from repro.core import kernels
+
+            if kernels.HAVE_NUMPY:
+                columns = kernels.factor_columns([
+                    self.expected_factors(trustor, trustee, task)
+                    for trustee in eligible
+                ])
+                scores = kernels.score_columns(self.policy, *columns)
+                if scores is not None:
+                    # Same stable sort over the same python floats as the
+                    # scalar path — identical permutation, NaNs included.
+                    scored = list(zip(eligible, scores.tolist()))
+                    scored.sort(key=lambda pair: pair[1], reverse=True)
+                    return scored
         scored = [
             (trustee, self.policy.score(self.expected_factors(trustor, trustee, task)))
-            for trustee in candidates
-            if trustee.node_id != trustor.node_id
+            for trustee in eligible
         ]
         scored.sort(key=lambda pair: pair[1], reverse=True)
         return scored

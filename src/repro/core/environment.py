@@ -11,7 +11,7 @@ them to the forgetting update (Eq. 25–29, "Cannikin Law").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Tuple
 
 from repro.core.records import OutcomeFactors
 from repro.core.trustworthiness import clamp01
@@ -153,6 +153,22 @@ class EnvironmentSchedule:
     def total_iterations(self) -> int:
         """Sum of phase lengths."""
         return sum(int(length) for length, _level in self.phases)
+
+    def levels(self) -> Tuple[float, ...]:
+        """``level_at`` for every scheduled iteration, computed once.
+
+        The per-iteration linear scan shows up in per-seed hot loops;
+        the expanded vector is cached on the instance (phases are fixed
+        after construction).
+        """
+        cached = self.__dict__.get("_levels")
+        if cached is None:
+            cached = tuple(
+                self.level_at(iteration)
+                for iteration in range(self.total_iterations)
+            )
+            self.__dict__["_levels"] = cached
+        return cached
 
     def readings(self) -> Iterable[EnvironmentReading]:
         """One symmetric reading (E_X = E_Y) per scheduled iteration."""

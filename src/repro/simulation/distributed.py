@@ -90,7 +90,20 @@ Reduced = Union[RateSummary, SeriesResult]
 Params = Tuple[Tuple[str, object], ...]
 
 DEFAULT_LEASE_TTL = 30.0
+# Stealing margin on top of the TTL: lease mtimes come from the filesystem
+# clock while ages are judged against time.time(), and on shared/network
+# filesystems the two can disagree by a little in either direction.  A
+# lease is only presumed dead strictly beyond TTL + margin, so sub-margin
+# skew can never make a live worker's lease look expired.  The margin is
+# 10% of the TTL capped at LEASE_SKEW_MARGIN seconds (a second covers
+# realistic mtime granularity/skew; short test TTLs stay proportional).
+LEASE_SKEW_MARGIN = 1.0
 DEFAULT_POLL = 0.05
+
+
+def lease_steal_threshold(lease_ttl: float) -> float:
+    """Age beyond which a lease is presumed abandoned and stealable."""
+    return lease_ttl + min(LEASE_SKEW_MARGIN, 0.1 * lease_ttl)
 _ENV_FAULT = "REPRO_WORKER_FAULT"
 
 # Sweeps already warned about (by id) for a code-version mismatch.
@@ -372,7 +385,8 @@ class WorkQueue:
         """Try to lease ``task_id``; ``None`` when someone else holds it.
 
         A fresh claim creates the lease with ``O_CREAT | O_EXCL``.  A
-        lease whose heartbeat mtime is older than ``lease_ttl`` is
+        lease whose heartbeat mtime is older than ``lease_ttl`` (plus
+        :data:`LEASE_SKEW_MARGIN`, absorbing filesystem/clock skew) is
         stolen: rename it to a unique tombstone (one winner), then take
         the now-vacant slot with the same exclusive create.
         """
@@ -386,7 +400,10 @@ class WorkQueue:
             except FileNotFoundError:
                 # Released or stolen this instant; retry on a later pass.
                 return None
-            if age < lease_ttl:
+            # A lease mtime in the future (clock skew, clock step) is a
+            # *fresh* heartbeat, not a negative age — clamp, never steal.
+            age = max(0.0, age)
+            if age <= lease_steal_threshold(lease_ttl):
                 return None
             tombstone = lease.with_name(
                 f"{task_id}.stale-{os.urandom(4).hex()}"
@@ -414,12 +431,22 @@ class WorkQueue:
 
         A ``False`` return means another worker reclaimed the task (we
         were presumed dead); the caller should abandon the chunk — the
-        new owner recomputes it identically.
+        new owner recomputes it identically.  The lease can vanish at
+        *any* point mid-steal (tombstone rename), so both the owner read
+        and the ``utime`` tolerate a missing file; and because a thief
+        can also rename-and-recreate between our read and our ``utime``,
+        the owner is re-checked afterwards — refreshing the thief's
+        lease must still report this claim lost.
         """
         try:
             if claim.lease_path.read_text() != claim.owner:
                 return False
             os.utime(claim.lease_path)
+            if claim.lease_path.read_text() != claim.owner:
+                return False
+        except FileNotFoundError:
+            # Stolen mid-steal: the lease was tombstoned away under us.
+            return False
         except OSError:
             return False
         return True

@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.ids import NodeId
 from repro.simulation.config import MutualityConfig
@@ -75,14 +75,44 @@ class MutualitySimulation:
         graph: SocialGraph,
         config: MutualityConfig = MutualityConfig(),
         seed: int = 0,
+        compute: str = "python",
+        hoods: Optional[Mapping[NodeId, Sequence[NodeId]]] = None,
     ) -> None:
+        from repro.core.kernels import resolve_compute
+
         self.graph = graph
         self.config = config
         self.seed = seed
         self.scenario: Scenario = build_scenario(graph, seed, config.roles)
+        self.compute = resolve_compute(compute)
+        # Optional seed-independent columnar view from the scenario
+        # arena: every node within ``candidate_hops`` of each node,
+        # sorted.  Per-seed candidate lists then reduce to a filter by
+        # the seed's trustee set instead of a BFS per trustor (the
+        # result is identical — see ``_candidates_for``).
+        self._hoods = hoods
+        self._trustee_set = self.scenario.trustee_set
 
     # ------------------------------------------------------------------
-    def _warmup(self, rng: random.Random):
+    def _candidates_for(self, trustor: NodeId) -> List[NodeId]:
+        """The trustor's candidate trustees, hood-accelerated when
+        possible.
+
+        ``trustee_neighbors`` sorts the trustees found within range;
+        filtering the presorted hood by the trustee set preserves that
+        order, so both paths return the same list.
+        """
+        if self._hoods is not None:
+            trustee_set = self._trustee_set
+            return [
+                node for node in self._hoods[trustor]
+                if node in trustee_set
+            ]
+        return self.scenario.trustee_neighbors(
+            trustor, hops=self.config.candidate_hops
+        )
+
+    def _warmup(self, rng: random.Random, candidates_map):
         """Populate usage statistics with threshold-free interactions.
 
         With shared logs, one statistic per trustor; with private logs,
@@ -92,9 +122,7 @@ class MutualitySimulation:
         shared: Dict[NodeId, _UsageStats] = defaultdict(_UsageStats)
         private: Dict[tuple, _UsageStats] = defaultdict(_UsageStats)
         for trustor in self.scenario.trustors:
-            candidates = self.scenario.trustee_neighbors(
-                trustor, hops=self.config.candidate_hops
-            )
+            candidates = candidates_map[trustor]
             if not candidates:
                 continue
             responsibility = self.scenario.responsibility[trustor]
@@ -107,11 +135,60 @@ class MutualitySimulation:
                     private[(trustee, trustor)].record(responsible)
         return shared if self.config.shared_logs else private
 
+    def _warmup_vectorized(self, candidates_map):
+        """Shared-logs warm-up as one block of draws (bit-identical).
+
+        The oracle draws ``warmup_interactions`` uniforms per trustor
+        (sorted order) and counts ``draw < responsibility``; here the
+        whole phase is one replicated-stream block and one vectorized
+        comparison.  Returns the populated stats *and* a genuine
+        ``random.Random`` continuing the exact stream for the measured
+        phase (which needs ``choice``).
+        """
+        import numpy as np
+
+        from repro.core.kernels import borrow_stream
+        from repro.simulation.rng import spawn_key
+
+        stream = borrow_stream(spawn_key(
+            self.seed, "mutuality", self.graph.name, self.config.threshold
+        ))
+        interactions = self.config.warmup_interactions
+        active = [
+            trustor for trustor in self.scenario.trustors
+            if candidates_map[trustor]
+        ]
+        stats: Dict[NodeId, _UsageStats] = defaultdict(_UsageStats)
+        if active and interactions:
+            draws = stream.block(interactions * len(active)).reshape(
+                len(active), interactions
+            )
+            responsibility = np.array(
+                [self.scenario.responsibility[t] for t in active]
+            )
+            responsible_counts = (
+                draws < responsibility[:, None]
+            ).sum(axis=1)
+            for trustor, responsible in zip(
+                active, responsible_counts.tolist()
+            ):
+                stats[trustor] = _UsageStats(
+                    responsible=int(responsible), total=interactions
+                )
+        return stats, stream.to_python()
+
     def run(self) -> MutualityResult:
         """Run warm-up then the measured delegation phase."""
-        rng = spawn(self.seed, "mutuality", self.graph.name,
-                    self.config.threshold)
-        stats = self._warmup(rng)
+        candidates_map = {
+            trustor: self._candidates_for(trustor)
+            for trustor in self.scenario.trustors
+        }
+        if self.compute == "vectorized" and self.config.shared_logs:
+            stats, rng = self._warmup_vectorized(candidates_map)
+        else:
+            rng = spawn(self.seed, "mutuality", self.graph.name,
+                        self.config.threshold)
+            stats = self._warmup(rng, candidates_map)
 
         requests = 0
         successes = 0
@@ -122,9 +199,7 @@ class MutualitySimulation:
         threshold = self.config.threshold
         for trustor in self.scenario.trustors:
             responsibility = self.scenario.responsibility[trustor]
-            candidates = self.scenario.trustee_neighbors(
-                trustor, hops=self.config.candidate_hops
-            )
+            candidates = candidates_map[trustor]
             for _ in range(self.config.requests_per_trustor):
                 requests += 1
                 if not candidates:

@@ -41,7 +41,7 @@ named spec and ``repro sweep`` can drive all of them.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache, partial
 from typing import Callable, Dict, List, Mapping, Tuple, Union
 
@@ -88,20 +88,50 @@ def _graph(network: str, graph_seed: int) -> SocialGraph:
 # may mutate the arena unless the spec sets ``reusable=False``.
 # ---------------------------------------------------------------------------
 
+def _hoods(graph: SocialGraph, hops: int) -> Dict[object, tuple]:
+    """Seed-independent columnar candidate view: per node, every other
+    node within ``hops``, sorted.
+
+    Built once per arena; a per-seed run reduces its candidate lookups
+    to a filter of the hood by that seed's trustee set (identical to the
+    per-trustor BFS of ``Scenario.trustee_neighbors``).
+    """
+    hoods: Dict[object, tuple] = {}
+    for node in graph.nodes():
+        frontier = {node}
+        seen = {node}
+        for _ in range(hops):
+            next_frontier = set()
+            for current in frontier:
+                for neighbor in graph.neighbors(current):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        next_frontier.add(neighbor)
+            frontier = next_frontier
+        seen.discard(node)
+        hoods[node] = tuple(sorted(seen))
+    return hoods
+
+
 def _build_fig7(params: Mapping[str, object]) -> Dict[str, object]:
+    config = MutualityConfig(
+        threshold=params["threshold"],
+        warmup_interactions=params["warmup_interactions"],
+        requests_per_trustor=params["requests_per_trustor"],
+    )
+    graph = _graph(params["network"], params["graph_seed"])
     return {
-        "graph": _graph(params["network"], params["graph_seed"]),
-        "config": MutualityConfig(
-            threshold=params["threshold"],
-            warmup_interactions=params["warmup_interactions"],
-            requests_per_trustor=params["requests_per_trustor"],
-        ),
+        "graph": graph,
+        "config": config,
+        "hoods": _hoods(graph, config.candidate_hops),
     }
 
 
 def _seed_fig7(arena, params: Mapping[str, object], seed: int):
     return MutualitySimulation(
-        arena["graph"], arena["config"], seed=seed
+        arena["graph"], arena["config"], seed=seed,
+        compute=params.get("compute", "python"),
+        hoods=arena.get("hoods"),
     ).run()
 
 
@@ -165,7 +195,10 @@ def _build_fig15(params: Mapping[str, object]) -> Dict[str, object]:
 
 
 def _seed_fig15(arena, params: Mapping[str, object], seed: int):
-    return EnvironmentSimulation(arena["config"], seed=seed).run()
+    return EnvironmentSimulation(
+        arena["config"], seed=seed,
+        compute=params.get("compute", "python"),
+    ).run()
 
 
 def _reduce_fig15(result) -> SeriesResult:
@@ -351,7 +384,8 @@ def _seed_beta(arena, params: Mapping[str, object], seed: int):
     results = {}
     for beta in params["betas"]:
         simulation = EnvironmentSimulation(
-            EnvironmentConfig(runs=params["runs"], beta=beta), seed=seed
+            EnvironmentConfig(runs=params["runs"], beta=beta), seed=seed,
+            compute=params.get("compute", "python"),
         )
         result = simulation.run()
         errors = simulation.tracking_errors(result)
@@ -379,6 +413,11 @@ def _reduce_beta(results) -> SeriesResult:
 
 
 def _seed_combiner(arena, params: Mapping[str, object], seed: int):
+    if params.get("compute", "python") == "vectorized":
+        from repro.core.kernels import HAVE_NUMPY
+
+        if HAVE_NUMPY:
+            return _seed_combiner_vectorized(params, seed)
     rng = random.Random(seed)
     rows = []
     for length in params["lengths"]:
@@ -402,6 +441,51 @@ def _seed_combiner(arena, params: Mapping[str, object], seed: int):
         second_ok = rng.random() < t2
         if first_ok == second_ok:
             correct += 1
+    return {
+        "rows": rows,
+        "simulated": correct / trials,
+        "t1": t1,
+        "t2": t2,
+    }
+
+
+def _seed_combiner_vectorized(params: Mapping[str, object], seed: int):
+    """Bit-identical block-draw form of :func:`_seed_combiner`.
+
+    One replicated stream serves the whole run in the oracle's draw
+    order (per-length hop matrices, then the Monte-Carlo pairs); the
+    fold across hop columns happens for all samples at once.  The mean
+    stays a sequential python sum so its rounding matches the oracle's
+    left-fold exactly (``np.sum`` associates pairwise — different
+    doubles).
+    """
+    from repro.core.kernels import (
+        borrow_stream,
+        combine_chain_columns,
+        traditional_chain_columns,
+    )
+
+    stream = borrow_stream(seed)
+    samples = params["samples"]
+    rows = []
+    for length in params["lengths"]:
+        draws = stream.block(samples * length).reshape(samples, length)
+        hops = 0.5 + (1.0 - 0.5) * draws  # exactly rng.uniform(0.5, 1.0)
+        gaps = (
+            combine_chain_columns(hops) - traditional_chain_columns(hops)
+        ).tolist()
+        rows.append({
+            "path length": length,
+            "mean gap (eq7 - eq5)": sum(gaps) / len(gaps),
+            "max gap": max(gaps),
+        })
+
+    t1, t2 = 0.8, 0.7
+    trials = params["trials"]
+    draws = stream.block(2 * trials)
+    first_ok = draws[0::2] < t1
+    second_ok = draws[1::2] < t2
+    correct = int((first_ok == second_ok).sum())
     return {
         "rows": rows,
         "simulated": correct / trials,
@@ -650,6 +734,16 @@ class ScenarioSpec:
     _reduce: Callable = None
     reusable: bool = True
 
+    @property
+    def supports_compute(self) -> bool:
+        """Whether this experiment has a vectorized kernel backend.
+
+        True exactly when ``"compute"`` is a recognized parameter; sweep
+        profiles use this to decide where a ``--compute`` override may
+        be injected.
+        """
+        return "compute" in self.defaults
+
     def params(self, smoke: bool = False, **overrides: object) -> Dict[str, object]:
         """Effective parameters: defaults, then smoke, then overrides.
 
@@ -751,6 +845,7 @@ _register(ScenarioSpec(
     defaults={
         "network": "facebook", "graph_seed": 0, "threshold": 0.3,
         "warmup_interactions": 30, "requests_per_trustor": 10,
+        "compute": "python",
     },
     smoke={
         "network": "twitter", "warmup_interactions": 5,
@@ -814,7 +909,7 @@ _register(ScenarioSpec(
     description="Fig. 15: proposed tracker's expected success rate over "
                 "the environment schedule (runs=1 per seed; multi-seed "
                 "averaging replaces the internal repetition)",
-    defaults={"runs": 1},
+    defaults={"runs": 1, "compute": "python"},
     smoke={},
     _build=_build_fig15,
     _seed_run=_seed_fig15,
@@ -942,7 +1037,9 @@ _register(ScenarioSpec(
     kind="series",
     description="Ablation: Fig. 15 tracking MAE per forgetting factor "
                 "(history weight)",
-    defaults={"runs": 60, "betas": (0.5, 0.8, 0.9, 0.98)},
+    defaults={
+        "runs": 60, "betas": (0.5, 0.8, 0.9, 0.98), "compute": "python",
+    },
     smoke={"runs": 4},
     _seed_run=_seed_beta,
     _reduce=_reduce_beta,
@@ -953,7 +1050,10 @@ _register(ScenarioSpec(
     kind="series",
     description="Ablation: mean Eq. 7 vs Eq. 5 trust-transfer gap per "
                 "path length (Monte-Carlo)",
-    defaults={"samples": 2000, "trials": 60000, "lengths": (1, 2, 3, 4)},
+    defaults={
+        "samples": 2000, "trials": 60000, "lengths": (1, 2, 3, 4),
+        "compute": "python",
+    },
     smoke={"samples": 100, "trials": 2000},
     _seed_run=_seed_combiner,
     _reduce=_reduce_combiner,
@@ -994,3 +1094,30 @@ _register(ScenarioSpec(
     _seed_run=_seed_whitewashing,
     _reduce=_reduce_whitewashing,
 ))
+
+
+# ---------------------------------------------------------------------------
+# vectorized-backend variants
+#
+# Same build/seed/reduce functions with ``compute="vectorized"`` as the
+# default, registered as first-class scenarios so every generic harness
+# that iterates ``registry.names()`` — the sequential-vs-parallel
+# equivalence suite above all — exercises the numpy kernels for free and
+# asserts them ``==``-equal to their python-backend base scenario.
+# ---------------------------------------------------------------------------
+
+def _register_vectorized(base_name: str) -> ScenarioSpec:
+    base = get(base_name)
+    return _register(replace(
+        base,
+        name=base.name + "-vectorized",
+        description=base.description + " [numpy kernel backend; "
+                    "bit-identical to " + base.name + "]",
+        defaults={**base.defaults, "compute": "vectorized"},
+    ))
+
+
+_register_vectorized("fig7-mutuality")
+_register_vectorized("fig15-environment")
+_register_vectorized("ablation-beta")
+_register_vectorized("ablation-combiner")

@@ -11,13 +11,23 @@ import random
 from typing import Hashable
 
 
+def spawn_key(seed: int, *scope: Hashable) -> str:
+    """The seed string behind :func:`spawn` — the one place it is built.
+
+    Exposed so the vectorized kernels
+    (:class:`repro.core.kernels.DrawStream`) can replicate the exact
+    Mersenne Twister stream a ``spawn()`` generator would produce.
+    """
+    return repr((int(seed),) + tuple(scope))
+
+
 def spawn(seed: int, *scope: Hashable) -> random.Random:
     """A :class:`random.Random` keyed by ``seed`` and a scope path.
 
     ``spawn(7, "mutuality", "roles")`` always yields the same stream, and
     streams with different scopes are independent for practical purposes.
     """
-    return random.Random(repr((int(seed),) + tuple(scope)))
+    return random.Random(spawn_key(seed, *scope))
 
 
 def uniform_unit(rng: random.Random) -> float:

@@ -227,3 +227,83 @@ class TestInvalidation:
         assert [(t.node_id, s) for t, s in swapped] == [
             (t.node_id, s) for t, s in oracle
         ]
+
+
+class _TunablePolicy:
+    """A legal, *mutable* policy (the built-ins are frozen, subclasses
+    need not be)."""
+
+    def __init__(self, weight: float) -> None:
+        self.weight = weight
+
+    def score(self, factors) -> float:
+        return self.weight * factors.success_rate
+
+
+class _DiscountingInferrer(CharacteristicInferrer):
+    """An inferrer with mutable configuration affecting its output."""
+
+    def __init__(self, discount: float) -> None:
+        self.discount = discount
+
+    def infer(self, new_task, experienced):
+        value = super().infer(new_task, experienced)
+        return type(value)(value.value * self.discount, direct=False)
+
+
+class TestFingerprintInvalidation:
+    """In-place reconfiguration must invalidate, not serve stale memos.
+
+    The cache used to compare policy/inferrer by ``is``: mutating the
+    same object in place kept the identity and served rankings scored
+    under the *old* configuration.  The fingerprint is value-based, so
+    mutation invalidates and an equal-valued swap stays warm.
+    """
+
+    def test_in_place_policy_mutation_invalidates_ranking(
+        self, trustor, trustees, task
+    ):
+        seed_expectations(trustor, trustees, task)
+        policy = _TunablePolicy(weight=1.0)
+        engine = DelegationEngine(memoize=True, policy=policy)
+        engine.rank_candidates(trustor, task, trustees)
+
+        policy.weight = -1.0  # same object, reversed preference
+        mutated = engine.rank_candidates(trustor, task, trustees)
+        oracle = DelegationEngine(
+            memoize=False, policy=_TunablePolicy(weight=-1.0)
+        ).rank_candidates(trustor, task, trustees)
+        assert [(t.node_id, s) for t, s in mutated] == [
+            (t.node_id, s) for t, s in oracle
+        ]
+
+    def test_in_place_inferrer_mutation_invalidates_factors(self, task):
+        trustor = make_trustor()
+        trustee = make_trustee("t0")
+        related = Task("related", characteristics=("sensor", "gps"))
+        trustor.store.set_expected(
+            "t0", related, OutcomeFactors(0.8, 0.6, 0.1, 0.2)
+        )
+        inferrer = _DiscountingInferrer(discount=1.0)
+        engine = DelegationEngine(memoize=True, inferrer=inferrer)
+        before = engine.expected_factors(trustor, trustee, task)
+
+        inferrer.discount = 0.5  # same object, halved inference
+        after = engine.expected_factors(trustor, trustee, task)
+        assert after.success_rate == pytest.approx(
+            before.success_rate * 0.5
+        )
+
+    def test_equal_valued_policy_swap_keeps_cache_warm(
+        self, trustor, trustees, task
+    ):
+        from repro.core.policy import NetProfitPolicy
+
+        seed_expectations(trustor, trustees, task)
+        engine = DelegationEngine(memoize=True, policy=NetProfitPolicy())
+        engine.rank_candidates(trustor, task, trustees)
+        memo = engine._caches[trustor.store]
+
+        engine.policy = NetProfitPolicy()  # different object, equal value
+        engine.rank_candidates(trustor, task, trustees)
+        assert engine._caches[trustor.store] is memo

@@ -23,6 +23,7 @@ import pytest
 from repro.simulation import registry
 from repro.simulation.distributed import (
     WorkQueue,
+    lease_steal_threshold,
     worker_loop,
 )
 from repro.simulation.sweep import run_sweep, seed_range
@@ -206,6 +207,138 @@ class TestBackdatedLease:
         assert stats.tasks_done == 1
         assert stats.steals == 0
         assert queue.pending() == ["task-0000"]
+
+    def test_future_mtime_lease_is_never_stolen(self, tmp_path):
+        """A lease mtime *ahead* of time.time() (filesystem/clock skew,
+        or a clock step) must read as a fresh heartbeat, not as a
+        negative — and under ``time.time() - mtime`` arithmetic, hugely
+        expired — age."""
+        queue = _make_queue(tmp_path, [1, 2], chunk_size=1)
+        claim = queue.claim("task-0000", "worker-on-skewed-clock")
+        future = time.time() + 300
+        os.utime(claim.lease_path, (future, future))
+
+        assert queue.claim("task-0000", "thief", lease_ttl=5.0) is None
+        stats = worker_loop(
+            tmp_path / "queue", None, drain=True, lease_ttl=5.0,
+        )
+        assert stats.steals == 0
+        assert queue.pending() == ["task-0000"]
+        assert queue.heartbeat(claim)
+
+    def test_lease_inside_skew_margin_is_not_stolen(self, tmp_path):
+        """An age past the TTL but inside the skew margin is still a
+        live lease: sub-margin clock disagreement must never make a
+        heartbeating worker look dead."""
+        queue = _make_queue(tmp_path, [1, 2], chunk_size=1)
+        claim = queue.claim("task-0000", "slightly-behind")
+        ttl = 60.0
+        margin = lease_steal_threshold(ttl) - ttl
+        assert margin > 0
+        past = time.time() - (ttl + margin * 0.5)
+        os.utime(claim.lease_path, (past, past))
+
+        assert queue.claim("task-0000", "thief", lease_ttl=ttl) is None
+
+        # Strictly beyond TTL + margin the steal goes through.
+        past = time.time() - (lease_steal_threshold(ttl) + 0.5)
+        os.utime(claim.lease_path, (past, past))
+        stolen = queue.claim("task-0000", "thief", lease_ttl=ttl)
+        assert stolen is not None and stolen.stolen
+
+
+class TestHeartbeatLeaseVanishes:
+    def test_heartbeat_reports_lost_when_lease_vanishes(self, tmp_path):
+        """The lease can be tombstoned away between the owner check and
+        the ``utime`` — heartbeat must report the lease lost, never
+        crash with FileNotFoundError."""
+        queue = _make_queue(tmp_path, [1, 2], chunk_size=1)
+        claim = queue.claim("task-0000", "victim")
+
+        real_utime = os.utime
+
+        def vanishing_utime(path, *args, **kwargs):
+            # A thief renames the lease to a tombstone at the worst
+            # possible instant.
+            if Path(path) == claim.lease_path:
+                claim.lease_path.rename(
+                    claim.lease_path.with_name("task-0000.stale-test")
+                )
+                return real_utime(path, *args, **kwargs)  # must raise
+            return real_utime(path, *args, **kwargs)
+
+        utime_patch = pytest.MonkeyPatch()
+        try:
+            utime_patch.setattr(os, "utime", vanishing_utime)
+            assert queue.heartbeat(claim) is False
+        finally:
+            utime_patch.undo()
+
+    def test_heartbeat_detects_thief_after_refresh(self, tmp_path):
+        """If a thief replaces the lease file between the owner read
+        and the ``utime``, the post-refresh re-read must still report
+        the claim lost — we refreshed *someone else's* lease."""
+        queue = _make_queue(tmp_path, [1, 2], chunk_size=1)
+        claim = queue.claim("task-0000", "victim")
+
+        real_utime = os.utime
+
+        def racing_utime(path, *args, **kwargs):
+            if Path(path) == claim.lease_path:
+                # Thief wins the tombstone rename and re-creates the
+                # slot under its own name before our utime lands.
+                claim.lease_path.write_text("thief")
+            return real_utime(path, *args, **kwargs)
+
+        utime_patch = pytest.MonkeyPatch()
+        try:
+            utime_patch.setattr(os, "utime", racing_utime)
+            assert queue.heartbeat(claim) is False
+        finally:
+            utime_patch.undo()
+
+    def test_worker_abandons_chunk_on_lost_lease_under_threads(
+        self, tmp_path
+    ):
+        """Race a heartbeating owner against stealer threads deleting
+        and reclaiming the lease: heartbeat may flip to False but must
+        never raise, mirroring the 8-thread claim race above."""
+        import threading
+
+        queue = _make_queue(tmp_path, [1, 2], chunk_size=1)
+        claim = queue.claim("task-0000", "owner")
+        stop = threading.Event()
+        errors = []
+
+        def stealer():
+            while not stop.is_set():
+                try:
+                    claim.lease_path.unlink()
+                except OSError:
+                    pass
+                try:
+                    queue.claim("task-0000", "stealer", lease_ttl=0.0)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=stealer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        lost = False
+        try:
+            for _ in range(200):
+                if not queue.heartbeat(claim):
+                    lost = True
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        # With the lease deleted under us repeatedly, at least one
+        # heartbeat observed the loss and reported it.
+        assert lost
 
 
 class TestCoordinatorOfLastResort:
