@@ -143,6 +143,10 @@ def sweep_to_payload(sweep) -> Dict[str, object]:
             "steals": sweep.steals,
             "requeues": sweep.requeues,
         },
+        # Structured failure records of seeds that exhausted their
+        # retry budget (empty on healthy sweeps); the seeds/per_seed
+        # arrays cover only the seeds that succeeded.
+        "failed_seeds": list(getattr(sweep, "failed_seeds", []) or []),
         "mean": sweep.mean.to_payload(),
         "per_seed": [r.to_payload() for r in sweep.per_seed],
         "variance": (
@@ -198,6 +202,11 @@ def load_sweep(text: str) -> Dict[str, object]:
     spec = payload.setdefault("spec", None)
     if spec is not None and not isinstance(spec, dict):
         raise ValueError("sweep spec block must be an object or null")
+    # Exports written before the fault-tolerance layer carry no failure
+    # records; default to the healthy empty list.
+    failed = payload.setdefault("failed_seeds", [])
+    if not isinstance(failed, list):
+        raise ValueError("sweep failed_seeds must be a JSON array")
     if not isinstance(payload["per_seed"], list) or not isinstance(
         payload["seeds"], list
     ):

@@ -30,6 +30,7 @@ from repro.api.client import (
 )
 from repro.api.spec import (
     EXECUTION_BACKENDS,
+    ON_ERROR_MODES,
     CampaignManifest,
     ExecutionProfile,
     SweepSpec,
@@ -40,15 +41,33 @@ from repro.api.spec import (
 
 __all__ = [
     "EXECUTION_BACKENDS",
+    "ON_ERROR_MODES",
     "CampaignHandle",
     "CampaignManifest",
     "CampaignResult",
     "CancelledError",
     "Client",
     "ExecutionProfile",
+    "SweepFailureError",
     "SweepHandle",
     "SweepSpec",
+    "WorkerCrashError",
     "campaign_labels",
     "load_campaign_manifest",
     "validate_execution",
 ]
+
+
+def __getattr__(name: str):
+    # The failure types live next to the engines that raise them; pull
+    # them in lazily so importing repro.api stays light (the client
+    # defers its simulation imports for the same reason).
+    if name == "SweepFailureError":
+        from repro.simulation.sweep import SweepFailureError
+
+        return SweepFailureError
+    if name == "WorkerCrashError":
+        from repro.simulation.parallel import WorkerCrashError
+
+        return WorkerCrashError
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")

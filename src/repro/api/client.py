@@ -22,7 +22,11 @@ three surfaces.  Cancellation is cooperative and honest: a sweep that
 has already started computing runs to completion (pool maps and queue
 drains are not interruptible mid-seed), but a handle cancelled before
 its work starts never computes anything, and a cancelled campaign
-finishes the sweep in flight and skips the rest.
+finishes the sweep in flight and skips the rest.  Cancelling a running
+distributed campaign aborts the coordinator between waits and cleans up
+every sweep directory it enqueued — attempt markers, quarantine records
+and all — so a later campaign on the same queue dir starts from a blank
+slate.
 """
 
 from __future__ import annotations
@@ -141,7 +145,13 @@ class SweepHandle(_Handle):
     def result(self, timeout: Optional[float] = None):
         """The :class:`SweepResult` (blocking); raises what the sweep
         raised, :class:`CancelledError` if cancelled before running, or
-        :class:`TimeoutError` if ``timeout`` elapses first."""
+        :class:`TimeoutError` if ``timeout`` elapses first.
+
+        Under ``on_error="collect"`` profiles the result's
+        ``failed_seeds`` lists the structured failure records of seeds
+        that exhausted their retry budget; the per-seed arrays cover
+        only the seeds that succeeded.
+        """
         return self._resolve(timeout)
 
 
@@ -188,7 +198,9 @@ class CampaignHandle(_Handle):
     With a pool profile the specs run back to back (so ``cancel()``
     skips everything after the sweep in flight); with the distributed
     backend every sweep is enqueued up front and one worker fleet
-    drains them all concurrently.
+    drains them all concurrently — there ``cancel()`` aborts the
+    coordinator at its next wait and removes every sweep directory the
+    campaign enqueued, leaving the queue dir clean for the next run.
     """
 
     def __init__(
@@ -203,13 +215,28 @@ class CampaignHandle(_Handle):
         super().__init__(self._run_campaign)
 
     def _run_campaign(self) -> CampaignResult:
+        from repro.simulation.distributed import SweepAborted
         from repro.simulation.sweep import execute_campaign, execute_sweep
 
         if self.profile.distributed:
-            # One shared queue + fleet; all-or-nothing once started.
+            # One shared queue + fleet.  The coordinator polls ``stop``
+            # between waits; cancel() flips _skip_rest and the abort
+            # path deletes every sweep dir the campaign enqueued.
             with self._lock:
                 self._started = len(self.specs)
-            sweeps = execute_campaign(list(self.specs), self.profile)
+
+            def stop() -> bool:
+                with self._lock:
+                    return self._skip_rest
+
+            try:
+                sweeps = execute_campaign(
+                    list(self.specs), self.profile, stop=stop
+                )
+            except SweepAborted as error:
+                raise CancelledError(
+                    f"distributed campaign cancelled: {error}"
+                ) from error
             with self._lock:
                 self._completed = len(sweeps)
         else:
@@ -235,8 +262,14 @@ class CampaignHandle(_Handle):
         )
 
     def _cancel_running_locked(self) -> bool:
-        if self.profile.distributed or self._skip_rest:
+        if self._skip_rest:
             return False
+        if self.profile.distributed:
+            # The coordinator checks the stop flag between waits and
+            # aborts, cleaning up its sweep dirs; the in-flight seeds
+            # finish but the campaign never resolves.
+            self._skip_rest = True
+            return True
         if self._started >= len(self.specs):
             # The last sweep is already in flight; it will finish, so
             # nothing is spared — honest cancel() says no.

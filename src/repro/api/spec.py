@@ -45,6 +45,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 Overrides = Tuple[Tuple[str, object], ...]
 
 EXECUTION_BACKENDS = ("process", "thread", "distributed")
+ON_ERROR_MODES = ("raise", "collect")
 
 
 def validate_execution(
@@ -56,6 +57,8 @@ def validate_execution(
     queue_dir: Optional[Union[str, Path]] = None,
     lease_ttl: Optional[float] = None,
     compute: Optional[str] = None,
+    max_attempts: Optional[int] = None,
+    on_error: Optional[str] = None,
     allow_inline_drain: bool = False,
 ) -> None:
     """Reject contradictory or out-of-range execution options.
@@ -67,7 +70,8 @@ def validate_execution(
     * a backend outside :data:`EXECUTION_BACKENDS`;
     * ``workers < 1`` for a pool backend, ``workers < 0`` for the
       distributed one;
-    * ``chunk_size < 1`` or ``lease_ttl <= 0``;
+    * ``chunk_size < 1`` or ``lease_ttl <= 0`` or ``max_attempts < 1``;
+    * an ``on_error`` outside :data:`ON_ERROR_MODES`;
     * ``queue_dir``/``lease_ttl`` with a non-distributed backend;
     * ``no_cache`` together with an explicit ``cache_dir`` (the old
       surfaces silently let ``no_cache`` win);
@@ -131,6 +135,19 @@ def validate_execution(
     if compute is not None and compute not in ("python", "vectorized"):
         raise ValueError(
             f"compute must be 'python' or 'vectorized', got {compute!r}"
+        )
+    if max_attempts is not None:
+        if not isinstance(max_attempts, int) or isinstance(
+            max_attempts, bool
+        ):
+            raise ValueError(
+                f"max_attempts must be an integer, got {max_attempts!r}"
+            )
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+    if on_error is not None and on_error not in ON_ERROR_MODES:
+        raise ValueError(
+            f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
         )
 
 
@@ -305,6 +322,15 @@ class ExecutionProfile:
     # default in place.  Result-neutral like every other field — the
     # vectorized kernels are bit-identical by contract.
     compute: Optional[str] = None
+    # Fault tolerance: the per-seed retry budget before a raising seed
+    # is quarantined (None = DEFAULT_MAX_ATTEMPTS), and what a finished
+    # sweep does about quarantined seeds — "raise" (SweepFailureError,
+    # the pool backends' historical raise-fast behavior) or "collect"
+    # (report them in SweepResult.failed_seeds, the distributed
+    # default: one poison seed must not wedge a fleet).  None resolves
+    # per backend; see resolved_on_error().
+    max_attempts: Optional[int] = None
+    on_error: Optional[str] = None
 
     def __post_init__(self) -> None:
         for name in ("cache_dir", "queue_dir"):
@@ -320,6 +346,8 @@ class ExecutionProfile:
             queue_dir=self.queue_dir,
             lease_ttl=self.lease_ttl,
             compute=self.compute,
+            max_attempts=self.max_attempts,
+            on_error=self.on_error,
         )
 
     @classmethod
@@ -367,6 +395,27 @@ class ExecutionProfile:
         if self.cache_dir is not None:
             return Path(self.cache_dir).expanduser()
         return default_cache_dir()
+
+    def resolved_max_attempts(self) -> int:
+        """The per-seed retry budget this profile means."""
+        from repro.simulation.faults import DEFAULT_MAX_ATTEMPTS
+
+        if self.max_attempts is not None:
+            return self.max_attempts
+        return DEFAULT_MAX_ATTEMPTS
+
+    def resolved_on_error(self) -> str:
+        """What happens to seeds that exhaust their retry budget.
+
+        An explicit ``on_error`` wins.  Otherwise the backend decides:
+        the distributed backend collects (a poison seed is quarantined
+        and reported in ``failed_seeds`` — it must never wedge a
+        fleet), while the pool backends keep their historical
+        raise-fast behavior (the first seed exception propagates).
+        """
+        if self.on_error is not None:
+            return self.on_error
+        return "collect" if self.distributed else "raise"
 
     # -- serialization (campaign manifests) ----------------------------
     def to_payload(self) -> Dict[str, object]:

@@ -11,6 +11,7 @@ Usage::
     python -m repro campaign manifest.json --out-dir exports
     python -m repro worker /mnt/q --drain
     python -m repro queue status /mnt/q
+    python -m repro queue requeue /mnt/q --seed 3
     python -m repro cache stats
     python -m repro sweep --list
     python -m repro list
@@ -24,8 +25,10 @@ bit-identical to a cold sequential run either way — and reports the
 seed-averaged result, the across-seed variance, the wall-clock timing
 and the cache hit/miss counts.  ``sweep --all-scenarios`` and
 ``campaign`` run many sweeps as one campaign through the job API
-(:mod:`repro.api`), and ``queue status`` reports a work queue's
-pending/leased/done state, lease ages and steal history.
+(:mod:`repro.api`), ``queue status`` reports a work queue's
+pending/leased/done state, lease ages, steal history and quarantined
+seeds, and ``queue requeue`` releases quarantined seeds for another
+round of attempts.
 """
 
 from __future__ import annotations
@@ -245,6 +248,8 @@ def _profile_from_sweep_args(args: argparse.Namespace):
         queue_dir=args.queue_dir,
         lease_ttl=args.lease_ttl,
         compute=args.compute,
+        max_attempts=args.max_attempts,
+        on_error=args.on_error,
     )
 
 
@@ -289,6 +294,16 @@ def _sweep_text(sweep, profile, distributed: bool,
             f"{sweep.steals} steal(s), {sweep.requeues} requeue(s)"
             + (f" [{queue_dir}]" if queue_dir else "")
         )
+    failed = getattr(sweep, "failed_seeds", [])
+    if failed:
+        lines.append(f"  failed: {len(failed)} seed(s) quarantined")
+        for record in failed:
+            lines.append(
+                f"    seed {record.get('seed')}: "
+                f"{record.get('error_type')} after "
+                f"{record.get('attempts')} attempt(s): "
+                f"{record.get('message')}"
+            )
     return "\n".join(lines)
 
 
@@ -305,9 +320,12 @@ def _campaign_text(result, profile) -> str:
             f", queue {sweep.tasks_total} task(s) {sweep.steals} steal(s)"
             if sweep.tasks_total else ""
         )
+        failed = getattr(sweep, "failed_seeds", [])
+        poison = f", {len(failed)} seed(s) failed" if failed else ""
         lines.append(
             f"  {label:<28} {sweep.kind:<6} {timing.seeds} seed(s) "
-            f"{timing.wall_seconds:.2f}s ({timing.backend}){cache}{queue}"
+            f"{timing.wall_seconds:.2f}s ({timing.backend})"
+            f"{cache}{queue}{poison}"
         )
     total = sum(sweep.timing.wall_seconds for sweep in result.sweeps)
     lines.append(f"  total wall clock: {total:.2f}s")
@@ -329,6 +347,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.api import CampaignResult, SweepSpec, campaign_labels
     from repro.simulation import registry
     from repro.simulation.sweep import (
+        SweepFailureError,
         execute_campaign,
         execute_sweep,
         seed_range,
@@ -374,6 +393,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             return 0
         spec = SweepSpec(args.scenario, seeds, smoke=args.smoke)
         sweep = execute_sweep(spec, profile)
+    except SweepFailureError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else str(error)
         print(f"error: {message}", file=sys.stderr)
@@ -427,8 +449,28 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_queue(args: argparse.Namespace) -> int:
-    """Work-queue observability: pending/leased/done, lease ages, steals."""
+    """Work-queue observability plus quarantine maintenance."""
     from repro.simulation.distributed import queue_status
+
+    if args.action == "requeue":
+        from repro.simulation.distributed import requeue_quarantined
+
+        released = requeue_quarantined(args.queue_dir, seed=args.seed)
+        total = sum(len(seeds) for seeds in released.values())
+        lines = [
+            f"queue: {args.queue_dir} — requeued {total} "
+            f"quarantined seed(s)"
+        ]
+        for sweep_id, seeds in sorted(released.items()):
+            lines.append(
+                f"  {sweep_id}: seed(s) "
+                f"{', '.join(str(seed) for seed in seeds)}"
+            )
+        if args.seed is not None and total == 0:
+            lines.append(f"  seed {args.seed} is not quarantined")
+        payload = json.dumps(released, indent=2, sort_keys=True)
+        _emit(args, "\n".join(lines), payload)
+        return 0
 
     statuses = queue_status(args.queue_dir)
     if not statuses:
@@ -457,6 +499,16 @@ def cmd_queue(args: argparse.Namespace) -> int:
                 + f", {status.repairs} repair(s), "
                   f"{status.requeues} requeue(s)"
             )
+        if status.quarantined:
+            lines.append(
+                f"    quarantine: {len(status.quarantined)} seed(s)"
+            )
+            for record in status.quarantined:
+                lines.append(
+                    f"      seed {record.seed} ({record.task_id}): "
+                    f"{record.error_type} after {record.attempts} "
+                    f"attempt(s): {record.message}"
+                )
         if not status.version_match:
             lines.append(
                 "    version skew: written by other code; workers on "
@@ -494,6 +546,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
             lease_ttl=args.lease_ttl,
             drain=args.drain,
             max_tasks=args.max_tasks,
+            max_attempts=args.max_attempts,
             _daemon=True,
         )
     except KeyboardInterrupt:
@@ -503,7 +556,8 @@ def cmd_worker(args: argparse.Namespace) -> int:
         f"worker {owner} done: {stats.tasks_done} task(s), "
         f"{stats.seeds_run} seed(s), {stats.cache_hits} hit(s), "
         f"{stats.cache_misses} miss(es), {stats.steals} steal(s), "
-        f"{stats.repairs} repair(s)"
+        f"{stats.repairs} repair(s), {stats.seed_failures} seed "
+        f"failure(s), {stats.quarantined} quarantined"
     )
     return 0
 
@@ -673,6 +727,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "one (bit-identical results; 'vectorized' "
                             "uses the numpy kernels and falls back to "
                             "python where numpy is missing)")
+    sweep.add_argument("--max-attempts", type=int, default=None,
+                       metavar="N",
+                       help="times a failing seed is retried (with "
+                            "exponential backoff) before it is given up "
+                            "on (default 3)")
+    sweep.add_argument("--on-error", choices=("raise", "collect"),
+                       default=None,
+                       help="'raise' fails the sweep on the first "
+                            "exhausted seed; 'collect' quarantines it, "
+                            "finishes the rest and reports it under "
+                            "failed_seeds (default: raise for pools, "
+                            "collect for --distributed)")
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="also write the sweep export to PATH")
 
@@ -701,6 +767,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "counts as dead and is stolen (default 30)")
     worker.add_argument("--max-tasks", type=int, default=None, metavar="N",
                         help="exit after completing N tasks")
+    worker.add_argument("--max-attempts", type=int, default=None,
+                        metavar="N",
+                        help="per-seed attempt budget before quarantine "
+                             "(default 3; a budget pinned in the sweep "
+                             "manifest wins)")
     worker.add_argument("--worker-id", default=None, metavar="ID",
                         help="lease owner id (default: host-pid)")
 
@@ -741,12 +812,17 @@ def build_parser() -> argparse.ArgumentParser:
         "queue",
         help="work-queue observability (read-only)",
     )
-    queue.add_argument("action", choices=("status",),
+    queue.add_argument("action", choices=("status", "requeue"),
                        help="'status' reports pending/leased/done per "
-                            "sweep, lease owners and ages, and the "
-                            "steal/requeue history")
+                            "sweep, lease owners and ages, the "
+                            "steal/requeue history and quarantined "
+                            "seeds; 'requeue' releases quarantined "
+                            "seeds for a fresh round of attempts")
     queue.add_argument("queue_dir", metavar="QUEUE_DIR",
                        help="the shared work-queue directory to inspect")
+    queue.add_argument("--seed", type=int, default=None, metavar="N",
+                       help="requeue only this seed (default: every "
+                            "quarantined seed)")
     queue.add_argument("--json", metavar="PATH", default=None,
                        help="also write the status report as JSON to PATH")
     return parser

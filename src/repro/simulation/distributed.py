@@ -17,6 +17,8 @@ Queue layout (one subdirectory per sweep under the queue dir)::
         leases/task-0000.stale-* # steal tombstone (one per reclaim event)
         leases/task-0000.requeue-* # repair marker (one per corrupt-task rewrite)
         done/task-0000.json      # result marker: per-seed payloads + counters
+        attempts/task-0000.seed-7.attempt-02  # one marker per started attempt
+        quarantine/task-0000.seed-7.json      # diagnostic for a poisoned seed
         faults/                  # exactly-once flags for injected faults
 
 Claiming is mutually exclusive by construction: a **fresh** claim is an
@@ -51,13 +53,31 @@ Crash recovery, concretely:
   concurrent repairers do not double-count);
 * **every worker dead** — the coordinating ``run_sweep`` notices the
   queue stalling and drains the remaining tasks inline, so a
-  distributed sweep always terminates with the oracle's results.
+  distributed sweep always terminates with the oracle's results;
+* **poison seed** — a seed whose scenario *raises* is caught at the
+  per-seed error boundary instead of crashing the worker.  Every
+  started attempt leaves an ``O_EXCL`` marker under ``attempts/`` (so
+  the budget survives worker crashes and steals), failed attempts back
+  off exponentially, and once ``max_attempts`` markers exist the seed
+  is **quarantined**: a diagnostic JSON (exception type, message,
+  traceback digest, attempt count) lands under ``quarantine/``, the
+  chunk's done marker records the seed under ``"failed"``, and the
+  sweep drains normally — healthy seeds in the same chunk keep their
+  results, and the poisoned seed surfaces in
+  ``SweepResult.failed_seeds`` instead of killing the fleet.
+  ``requeue_quarantined`` releases a quarantined seed for another
+  round of attempts after a fix.
 
-Fault injection (the test harness's hook): ``REPRO_WORKER_FAULT`` set
-to ``sigkill:<seed>`` makes **one** worker daemon (exactly once per
-sweep, arbitrated by an ``O_EXCL`` flag file) SIGKILL itself right
-before running that seed.  Only daemon workers honour it — the
-coordinator's inline drain never kills the caller's process.
+Fault injection (the test harness's hook): ``REPRO_WORKER_FAULT``
+holds comma-separated specs — ``sigkill:<seed>`` (one daemon SIGKILLs
+itself, exactly once per sweep), ``hang:<seed>`` (one daemon sleeps
+past the lease TTL, exactly once — exercises steal-then-succeed),
+``raise:<seed>`` (the seed raises deterministically in every executor
+— the always-poison seed) and ``flaky:<seed>:<k>`` (the seed's first
+``k`` attempts raise, then it succeeds — exercises bounded retry).
+The process-killing kinds fire in daemon workers only; the
+coordinator's inline drain never kills or wedges the caller's
+process.  See :mod:`repro.simulation.faults`.
 """
 
 from __future__ import annotations
@@ -76,13 +96,14 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.simulation import registry
+from repro.simulation import faults, registry
 from repro.simulation.cache import (
     SweepCache,
     code_version,
     reduced_from_payload,
     reduced_to_payload,
 )
+from repro.simulation.faults import DEFAULT_MAX_ATTEMPTS
 from repro.simulation.parallel import auto_chunk_size
 from repro.simulation.results import RateSummary, SeriesResult
 
@@ -104,7 +125,14 @@ DEFAULT_POLL = 0.05
 def lease_steal_threshold(lease_ttl: float) -> float:
     """Age beyond which a lease is presumed abandoned and stealable."""
     return lease_ttl + min(LEASE_SKEW_MARGIN, 0.1 * lease_ttl)
-_ENV_FAULT = "REPRO_WORKER_FAULT"
+_ENV_FAULT = faults.ENV_FAULT
+
+
+class SweepAborted(RuntimeError):
+    """A coordinator's ``stop()`` fired mid-run: the queued sweeps were
+    abandoned and their sweep directories (tasks, leases, attempt
+    markers, quarantine diagnostics) removed, so the queue dir is clean
+    for whatever runs next."""
 
 # Sweeps already warned about (by id) for a code-version mismatch.
 _WARNED_VERSION_SKEW: set = set()
@@ -190,6 +218,7 @@ class QueueCounters:
     done: int
     steals: int
     repairs: int
+    quarantined: int = 0
 
     @property
     def requeues(self) -> int:
@@ -208,6 +237,8 @@ class WorkerStats:
     cache_errors: int = 0
     steals: int = 0
     repairs: int = 0
+    seed_failures: int = 0
+    quarantined: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -238,6 +269,7 @@ class WorkQueue:
         seeds: Sequence[int],
         chunk_size: int,
         spec_payload: Optional[dict] = None,
+        max_attempts: Optional[int] = None,
     ) -> "WorkQueue":
         """Shard ``seeds`` into task files under a fresh sweep directory.
 
@@ -249,19 +281,25 @@ class WorkQueue:
         :class:`repro.api.SweepSpec` JSON form, when the sweep came
         through the job API) is embedded in the manifest purely for
         observability — ``repro queue status`` names what is queued.
+        ``max_attempts`` pins the per-seed retry budget in the manifest
+        so every worker serving the sweep applies the same budget, no
+        matter how its own daemon was configured.
         """
         seeds = [int(seed) for seed in seeds]
         if not seeds:
             raise ValueError("need at least one seed")
         if chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
+        if max_attempts is not None and max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
         params = params_signature(params)
         digest = sha256(
             repr((scenario, params, tuple(seeds), code_version())).encode()
         ).hexdigest()[:12]
         sweep_id = f"sweep-{digest}-{os.urandom(4).hex()}"
         sweep_dir = Path(queue_dir) / sweep_id
-        for sub in ("tasks", "leases", "done", "faults"):
+        for sub in ("tasks", "leases", "done", "attempts", "quarantine",
+                    "faults"):
             (sweep_dir / sub).mkdir(parents=True, exist_ok=True)
 
         chunks = [
@@ -286,6 +324,8 @@ class WorkQueue:
             "chunk_size": chunk_size,
             "code_version": code_version(),
         }
+        if max_attempts is not None:
+            manifest["max_attempts"] = int(max_attempts)
         if spec_payload is not None:
             manifest["spec"] = spec_payload
         _atomic_write_json(sweep_dir / "manifest.json", manifest)
@@ -293,10 +333,20 @@ class WorkQueue:
 
     @classmethod
     def open(cls, sweep_dir: Union[str, Path]) -> "WorkQueue":
-        """Attach to an existing sweep directory (raises if unreadable)."""
+        """Attach to an existing sweep directory (raises if unreadable).
+
+        A manifest that is unreadable, mid-write, or structurally not a
+        sweep manifest (missing its id or chunk table) is rejected the
+        same way as a missing one, so scanners skip the directory
+        instead of crashing on it later.
+        """
         sweep_dir = Path(sweep_dir)
         manifest = _read_json(sweep_dir / "manifest.json")
-        if manifest is None:
+        if (
+            manifest is None
+            or not isinstance(manifest.get("sweep"), str)
+            or not isinstance(manifest.get("chunks"), dict)
+        ):
             raise FileNotFoundError(
                 f"no readable manifest under {sweep_dir}"
             )
@@ -367,15 +417,185 @@ class WorkQueue:
         ))
 
     def counters(self) -> QueueCounters:
-        """Steal/requeue accounting recovered from the marker files."""
+        """Steal/requeue accounting recovered from the marker files.
+
+        A done marker only counts when it parses: our own markers are
+        published atomically, but a marker caught mid-write by a
+        non-atomic writer reports its task as still pending rather
+        than crashing (or lying to) the status scan.
+        """
         leases = self.sweep_dir / "leases"
         repairs = len(list(leases.glob("*.requeue-*")))
         return QueueCounters(
             tasks=len(self.task_ids()),
-            done=sum(1 for t in self.task_ids() if self.is_done(t)),
+            done=sum(
+                1 for t in self.task_ids()
+                if _read_json(self._done_path(t)) is not None
+            ),
             steals=len(self.steal_events()),
             repairs=repairs,
+            quarantined=len(
+                list((self.sweep_dir / "quarantine").glob("*.json"))
+            ),
         )
+
+    # -- retry budget and quarantine -----------------------------------
+    def max_attempts(self, default: Optional[int] = None) -> int:
+        """The sweep's per-seed retry budget.
+
+        The manifest's value (pinned at :meth:`create`) wins so every
+        worker applies the same budget; a worker-level ``default``
+        covers sweeps written before budgets existed.
+        """
+        value = self.manifest.get("max_attempts")
+        if isinstance(value, int) and value >= 1:
+            return value
+        if default is not None and default >= 1:
+            return int(default)
+        return DEFAULT_MAX_ATTEMPTS
+
+    def _attempt_path(self, task_id: str, seed: int, attempt: int) -> Path:
+        return (self.sweep_dir / "attempts"
+                / f"{task_id}.seed-{seed}.attempt-{attempt:02d}")
+
+    def _quarantine_path(self, task_id: str, seed: int) -> Path:
+        return self.sweep_dir / "quarantine" / f"{task_id}.seed-{seed}.json"
+
+    def attempt_count(self, task_id: str, seed: int) -> int:
+        """Attempts *started* at this seed, across all workers ever.
+
+        The markers are files next to the task file, so the budget
+        survives SIGKILLed workers, steals, and coordinator restarts —
+        an attempt that died mid-seed still spent budget.
+        """
+        return len(list((self.sweep_dir / "attempts").glob(
+            f"{task_id}.seed-{seed}.attempt-*"
+        )))
+
+    def record_attempt(self, task_id: str, seed: int) -> int:
+        """Claim the next attempt number for this seed (``O_EXCL``).
+
+        Called *before* running the seed; racing workers (an owner and
+        a stealer overlapping mid-steal) each get distinct numbers, so
+        the budget only ever over-counts — a poison seed can never
+        retry forever.
+        """
+        (self.sweep_dir / "attempts").mkdir(parents=True, exist_ok=True)
+        attempt = self.attempt_count(task_id, seed) + 1
+        while True:
+            try:
+                fd = os.open(
+                    self._attempt_path(task_id, seed, attempt),
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                attempt += 1
+                continue
+            os.close(fd)
+            return attempt
+
+    def record_attempt_failure(
+        self, task_id: str, seed: int, attempt: int, failure: dict,
+    ) -> None:
+        """Attach the caught exception's record to an attempt marker.
+
+        Best-effort: the marker's existence is what spends budget; its
+        content only improves the quarantine diagnostic.
+        """
+        try:
+            _atomic_write_json(
+                self._attempt_path(task_id, seed, attempt), failure,
+            )
+        except OSError:
+            pass
+
+    def last_attempt_failure(
+        self, task_id: str, seed: int,
+    ) -> Optional[dict]:
+        """The most recent recorded failure for this seed, if any.
+
+        Empty markers (attempts that died without writing a record —
+        the worker crashed mid-seed) are skipped.
+        """
+        markers = sorted((self.sweep_dir / "attempts").glob(
+            f"{task_id}.seed-{seed}.attempt-*"
+        ), reverse=True)
+        for marker in markers:
+            record = faults.normalize_failure(_read_json(marker), seed)
+            if record is not None:
+                return record
+        return None
+
+    def quarantine_seed(
+        self, task_id: str, seed: int, failure: dict,
+    ) -> None:
+        """Publish a poisoned seed's diagnostic under ``quarantine/``.
+
+        Idempotent by content: concurrent quarantiners write the same
+        record (the budget and failure travel with the seed, not the
+        worker).
+        """
+        (self.sweep_dir / "quarantine").mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self._quarantine_path(task_id, seed), {
+            "sweep": self.sweep_id,
+            "task": task_id,
+            "scenario": self.manifest.get("scenario"),
+            "failure": failure,
+        })
+
+    def quarantined(self) -> Dict[int, dict]:
+        """Every quarantined seed's record, keyed by seed.
+
+        Robust to scan races and partial writes: an unreadable or
+        malformed quarantine file is skipped (the seed stays visibly
+        pending/failed through the done markers), never a crash.
+        """
+        records: Dict[int, dict] = {}
+        for path in sorted((self.sweep_dir / "quarantine").glob("*.json")):
+            payload = _read_json(path)
+            if payload is None:
+                continue
+            failure = faults.normalize_failure(payload.get("failure"))
+            if failure is None:
+                continue
+            records[int(failure["seed"])] = {
+                "task": str(payload.get("task", "?")),
+                "failure": failure,
+            }
+        return records
+
+    def requeue_quarantined(self, seed: Optional[int] = None) -> List[int]:
+        """Release quarantined seeds back into the queue, post-fix.
+
+        Deletes each matching seed's quarantine record and attempt
+        markers (a fresh retry budget) and the owning task's done
+        marker, so the task is pending again.  Recomputation is
+        idempotent: the task's healthy seeds replay from the shared
+        cache or recompute bit-identically.  Returns the released
+        seeds, sorted.
+        """
+        released: List[int] = []
+        for task_seed, record in sorted(self.quarantined().items()):
+            if seed is not None and task_seed != int(seed):
+                continue
+            task_id = record["task"]
+            try:
+                self._quarantine_path(task_id, task_seed).unlink()
+            except OSError:
+                continue  # another requeue beat us to this seed
+            for marker in (self.sweep_dir / "attempts").glob(
+                f"{task_id}.seed-{task_seed}.attempt-*"
+            ):
+                try:
+                    marker.unlink()
+                except OSError:
+                    pass
+            try:
+                self._done_path(task_id).unlink()
+            except OSError:
+                pass
+            released.append(task_seed)
+        return released
 
     # -- leasing -------------------------------------------------------
     def claim(
@@ -502,12 +722,17 @@ class WorkQueue:
             repaired += 1
         return repaired
 
-    def collect(self) -> Tuple[Dict[int, Reduced], WorkerStats]:
-        """Per-seed results and summed counters from the done markers.
+    def collect(
+        self,
+    ) -> Tuple[Dict[int, Reduced], Dict[int, dict], WorkerStats]:
+        """Per-seed results, per-seed failures, and summed counters.
 
-        Raises ``RuntimeError`` if any task is incomplete or a done
-        marker does not cover its chunk — collection is strict; the
-        wait loop is where patience lives.
+        Every chunk seed must be accounted for: either a valid result
+        payload or a structured failure record in the done marker
+        (corroborated by the ``quarantine/`` diagnostics when the done
+        marker's record went missing).  Raises ``RuntimeError`` if any
+        task is incomplete or a seed has neither — collection is
+        strict; the wait loop is where patience lives.
         """
         pending = self.pending()
         if pending:
@@ -515,6 +740,8 @@ class WorkQueue:
                 f"sweep {self.sweep_id} incomplete: {pending} still pending"
             )
         results: Dict[int, Reduced] = {}
+        failures: Dict[int, dict] = {}
+        quarantined = self.quarantined()
         totals = WorkerStats()
         for task_id in self.task_ids():
             payload = _read_json(self._done_path(task_id))
@@ -529,9 +756,22 @@ class WorkQueue:
             totals.cache_errors += int(payload.get("cache_errors", 0))
             chunk = self.manifest["chunks"][task_id]
             per_seed = payload.get("results", {})
+            failed = payload.get("failed", {})
+            if not isinstance(failed, dict):
+                failed = {}
             for seed in chunk:
+                seed = int(seed)
+                failure = faults.normalize_failure(
+                    failed.get(str(seed)), seed,
+                )
+                if failure is None and seed in quarantined:
+                    failure = quarantined[seed]["failure"]
+                if failure is not None:
+                    failures[seed] = failure
+                    totals.seed_failures += 1
+                    continue
                 try:
-                    results[int(seed)] = reduced_from_payload(
+                    results[seed] = reduced_from_payload(
                         per_seed[str(seed)]
                     )
                 except (KeyError, ValueError, TypeError) as error:
@@ -540,7 +780,8 @@ class WorkQueue:
                         f"lacks a valid result for seed {seed}: {error}"
                     ) from None
                 totals.seeds_run += 1
-        return results, totals
+        totals.quarantined = len(quarantined)
+        return results, failures, totals
 
     def cleanup(self) -> None:
         """Remove the sweep directory (after a successful collect)."""
@@ -551,30 +792,77 @@ class WorkQueue:
 # the worker
 # ---------------------------------------------------------------------------
 
-def _maybe_fault(queue: WorkQueue, seed: int) -> None:
-    """Honour ``REPRO_WORKER_FAULT`` (daemon workers only, exactly once).
+def _claim_fault_flag(queue: WorkQueue, name: str) -> bool:
+    """Win the exactly-once arbitration for one injected fault."""
+    (queue.sweep_dir / "faults").mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(
+            queue.sweep_dir / "faults" / name,
+            os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+        )
+    except FileExistsError:
+        return False  # another worker already took this fault
+    os.close(fd)
+    return True
+
+
+def _maybe_process_fault(
+    queue: WorkQueue, seed: int, lease_ttl: float,
+) -> None:
+    """Honour the process-level faults (daemon workers only).
 
     ``sigkill:<seed>`` kills this process with SIGKILL right before it
     would run that seed — no cleanup, no lease release: exactly the
-    crash the stale-lease reclaim exists for.  The ``O_EXCL`` flag file
-    makes the fault fire in one worker per sweep, never more.
+    crash the stale-lease reclaim exists for.  ``hang:<seed>`` sleeps
+    past the steal threshold instead, so a peer reclaims the chunk
+    while this worker is wedged — the steal-then-succeed path.  The
+    ``O_EXCL`` flag file makes each fault fire in one worker per
+    sweep, never more.
     """
-    spec = os.environ.get(_ENV_FAULT, "")
-    if not spec.startswith("sigkill:"):
-        return
-    try:
-        target = int(spec.split(":", 1)[1])
-    except ValueError:
-        return
-    if seed != target:
-        return
-    flag = queue.sweep_dir / "faults" / f"sigkill-{target}"
-    try:
-        fd = os.open(flag, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-    except FileExistsError:
-        return  # another worker already died for this fault
-    os.close(fd)
-    os.kill(os.getpid(), signal.SIGKILL)
+    for spec in faults.faults_for(seed):
+        if spec.kind == "sigkill":
+            if _claim_fault_flag(queue, f"sigkill-{seed}"):
+                os.kill(os.getpid(), signal.SIGKILL)
+        elif spec.kind == "hang":
+            if _claim_fault_flag(queue, f"hang-{seed}"):
+                time.sleep(lease_steal_threshold(lease_ttl) + 0.5)
+
+
+def _maybe_seed_fault(queue: WorkQueue, seed: int) -> None:
+    """Honour the exception-level faults (every executor).
+
+    ``raise:<seed>`` throws deterministically on every attempt — the
+    always-poison seed the quarantine exists for.  ``flaky:<seed>:<k>``
+    throws on the seed's first ``k`` attempts *sweep-wide* (``O_EXCL``
+    flag files arbitrate, so the failures land exactly ``k`` times no
+    matter which workers attempt) and then succeeds — the bounded-retry
+    path.  These fire inside the per-seed error boundary, in daemons,
+    pool workers and the coordinator's inline drain alike.
+    """
+    faults.maybe_raise(seed)
+    for spec in faults.faults_for(seed, "flaky"):
+        for n in range(1, spec.fails + 1):
+            if _claim_fault_flag(queue, f"flaky-{seed}-{n}"):
+                raise faults.InjectedFaultError(
+                    f"injected fault: seed {seed} flaky failure "
+                    f"{n} of {spec.fails}"
+                )
+
+
+def _backoff_wait(queue: WorkQueue, claim: Claim, delay: float) -> bool:
+    """Back off between attempts without letting the lease expire.
+
+    Sleeps in heartbeat-keeping slices; ``False`` means the lease was
+    stolen mid-backoff and the caller must abandon the chunk.
+    """
+    deadline = time.monotonic() + delay
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return True
+        time.sleep(min(remaining, 0.05))
+        if not queue.heartbeat(claim):
+            return False
 
 
 def _process_task(
@@ -584,6 +872,8 @@ def _process_task(
     cache: Optional[SweepCache],
     stats: WorkerStats,
     daemon: bool,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    max_attempts: Optional[int] = None,
 ) -> None:
     """Execute one claimed chunk: cache-or-compute each seed, publish.
 
@@ -591,24 +881,68 @@ def _process_task(
     per process, run per seed) and into the shared cache *and* the done
     marker.  The heartbeat precedes every seed; a lost lease abandons
     the chunk to its new owner.
+
+    Every seed runs inside an **error boundary**: a raising seed never
+    crashes the worker.  Each started attempt first spends one unit of
+    the sweep-wide retry budget (an ``O_EXCL`` marker under
+    ``attempts/``, so crashed attempts count too), failed attempts back
+    off exponentially while keeping the lease warm, and a seed whose
+    budget is exhausted is quarantined — its structured failure record
+    lands in the done marker's ``"failed"`` map and under
+    ``quarantine/``, and the chunk's healthy seeds complete normally.
     """
     task_id = task["task"]
     scenario = task["scenario"]
     params = rehydrate_params(task["params"])
+    budget = queue.max_attempts(default=max_attempts)
     results: Dict[str, dict] = {}
+    failed: Dict[str, dict] = {}
     hits = misses = errors = 0
     warned_unwritable = False
     for seed in task["seeds"]:
+        seed = int(seed)
         if not queue.heartbeat(claim):
             return  # stolen from us; the thief recomputes identically
         if daemon:
-            _maybe_fault(queue, seed)
+            _maybe_process_fault(queue, seed, lease_ttl)
         key = SweepCache.key(scenario, params, seed)
         result = cache.get(key) if cache is not None else None
         if result is not None:
             hits += 1
-        else:
-            result = registry.run_reduced(scenario, params, seed)
+            results[str(seed)] = reduced_to_payload(result)
+            stats.seeds_run += 1
+            continue
+        while True:
+            spent = queue.attempt_count(task_id, seed)
+            if spent >= budget:
+                # The budget was exhausted — by our own failed attempts
+                # below, or by earlier workers (possibly ones that died
+                # mid-attempt and never recorded an exception).
+                failure = (
+                    queue.last_attempt_failure(task_id, seed)
+                    or faults.crash_failure_payload(seed, spent)
+                )
+                queue.quarantine_seed(task_id, seed, failure)
+                failed[str(seed)] = failure
+                stats.seed_failures += 1
+                stats.quarantined += 1
+                break
+            attempt = queue.record_attempt(task_id, seed)
+            try:
+                _maybe_seed_fault(queue, seed)
+                result = registry.run_reduced(scenario, params, seed)
+            except Exception as error:  # the error boundary
+                failure = faults.failure_payload(seed, error, attempt)
+                queue.record_attempt_failure(
+                    task_id, seed, attempt, failure,
+                )
+                if attempt >= budget:
+                    continue  # budget spent; quarantine on the next pass
+                if not _backoff_wait(
+                    queue, claim, faults.backoff_delay(attempt),
+                ):
+                    return  # lease stolen mid-backoff; new owner retries
+                continue
             misses += 1
             if cache is not None:
                 try:
@@ -624,9 +958,10 @@ def _process_task(
                             RuntimeWarning,
                             stacklevel=2,
                         )
-        results[str(seed)] = reduced_to_payload(result)
-        stats.seeds_run += 1
-    queue.mark_done(task_id, {
+            results[str(seed)] = reduced_to_payload(result)
+            stats.seeds_run += 1
+            break
+    payload = {
         "task": task_id,
         "sweep": queue.sweep_id,
         "worker": claim.owner,
@@ -635,7 +970,10 @@ def _process_task(
         "misses": misses,
         "cache_errors": errors,
         "results": results,
-    })
+    }
+    if failed:
+        payload["failed"] = failed
+    queue.mark_done(task_id, payload)
     queue.release(claim)
     stats.tasks_done += 1
     stats.cache_hits += hits
@@ -654,6 +992,7 @@ def worker_loop(
     lease_ttl: float = DEFAULT_LEASE_TTL,
     drain: bool = False,
     max_tasks: Optional[int] = None,
+    max_attempts: Optional[int] = None,
     stop: Optional[Callable[[], bool]] = None,
     only_sweep: Optional[str] = None,
     only_sweeps: Optional[Sequence[str]] = None,
@@ -669,6 +1008,10 @@ def worker_loop(
     steals expired leases.  Sweeps written by different code (manifest
     ``code_version`` mismatch) are skipped loudly, never executed —
     mixing code versions would break the bit-identity contract.
+
+    ``max_attempts`` is this worker's *default* per-seed retry budget;
+    a sweep manifest that pins its own budget always wins, so a fleet
+    of differently-configured daemons still quarantines consistently.
     """
     owner = owner or default_worker_id()
     cache = SweepCache(Path(cache_dir)) if cache_dir is not None else None
@@ -707,7 +1050,10 @@ def worker_loop(
                 claim = queue.claim(task_id, owner, lease_ttl)
                 if claim is None:
                     continue
-                _process_task(queue, task, claim, cache, stats, _daemon)
+                _process_task(
+                    queue, task, claim, cache, stats, _daemon,
+                    lease_ttl=lease_ttl, max_attempts=max_attempts,
+                )
                 progressed = True
                 if max_tasks is not None and stats.tasks_done >= max_tasks:
                     return stats
@@ -752,7 +1098,12 @@ class QueuedJob:
 
 @dataclass
 class DistributedOutcome:
-    """What one queued sweep produced, for the sweep engine."""
+    """What one queued sweep produced, for the sweep engine.
+
+    ``failed_seeds`` maps each quarantined seed to its structured
+    failure record (exception type, message, traceback digest, attempt
+    count); an empty dict is the healthy case.
+    """
 
     results: Dict[int, Reduced]
     chunk_size: int
@@ -761,6 +1112,7 @@ class DistributedOutcome:
     requeues: int
     cache_errors: int
     wall_seconds: float = 0.0
+    failed_seeds: Dict[int, dict] = field(default_factory=dict)
 
 
 def execute_queued(
@@ -773,6 +1125,8 @@ def execute_queued(
     lease_ttl: Optional[float] = None,
     poll: float = DEFAULT_POLL,
     timeout: float = 600.0,
+    max_attempts: Optional[int] = None,
+    stop: Optional[Callable[[], bool]] = None,
 ) -> List[DistributedOutcome]:
     """Run one or more sweeps through the shared-directory queue.
 
@@ -798,6 +1152,22 @@ def execute_queued(
     never trips it, however long the campaign.  Outcomes are returned
     in job order; each carries the wall clock from enqueue to its own
     collection.
+
+    Failure tolerance: a seed that keeps raising is quarantined after
+    ``max_attempts`` tries (pinned in each sweep's manifest; defaults
+    to :data:`repro.simulation.faults.DEFAULT_MAX_ATTEMPTS`) and comes
+    back in ``DistributedOutcome.failed_seeds`` instead of wedging the
+    fleet.  A sweep that quarantined seeds keeps its directory under an
+    explicit ``queue_dir`` — the diagnostics stay inspectable via
+    ``repro queue status`` and releasable via ``repro queue requeue``
+    — while fully-healthy sweeps (and private temp queues) clean up as
+    before.
+
+    ``stop`` is polled between claims and wait-loop passes; when it
+    turns true the coordinator abandons the run, terminates its local
+    daemons, removes every sweep directory it created (leases, attempt
+    markers, quarantine included — the queue dir stays clean for the
+    next campaign), and raises :class:`SweepAborted`.
     """
     if not jobs:
         raise ValueError("need at least one queued job")
@@ -819,6 +1189,8 @@ def execute_queued(
             workers=workers, chunk_size=chunk_size,
             cache_root=cache_root, lease_ttl=lease_ttl,
             poll=poll, timeout=timeout,
+            max_attempts=max_attempts, stop=stop,
+            keep_failed_dirs=not made_temp,
         )
     finally:
         # A private temp queue is useless after this call either way:
@@ -840,6 +1212,9 @@ def _run_queued(
     lease_ttl: float,
     poll: float,
     timeout: float,
+    max_attempts: Optional[int] = None,
+    stop: Optional[Callable[[], bool]] = None,
+    keep_failed_dirs: bool = False,
 ) -> List[DistributedOutcome]:
     """The enqueue / fleet / wait / collect body of ``execute_queued``."""
     queues: List[WorkQueue] = []
@@ -854,6 +1229,7 @@ def _run_queued(
         queues.append(WorkQueue.create(
             queue_root, job.scenario, job.params, seeds, effective_chunk,
             spec_payload=job.spec_payload,
+            max_attempts=max_attempts,
         ))
     our_sweeps = [queue.sweep_id for queue in queues]
     cache_arg = str(cache_root) if cache_root is not None else None
@@ -866,6 +1242,7 @@ def _run_queued(
         )
         for _ in range(workers)
     ]
+    aborted = False
     try:
         for process in processes:
             process.start()
@@ -880,6 +1257,11 @@ def _run_queued(
         last_progress = time.monotonic()
         last_repair = 0.0
         while True:
+            if stop is not None and stop():
+                raise SweepAborted(
+                    "distributed execution cancelled; queued sweeps "
+                    "abandoned and their directories removed"
+                )
             now = time.monotonic()
             done_now = sum(queue.done_count() for queue in queues)
             if done_now >= total_tasks:
@@ -919,6 +1301,7 @@ def _run_queued(
                     poll=poll,
                     lease_ttl=lease_ttl,
                     drain=True,
+                    stop=stop,
                     only_sweeps=our_sweeps,
                 )
                 if drained.tasks_done > 0:
@@ -929,17 +1312,32 @@ def _run_queued(
                     time.sleep(poll)
             else:
                 time.sleep(poll)
+    except SweepAborted:
+        aborted = True
+        raise
     finally:
         for process in processes:
             if process.is_alive():
                 process.terminate()
         for process in processes:
             process.join(timeout=5.0)
+        if aborted:
+            # Leave nothing behind: a cancelled campaign's sweep dirs
+            # (tasks, leases, attempt markers, quarantine diagnostics)
+            # must not confuse the next campaign on this queue dir.
+            for queue in queues:
+                queue.cleanup()
     outcomes = []
     for queue, effective_chunk in zip(queues, chunk_sizes):
-        results, totals = queue.collect()
+        results, failures, totals = queue.collect()
         counters = queue.counters()
-        queue.cleanup()
+        if failures and keep_failed_dirs:
+            # Keep the sweep dir: its quarantine diagnostics stay
+            # inspectable (`repro queue status`) and releasable
+            # (`repro queue requeue`) until someone acts on them.
+            pass
+        else:
+            queue.cleanup()
         outcomes.append(DistributedOutcome(
             results=results,
             chunk_size=effective_chunk,
@@ -948,6 +1346,7 @@ def _run_queued(
             requeues=counters.requeues,
             cache_errors=totals.cache_errors,
             wall_seconds=time.perf_counter() - start,
+            failed_seeds=failures,
         ))
     return outcomes
 
@@ -964,12 +1363,15 @@ def execute_distributed(
     lease_ttl: Optional[float] = None,
     poll: float = DEFAULT_POLL,
     timeout: float = 600.0,
+    max_attempts: Optional[int] = None,
+    stop: Optional[Callable[[], bool]] = None,
 ) -> DistributedOutcome:
     """Run one sweep's missing seeds through the shared-directory queue.
 
     The single-sweep form of :func:`execute_queued` — see there for the
     coordination contract (worker fleet, inline-drain fallback, stall
-    timeout, unconditional bit-identical completion).
+    timeout, bit-identical completion with poisoned seeds quarantined
+    into ``failed_seeds``).
     """
     return execute_queued(
         [QueuedJob(
@@ -984,6 +1386,8 @@ def execute_distributed(
         lease_ttl=lease_ttl,
         poll=poll,
         timeout=timeout,
+        max_attempts=max_attempts,
+        stop=stop,
     )[0]
 
 
@@ -1001,6 +1405,26 @@ class LeaseStatus:
 
 
 @dataclass(frozen=True)
+class QuarantineStatus:
+    """One quarantined seed: which task poisoned, and why."""
+
+    task_id: str
+    seed: int
+    error_type: str
+    message: str
+    attempts: int
+
+    def to_payload(self) -> dict:
+        return {
+            "task": self.task_id,
+            "seed": self.seed,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass(frozen=True)
 class SweepStatus:
     """One sweep's queue state, read entirely from its files.
 
@@ -1008,6 +1432,8 @@ class SweepStatus:
     the sweep's work-stealing history, one entry per reclaim.
     ``version_match`` is ``False`` when the manifest was written by a
     different code version (workers skip such sweeps loudly).
+    ``quarantined`` lists every poisoned seed with its exception
+    summary — the work `repro queue requeue` would release.
     """
 
     sweep_id: str
@@ -1021,6 +1447,7 @@ class SweepStatus:
     steal_events: Tuple[str, ...]
     version_match: bool
     spec: Optional[dict] = None
+    quarantined: Tuple[QuarantineStatus, ...] = ()
 
     @property
     def pending(self) -> int:
@@ -1057,6 +1484,9 @@ class SweepStatus:
             "steal_events": list(self.steal_events),
             "version_match": self.version_match,
             "spec": self.spec,
+            "quarantined": [
+                record.to_payload() for record in self.quarantined
+            ],
         }
 
 
@@ -1075,6 +1505,16 @@ def _sweep_status(queue: WorkQueue, now: float) -> SweepStatus:
             task_id=task_id, owner=owner or "?", age_seconds=age,
         ))
     counters = queue.counters()
+    quarantined = tuple(
+        QuarantineStatus(
+            task_id=str(record["task"]),
+            seed=seed,
+            error_type=str(record["failure"]["error_type"]),
+            message=str(record["failure"]["message"]),
+            attempts=int(record["failure"]["attempts"]),
+        )
+        for seed, record in sorted(queue.quarantined().items())
+    )
     return SweepStatus(
         sweep_id=queue.sweep_id,
         scenario=str(queue.manifest.get("scenario", "?")),
@@ -1091,18 +1531,45 @@ def _sweep_status(queue: WorkQueue, now: float) -> SweepStatus:
             queue.manifest.get("code_version") == code_version()
         ),
         spec=queue.manifest.get("spec"),
+        quarantined=quarantined,
     )
 
 
 def queue_status(queue_dir: Union[str, Path]) -> List[SweepStatus]:
     """The live state of every sweep under ``queue_dir``, sorted by id.
 
-    Pure observation: reads manifests, done markers, lease files and
-    steal/requeue tombstones; never claims, repairs or deletes
-    anything, so it is safe to run next to a live fleet.
+    Pure observation: reads manifests, done markers, lease files,
+    steal/requeue tombstones and quarantine diagnostics; never claims,
+    repairs or deletes anything, so it is safe to run next to a live
+    fleet.  Robust to scan races by construction: every file it reads
+    may be mid-write or vanish between the directory listing and the
+    read, and any such file is reported as still pending/absent rather
+    than crashing the call.
     """
     now = time.time()
     return [
         _sweep_status(queue, now)
         for queue in WorkQueue.discover(queue_dir)
     ]
+
+
+def requeue_quarantined(
+    queue_dir: Union[str, Path],
+    seed: Optional[int] = None,
+) -> Dict[str, List[int]]:
+    """Release quarantined seeds under ``queue_dir`` back into play.
+
+    The operator's post-fix lever behind ``repro queue requeue``: for
+    every sweep under the queue dir (all seeds, or just ``seed``),
+    drops the quarantine record, the seed's attempt markers, and the
+    owning task's done marker — the task is pending again with a fresh
+    retry budget, and any attached worker fleet picks it up on its
+    next pass.  Returns ``{sweep_id: [released seeds]}`` for the
+    sweeps that released at least one seed.
+    """
+    released: Dict[str, List[int]] = {}
+    for queue in WorkQueue.discover(queue_dir):
+        seeds = queue.requeue_quarantined(seed)
+        if seeds:
+            released[queue.sweep_id] = seeds
+    return released

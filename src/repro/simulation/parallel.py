@@ -39,6 +39,18 @@ Backends:
 the oracle).  An ``initializer`` (with ``initargs``) runs once per pool
 worker before any task — the hook :func:`repro.simulation.sweep.run_sweep`
 uses to materialize the scenario arena once per process.
+
+Worker supervision (process backend): a pool worker dying — OOM-killed,
+segfaulted, SIGKILLed — breaks the whole :class:`ProcessPoolExecutor`
+and poisons every in-flight future with ``BrokenProcessPool``.  The
+runner catches that, rebuilds the pool, and resubmits exactly the
+chunks that never completed, up to ``max_attempts`` rounds per chunk
+(the same budget the distributed queue applies per seed).  A chunk
+still crashing after its budget raises :class:`WorkerCrashError`
+naming the chunk and its seeds, instead of the opaque
+``BrokenProcessPool``.  Ordinary exceptions raised *by* a seed are not
+retried here — they propagate raise-fast as before (the distributed
+backend and ``on_error="collect"`` own seed-level error handling).
 """
 
 from __future__ import annotations
@@ -49,10 +61,12 @@ import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.simulation.faults import DEFAULT_MAX_ATTEMPTS
 from repro.simulation.results import RateSummary, SeriesResult
 from repro.simulation.runner import combine_rates, combine_series
 
@@ -63,6 +77,28 @@ _BACKENDS = ("process", "thread")
 # Callables already warned about (by description) when they forced the
 # sequential fallback; one warning per callable, not one per sweep.
 _WARNED_UNPICKLABLE: set = set()
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker kept dying on the same chunk until its retry
+    budget ran out.
+
+    Names the chunk (index and seeds) so the caller knows exactly
+    which work is poison — unlike the bare ``BrokenProcessPool`` it
+    replaces, which says only that *some* worker died *somewhere*.
+    """
+
+    def __init__(
+        self, chunk_index: int, seeds: Sequence[int], attempts: int,
+    ) -> None:
+        self.chunk_index = int(chunk_index)
+        self.seeds = tuple(int(seed) for seed in seeds)
+        self.attempts = int(attempts)
+        super().__init__(
+            f"process-pool worker crashed on chunk {self.chunk_index} "
+            f"(seeds {list(self.seeds)}) in each of {self.attempts} "
+            f"attempt(s); the chunk is presumed poison"
+        )
 
 
 @dataclass(frozen=True)
@@ -167,6 +203,11 @@ class ParallelRunner:
     initializer / initargs:
         Run once per pool worker before its first task (both backends).
         Under the process backend they must be picklable.
+    max_attempts:
+        Rounds a chunk may be resubmitted after its pool worker *died*
+        (``BrokenProcessPool``) before :class:`WorkerCrashError`;
+        ``None`` means :data:`DEFAULT_MAX_ATTEMPTS`.  Seed exceptions
+        are never retried by the runner — they propagate raise-fast.
     """
 
     workers: Optional[int] = None
@@ -174,6 +215,7 @@ class ParallelRunner:
     chunk_size: Optional[int] = None
     initializer: Optional[Callable[..., None]] = None
     initargs: Tuple = ()
+    max_attempts: Optional[int] = None
     last_timing: Optional[RunTiming] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -189,6 +231,8 @@ class ParallelRunner:
             raise ValueError("workers must be at least 1")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
 
     # ------------------------------------------------------------------
     def map_seeds(
@@ -221,13 +265,16 @@ class ParallelRunner:
                 self.initializer(*self.initargs)
             results = [run(seed) for seed in seeds]
             workers = 1
+        elif self.backend == "process":
+            chunks = _chunked(seeds, chunk_size)
+            results = [
+                result
+                for batch in self._map_process_chunks(run, chunks, workers)
+                for result in batch
+            ]
         else:
             chunks = _chunked(seeds, chunk_size)
-            pool_cls = (
-                ProcessPoolExecutor if self.backend == "process"
-                else ThreadPoolExecutor
-            )
-            with pool_cls(
+            with ThreadPoolExecutor(
                 max_workers=workers,
                 initializer=self.initializer,
                 initargs=self.initargs,
@@ -245,6 +292,57 @@ class ParallelRunner:
             chunk_size=chunk_size,
         )
         return results
+
+    # ------------------------------------------------------------------
+    def _map_process_chunks(
+        self,
+        run: Callable[[int], T],
+        chunks: List[Tuple[int, ...]],
+        workers: int,
+    ) -> List[List[T]]:
+        """Chunk results in order, surviving pool-worker deaths.
+
+        Each round submits every not-yet-completed chunk to a (fresh)
+        pool.  A dead worker breaks the pool and poisons all in-flight
+        futures with ``BrokenProcessPool``; those chunks — completed
+        work is never re-run — go into the next round, each charged one
+        attempt.  A chunk that crashed in ``max_attempts`` straight
+        rounds is presumed poison and raises :class:`WorkerCrashError`
+        naming it.  Ordinary seed exceptions propagate immediately.
+        """
+        budget = (
+            self.max_attempts if self.max_attempts is not None
+            else DEFAULT_MAX_ATTEMPTS
+        )
+        results: List[Optional[List[T]]] = [None] * len(chunks)
+        attempts = [0] * len(chunks)
+        remaining = list(range(len(chunks)))
+        while remaining:
+            crashed: List[int] = []
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(remaining)),
+                initializer=self.initializer,
+                initargs=self.initargs,
+            ) as pool:
+                futures = [
+                    (index, pool.submit(_run_chunk, run, chunks[index]))
+                    for index in remaining
+                ]
+                for index, future in futures:
+                    attempts[index] += 1
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        # The pool died under this chunk (or before it
+                        # ever started); resubmit it next round.
+                        crashed.append(index)
+            for index in crashed:
+                if attempts[index] >= budget:
+                    raise WorkerCrashError(
+                        index, chunks[index], attempts[index],
+                    )
+            remaining = crashed
+        return [batch for batch in results if batch is not None]
 
     # ------------------------------------------------------------------
     # the sequential-compatible API

@@ -47,13 +47,39 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.spec import ExecutionProfile, SweepSpec
-from repro.simulation import registry
+from repro.simulation import faults, registry
 from repro.simulation.cache import SweepCache
 from repro.simulation.parallel import ParallelRunner, RunTiming
 from repro.simulation.results import RateSummary, SeriesResult
 from repro.simulation.runner import combine_rates, combine_series
 
 Reduced = Union[RateSummary, SeriesResult]
+
+
+class SweepFailureError(RuntimeError):
+    """Seeds exhausted their retry budget and the caller asked to raise.
+
+    Raised when ``on_error="raise"`` and any seed was quarantined, or —
+    regardless of mode — when *every* seed of a sweep failed (there is
+    nothing to aggregate).  ``failed_seeds`` carries the structured
+    failure records (seed, exception type, message, traceback digest,
+    attempt count) that ``on_error="collect"`` would have reported in
+    :attr:`SweepResult.failed_seeds`.
+    """
+
+    def __init__(
+        self, scenario: str, failed_seeds: Sequence[Dict[str, object]],
+    ) -> None:
+        self.scenario = str(scenario)
+        self.failed_seeds = list(failed_seeds)
+        seeds = [record.get("seed") for record in self.failed_seeds]
+        first = self.failed_seeds[0] if self.failed_seeds else {}
+        super().__init__(
+            f"sweep {self.scenario!r} failed for seed(s) {seeds}: "
+            f"{first.get('error_type', 'Exception')}: "
+            f"{first.get('message', '')} "
+            f"(after {first.get('attempts', '?')} attempt(s))"
+        )
 
 
 def _variance(values: Sequence[float]) -> float:
@@ -94,6 +120,12 @@ class SweepResult:
     # exact work it measured.  ``None`` only on results rebuilt from
     # pre-spec artifacts.
     spec: Optional[Dict[str, object]] = None
+    # Seeds that exhausted their retry budget, as structured failure
+    # records (seed, error_type, message, traceback_digest, attempts),
+    # sorted by seed.  ``seeds``/``per_seed``/``mean``/``variance``
+    # cover only the seeds that succeeded; the requested seed set is
+    # ``seeds`` + the seeds named here (and stays recorded in ``spec``).
+    failed_seeds: List[Dict[str, object]] = field(default_factory=list)
 
 
 def seed_range(count: int, first: int = 1) -> List[int]:
@@ -165,8 +197,53 @@ def _plan(spec: SweepSpec, profile: ExecutionProfile) -> _SweepPlan:
     )
 
 
-def _run_pool(plan: _SweepPlan, profile: ExecutionProfile) -> RunTiming:
-    """Compute a plan's missing seeds on an in-process pool."""
+def _pool_reduced(
+    scenario: str, params: Tuple, seed: int,
+) -> Reduced:
+    """The raise-fast pool entry: one seed, no retries.
+
+    A module-level function so the process pool can pickle it.  The
+    only extra over ``registry.run_reduced`` is the ``raise:<seed>``
+    chaos hook, so fault-injection tests cover the pool backends too.
+    """
+    faults.maybe_raise(seed)
+    return registry.run_reduced(scenario, params, seed)
+
+
+def _guarded_reduced(
+    scenario: str, params: Tuple, max_attempts: int, seed: int,
+) -> Tuple[str, object]:
+    """The collecting pool entry: one seed inside an error boundary.
+
+    Returns ``("ok", result)`` or — after ``max_attempts`` tries with
+    exponential backoff — ``("failed", failure_record)``, so a poison
+    seed costs its own result and nothing else.  Module-level for
+    pickling.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            faults.maybe_raise(seed)
+            return ("ok", registry.run_reduced(scenario, params, seed))
+        except Exception as error:  # the error boundary
+            if attempt >= max_attempts:
+                return (
+                    "failed", faults.failure_payload(seed, error, attempt),
+                )
+            time.sleep(faults.backoff_delay(attempt))
+
+
+def _run_pool(
+    plan: _SweepPlan, profile: ExecutionProfile,
+) -> Tuple[RunTiming, Dict[int, dict]]:
+    """Compute a plan's missing seeds on an in-process pool.
+
+    Returns the map timing plus the failure records of seeds that
+    exhausted their retry budget (always empty under
+    ``on_error="raise"``, where the first seed exception propagates
+    out of the pool exactly as it always has).
+    """
     runner = ParallelRunner(
         workers=profile.workers,
         backend=profile.backend,
@@ -175,12 +252,29 @@ def _run_pool(plan: _SweepPlan, profile: ExecutionProfile) -> RunTiming:
         # before its first task.
         initializer=registry.warm_arena,
         initargs=(plan.spec.scenario, plan.params),
+        max_attempts=profile.max_attempts,
     )
-    run = partial(registry.run_reduced, plan.spec.scenario, plan.params)
+    collecting = profile.resolved_on_error() == "collect"
+    if collecting:
+        run = partial(
+            _guarded_reduced, plan.spec.scenario, plan.params,
+            profile.resolved_max_attempts(),
+        )
+    else:
+        run = partial(_pool_reduced, plan.spec.scenario, plan.params)
     computed = runner.map_seeds(run, plan.missing)
+    failures: Dict[int, dict] = {}
     cache = plan.cache
     warned_unwritable = False
-    for seed, result in zip(plan.missing, computed):
+    for seed, outcome in zip(plan.missing, computed):
+        if collecting:
+            status, value = outcome
+            if status == "failed":
+                failures[seed] = value
+                continue
+            result = value
+        else:
+            result = outcome
         plan.collected[seed] = result
         if cache is not None:
             try:
@@ -201,7 +295,7 @@ def _run_pool(plan: _SweepPlan, profile: ExecutionProfile) -> RunTiming:
                         RuntimeWarning,
                         stacklevel=2,
                     )
-    return runner.last_timing
+    return runner.last_timing, failures
 
 
 def _assemble(
@@ -211,13 +305,27 @@ def _assemble(
     tasks_total: int = 0,
     steals: int = 0,
     requeues: int = 0,
+    failures: Optional[Dict[int, dict]] = None,
 ) -> SweepResult:
-    """Reduce a completed plan to its :class:`SweepResult`."""
+    """Reduce a completed plan to its :class:`SweepResult`.
+
+    ``failures`` maps quarantined seeds to their failure records; those
+    seeds drop out of ``seeds``/``per_seed``/``mean``/``variance`` and
+    surface in ``failed_seeds`` instead.  A sweep whose *every* seed
+    failed raises :class:`SweepFailureError` — there is nothing to
+    aggregate, in any ``on_error`` mode.
+    """
     spec = plan.spec
     registry_spec = spec.registry_spec()
-    seeds = list(spec.seeds)
-    # Timing always describes the whole invocation: every requested
-    # seed, total wall clock (map + cache traffic).  Workers/backend/
+    failures = failures or {}
+    seeds = [seed for seed in spec.seeds if seed not in failures]
+    if not seeds:
+        raise SweepFailureError(
+            spec.scenario,
+            [failures[seed] for seed in sorted(failures)],
+        )
+    # Timing describes the seeds that produced results this invocation;
+    # total wall clock (map + cache traffic).  Workers/backend/
     # chunk_size come from the map when one ran; an all-hits replay is
     # its own "cache" backend.
     timing = RunTiming(
@@ -264,6 +372,7 @@ def _assemble(
         steals=steals,
         requeues=requeues,
         spec=spec.to_payload(),
+        failed_seeds=[failures[seed] for seed in sorted(failures)],
     )
 
 
@@ -285,6 +394,7 @@ def execute_sweep(
 def execute_campaign(
     specs: Sequence[SweepSpec],
     profile: Optional[ExecutionProfile] = None,
+    stop=None,
 ) -> List[SweepResult]:
     """Run many specs under one profile; one result per spec, in order.
 
@@ -295,6 +405,17 @@ def execute_campaign(
     concurrently, so a regression campaign keeps every worker busy
     instead of idling between scenarios.  Per-sweep results are
     bit-identical to running each spec alone.
+
+    Failure semantics follow ``profile.resolved_on_error()``: under
+    ``"collect"`` a sweep with quarantined seeds still returns (the
+    failures ride in its ``failed_seeds``, so a campaign with one
+    poisoned sweep still yields every other sweep); under ``"raise"``
+    the first sweep with failures raises :class:`SweepFailureError`.
+
+    ``stop`` (distributed only) is a zero-argument callable polled by
+    the queue coordinator; when it turns true the campaign aborts
+    cooperatively — queue directories cleaned — with
+    :class:`repro.simulation.distributed.SweepAborted`.
     """
     profile = profile if profile is not None else ExecutionProfile()
     specs = list(specs)
@@ -310,14 +431,26 @@ def execute_campaign(
         results = []
         for spec in specs:
             plan = _plan(spec, profile)
-            timing = _run_pool(plan, profile) if plan.missing else None
-            results.append(_assemble(plan, timing))
-        return results
-    return _execute_campaign_distributed(specs, profile)
+            if plan.missing:
+                timing, failures = _run_pool(plan, profile)
+            else:
+                timing, failures = None, {}
+            results.append(_assemble(plan, timing, failures=failures))
+    else:
+        results = _execute_campaign_distributed(specs, profile, stop)
+    if profile.resolved_on_error() == "raise":
+        for result in results:
+            if result.failed_seeds:
+                raise SweepFailureError(
+                    result.scenario, result.failed_seeds,
+                )
+    return results
 
 
 def _execute_campaign_distributed(
-    specs: Sequence[SweepSpec], profile: ExecutionProfile
+    specs: Sequence[SweepSpec],
+    profile: ExecutionProfile,
+    stop=None,
 ) -> List[SweepResult]:
     from repro.simulation.distributed import QueuedJob, execute_queued
 
@@ -345,6 +478,8 @@ def _execute_campaign_distributed(
             cache_root=cache_root,
             queue_dir=profile.queue_dir,
             lease_ttl=profile.lease_ttl,
+            max_attempts=profile.resolved_max_attempts(),
+            stop=stop,
         )
     results: Dict[int, SweepResult] = {}
     for plan, outcome in zip(job_plans, outcomes):
@@ -362,6 +497,7 @@ def _execute_campaign_distributed(
             tasks_total=outcome.tasks,
             steals=outcome.steals,
             requeues=outcome.requeues,
+            failures=outcome.failed_seeds,
         )
     # All-hits plans never touched the queue: they are pure replays.
     return [

@@ -227,6 +227,54 @@ class TestCampaigns:
         assert handle.status() == "done"
         assert len(handle.result().sweeps) == 1
 
+    def test_cancel_distributed_campaign_leaves_queue_clean(
+        self, tmp_path, monkeypatch
+    ):
+        """Cancelling a running distributed campaign must raise
+        CancelledError AND delete every sweep dir it enqueued — no
+        orphaned tasks, leases, attempt markers, or quarantine files
+        to confuse the next campaign on the same queue dir."""
+        from repro.simulation import distributed as distributed_module
+
+        started = threading.Event()
+        release = threading.Event()
+        real_loop = distributed_module.worker_loop
+
+        def gated_loop(*args, **kwargs):
+            started.set()
+            release.wait(30)
+            return real_loop(*args, **kwargs)
+
+        monkeypatch.setattr(distributed_module, "worker_loop", gated_loop)
+        profile = ExecutionProfile(
+            workers=0, backend="distributed",
+            queue_dir=str(tmp_path / "q"), cache_dir=str(tmp_path / "c"),
+        )
+        handle = Client(profile).submit_campaign([
+            SweepSpec("fig15-environment", [1, 2], smoke=True),
+            SweepSpec("fig7-mutuality", [1, 2], smoke=True),
+        ])
+        # The coordinator reached its inline drain: both sweeps are
+        # enqueued on disk, nothing collected yet.
+        assert started.wait(timeout=30)
+        assert any((tmp_path / "q").glob("sweep-*"))
+        assert handle.cancel() is True
+        release.set()
+        handle.wait(timeout=60)
+        assert handle.status() == "cancelled"
+        with pytest.raises(CancelledError, match="cancelled"):
+            handle.result()
+        # The abort path scrubbed the queue dir completely...
+        assert not any((tmp_path / "q").iterdir())
+        # ...so a fresh campaign on the same dir runs to completion.
+        result = Client(profile).run_campaign([
+            SweepSpec("fig15-environment", [1, 2], smoke=True),
+        ])
+        assert result.sweeps[0].failed_seeds == []
+        assert result.sweeps[0].per_seed == _oracle(
+            "fig15-environment", [1, 2]
+        ).per_seed
+
     def test_write_exports_produces_loadable_artifacts(self, tmp_path):
         result = Client(_FAST).run_campaign([
             SweepSpec("fig15-environment", SEEDS, smoke=True),

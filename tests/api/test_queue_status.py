@@ -1,7 +1,9 @@
-"""Queue observability: pending/leased/done, lease ages, steal history."""
+"""Queue observability: pending/leased/done, lease ages, steal history,
+quarantined seeds — and robustness to files caught mid-write."""
 
 import json
 import os
+import threading
 
 from repro.simulation import registry
 from repro.simulation.distributed import (
@@ -91,3 +93,86 @@ class TestQueueStatus:
         decoded = json.loads(text)
         assert decoded["pending"] == 2
         assert decoded["leased"][0]["owner"] == "w1"
+
+    def test_quarantined_seeds_are_reported(self, tmp_path, monkeypatch):
+        _stage(tmp_path, seeds=(1, 2))
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:2")
+        worker_loop(tmp_path, None, drain=True)
+        (status,) = queue_status(tmp_path)
+        assert status.complete  # quarantine still drains the sweep
+        (record,) = status.quarantined
+        assert record.seed == 2
+        assert record.task_id == "task-0001"
+        assert record.error_type == "InjectedFaultError"
+        assert record.attempts >= 1
+        payload = json.loads(json.dumps(status.to_payload()))
+        assert payload["quarantined"][0]["seed"] == 2
+
+
+class TestScanRaces:
+    def test_partially_written_done_marker_counts_as_pending(
+        self, tmp_path
+    ):
+        queue = _stage(tmp_path)
+        # A non-atomic writer caught mid-write: truncated JSON.
+        (queue.sweep_dir / "done" / "task-0000.json").write_text(
+            '{"task": "task-0000", "resul'
+        )
+        (status,) = queue_status(tmp_path)
+        assert status.done == 0
+        assert status.pending == 3
+        assert not status.complete
+
+    def test_half_written_manifest_is_skipped_not_fatal(self, tmp_path):
+        _stage(tmp_path)
+        bogus = tmp_path / "sweep-deadbeef-00000000"
+        bogus.mkdir()
+        (bogus / "manifest.json").write_text('{"sweep": "sweep-dead')
+        (status,) = queue_status(tmp_path)  # only the real sweep
+        assert status.tasks == 3
+
+    def test_status_never_crashes_against_concurrent_writers(
+        self, tmp_path
+    ):
+        """The regression: a task/done/quarantine file being (re)written
+        concurrently must read as pending, never raise mid-scan."""
+        queue = _stage(tmp_path)
+        done = queue.sweep_dir / "done" / "task-0001.json"
+        quarantine = queue.sweep_dir / "quarantine" / "t.seed-2.json"
+        payloads = [
+            '{"task": "task-0001", "results": {}}',
+            '{"sweep": "s", "task": "t", "failure": {"seed": 2, '
+            '"error_type": "E", "message": "m", "attempts": 1}}',
+        ]
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            while not stop.is_set():
+                for path, text in ((done, payloads[0]),
+                                   (quarantine, payloads[1])):
+                    for cut in (7, len(text)):  # partial, then whole
+                        try:
+                            path.write_text(text[:cut])
+                        except OSError:  # pragma: no cover
+                            pass
+                for path in (done, quarantine):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                (status,) = queue_status(tmp_path)
+                assert status.done in (0, 1)
+                assert status.done + status.pending == status.tasks
+                assert len(status.quarantined) in (0, 1)
+        except Exception as error:  # pragma: no cover
+            errors.append(error)
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors

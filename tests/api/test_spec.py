@@ -223,6 +223,64 @@ class TestExecutionProfileCache:
             ExecutionProfile.from_payload({"no_cache": "yes"})
 
 
+class TestExecutionProfileFaultTolerance:
+    def test_defaults_resolve_raise_for_pools(self):
+        profile = ExecutionProfile()
+        assert profile.max_attempts is None
+        assert profile.on_error is None
+        assert profile.resolved_on_error() == "raise"
+
+    def test_defaults_resolve_collect_for_distributed(self):
+        profile = ExecutionProfile(
+            workers=0, backend="distributed", queue_dir="/tmp/q"
+        )
+        assert profile.resolved_on_error() == "collect"
+
+    def test_explicit_on_error_wins_over_the_backend_default(self):
+        assert ExecutionProfile(
+            on_error="collect"
+        ).resolved_on_error() == "collect"
+        assert ExecutionProfile(
+            workers=1, backend="distributed", on_error="raise"
+        ).resolved_on_error() == "raise"
+
+    def test_resolved_max_attempts_defaults_to_three(self):
+        from repro.simulation.faults import DEFAULT_MAX_ATTEMPTS
+
+        assert ExecutionProfile().resolved_max_attempts() == (
+            DEFAULT_MAX_ATTEMPTS
+        )
+        assert ExecutionProfile(
+            max_attempts=7
+        ).resolved_max_attempts() == 7
+
+    def test_bad_max_attempts_rejected(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            ExecutionProfile(max_attempts=0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            ExecutionProfile(max_attempts=True)
+        with pytest.raises(ValueError, match="max_attempts"):
+            ExecutionProfile(max_attempts="3")
+
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            ExecutionProfile(on_error="explode")
+        with pytest.raises(ValueError, match="on_error"):
+            validate_execution(on_error="ignore")
+
+    def test_payload_round_trip_carries_the_new_fields(self):
+        profile = ExecutionProfile(max_attempts=2, on_error="collect")
+        restored = ExecutionProfile.from_payload(profile.to_payload())
+        assert restored == profile
+        assert restored.max_attempts == 2
+        assert restored.on_error == "collect"
+
+    def test_old_payloads_without_the_fields_still_load(self):
+        restored = ExecutionProfile.from_payload({"workers": 2})
+        assert restored.max_attempts is None
+        assert restored.on_error is None
+
+
 class TestCampaignManifest:
     def test_minimal_manifest(self):
         manifest = load_campaign_manifest(json.dumps({

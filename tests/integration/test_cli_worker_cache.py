@@ -35,7 +35,7 @@ class TestWorkerCli:
         assert "3 task(s)" in out
         assert "3 seed(s)" in out
         assert queue.is_complete()
-        results, _ = queue.collect()
+        results, _, _ = queue.collect()
         spec = registry.get(SCENARIO)
         assert results[2] == spec.run(2, smoke=True)
 
@@ -118,6 +118,90 @@ class TestSweepDistributedCli:
             "--workers", "-1",
         ]) == 2
         assert "workers" in capsys.readouterr().err
+
+
+class TestFaultToleranceCli:
+    def test_worker_max_attempts_quarantines_and_reports(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        queue = _stage_queue(tmp_path / "q", seeds=(1, 2))
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:2")
+        assert main([
+            "worker", str(tmp_path / "q"), "--drain", "--no-cache",
+            "--max-attempts", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 seed failure(s), 1 quarantined" in out
+        assert queue.is_complete()  # quarantine still drains the sweep
+        assert queue.attempt_count("task-0001", 2) == 2
+
+    def test_queue_status_then_requeue_releases_the_seed(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        queue = _stage_queue(tmp_path / "q", seeds=(1, 2))
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:2")
+        assert main([
+            "worker", str(tmp_path / "q"), "--drain", "--no-cache",
+            "--max-attempts", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["queue", "status", str(tmp_path / "q")]) == 0
+        out = capsys.readouterr().out
+        assert "quarantine: 1 seed(s)" in out
+        assert "seed 2 (task-0001): InjectedFaultError" in out
+        assert main([
+            "queue", "requeue", str(tmp_path / "q"), "--seed", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "requeued 1 quarantined seed(s)" in out
+        assert queue.sweep_id in out
+        # The task is claimable again; a healthy drain finishes it.
+        monkeypatch.delenv("REPRO_WORKER_FAULT")
+        assert main([
+            "worker", str(tmp_path / "q"), "--drain", "--no-cache",
+        ]) == 0
+        results, failures, _ = queue.collect()
+        assert set(results) == {1, 2} and not failures
+
+    def test_requeue_unknown_seed_says_so(self, tmp_path, capsys):
+        _stage_queue(tmp_path / "q", seeds=(1,))
+        assert main([
+            "queue", "requeue", str(tmp_path / "q"), "--seed", "9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "requeued 0 quarantined seed(s)" in out
+        assert "seed 9 is not quarantined" in out
+
+    def test_sweep_collect_mode_reports_failed_seeds(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:2")
+        json_path = tmp_path / "out.json"
+        assert main([
+            "sweep", SCENARIO, "--seeds", "3", "--smoke",
+            "--distributed", "--workers", "0", "--no-cache",
+            "--queue-dir", str(tmp_path / "q"),
+            "--max-attempts", "2",
+            "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "failed: 1 seed(s) quarantined" in out
+        assert "seed 2: InjectedFaultError after 2 attempt(s)" in out
+        payload = load_sweep(json_path.read_text())
+        assert [r["seed"] for r in payload["failed_seeds"]] == [2]
+
+    def test_sweep_on_error_raise_exits_nonzero(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:2")
+        assert main([
+            "sweep", SCENARIO, "--seeds", "3", "--smoke",
+            "--distributed", "--workers", "0", "--no-cache",
+            "--queue-dir", str(tmp_path / "q"),
+            "--max-attempts", "1", "--on-error", "raise",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "seed" in err
 
 
 class TestCacheCli:

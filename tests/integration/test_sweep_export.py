@@ -139,6 +139,31 @@ class TestValidation:
             "tasks": 0, "steals": 0, "requeues": 0,
         }
 
+    def test_missing_failed_seeds_defaults_to_empty(self, rates_sweep):
+        # Exports written before the fault-tolerance layer carry no
+        # failed_seeds; they load as a fully-healthy sweep.
+        payload = sweep_to_payload(rates_sweep)
+        del payload["failed_seeds"]
+        loaded = load_sweep(json.dumps(payload))
+        assert loaded["failed_seeds"] == []
+
+    def test_failed_seeds_round_trip(self, rates_sweep):
+        payload = sweep_to_payload(rates_sweep)
+        payload["failed_seeds"] = [{
+            "seed": 7, "error_type": "RuntimeError",
+            "message": "boom", "attempts": 3,
+            "traceback_digest": "0123456789abcdef",
+        }]
+        loaded = load_sweep(json.dumps(payload))
+        assert loaded["failed_seeds"][0]["seed"] == 7
+        assert loaded["failed_seeds"][0]["attempts"] == 3
+
+    def test_non_list_failed_seeds_rejected(self, rates_sweep):
+        payload = sweep_to_payload(rates_sweep)
+        payload["failed_seeds"] = {"seed": 7}
+        with pytest.raises(ValueError, match="failed_seeds"):
+            load_sweep(json.dumps(payload))
+
     def test_cache_block_without_counts_rejected(self, rates_sweep):
         payload = sweep_to_payload(rates_sweep)
         payload["cache"] = {"enabled": True}

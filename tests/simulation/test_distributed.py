@@ -219,7 +219,7 @@ class TestWorkerLoop:
         assert stats.tasks_done == 2
         assert stats.seeds_run == 3
         assert queue.is_complete()
-        results, totals = queue.collect()
+        results, _, totals = queue.collect()
         for seed in (1, 2, 3):
             assert results[seed] == spec.run(seed, smoke=True)
         assert totals.cache_misses == 3
@@ -229,13 +229,13 @@ class TestWorkerLoop:
     def test_second_drain_replays_from_cache(self, tmp_path):
         queue = _make_queue(tmp_path, seeds=(1, 2), chunk_size=1)
         worker_loop(tmp_path / "queue", tmp_path / "cache", drain=True)
-        first, _ = queue.collect()
+        first, _, _ = queue.collect()
         # A fresh sweep over the same seeds: all hits, same bits.
         queue2 = _make_queue(tmp_path, seeds=(1, 2), chunk_size=1)
         stats = worker_loop(
             tmp_path / "queue", tmp_path / "cache", drain=True
         )
-        second, totals = queue2.collect()
+        second, _, totals = queue2.collect()
         assert stats.cache_hits == 2 and stats.cache_misses == 0
         assert totals.cache_hits == 2
         assert second == first
@@ -244,7 +244,7 @@ class TestWorkerLoop:
         spec = registry.get(SCENARIO)
         queue = _make_queue(tmp_path, seeds=(4,), chunk_size=1)
         worker_loop(tmp_path / "queue", None, drain=True)
-        results, _ = queue.collect()
+        results, _, _ = queue.collect()
         assert results[4] == spec.run(4, smoke=True)
 
     def test_version_skew_sweep_is_skipped(self, tmp_path):

@@ -1,16 +1,20 @@
 """Fault injection for distributed sweeps: crashes must cost nothing.
 
-Three injected failures — a worker SIGKILLed mid-chunk, a corrupt task
-file, and a lease whose heartbeat is back-dated past the TTL — and one
-invariant: the sweep completes with results bit-identical to the
-sequential oracle, and every recovery event is visible in the
-steal/requeue counters.
+Injected failures — a worker SIGKILLed mid-chunk, a corrupt task file,
+a lease whose heartbeat is back-dated past the TTL, a poison seed that
+raises on every attempt, a flaky seed that fails ``k`` attempts before
+succeeding, and a worker that hangs past its lease TTL — and one
+invariant: the sweep terminates with every healthy seed bit-identical
+to the sequential oracle, every recovery event visible in the
+steal/requeue counters, and every exhausted seed quarantined with a
+structured diagnostic instead of crashing the fleet.
 
-The SIGKILL tests use the harness built into the worker itself:
+The tests use the harness built into the worker itself:
 ``REPRO_WORKER_FAULT=sigkill:<seed>`` makes exactly one worker *daemon*
 kill itself (``SIGKILL``: no cleanup, no lease release) right before
-running that seed — the precise crash the stale-lease reclaim protocol
-exists to absorb.
+running that seed; ``raise:<seed>`` makes every attempt at the seed
+raise; ``flaky:<seed>:<k>`` fails the seed's first ``k`` attempts
+sweep-wide; ``hang:<seed>`` makes one daemon sleep past its lease TTL.
 """
 
 import multiprocessing
@@ -24,8 +28,10 @@ from repro.simulation import registry
 from repro.simulation.distributed import (
     WorkQueue,
     lease_steal_threshold,
+    requeue_quarantined,
     worker_loop,
 )
+from repro.simulation.faults import DEFAULT_MAX_ATTEMPTS
 from repro.simulation.sweep import run_sweep, seed_range
 
 SCENARIO = "fig15-environment"
@@ -46,10 +52,11 @@ def _make_queue(tmp_path, seeds, chunk_size):
     )
 
 
-def _daemon_worker(queue_dir, cache_dir, fault):
+def _daemon_worker(queue_dir, cache_dir, fault, lease_ttl=30.0):
     """Run one worker daemon in-process (forked child entry point)."""
     os.environ["REPRO_WORKER_FAULT"] = fault
-    worker_loop(queue_dir, cache_dir, drain=True, poll=0.01, _daemon=True)
+    worker_loop(queue_dir, cache_dir, drain=True, poll=0.01,
+                lease_ttl=lease_ttl, _daemon=True)
 
 
 class TestSigkillMidChunk:
@@ -87,7 +94,7 @@ class TestSigkillMidChunk:
         assert queue.is_complete()
         assert stats.steals == 1
 
-        results, totals = queue.collect()
+        results, _, totals = queue.collect()
         assert results == _oracle(seeds)
         counters = queue.counters()
         assert counters.steals == 1
@@ -148,7 +155,7 @@ class TestCorruptTaskFile:
         stats = worker_loop(tmp_path / "queue", None, drain=True)
         assert stats.repairs == 1
         assert queue.is_complete()
-        results, _ = queue.collect()
+        results, _, _ = queue.collect()
         assert results == _oracle(seeds)
         counters = queue.counters()
         assert counters.repairs == 1
@@ -169,7 +176,7 @@ class TestCorruptTaskFile:
         )
         (queue.sweep_dir / "tasks" / "task-0000.json").write_text("junk")
         worker_loop(queue_dir, tmp_path / "c", drain=True)
-        results, _ = queue.collect()
+        results, _, _ = queue.collect()
         assert results == _oracle(seeds)
         assert queue.counters().requeues == 1
 
@@ -189,7 +196,7 @@ class TestBackdatedLease:
         )
         assert stats.steals == 1
         assert queue.is_complete()
-        results, _ = queue.collect()
+        results, _, _ = queue.collect()
         assert results == _oracle(seeds)
         assert queue.counters().steals == 1
         # The wedged worker's heartbeat now fails: its lease is gone.
@@ -339,6 +346,181 @@ class TestHeartbeatLeaseVanishes:
         # With the lease deleted under us repeatedly, at least one
         # heartbeat observed the loss and reported it.
         assert lost
+
+
+class TestPoisonSeedQuarantine:
+    def test_poison_seed_quarantined_rest_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        """A seed raising on every attempt costs its retry budget, then
+        its quarantine slot — never the worker, never the sweep."""
+        seeds = [1, 2, 3]
+        queue = _make_queue(tmp_path, seeds, chunk_size=1)
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:2")
+        stats = worker_loop(tmp_path / "queue", tmp_path / "cache",
+                            drain=True)
+        assert queue.is_complete()  # the sweep drained anyway
+        assert stats.quarantined == 1
+        assert stats.seed_failures == 1
+
+        results, failures, totals = queue.collect()
+        oracle = _oracle(seeds)
+        assert results == {s: oracle[s] for s in (1, 3)}
+        assert set(failures) == {2}
+        record = failures[2]
+        assert record["error_type"] == "InjectedFaultError"
+        assert "poison" in record["message"]
+        assert record["attempts"] == DEFAULT_MAX_ATTEMPTS
+        assert totals.quarantined == 1
+        # Exactly max_attempts budget markers were spent on the seed.
+        assert queue.attempt_count("task-0001", 2) == DEFAULT_MAX_ATTEMPTS
+        # The diagnostic JSON names the owning task.
+        assert queue.quarantined()[2]["task"] == "task-0001"
+        assert queue.counters().quarantined == 1
+
+    def test_manifest_pinned_budget_beats_worker_default(
+        self, tmp_path, monkeypatch
+    ):
+        spec = registry.get(SCENARIO)
+        queue = WorkQueue.create(
+            tmp_path / "queue", SCENARIO, spec.params_key(smoke=True),
+            [1, 2], 1, max_attempts=1,
+        )
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:1")
+        worker_loop(tmp_path / "queue", None, drain=True, max_attempts=5)
+        assert queue.attempt_count("task-0000", 1) == 1
+        _, failures, _ = queue.collect()
+        assert failures[1]["attempts"] == 1
+
+    def test_end_to_end_poison_seed_acceptance(self, tmp_path,
+                                               monkeypatch):
+        """The acceptance criterion: one always-raising seed, and the
+        distributed sweep terminates with no worker death (no steals),
+        quarantines exactly that seed after ``max_attempts`` tries,
+        reports it in ``failed_seeds``, and leaves every other seed
+        bit-identical to the sequential oracle."""
+        seeds = seed_range(5)
+        healthy = [seed for seed in seeds if seed != 3]
+        sequential = run_sweep(SCENARIO, healthy, workers=1, smoke=True)
+
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:3")
+        distributed = run_sweep(
+            SCENARIO, seeds, workers=2, backend="distributed",
+            smoke=True, queue_dir=tmp_path / "q",
+            cache_dir=tmp_path / "c", chunk_size=2,
+        )
+        assert distributed.seeds == list(healthy)
+        assert distributed.per_seed == sequential.per_seed
+        assert distributed.mean == sequential.mean
+        assert distributed.variance == sequential.variance
+        assert [r["seed"] for r in distributed.failed_seeds] == [3]
+        assert distributed.failed_seeds[0]["attempts"] == (
+            DEFAULT_MAX_ATTEMPTS
+        )
+        # No worker died: the retry loop never let the lease go stale.
+        assert distributed.steals == 0
+
+
+class TestFlakySeed:
+    def test_flaky_seed_retries_to_success(self, tmp_path, monkeypatch):
+        """``flaky:<seed>:<k>`` with ``k`` under the budget exercises
+        the full retry path and still converges on the oracle's bits."""
+        seeds = [1, 2, 3]
+        queue = _make_queue(tmp_path, seeds, chunk_size=3)
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "flaky:2:2")
+        stats = worker_loop(tmp_path / "queue", None, drain=True)
+        results, failures, _ = queue.collect()
+        assert failures == {}
+        assert results == _oracle(seeds)
+        # Two failed attempts plus the succeeding third.
+        assert queue.attempt_count("task-0000", 2) == 3
+        assert queue.quarantined() == {}
+        assert stats.quarantined == 0
+
+    def test_flaky_beyond_budget_is_quarantined(self, tmp_path,
+                                                monkeypatch):
+        spec = registry.get(SCENARIO)
+        queue = WorkQueue.create(
+            tmp_path / "queue", SCENARIO, spec.params_key(smoke=True),
+            [1, 2], 1, max_attempts=2,
+        )
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "flaky:1:5")
+        worker_loop(tmp_path / "queue", None, drain=True)
+        results, failures, _ = queue.collect()
+        assert set(failures) == {1}
+        assert failures[1]["attempts"] == 2
+        assert results == {2: _oracle([2])[2]}
+
+
+class TestHangingWorker:
+    def test_hung_chunk_is_stolen_and_sweep_matches_oracle(
+        self, tmp_path
+    ):
+        """``hang:<seed>`` sleeps one daemon past its lease TTL: a peer
+        steals the chunk and finishes it — steal-then-succeed, with the
+        sleeper's late duplicate results harmlessly idempotent."""
+        seeds = [1, 2, 3]
+        queue = _make_queue(tmp_path, seeds, chunk_size=3)
+        cache_dir = str(tmp_path / "cache")
+
+        context = multiprocessing.get_context("fork")
+        sleeper = context.Process(
+            target=_daemon_worker,
+            args=(str(tmp_path / "queue"), cache_dir, "hang:2", 0.5),
+        )
+        sleeper.start()
+        try:
+            # Give the sleeper time to claim, run seed 1, and fall
+            # asleep before seed 2 (it sleeps well past its 0.5s TTL).
+            time.sleep(0.6)
+            stats = worker_loop(
+                tmp_path / "queue", cache_dir, drain=True,
+                lease_ttl=0.25,
+            )
+        finally:
+            sleeper.join(timeout=WAIT)
+        assert sleeper.exitcode == 0  # woke up and exited cleanly
+        assert stats.steals == 1
+        assert queue.is_complete()
+        results, failures, _ = queue.collect()
+        assert failures == {}
+        assert results == _oracle(seeds)
+        assert queue.counters().steals == 1
+
+
+class TestRequeueQuarantined:
+    def test_requeue_releases_for_a_clean_redrain(self, tmp_path,
+                                                  monkeypatch):
+        """After the poison is fixed (fault removed), ``requeue``
+        restores the seed's budget and the sweep drains healthy."""
+        seeds = [1, 2]
+        queue = _make_queue(tmp_path, seeds, chunk_size=1)
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:2")
+        worker_loop(tmp_path / "queue", None, drain=True)
+        assert set(queue.quarantined()) == {2}
+
+        monkeypatch.delenv("REPRO_WORKER_FAULT")
+        released = requeue_quarantined(tmp_path / "queue")
+        assert released == {queue.sweep_id: [2]}
+        assert queue.quarantined() == {}
+        assert queue.attempt_count("task-0001", 2) == 0
+        assert "task-0001" in queue.pending()
+
+        worker_loop(tmp_path / "queue", None, drain=True)
+        results, failures, _ = queue.collect()
+        assert failures == {}
+        assert results == _oracle(seeds)
+
+    def test_requeue_filters_by_seed(self, tmp_path, monkeypatch):
+        queue = _make_queue(tmp_path, [1, 2, 3], chunk_size=1)
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:1,raise:3")
+        worker_loop(tmp_path / "queue", None, drain=True)
+        assert set(queue.quarantined()) == {1, 3}
+
+        assert requeue_quarantined(tmp_path / "queue", seed=7) == {}
+        released = requeue_quarantined(tmp_path / "queue", seed=3)
+        assert released == {queue.sweep_id: [3]}
+        assert set(queue.quarantined()) == {1}
 
 
 class TestCoordinatorOfLastResort:

@@ -1,0 +1,129 @@
+"""Unit tests for the fault-injection and failure-record helpers."""
+
+import pytest
+
+from repro.simulation.faults import (
+    BACKOFF_CAP_SECONDS,
+    DEFAULT_MAX_ATTEMPTS,
+    FaultSpec,
+    InjectedFaultError,
+    backoff_delay,
+    crash_failure_payload,
+    failure_payload,
+    faults_for,
+    maybe_raise,
+    normalize_failure,
+    parse_fault_specs,
+    traceback_digest,
+)
+
+
+class TestParseFaultSpecs:
+    def test_empty_and_none_parse_to_nothing(self):
+        assert parse_fault_specs("") == ()
+        assert parse_fault_specs(None) == ()
+
+    def test_single_specs(self):
+        assert parse_fault_specs("sigkill:3") == (
+            FaultSpec(kind="sigkill", seed=3),
+        )
+        assert parse_fault_specs("raise:7") == (
+            FaultSpec(kind="raise", seed=7),
+        )
+        assert parse_fault_specs("hang:2") == (
+            FaultSpec(kind="hang", seed=2),
+        )
+
+    def test_flaky_carries_its_failure_count(self):
+        (spec,) = parse_fault_specs("flaky:5:2")
+        assert spec == FaultSpec(kind="flaky", seed=5, fails=2)
+
+    def test_comma_separated_mix(self):
+        specs = parse_fault_specs("raise:3,flaky:5:2,hang:7")
+        assert [s.kind for s in specs] == ["raise", "flaky", "hang"]
+        assert [s.seed for s in specs] == [3, 5, 7]
+
+    def test_malformed_entries_are_ignored(self):
+        # Unknown kinds, missing fields, non-integer seeds, flaky
+        # without a count, zero-count flaky: all silently dropped so a
+        # typo'd env var can't crash a worker fleet.
+        assert parse_fault_specs("explode:1") == ()
+        assert parse_fault_specs("sigkill") == ()
+        assert parse_fault_specs("sigkill:one") == ()
+        assert parse_fault_specs("flaky:5") == ()
+        assert parse_fault_specs("flaky:5:0") == ()
+        assert parse_fault_specs("raise:1:2") == ()
+        assert parse_fault_specs("raise:2,bogus,flaky:3:1") == (
+            FaultSpec(kind="raise", seed=2),
+            FaultSpec(kind="flaky", seed=3, fails=1),
+        )
+
+    def test_faults_for_filters_by_seed_and_kind(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:3,flaky:3:1")
+        assert [s.kind for s in faults_for(3)] == ["raise", "flaky"]
+        assert [s.kind for s in faults_for(3, kind="flaky")] == ["flaky"]
+        assert faults_for(4) == ()
+
+
+class TestMaybeRaise:
+    def test_poison_seed_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:9")
+        with pytest.raises(InjectedFaultError, match="seed 9 is poison"):
+            maybe_raise(9)
+        maybe_raise(8)  # healthy seeds untouched
+
+    def test_no_env_is_a_no_op(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKER_FAULT", raising=False)
+        maybe_raise(1)
+
+
+class TestBackoff:
+    def test_exponential_until_the_cap(self):
+        delays = [backoff_delay(attempt) for attempt in range(1, 8)]
+        assert delays[:3] == [0.05, 0.1, 0.2]
+        assert all(b >= a for a, b in zip(delays, delays[1:]))
+        assert max(delays) == BACKOFF_CAP_SECONDS
+
+
+class TestFailureRecords:
+    def _error(self):
+        try:
+            raise ValueError("boom goes the seed")
+        except ValueError as error:
+            return error
+
+    def test_payload_shape(self):
+        record = failure_payload(4, self._error(), attempts=3)
+        assert record["seed"] == 4
+        assert record["error_type"] == "ValueError"
+        assert record["message"] == "boom goes the seed"
+        assert record["attempts"] == 3
+        assert len(record["traceback_digest"]) == 16
+        int(record["traceback_digest"], 16)  # hex, not prose
+
+    def test_digest_is_stable_per_raise_site(self):
+        first = traceback_digest(self._error())
+        second = traceback_digest(self._error())
+        assert first == second
+
+    def test_crash_payload_names_the_worker_death(self):
+        record = crash_failure_payload(2, attempts=DEFAULT_MAX_ATTEMPTS)
+        assert record["seed"] == 2
+        assert record["error_type"] == "WorkerCrash"
+        assert record["attempts"] == DEFAULT_MAX_ATTEMPTS
+
+    def test_normalize_round_trips_a_real_payload(self):
+        record = failure_payload(4, self._error(), attempts=1)
+        assert normalize_failure(dict(record)) == record
+
+    def test_normalize_rejects_garbage(self):
+        assert normalize_failure(None) is None
+        assert normalize_failure("not a dict") is None
+        assert normalize_failure({}) is None
+        assert normalize_failure({"seed": "four"}) is None
+
+    def test_normalize_backfills_the_seed_hint(self):
+        record = failure_payload(4, self._error(), attempts=1)
+        del record["seed"]
+        fixed = normalize_failure(record, 4)
+        assert fixed is not None and fixed["seed"] == 4
