@@ -1,0 +1,71 @@
+"""HTTP service quickstart: ``repro serve`` and ``RemoteClient``.
+
+Starts a :class:`repro.service.JobServer` in-process (the library form
+of ``repro serve 127.0.0.1:0``), then drives it with
+:class:`repro.service.RemoteClient` — the over-the-wire mirror of
+:class:`repro.api.Client`: the same ``submit()`` → handle → ``result()``
+shape, except the caller can live in another process or on another
+machine.  The script walks the whole surface: submit, poll, fetch a
+real :class:`SweepResult`, cancel a queued job honestly, and read the
+structured error a bad spec gets back.
+
+Run:  python examples/serve_client.py
+"""
+
+from repro.api import CancelledError, ExecutionProfile, SweepSpec
+from repro.service import JobServer, RemoteClient, ServiceError
+
+
+def main() -> None:
+    # 1. The server side.  ``repro serve 127.0.0.1:8765`` does exactly
+    #    this at the CLI; port 0 means "pick a free port".  One server
+    #    multiplexes every HTTP client onto one worker fleet.
+    with JobServer(profile=ExecutionProfile(no_cache=True)) as server:
+        print(f"serving {server.url}")
+
+        # 2. The client side — point it at any repro serve URL.
+        client = RemoteClient(server.url, poll_interval=0.05)
+        print(f"health: {client.health()['status']}")
+
+        # 3. Submit and block for a real SweepResult, exactly like the
+        #    in-process Client facade.
+        spec = SweepSpec("fig7-mutuality", seeds=[1, 2], smoke=True)
+        handle = client.submit(spec)
+        print(f"submitted {handle.job_id} ({handle.status()})")
+        sweep = handle.result(timeout=300)
+        print(
+            f"{sweep.scenario}: success rate "
+            f"{sweep.mean.success_rate:.3f} over {len(sweep.seeds)} "
+            f"seed(s)"
+        )
+
+        # 4. Honest cancellation: a queued job never runs.  (With the
+        #    default single dispatcher, the second submission queues
+        #    behind the first.)
+        blocker = client.submit(
+            SweepSpec("fig15-environment", seeds=[1, 2], smoke=True)
+        )
+        victim = client.submit(
+            SweepSpec("fig7-mutuality", seeds=[99], smoke=True)
+        )
+        print(f"cancel {victim.job_id}: {victim.cancel()}")
+        try:
+            victim.result(timeout=5)
+        except CancelledError:
+            print(f"{victim.job_id} is {victim.status()}: no result")
+        blocker.result(timeout=300)
+
+        # 5. Failure semantics are structured, never a hung poll: a
+        #    malformed spec is an immediate 400 with the same message
+        #    in-process validation raises.
+        try:
+            client.submit({"scenario": "fig99-nope", "seeds": [1]})
+        except ServiceError as error:
+            print(f"rejected ({error.status}): {error}")
+
+        states = [job["state"] for job in client.jobs()]
+        print(f"job states this session: {sorted(states)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,8 +32,11 @@ def rows_to_csv(
 
     ``columns`` fixes the column order; when omitted, the union of keys
     in first-seen order is used.  Missing cells serialize as empty.
+    With explicit ``columns`` and no rows the header row alone is
+    returned — the caller named a column contract, so the CSV honors
+    it; only the fully-unspecified empty case serializes as ``""``.
     """
-    if not rows:
+    if not rows and columns is None:
         return ""
     if columns is None:
         seen: Dict[str, None] = {}
@@ -51,8 +54,24 @@ def rows_to_csv(
 
 
 def series_to_json(series: Sequence[LabelledSeries], indent: int = 2) -> str:
-    """Serialize curves as ``{label: [values...]}``."""
-    payload = {curve.label: curve.values for curve in series}
+    """Serialize curves as ``{label: [values...]}``.
+
+    Labels must be unique: the mapping has one slot per label, so a
+    duplicate would silently overwrite an earlier curve.  Raises
+    ``ValueError`` naming the duplicates instead.
+    """
+    payload: Dict[str, Sequence[float]] = {}
+    duplicates = []
+    for curve in series:
+        if curve.label in payload:
+            duplicates.append(curve.label)
+        payload[curve.label] = curve.values
+    if duplicates:
+        raise ValueError(
+            f"duplicate series label(s) {sorted(set(duplicates))}: each "
+            f"curve needs a unique label (the JSON form is one entry "
+            f"per label)"
+        )
     return json.dumps(payload, indent=indent, sort_keys=True)
 
 

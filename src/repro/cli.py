@@ -9,6 +9,8 @@ Usage::
     python -m repro sweep --all-scenarios --seeds 8 --smoke
     python -m repro sweep fig15-environment --distributed --queue-dir /mnt/q
     python -m repro campaign manifest.json --out-dir exports
+    python -m repro serve 127.0.0.1:8765 --workers 4
+    python -m repro serve :8765 --distributed --queue-dir /mnt/q
     python -m repro worker /mnt/q --drain
     python -m repro queue status /mnt/q
     python -m repro queue requeue /mnt/q --seed 3
@@ -28,7 +30,9 @@ and the cache hit/miss counts.  ``sweep --all-scenarios`` and
 (:mod:`repro.api`), ``queue status`` reports a work queue's
 pending/leased/done state, lease ages, steal history and quarantined
 seeds, and ``queue requeue`` releases quarantined seeds for another
-round of attempts.
+round of attempts.  ``serve`` exposes the whole job API over HTTP
+(:mod:`repro.service`): POST a spec or manifest, poll the job id,
+fetch the export — same engine, same bit-identical results.
 """
 
 from __future__ import annotations
@@ -448,9 +452,31 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _queue_path_error(path: str) -> Optional[str]:
+    """Why ``path`` cannot serve as a queue dir (``None`` when it can).
+
+    ``queue``/``worker`` on a mistyped path used to report an empty
+    queue (or poll it forever); an operator pointing at the wrong
+    volume wants a loud exit instead.
+    """
+    from pathlib import Path
+
+    target = Path(path)
+    if not target.exists():
+        return f"queue path {path} does not exist"
+    if not target.is_dir():
+        return f"queue path {path} is not a directory"
+    return None
+
+
 def cmd_queue(args: argparse.Namespace) -> int:
     """Work-queue observability plus quarantine maintenance."""
     from repro.simulation.distributed import queue_status
+
+    error = _queue_path_error(args.queue_dir)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
     if args.action == "requeue":
         from repro.simulation.distributed import requeue_quarantined
@@ -530,6 +556,11 @@ def cmd_worker(args: argparse.Namespace) -> int:
         worker_loop,
     )
 
+    error = _queue_path_error(args.queue_dir)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
     if args.no_cache:
         cache_dir = None
     else:
@@ -559,6 +590,63 @@ def cmd_worker(args: argparse.Namespace) -> int:
         f"{stats.repairs} repair(s), {stats.seed_failures} seed "
         f"failure(s), {stats.quarantined} quarantined"
     )
+    return 0
+
+
+def _parse_serve_addr(addr: str) -> tuple:
+    """``HOST:PORT``, ``:PORT`` or bare ``PORT`` → ``(host, port)``.
+
+    The host defaults to loopback; port 0 binds an ephemeral port
+    (the server prints the real one).
+    """
+    host, sep, port_text = addr.rpartition(":")
+    if not sep:
+        host, port_text = "", addr
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"invalid serve address {addr!r}: expected HOST:PORT "
+            f"(e.g. 127.0.0.1:8765)"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"serve port must be 0-65535, got {port}")
+    return host, port
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the job API over HTTP until interrupted."""
+    from repro.service import JobServer
+
+    try:
+        host, port = _parse_serve_addr(args.addr)
+        profile = _profile_from_sweep_args(args)
+    except ValueError as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    try:
+        server = JobServer(
+            profile=profile, host=host, port=port,
+            parallel_jobs=args.parallel_jobs, verbose=args.verbose,
+        )
+    except OSError as error:
+        print(f"error: cannot bind {host}:{port}: {error}",
+              file=sys.stderr)
+        return 1
+    bound_host, bound_port = server.address
+    queue_note = (
+        f" (queue dir {profile.queue_dir})" if profile.queue_dir else ""
+    )
+    print(f"serving http://{bound_host}:{bound_port}{queue_note}",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("server interrupted")
+    finally:
+        server.close()
     return 0
 
 
@@ -742,6 +830,58 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="also write the sweep export to PATH")
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve the job API over HTTP: POST SweepSpec/manifest "
+             "payloads, poll job status, fetch exports, cancel — one "
+             "shared execution fleet behind the endpoint",
+    )
+    serve.add_argument("addr", metavar="ADDR",
+                       help="bind address as HOST:PORT, :PORT or PORT "
+                            "(port 0 picks an ephemeral port and "
+                            "prints it)")
+    serve.add_argument("--parallel-jobs", type=int, default=1,
+                       metavar="N",
+                       help="jobs executed concurrently; submissions "
+                            "beyond this wait as 'queued' (default 1 — "
+                            "one fleet, strict submission order)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="pool size per job; 1 = sequential "
+                            "(default)")
+    serve.add_argument("--backend", choices=("process", "thread"),
+                       default="process",
+                       help="pool backend when workers > 1")
+    serve.add_argument("--chunk-size", type=int, default=None,
+                       metavar="N", help="seeds per pool task")
+    serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persistent result cache location (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro/sweeps)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache entirely")
+    serve.add_argument("--distributed", action="store_true",
+                       help="execute jobs over the shared-directory "
+                            "work queue instead of an in-process pool")
+    serve.add_argument("--queue-dir", metavar="DIR", default=None,
+                       help="shared work-queue directory for "
+                            "--distributed; point `repro worker` "
+                            "daemons at the same path")
+    serve.add_argument("--lease-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="stale-lease steal threshold (default 30)")
+    serve.add_argument("--compute", choices=("python", "vectorized"),
+                       default=None,
+                       help="kernel backend override (bit-identical "
+                            "results)")
+    serve.add_argument("--max-attempts", type=int, default=None,
+                       metavar="N",
+                       help="per-seed retry budget before quarantine")
+    serve.add_argument("--on-error", choices=("raise", "collect"),
+                       default=None,
+                       help="exhausted-seed policy (default: raise for "
+                            "pools, collect for --distributed)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
     worker = subparsers.add_parser(
         "worker",
         help="long-running worker daemon: claim and execute seed-chunk "
@@ -837,6 +977,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name}")
         print("  sweep (multi-seed runner; `repro sweep --list`)")
         print("  campaign (manifest of sweeps over one worker fleet)")
+        print("  serve (HTTP job service over the client API)")
         print("  worker (distributed sweep worker daemon)")
         print("  queue (work-queue status)")
         print("  cache (result cache stats / prune)")
@@ -845,6 +986,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_sweep(args)
     if args.command == "campaign":
         return cmd_campaign(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "worker":
         return cmd_worker(args)
     if args.command == "queue":

@@ -1,0 +1,52 @@
+"""HTTP job service over the :mod:`repro.api` Client.
+
+The service layer turns the in-process job API into something remote
+callers can reach without mounting the queue volume:
+
+* :class:`JobServer` — a stdlib ``ThreadingHTTPServer`` JSON API
+  (``repro serve`` wraps it): ``POST /v1/sweeps`` and
+  ``POST /v1/campaigns`` accept the same :class:`~repro.api.SweepSpec`
+  / campaign-manifest payloads the CLI does and return job ids;
+  ``GET /v1/jobs/<id>`` polls status, ``GET /v1/jobs/<id>/result``
+  fetches the standard sweep export payload, ``DELETE /v1/jobs/<id>``
+  cancels honestly (queued work never runs), ``GET /v1/queue`` proxies
+  :func:`repro.simulation.distributed.queue_status`.
+* :class:`JobTable` — the in-process table behind the server: many
+  HTTP clients multiplex onto one :class:`~repro.api.Client` and its
+  worker fleet through a bounded dispatcher.
+* :class:`RemoteClient` — the client-side mirror of the ``Client``
+  facade: swap in a base URL and keep the same ``submit()`` /
+  ``SweepHandle``-shaped surface; results come back as genuine
+  :class:`~repro.simulation.sweep.SweepResult` values, bit-identical
+  to an in-process run of the same spec.
+
+Results over HTTP are the same values as everywhere else — the server
+is a dispatcher over :func:`repro.simulation.sweep.execute_sweep`, not
+a second engine.
+"""
+
+from repro.service.jobs import (
+    JobRecord,
+    JobTable,
+    JOB_STATES,
+)
+from repro.service.remote import (
+    RemoteCampaignHandle,
+    RemoteClient,
+    RemoteSweepHandle,
+    ServiceConnectionError,
+    ServiceError,
+)
+from repro.service.server import JobServer
+
+__all__ = [
+    "JOB_STATES",
+    "JobRecord",
+    "JobServer",
+    "JobTable",
+    "RemoteCampaignHandle",
+    "RemoteClient",
+    "RemoteSweepHandle",
+    "ServiceConnectionError",
+    "ServiceError",
+]

@@ -1,0 +1,316 @@
+"""The in-process job table behind the HTTP service.
+
+Many HTTP clients, one execution fleet: every ``POST`` lands a
+:class:`JobRecord` in the :class:`JobTable`, and a bounded set of
+dispatcher threads drains the table in submission order through one
+shared :class:`~repro.api.Client`.  That is what makes the server a
+multiplexer instead of a fork bomb — a hundred simultaneous submitters
+share ``parallel_jobs`` dispatchers (default 1) and the client's one
+worker pool / distributed fleet, rather than each HTTP connection
+spawning its own.
+
+Job lifecycle mirrors the API handles — ``queued`` → ``running`` →
+``done`` / ``failed`` / ``cancelled`` — and cancellation keeps the
+Client's honesty contract: a job cancelled while still ``queued`` never
+executes anything; a running sweep finishes (nothing is spared); a
+running campaign finishes the sweep in flight and skips the rest.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api import (
+    CancelledError,
+    Client,
+    ExecutionProfile,
+    SweepSpec,
+    campaign_labels,
+)
+from repro.api.client import CANCELLED, DONE, FAILED, QUEUED, RUNNING
+
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+
+def _error_payload(error: BaseException) -> Dict[str, object]:
+    """A JSON-ready description of why a job failed.
+
+    ``SweepFailureError`` carries its structured per-seed failure
+    records, so the HTTP status body names the quarantined seeds the
+    same way ``SweepResult.failed_seeds`` would have.
+    """
+    payload: Dict[str, object] = {
+        "error_type": type(error).__name__,
+        "message": str(error),
+    }
+    failed = getattr(error, "failed_seeds", None)
+    if failed:
+        payload["failed_seeds"] = list(failed)
+    scenario = getattr(error, "scenario", None)
+    if scenario is not None:
+        payload["scenario"] = scenario
+    return payload
+
+
+class JobRecord:
+    """One submitted job: a sweep or a campaign, plus its lifecycle."""
+
+    def __init__(
+        self,
+        job_id: str,
+        kind: str,
+        specs: Sequence[SweepSpec],
+        profile: Optional[ExecutionProfile],
+        name: str = "",
+    ) -> None:
+        self.job_id = job_id
+        self.kind = kind  # "sweep" | "campaign"
+        self.specs: Tuple[SweepSpec, ...] = tuple(specs)
+        self.labels = campaign_labels(self.specs)
+        self.profile = profile
+        self.name = name
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+        self._state = QUEUED
+        self._handle = None  # the api handle once running
+        self._result_payload: Optional[Dict[str, object]] = None
+        self._error: Optional[Dict[str, object]] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def done(self) -> bool:
+        return self.state() in (DONE, FAILED, CANCELLED)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._finished.wait(timeout)
+
+    def cancel(self) -> bool:
+        """Honest cancellation, same contract as the api handles.
+
+        ``queued`` jobs flip to ``cancelled`` and never execute; for a
+        running job the underlying handle decides (a running sweep
+        finishes — nothing spared, returns False; a running campaign
+        skips the sweeps it has not started).  Terminal jobs return
+        False.
+        """
+        with self._lock:
+            if self._state == QUEUED:
+                self._state = CANCELLED
+                self._error = {
+                    "error_type": "CancelledError",
+                    "message": "job cancelled before it ran",
+                }
+                self._finished.set()
+                return True
+            if self._state == RUNNING and self._handle is not None:
+                return self._handle.cancel()
+            return False
+
+    def _execute(self, client: Client) -> None:
+        """Run the job through the shared client (dispatcher thread)."""
+        with self._lock:
+            if self._state != QUEUED:
+                return  # cancelled while waiting its turn
+            self._state = RUNNING
+        try:
+            if self.kind == "sweep":
+                handle = client.submit(self.specs[0], self.profile)
+            else:
+                handle = client.submit_campaign(self.specs, self.profile)
+            with self._lock:
+                self._handle = handle
+            outcome = handle.result()
+            payload = self._outcome_payload(outcome)
+            with self._lock:
+                self._state = DONE
+                self._result_payload = payload
+        except CancelledError as error:
+            with self._lock:
+                self._state = CANCELLED
+                self._error = _error_payload(error)
+        except BaseException as error:  # surfaced via the status body
+            with self._lock:
+                self._state = FAILED
+                self._error = _error_payload(error)
+        finally:
+            self._finished.set()
+
+    def _outcome_payload(self, outcome) -> Dict[str, object]:
+        from repro.analysis.export import sweep_to_payload
+
+        if self.kind == "sweep":
+            return sweep_to_payload(outcome)
+        return {
+            label: sweep_to_payload(sweep)
+            for label, sweep in zip(outcome.labels, outcome.sweeps)
+        }
+
+    # -- the HTTP-facing views ------------------------------------------
+    def status_payload(self) -> Dict[str, object]:
+        """The ``GET /v1/jobs/<id>`` body: state plus what failed."""
+        with self._lock:
+            state = self._state
+            error = self._error
+            result = self._result_payload
+            handle = self._handle
+        payload: Dict[str, object] = {
+            "id": self.job_id,
+            "kind": self.kind,
+            "state": state,
+        }
+        if self.kind == "sweep":
+            payload["spec"] = self.specs[0].to_payload()
+        else:
+            payload["specs"] = [spec.to_payload() for spec in self.specs]
+            payload["labels"] = list(self.labels)
+            if self.name:
+                payload["name"] = self.name
+            if handle is not None and hasattr(handle, "progress"):
+                completed, total = handle.progress()
+                payload["progress"] = {
+                    "completed": completed, "total": total,
+                }
+        if state == DONE and result is not None:
+            # Quarantined/failed seeds ride in the status body so a
+            # poller sees partial failure without fetching the export.
+            if self.kind == "sweep":
+                payload["failed_seeds"] = list(
+                    result.get("failed_seeds") or []
+                )
+            else:
+                payload["failed_seeds"] = {
+                    label: list(sweep.get("failed_seeds") or [])
+                    for label, sweep in result.items()
+                }
+        if error is not None:
+            payload["error"] = dict(error)
+        return payload
+
+    def result_payload(self) -> Optional[Dict[str, object]]:
+        """The ``GET /v1/jobs/<id>/result`` body once ``done``."""
+        with self._lock:
+            return self._result_payload
+
+
+class JobTable:
+    """Submission order in, one shared client out.
+
+    ``parallel_jobs`` dispatcher threads pull queued records off a FIFO
+    and execute them through the one :class:`~repro.api.Client`; jobs
+    beyond that bound wait as ``queued`` — which is exactly the window
+    in which ``DELETE`` guarantees they never run.
+    """
+
+    def __init__(
+        self,
+        client: Optional[Client] = None,
+        parallel_jobs: int = 1,
+    ) -> None:
+        if parallel_jobs < 1:
+            raise ValueError("parallel_jobs must be at least 1")
+        self.client = client if client is not None else Client()
+        self.parallel_jobs = parallel_jobs
+        self._queue: "queue.SimpleQueue[Optional[JobRecord]]" = (
+            queue.SimpleQueue()
+        )
+        self._jobs: Dict[str, JobRecord] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        self._closed = False
+        self._dispatchers = [
+            threading.Thread(
+                target=self._drive,
+                daemon=True,
+                name=f"repro-job-dispatcher-{index}",
+            )
+            for index in range(parallel_jobs)
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+
+    def _drive(self) -> None:
+        while True:
+            record = self._queue.get()
+            if record is None:
+                return
+            record._execute(self.client)
+
+    def _enqueue(
+        self,
+        kind: str,
+        specs: Sequence[SweepSpec],
+        profile: Optional[ExecutionProfile],
+        name: str = "",
+    ) -> JobRecord:
+        specs = tuple(specs)
+        if not specs:
+            raise ValueError("need at least one sweep spec")
+        for spec in specs:
+            if not isinstance(spec, SweepSpec):
+                raise TypeError(
+                    f"expected SweepSpec entries, got {type(spec).__name__}"
+                )
+        if profile is not None and not isinstance(profile, ExecutionProfile):
+            raise TypeError(
+                f"expected an ExecutionProfile, got {type(profile).__name__}"
+            )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job table is closed")
+            job_id = f"job-{next(self._counter):06d}"
+            record = JobRecord(job_id, kind, specs, profile, name=name)
+            self._jobs[job_id] = record
+        self._queue.put(record)
+        return record
+
+    # -- submissions ----------------------------------------------------
+    def submit_sweep(
+        self,
+        spec: SweepSpec,
+        profile: Optional[ExecutionProfile] = None,
+    ) -> JobRecord:
+        return self._enqueue("sweep", [spec], profile)
+
+    def submit_campaign(
+        self,
+        specs: Sequence[SweepSpec],
+        profile: Optional[ExecutionProfile] = None,
+        name: str = "",
+    ) -> JobRecord:
+        return self._enqueue("campaign", specs, profile, name=name)
+
+    # -- lookups --------------------------------------------------------
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[JobRecord]:
+        """Every record, oldest first (ids are zero-padded counters)."""
+        with self._lock:
+            return [
+                self._jobs[job_id] for job_id in sorted(self._jobs)
+            ]
+
+    # -- shutdown -------------------------------------------------------
+    def close(self, wait: bool = False, timeout: Optional[float] = None):
+        """Stop accepting work; optionally join the dispatchers.
+
+        Queued jobs that no dispatcher reached before the sentinel are
+        left ``queued`` forever — callers shutting down a server should
+        cancel them first if they care (the CLI process simply exits).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._dispatchers:
+            self._queue.put(None)
+        if wait:
+            for thread in self._dispatchers:
+                thread.join(timeout)

@@ -1,0 +1,332 @@
+"""The client side of the HTTP service: ``Client`` over a URL.
+
+:class:`RemoteClient` mirrors the :class:`repro.api.Client` facade —
+``submit()`` / ``submit_campaign()`` / ``run()`` / ``run_campaign()`` /
+``queue_status()`` — against a ``repro serve`` endpoint, and its
+handles keep the ``SweepHandle`` surface (``status()`` / ``wait()`` /
+``result()`` / ``cancel()``), so swapping an in-process client for a
+remote one is a one-line change::
+
+    client = RemoteClient("http://127.0.0.1:8765")
+    handle = client.submit(SweepSpec("fig7-mutuality", seeds=[1, 2]))
+    sweep = handle.result()     # a real SweepResult, bit-identical to
+                                # an in-process run of the same spec
+
+Failure semantics map back onto the in-process types wherever they
+exist: a job the server reports ``cancelled`` raises
+:class:`repro.api.CancelledError`; a job that failed with quarantined
+seeds raises :class:`repro.simulation.sweep.SweepFailureError` carrying
+the structured failure records; any other rejection raises
+:class:`ServiceError` with the HTTP status and the server's message.
+An unreachable or restarted server raises
+:class:`ServiceConnectionError` immediately — a dead endpoint is a
+clear error, never a hang (every request carries a timeout).
+
+Everything here is stdlib ``urllib`` — no extra dependencies, same as
+the server.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api import CancelledError, ExecutionProfile, SweepSpec
+
+SpecLike = Union[SweepSpec, Mapping[str, object]]
+
+
+class ServiceError(RuntimeError):
+    """The server rejected a request (4xx/5xx with a structured body).
+
+    ``status`` is the HTTP status code; ``payload`` the parsed error
+    body (``{"error": {"code", "message", ...}}`` for service errors);
+    ``str(error)`` is the server's message.
+    """
+
+    def __init__(
+        self, status: int, message: str,
+        payload: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload if payload is not None else {}
+
+
+class ServiceConnectionError(ConnectionError):
+    """The service endpoint is unreachable (down, restarted, refused)."""
+
+
+def _spec_payload(spec: SpecLike) -> Dict[str, object]:
+    """A submission payload: local specs serialize, raw mappings pass
+    through verbatim so the server performs (and reports) validation."""
+    if isinstance(spec, SweepSpec):
+        return spec.to_payload()
+    if isinstance(spec, Mapping):
+        return dict(spec)
+    raise TypeError(
+        f"expected a SweepSpec or payload mapping, got "
+        f"{type(spec).__name__}"
+    )
+
+
+class RemoteClient:
+    """The :class:`~repro.api.Client` facade over a service URL."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        if "://" not in self.base_url:
+            self.base_url = f"http://{self.base_url}"
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+
+    # -- the wire -------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[object] = None,
+    ) -> Dict[str, object]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", errors="replace")
+            try:
+                parsed = json.loads(body)
+                message = parsed["error"]["message"]
+            except (KeyError, TypeError, ValueError):
+                parsed, message = {}, body.strip() or error.reason
+            raise ServiceError(error.code, message, parsed) from None
+        except (urllib.error.URLError, ConnectionError, socket.timeout,
+                TimeoutError) as error:
+            reason = getattr(error, "reason", None) or error
+            raise ServiceConnectionError(
+                f"cannot reach job service at {self.base_url}: {reason}"
+            ) from None
+
+    # -- submissions ----------------------------------------------------
+    def submit(
+        self, spec: SpecLike,
+        profile: Optional[ExecutionProfile] = None,
+    ) -> "RemoteSweepHandle":
+        """POST one sweep; returns as soon as the server queued it."""
+        body: Dict[str, object] = {"spec": _spec_payload(spec)}
+        if profile is not None:
+            body["profile"] = profile.to_payload()
+        status = self._request("POST", "/v1/sweeps", body)
+        return RemoteSweepHandle(self, status["id"], status)
+
+    def submit_campaign(
+        self, specs: Sequence[SpecLike],
+        profile: Optional[ExecutionProfile] = None,
+        name: str = "",
+    ) -> "RemoteCampaignHandle":
+        """POST many sweeps as one campaign (manifest format)."""
+        body: Dict[str, object] = {
+            "sweeps": [_spec_payload(spec) for spec in specs],
+        }
+        if profile is not None:
+            body["profile"] = profile.to_payload()
+        if name:
+            body["name"] = name
+        status = self._request("POST", "/v1/campaigns", body)
+        return RemoteCampaignHandle(self, status["id"], status)
+
+    def run(
+        self, spec: SpecLike,
+        profile: Optional[ExecutionProfile] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Blocking convenience: ``submit(spec).result()``."""
+        return self.submit(spec, profile).result(timeout)
+
+    def run_campaign(
+        self, specs: Sequence[SpecLike],
+        profile: Optional[ExecutionProfile] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Blocking convenience: ``submit_campaign(specs).result()``."""
+        return self.submit_campaign(specs, profile).result(timeout)
+
+    # -- observability --------------------------------------------------
+    def job(self, job_id: str) -> "RemoteSweepHandle":
+        """Re-attach to an existing job by id (404 if unknown)."""
+        status = self._request("GET", f"/v1/jobs/{job_id}")
+        if status.get("kind") == "campaign":
+            return RemoteCampaignHandle(self, job_id, status)
+        return RemoteSweepHandle(self, job_id, status)
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """Every job's status payload, oldest first."""
+        return list(self._request("GET", "/v1/jobs")["jobs"])
+
+    def queue_status(self, queue_dir=None) -> List[Dict[str, object]]:
+        """The server-side work queue's state, as status payloads
+        (the JSON form of
+        :class:`repro.simulation.distributed.SweepStatus`)."""
+        path = "/v1/queue"
+        if queue_dir is not None:
+            from urllib.parse import quote
+
+            path += f"?dir={quote(str(queue_dir))}"
+        return list(self._request("GET", path)["sweeps"])
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/health")
+
+
+class RemoteSweepHandle:
+    """One server-side job, with the in-process handle's surface."""
+
+    TERMINAL = ("done", "failed", "cancelled")
+
+    def __init__(
+        self, client: RemoteClient, job_id: str,
+        status: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.client = client
+        self.job_id = job_id
+        self._last_status = status or {}
+
+    # -- polling --------------------------------------------------------
+    def status_payload(self) -> Dict[str, object]:
+        """The full ``GET /v1/jobs/<id>`` body (one fresh request)."""
+        self._last_status = self.client._request(
+            "GET", f"/v1/jobs/{self.job_id}"
+        )
+        return self._last_status
+
+    def status(self) -> str:
+        """``queued``/``running``/``done``/``failed``/``cancelled``."""
+        return str(self.status_payload()["state"])
+
+    def done(self) -> bool:
+        return self.status() in self.TERMINAL
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Poll until terminal (or ``timeout`` seconds); True if done.
+
+        A server that dies mid-poll raises
+        :class:`ServiceConnectionError` on the next poll — never a
+        hang.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            if self.status() in self.TERMINAL:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(self.client.poll_interval)
+
+    def cancel(self) -> bool:
+        """DELETE the job; True when anything was spared from running."""
+        payload = self.client._request(
+            "DELETE", f"/v1/jobs/{self.job_id}"
+        )
+        return bool(payload["cancelled"])
+
+    # -- results --------------------------------------------------------
+    def _raise_terminal(self, status: Dict[str, object]) -> None:
+        state = status["state"]
+        error = status.get("error") or {}
+        if state == "cancelled":
+            raise CancelledError(
+                error.get("message") or f"job {self.job_id} was cancelled"
+            )
+        if state == "failed":
+            failed = error.get("failed_seeds")
+            if error.get("error_type") == "SweepFailureError" and failed:
+                from repro.simulation.sweep import SweepFailureError
+
+                raise SweepFailureError(
+                    error.get("scenario", ""), failed
+                )
+            raise ServiceError(
+                500,
+                f"job {self.job_id} failed: "
+                f"{error.get('error_type', 'Exception')}: "
+                f"{error.get('message', '')}",
+                status,
+            )
+
+    def _resolve(self, timeout: Optional[float]) -> Dict[str, object]:
+        if not self.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} still running; use wait()/status()"
+            )
+        status = self._last_status
+        self._raise_terminal(status)
+        return self.client._request(
+            "GET", f"/v1/jobs/{self.job_id}/result"
+        )
+
+    def result(self, timeout: Optional[float] = None):
+        """The :class:`~repro.simulation.sweep.SweepResult` (blocking).
+
+        Raises :class:`repro.api.CancelledError` for cancelled jobs,
+        :class:`~repro.simulation.sweep.SweepFailureError` when seeds
+        exhausted their retry budget under ``on_error="raise"``,
+        :class:`ServiceError` for other failures, and
+        :class:`TimeoutError` when ``timeout`` elapses first.
+        """
+        from repro.simulation.sweep import sweep_result_from_payload
+
+        return sweep_result_from_payload(self._resolve(timeout))
+
+
+class RemoteCampaignHandle(RemoteSweepHandle):
+    """A campaign job; resolves to a
+    :class:`repro.api.CampaignResult`."""
+
+    def progress(self) -> Tuple[int, int]:
+        """``(completed sweeps, total sweeps)`` as the server sees it."""
+        status = self.status_payload()
+        progress = status.get("progress") or {}
+        total = progress.get("total", len(status.get("specs") or ()))
+        if status.get("state") == "done":
+            return int(total), int(total)
+        return int(progress.get("completed", 0)), int(total)
+
+    def result(self, timeout: Optional[float] = None):
+        from repro.api import CampaignResult
+        from repro.simulation.sweep import sweep_result_from_payload
+
+        payload = self._resolve(timeout)
+        status = self._last_status
+        specs = tuple(
+            SweepSpec.from_payload(entry)
+            for entry in status.get("specs") or ()
+        )
+        labels = tuple(status.get("labels") or payload.keys())
+        return CampaignResult(
+            specs=specs,
+            labels=labels,
+            sweeps=tuple(
+                sweep_result_from_payload(payload[label])
+                for label in labels
+            ),
+        )

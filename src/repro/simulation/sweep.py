@@ -135,6 +135,56 @@ def seed_range(count: int, first: int = 1) -> List[int]:
     return list(range(first, first + count))
 
 
+def sweep_result_from_payload(payload: Dict[str, object]) -> SweepResult:
+    """Rebuild a :class:`SweepResult` from a sweep export payload.
+
+    The inverse of :func:`repro.analysis.export.sweep_to_payload` —
+    ``sweep_to_payload(sweep_result_from_payload(p)) == p`` for any
+    payload :func:`~repro.analysis.export.load_sweep` accepts (JSON
+    float serialization is lossless, so values survive bit-exactly).
+    This is how :class:`repro.service.RemoteClient` hands callers real
+    result objects instead of raw dicts.
+    """
+    kind = payload["kind"]
+    if kind == "rates":
+        reduced = RateSummary.from_payload
+        variance: Union[Dict[str, float], List[float]] = dict(
+            payload["variance"]
+        )
+    elif kind == "series":
+        reduced = SeriesResult.from_payload
+        variance = list(payload["variance"])
+    else:
+        raise ValueError(f"bad sweep kind: {kind!r}")
+    timing = payload["timing"]
+    cache = payload.get("cache") or {}
+    distributed = payload.get("distributed") or {}
+    return SweepResult(
+        scenario=str(payload["scenario"]),
+        kind=kind,
+        seeds=[int(seed) for seed in payload["seeds"]],
+        timing=RunTiming(
+            wall_seconds=float(timing["wall_seconds"]),
+            seeds=int(timing["seeds"]),
+            workers=int(timing["workers"]),
+            backend=str(timing["backend"]),
+            chunk_size=int(timing["chunk_size"]),
+        ),
+        per_seed=[reduced(entry) for entry in payload["per_seed"]],
+        mean=reduced(payload["mean"]),
+        variance=variance,
+        cache_enabled=bool(cache.get("enabled", False)),
+        cache_hits=int(cache.get("hits", 0)),
+        cache_misses=int(cache.get("misses", 0)),
+        cache_errors=int(cache.get("errors", 0)),
+        tasks_total=int(distributed.get("tasks", 0)),
+        steals=int(distributed.get("steals", 0)),
+        requeues=int(distributed.get("requeues", 0)),
+        spec=payload.get("spec"),
+        failed_seeds=list(payload.get("failed_seeds") or []),
+    )
+
+
 # ---------------------------------------------------------------------------
 # the spec-driven engine
 # ---------------------------------------------------------------------------

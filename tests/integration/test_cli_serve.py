@@ -1,0 +1,159 @@
+"""CLI tests for ``repro serve`` and the queue-path validation shared
+by ``repro queue`` / ``repro worker``."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import _parse_serve_addr, main
+
+
+class TestQueuePathValidation:
+    """Satellite: a mistyped queue path is a loud exit 1, not an
+    empty-queue report or an eternal poll."""
+
+    def test_queue_status_missing_path_exits_1(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["queue", "status", str(missing)]) == 1
+        err = capsys.readouterr().err
+        assert err == f"error: queue path {missing} does not exist\n"
+
+    def test_queue_status_file_path_exits_1(self, tmp_path, capsys):
+        target = tmp_path / "queue.json"
+        target.write_text("{}")
+        assert main(["queue", "status", str(target)]) == 1
+        err = capsys.readouterr().err
+        assert err == f"error: queue path {target} is not a directory\n"
+
+    def test_queue_requeue_missing_path_exits_1(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["queue", "requeue", str(missing)]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_worker_missing_path_exits_1(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["worker", str(missing), "--drain"]) == 1
+        err = capsys.readouterr().err
+        assert err == f"error: queue path {missing} does not exist\n"
+
+    def test_worker_file_path_exits_1(self, tmp_path, capsys):
+        target = tmp_path / "queue.json"
+        target.write_text("{}")
+        assert main(["worker", str(target), "--drain"]) == 1
+        assert "is not a directory" in capsys.readouterr().err
+
+    def test_existing_directory_still_works(self, tmp_path, capsys):
+        assert main(["queue", "status", str(tmp_path)]) == 0
+        assert "no sweeps" in capsys.readouterr().out
+
+
+class TestParseServeAddr:
+    @pytest.mark.parametrize("addr,expected", [
+        ("127.0.0.1:8765", ("127.0.0.1", 8765)),
+        ("0.0.0.0:80", ("0.0.0.0", 80)),
+        (":8080", ("127.0.0.1", 8080)),
+        ("8765", ("127.0.0.1", 8765)),
+        ("0", ("127.0.0.1", 0)),
+        ("localhost:0", ("localhost", 0)),
+    ])
+    def test_accepted_forms(self, addr, expected):
+        assert _parse_serve_addr(addr) == expected
+
+    @pytest.mark.parametrize("addr", [
+        "", "abc", "host:port", "127.0.0.1:", "1.2.3.4:99999",
+        "1.2.3.4:-1",
+    ])
+    def test_rejected_forms(self, addr):
+        with pytest.raises(ValueError):
+            _parse_serve_addr(addr)
+
+
+class TestServeCli:
+    def test_bad_addr_exits_2(self, capsys):
+        assert main(["serve", "not-an-addr"]) == 2
+        assert "invalid serve address" in capsys.readouterr().err
+
+    def test_invalid_workers_exits_2(self, capsys):
+        assert main(["serve", "127.0.0.1:0", "--workers", "-1"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_queue_dir_without_distributed_exits_2(self, capsys):
+        assert main([
+            "serve", "127.0.0.1:0", "--queue-dir", "/tmp/q",
+        ]) == 2
+        assert "queue_dir" in capsys.readouterr().err
+
+    def test_busy_port_exits_1(self, capsys):
+        import socket
+
+        holder = socket.socket()
+        try:
+            holder.bind(("127.0.0.1", 0))
+            holder.listen(1)
+            port = holder.getsockname()[1]
+            assert main(["serve", f"127.0.0.1:{port}"]) == 1
+            assert "cannot bind" in capsys.readouterr().err
+        finally:
+            holder.close()
+
+    def test_serve_appears_in_command_list(self, capsys):
+        main(["list"])
+        assert "serve" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestServeSubprocess:
+    def test_serve_round_trip_and_clean_interrupt(self, tmp_path):
+        """`repro serve` as a real process: submit over HTTP, match the
+        in-process oracle, then SIGINT shuts it down cleanly."""
+        from repro.analysis.export import sweep_to_payload
+        from repro.api import ExecutionProfile, SweepSpec
+        from repro.service import RemoteClient
+        from repro.simulation.sweep import execute_sweep
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            ["src"] + env.get("PYTHONPATH", "").split(os.pathsep)
+        ).rstrip(os.pathsep)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "127.0.0.1:0",
+             "--no-cache"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env, cwd="/root/repo",
+        )
+        try:
+            line = process.stdout.readline()
+            assert line.startswith("serving http://")
+            url = line.split()[1]
+            remote = RemoteClient(url, poll_interval=0.05)
+
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                try:
+                    assert remote.health()["status"] == "ok"
+                    break
+                except ConnectionError:
+                    time.sleep(0.1)
+
+            spec = SweepSpec("fig7-mutuality", seeds=[1], smoke=True)
+            sweep = remote.run(spec, timeout=120)
+            oracle = execute_sweep(spec, ExecutionProfile(no_cache=True))
+            payload = sweep_to_payload(sweep)
+            expected = sweep_to_payload(oracle)
+            for volatile in ("timing", "cache"):
+                payload.pop(volatile)
+                expected.pop(volatile)
+            assert payload == expected
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                out, err = process.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                raise
+        assert process.returncode == 0
+        assert "server interrupted" in out

@@ -50,6 +50,14 @@ class TestExamples:
         assert "bad-mouthing" in out
         assert "defended" in out
 
+    def test_serve_client_runs(self, capsys):
+        _load_module("serve_client").main()
+        out = capsys.readouterr().out
+        assert "serving http://" in out
+        assert "success rate" in out
+        assert "cancel job-" in out
+        assert "rejected (400)" in out
+
     @pytest.mark.slow
     def test_smart_home_sharing_runs(self, capsys):
         module = _load_module("smart_home_sharing")

@@ -55,6 +55,14 @@ class TestRowsCsv:
     def test_empty(self):
         assert rows_to_csv([]) == ""
 
+    def test_empty_rows_with_explicit_columns_keeps_header(self):
+        """Regression: an empty export with declared columns is a
+        header-only CSV, not an empty string — downstream tooling can
+        still see the schema."""
+        text = rows_to_csv([], columns=("a", "b"))
+        assert text.splitlines() == ["a,b"]
+        assert list(csv.DictReader(io.StringIO(text))) == []
+
 
 class TestSeries:
     def test_json_mapping(self):
@@ -74,6 +82,29 @@ class TestSeries:
 
     def test_empty_series_list(self):
         assert series_to_csv([]) == ""
+
+    def test_duplicate_labels_raise_instead_of_dropping(self):
+        """Regression: the JSON mapping used to keep only the last
+        curve for a repeated label.  Now it refuses, naming the
+        duplicates."""
+        curves = [
+            LabelledSeries("x", [1.0]),
+            LabelledSeries("x", [2.0]),
+            LabelledSeries("y", [3.0]),
+        ]
+        with pytest.raises(ValueError) as excinfo:
+            series_to_json(curves)
+        assert "'x'" in str(excinfo.value)
+        assert "unique label" in str(excinfo.value)
+
+    def test_unique_labels_still_export(self):
+        curves = [
+            LabelledSeries("x", [1.0]),
+            LabelledSeries("y", [2.0]),
+        ]
+        assert json.loads(series_to_json(curves)) == {
+            "x": [1.0], "y": [2.0],
+        }
 
 
 class TestReportJson:

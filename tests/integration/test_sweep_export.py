@@ -5,7 +5,11 @@ import json
 import pytest
 
 from repro.analysis.export import load_sweep, sweep_to_json, sweep_to_payload
-from repro.simulation.sweep import run_sweep, seed_range
+from repro.simulation.sweep import (
+    run_sweep,
+    seed_range,
+    sweep_result_from_payload,
+)
 
 
 @pytest.fixture(scope="module")
@@ -85,6 +89,33 @@ class TestRoundTrip:
         ):
             assert exported["success_rate"] == original.success_rate
             assert exported["total_requests"] == original.total_requests
+
+
+class TestResultFromPayload:
+    """``sweep_result_from_payload`` is the exact inverse of the export
+    — it is what lets ``RemoteClient`` hand back real ``SweepResult``
+    objects instead of dicts."""
+
+    def test_rates_round_trip(self, rates_sweep):
+        rebuilt = sweep_result_from_payload(sweep_to_payload(rates_sweep))
+        assert sweep_to_payload(rebuilt) == sweep_to_payload(rates_sweep)
+        assert rebuilt.mean == rates_sweep.mean
+        assert rebuilt.per_seed == rates_sweep.per_seed
+        assert rebuilt.variance == rates_sweep.variance
+        assert rebuilt.timing.backend == rates_sweep.timing.backend
+
+    def test_series_round_trip(self, series_sweep):
+        rebuilt = sweep_result_from_payload(
+            sweep_to_payload(series_sweep)
+        )
+        assert sweep_to_payload(rebuilt) == sweep_to_payload(series_sweep)
+        assert rebuilt.mean.label == series_sweep.mean.label
+        assert rebuilt.mean.values == series_sweep.mean.values
+
+    def test_round_trip_through_json_text(self, rates_sweep):
+        payload = load_sweep(sweep_to_json(rates_sweep))
+        rebuilt = sweep_result_from_payload(payload)
+        assert sweep_to_payload(rebuilt) == sweep_to_payload(rates_sweep)
 
 
 class TestValidation:

@@ -1,0 +1,240 @@
+"""Unit tests for the in-process job table behind ``repro serve``."""
+
+import threading
+
+import pytest
+
+from repro.api import Client, ExecutionProfile, SweepSpec
+from repro.service import JobTable
+from repro.simulation.sweep import execute_sweep
+
+SPEC = SweepSpec("fig7-mutuality", seeds=[1], smoke=True)
+
+
+class _GateHandle:
+    """A handle whose work blocks until the client's gate opens."""
+
+    def __init__(self, client, spec):
+        self.client = client
+        self.spec = spec
+        self.cancelled = False
+
+    def result(self):
+        self.client.started.append(self.spec)
+        self.client.gate.wait(10.0)
+        return self.client.outcome
+
+    def cancel(self):
+        self.cancelled = True
+        return False  # a running sweep is never spared
+
+    def progress(self):
+        return (0, 1)
+
+
+class _GateClient:
+    """Client stand-in with deterministic timing: ``submit`` returns a
+    handle whose ``result()`` parks on an event, so tests control
+    exactly when a "running" job finishes."""
+
+    def __init__(self, outcome):
+        self.profile = ExecutionProfile()
+        self.outcome = outcome
+        self.gate = threading.Event()
+        self.started = []
+
+    def submit(self, spec, profile=None):
+        return _GateHandle(self, spec)
+
+    def submit_campaign(self, specs, profile=None):
+        return _GateHandle(self, tuple(specs))
+
+
+@pytest.fixture(scope="module")
+def one_seed_sweep():
+    return execute_sweep(SPEC, ExecutionProfile(no_cache=True))
+
+
+@pytest.fixture
+def gate_table(one_seed_sweep):
+    client = _GateClient(one_seed_sweep)
+    table = JobTable(client, parallel_jobs=1)
+    yield client, table
+    client.gate.set()
+    table.close(wait=True, timeout=5.0)
+
+
+class TestLifecycle:
+    def test_job_runs_to_done(self, gate_table):
+        client, table = gate_table
+        record = table.submit_sweep(SPEC)
+        assert record.job_id == "job-000001"
+        client.gate.set()
+        assert record.wait(10.0)
+        assert record.state() == "done"
+        payload = record.result_payload()
+        assert payload["scenario"] == "fig7-mutuality"
+        assert payload["spec"] == SPEC.to_payload()
+
+    def test_status_payload_shape(self, gate_table):
+        client, table = gate_table
+        record = table.submit_sweep(SPEC)
+        status = record.status_payload()
+        assert status["id"] == record.job_id
+        assert status["kind"] == "sweep"
+        assert status["spec"] == SPEC.to_payload()
+        client.gate.set()
+        record.wait(10.0)
+        assert record.status_payload()["failed_seeds"] == []
+
+    def test_jobs_execute_in_submission_order(self, gate_table):
+        client, table = gate_table
+        records = [table.submit_sweep(SPEC) for _ in range(3)]
+        client.gate.set()
+        for record in records:
+            assert record.wait(10.0)
+        assert client.started == [SPEC] * 3
+        assert [r.job_id for r in table.jobs()] == [
+            "job-000001", "job-000002", "job-000003",
+        ]
+
+    def test_lookup_unknown_job(self, gate_table):
+        _, table = gate_table
+        assert table.get("job-999999") is None
+
+
+class TestCancellation:
+    def test_queued_job_never_runs(self, gate_table):
+        client, table = gate_table
+        blocker = table.submit_sweep(SPEC)
+        victim = table.submit_sweep(SPEC)
+        # The single dispatcher is parked inside the blocker; the
+        # victim is still queued and cancellable.
+        assert blocker.wait(0.0) is False
+        assert victim.cancel() is True
+        assert victim.state() == "cancelled"
+        client.gate.set()
+        assert blocker.wait(10.0)
+        # The dispatcher skipped the cancelled record entirely.
+        assert client.started == [SPEC]
+        assert victim.result_payload() is None
+        assert victim.status_payload()["error"]["error_type"] == (
+            "CancelledError"
+        )
+
+    def test_running_sweep_is_not_spared(self, gate_table):
+        client, table = gate_table
+        record = table.submit_sweep(SPEC)
+        # Wait for the dispatcher to start the work.
+        for _ in range(200):
+            if client.started:
+                break
+            threading.Event().wait(0.01)
+        assert record.cancel() is False
+        client.gate.set()
+        assert record.wait(10.0)
+        assert record.state() == "done"
+
+    def test_terminal_job_cancel_is_false(self, gate_table):
+        client, table = gate_table
+        record = table.submit_sweep(SPEC)
+        client.gate.set()
+        assert record.wait(10.0)
+        assert record.cancel() is False
+
+
+class TestValidationAndShutdown:
+    def test_rejects_non_spec(self, gate_table):
+        _, table = gate_table
+        with pytest.raises(TypeError):
+            table.submit_sweep({"scenario": "fig7-mutuality"})
+
+    def test_rejects_non_profile(self, gate_table):
+        _, table = gate_table
+        with pytest.raises(TypeError):
+            table.submit_sweep(SPEC, profile={"workers": 2})
+
+    def test_rejects_empty_campaign(self, gate_table):
+        _, table = gate_table
+        with pytest.raises(ValueError):
+            table.submit_campaign([])
+
+    def test_rejects_parallel_jobs_below_one(self):
+        with pytest.raises(ValueError):
+            JobTable(Client(), parallel_jobs=0)
+
+    def test_closed_table_rejects_submissions(self, one_seed_sweep):
+        client = _GateClient(one_seed_sweep)
+        client.gate.set()
+        table = JobTable(client, parallel_jobs=1)
+        table.close(wait=True, timeout=5.0)
+        with pytest.raises(RuntimeError):
+            table.submit_sweep(SPEC)
+
+
+class TestRealClient:
+    def test_sweep_through_real_client_matches_oracle(
+        self, one_seed_sweep
+    ):
+        table = JobTable(
+            Client(ExecutionProfile(no_cache=True)), parallel_jobs=1
+        )
+        try:
+            record = table.submit_sweep(SPEC)
+            assert record.wait(60.0)
+            assert record.state() == "done"
+            from repro.analysis.export import sweep_to_payload
+
+            expected = sweep_to_payload(one_seed_sweep)
+            actual = record.result_payload()
+            for volatile in ("timing",):
+                expected.pop(volatile)
+                actual = dict(actual)
+                actual.pop(volatile)
+            assert actual == expected
+        finally:
+            table.close(wait=True, timeout=5.0)
+
+    def test_campaign_through_real_client(self):
+        table = JobTable(
+            Client(ExecutionProfile(no_cache=True)), parallel_jobs=1
+        )
+        try:
+            record = table.submit_campaign(
+                [SPEC, SweepSpec("fig7-mutuality", seeds=[2], smoke=True)],
+                name="pair",
+            )
+            assert record.wait(60.0)
+            assert record.state() == "done"
+            payload = record.result_payload()
+            assert sorted(payload) == [
+                "fig7-mutuality", "fig7-mutuality#2",
+            ]
+            status = record.status_payload()
+            assert status["name"] == "pair"
+            assert status["labels"] == [
+                "fig7-mutuality", "fig7-mutuality#2",
+            ]
+            assert status["failed_seeds"] == {
+                "fig7-mutuality": [], "fig7-mutuality#2": [],
+            }
+        finally:
+            table.close(wait=True, timeout=5.0)
+
+    def test_runtime_failure_is_structured(self):
+        table = JobTable(
+            Client(ExecutionProfile(no_cache=True)), parallel_jobs=1
+        )
+        try:
+            spec = SweepSpec(
+                "fig7-mutuality", seeds=[1], smoke=True,
+                overrides={"threshold": "not-a-number"},
+            )
+            record = table.submit_sweep(spec)
+            assert record.wait(60.0)
+            assert record.state() == "failed"
+            error = record.status_payload()["error"]
+            assert error["error_type"]
+            assert error["message"]
+        finally:
+            table.close(wait=True, timeout=5.0)

@@ -1,0 +1,230 @@
+"""Tests for :class:`repro.service.RemoteClient` — the facade mirror
+and the satellite error paths: 400 bodies surface validation messages,
+cancelled jobs report a terminal state, and a dead server is a clear
+connection error, never a hang."""
+
+import threading
+
+import pytest
+
+from repro.api import CancelledError, ExecutionProfile, SweepSpec
+from repro.analysis.export import sweep_to_payload
+from repro.service import (
+    JobServer,
+    RemoteClient,
+    ServiceConnectionError,
+    ServiceError,
+)
+from repro.simulation.sweep import SweepFailureError, execute_sweep
+
+SPEC = SweepSpec("fig7-mutuality", seeds=[1, 2], smoke=True)
+
+
+def _values(payload):
+    """A sweep export payload without the run-dependent blocks."""
+    trimmed = dict(payload)
+    trimmed.pop("timing")
+    trimmed.pop("cache")
+    return trimmed
+
+
+@pytest.fixture(scope="module")
+def server():
+    with JobServer(profile=ExecutionProfile(no_cache=True)) as srv:
+        yield srv
+
+
+@pytest.fixture
+def remote(server):
+    return RemoteClient(server.url, poll_interval=0.02)
+
+
+class TestFacadeMirror:
+    def test_submit_returns_a_real_sweep_result(self, remote):
+        handle = remote.submit(SPEC)
+        sweep = handle.result(timeout=60)
+        oracle = execute_sweep(SPEC, ExecutionProfile(no_cache=True))
+        assert _values(sweep_to_payload(sweep)) == _values(
+            sweep_to_payload(oracle)
+        )
+        assert sweep.mean == oracle.mean
+        assert sweep.per_seed == oracle.per_seed
+        assert handle.status() == "done"
+        assert handle.done() is True
+
+    def test_run_convenience(self, remote):
+        sweep = remote.run(SPEC, timeout=60)
+        assert sweep.scenario == "fig7-mutuality"
+        assert sweep.seeds == [1, 2]
+
+    def test_campaign_round_trip(self, remote):
+        specs = [
+            SweepSpec("fig7-mutuality", seeds=[1], smoke=True),
+            SweepSpec("fig7-mutuality", seeds=[2], smoke=True),
+        ]
+        handle = remote.submit_campaign(specs, name="pair")
+        campaign = handle.result(timeout=60)
+        assert campaign.labels == ("fig7-mutuality", "fig7-mutuality#2")
+        assert campaign.specs == tuple(specs)
+        completed, total = handle.progress()
+        assert (completed, total) == (2, 2)
+        oracle = execute_sweep(specs[1], ExecutionProfile(no_cache=True))
+        assert _values(
+            sweep_to_payload(campaign.by_label()["fig7-mutuality#2"])
+        ) == _values(sweep_to_payload(oracle))
+
+    def test_campaign_write_exports(self, remote, tmp_path):
+        handle = remote.submit_campaign(
+            [SweepSpec("fig7-mutuality", seeds=[1], smoke=True)]
+        )
+        campaign = handle.result(timeout=60)
+        paths = campaign.write_exports(tmp_path / "exports")
+        assert [path.name for path in paths] == ["fig7-mutuality.json"]
+
+    def test_job_reattach(self, remote):
+        handle = remote.submit(SPEC)
+        again = remote.job(handle.job_id)
+        assert again.result(timeout=60).seeds == [1, 2]
+        assert handle.job_id in [job["id"] for job in remote.jobs()]
+
+    def test_reattach_unknown_job_is_404(self, remote):
+        with pytest.raises(ServiceError) as excinfo:
+            remote.job("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_base_url_normalization(self, server):
+        host, port = server.address
+        client = RemoteClient(f"{host}:{port}")  # no scheme
+        assert client.health()["status"] == "ok"
+
+    def test_rejects_non_spec_types(self, remote):
+        with pytest.raises(TypeError):
+            remote.submit(42)
+
+
+class TestErrorPaths:
+    def test_malformed_spec_payload_surfaces_validation_message(
+        self, remote
+    ):
+        """Satellite: 400 body carries the server-side validation
+        message, verbatim enough to act on."""
+        with pytest.raises(ServiceError) as excinfo:
+            remote.submit({"scenario": "fig99-nope", "seeds": [1]})
+        assert excinfo.value.status == 400
+        assert "unknown scenario 'fig99-nope'" in str(excinfo.value)
+        assert "fig7-mutuality" in str(excinfo.value)
+
+        with pytest.raises(ServiceError) as excinfo:
+            remote.submit({"scenario": "fig7-mutuality", "seeds": []})
+        assert excinfo.value.status == 400
+        assert "at least one seed" in str(excinfo.value)
+
+        with pytest.raises(ServiceError) as excinfo:
+            remote.submit(
+                {"scenario": "fig7-mutuality", "seeds": [1],
+                 "surprise": True},
+            )
+        assert excinfo.value.status == 400
+        assert "surprise" in str(excinfo.value)
+
+    def test_invalid_profile_payload_is_400(self, remote):
+        """The server rejects a contradictory profile with the shared
+        :func:`validate_execution` message."""
+        with pytest.raises(ServiceError) as excinfo:
+            remote._request("POST", "/v1/sweeps", {
+                "spec": SPEC.to_payload(),
+                "profile": {"no_cache": True, "cache_dir": "/tmp/x"},
+            })
+        assert excinfo.value.status == 400
+        assert "no_cache" in str(excinfo.value)
+
+    def test_sweep_failure_error_crosses_the_wire(
+        self, remote, monkeypatch
+    ):
+        """An all-seeds-failed sweep re-raises as the same
+        :class:`SweepFailureError` an in-process caller would see,
+        structured failure records intact."""
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:2")
+        profile = ExecutionProfile(
+            no_cache=True, max_attempts=1, on_error="collect"
+        )
+        handle = remote.submit(
+            SweepSpec("fig7-mutuality", seeds=[2], smoke=True),
+            profile=profile,
+        )
+        with pytest.raises(SweepFailureError) as excinfo:
+            handle.result(timeout=60)
+        assert excinfo.value.scenario == "fig7-mutuality"
+        assert [
+            record["seed"] for record in excinfo.value.failed_seeds
+        ] == [2]
+        assert handle.status() == "failed"
+
+    def test_raise_fast_pool_failure_is_a_service_error(
+        self, remote, monkeypatch
+    ):
+        """Under the pool default (raise-fast) the seed's own exception
+        surfaces as a structured ServiceError, never a hang."""
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:2")
+        handle = remote.submit(
+            SPEC, profile=ExecutionProfile(no_cache=True)
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            handle.result(timeout=60)
+        assert "InjectedFaultError" in str(excinfo.value)
+        assert "seed 2 is poison" in str(excinfo.value)
+
+    def test_polling_a_cancelled_job_reports_terminal_state(self):
+        """Satellite: a cancelled job polls as ``cancelled`` (terminal)
+        and ``result()`` raises :class:`CancelledError`."""
+        gate = threading.Event()
+
+        class _Handle:
+            def result(self):
+                gate.wait(10.0)
+                return execute_sweep(
+                    SweepSpec("fig7-mutuality", seeds=[1], smoke=True),
+                    ExecutionProfile(no_cache=True),
+                )
+
+            def cancel(self):
+                return False
+
+        class _Client:
+            profile = ExecutionProfile()
+
+            def submit(self, spec, profile=None):
+                return _Handle()
+
+        with JobServer(client=_Client()) as srv:
+            remote = RemoteClient(srv.url, poll_interval=0.02)
+            blocker = remote.submit(SPEC)
+            victim = remote.submit(SPEC)
+            assert victim.cancel() is True
+            assert victim.status() == "cancelled"
+            assert victim.done() is True
+            assert victim.wait(timeout=1.0) is True
+            with pytest.raises(CancelledError):
+                victim.result(timeout=5)
+            gate.set()
+            assert blocker.wait(timeout=30)
+
+    def test_dead_server_is_a_connection_error_not_a_hang(self):
+        """Satellite: a server restart mid-poll surfaces immediately."""
+        server = JobServer(profile=ExecutionProfile(no_cache=True))
+        server.start()
+        remote = RemoteClient(server.url, poll_interval=0.02)
+        handle = remote.submit(SPEC)
+        handle.result(timeout=60)
+        server.close()
+        with pytest.raises(ServiceConnectionError) as excinfo:
+            handle.status()
+        assert "cannot reach job service" in str(excinfo.value)
+        with pytest.raises(ServiceConnectionError):
+            remote.submit(SPEC)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RemoteClient("http://127.0.0.1:1", timeout=0)
+        with pytest.raises(ValueError):
+            RemoteClient("http://127.0.0.1:1", poll_interval=0)

@@ -1,0 +1,365 @@
+"""HTTP-level tests for the ``repro serve`` JSON API."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Client, ExecutionProfile, SweepSpec
+from repro.service import JobServer
+from repro.simulation import registry
+from repro.simulation.distributed import WorkQueue
+from repro.simulation.sweep import execute_sweep
+
+SPEC = SweepSpec("fig7-mutuality", seeds=[1], smoke=True)
+
+
+def _raw(server, method, path, payload=None, body=None):
+    """One raw request; returns (status, parsed body) without raising."""
+    data = body
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        f"{server.url}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _wait_done(server, job_id, timeout=60.0):
+    record = server.table.get(job_id)
+    assert record is not None and record.wait(timeout)
+    return record
+
+
+@pytest.fixture(scope="module")
+def server():
+    with JobServer(profile=ExecutionProfile(no_cache=True)) as srv:
+        yield srv
+
+
+class TestSubmitSweep:
+    def test_bare_spec_payload(self, server):
+        status, body = _raw(
+            server, "POST", "/v1/sweeps", SPEC.to_payload()
+        )
+        assert status == 201
+        assert body["kind"] == "sweep"
+        assert body["state"] in ("queued", "running")
+        assert body["spec"] == SPEC.to_payload()
+        record = _wait_done(server, body["id"])
+        assert record.state() == "done"
+
+    def test_spec_with_profile_envelope(self, server):
+        status, body = _raw(server, "POST", "/v1/sweeps", {
+            "spec": SPEC.to_payload(),
+            "profile": {"workers": 1, "no_cache": True},
+        })
+        assert status == 201
+        _wait_done(server, body["id"])
+
+    def test_result_matches_inprocess_engine(self, server):
+        status, body = _raw(
+            server, "POST", "/v1/sweeps", SPEC.to_payload()
+        )
+        record = _wait_done(server, body["id"])
+        status, result = _raw(
+            server, "GET", f"/v1/jobs/{body['id']}/result"
+        )
+        assert status == 200
+        oracle = execute_sweep(SPEC, ExecutionProfile(no_cache=True))
+        from repro.analysis.export import sweep_to_payload
+
+        expected = sweep_to_payload(oracle)
+        for volatile in ("timing",):
+            expected.pop(volatile)
+            result.pop(volatile)
+        assert result == expected
+
+
+class TestValidation:
+    def test_unknown_scenario_is_400_with_registry_message(self, server):
+        status, body = _raw(server, "POST", "/v1/sweeps", {
+            "scenario": "fig99-nope", "seeds": [1],
+        })
+        assert status == 400
+        message = body["error"]["message"]
+        assert "unknown scenario 'fig99-nope'" in message
+        assert "fig7-mutuality" in message  # names the known set
+
+    def test_unknown_override_is_400(self, server):
+        status, body = _raw(server, "POST", "/v1/sweeps", {
+            "scenario": "fig7-mutuality", "seeds": [1],
+            "overrides": {"bogus_param": 1},
+        })
+        assert status == 400
+        assert "bogus" in body["error"]["message"]
+
+    def test_bad_profile_is_400(self, server):
+        status, body = _raw(server, "POST", "/v1/sweeps", {
+            "spec": SPEC.to_payload(), "profile": {"workers": 0},
+        })
+        assert status == 400
+        assert "workers" in body["error"]["message"]
+
+    def test_conflicting_profile_is_400(self, server):
+        status, body = _raw(server, "POST", "/v1/sweeps", {
+            "spec": SPEC.to_payload(),
+            "profile": {"no_cache": True, "cache_dir": "/tmp/x"},
+        })
+        assert status == 400
+        assert "no_cache" in body["error"]["message"]
+
+    def test_invalid_json_body_is_400(self, server):
+        status, body = _raw(
+            server, "POST", "/v1/sweeps", body=b"{not json"
+        )
+        assert status == 400
+        assert "not valid JSON" in body["error"]["message"]
+
+    def test_empty_body_is_400(self, server):
+        status, body = _raw(server, "POST", "/v1/sweeps", body=b"")
+        assert status == 400
+
+    def test_non_object_body_is_400(self, server):
+        status, body = _raw(server, "POST", "/v1/sweeps", payload=[1, 2])
+        assert status == 400
+
+    def test_unknown_envelope_field_is_400(self, server):
+        status, body = _raw(server, "POST", "/v1/sweeps", {
+            "spec": SPEC.to_payload(), "sched": "asap",
+        })
+        assert status == 400
+        assert "sched" in body["error"]["message"]
+
+    def test_bad_manifest_is_400(self, server):
+        status, body = _raw(server, "POST", "/v1/campaigns", {
+            "sweeps": [],
+        })
+        assert status == 400
+        assert "sweeps" in body["error"]["message"]
+
+
+class TestJobEndpoints:
+    def test_unknown_job_is_404(self, server):
+        for path in ("/v1/jobs/job-424242",
+                     "/v1/jobs/job-424242/result"):
+            status, body = _raw(server, "GET", path)
+            assert status == 404
+            assert "job-424242" in body["error"]["message"]
+        status, _ = _raw(server, "DELETE", "/v1/jobs/job-424242")
+        assert status == 404
+
+    def test_unknown_path_is_404(self, server):
+        status, body = _raw(server, "GET", "/v2/jobs")
+        assert status == 404
+        status, body = _raw(server, "GET", "/v1/sweeps")
+        assert status == 404
+
+    def test_jobs_listing(self, server):
+        _, body = _raw(server, "POST", "/v1/sweeps", SPEC.to_payload())
+        _wait_done(server, body["id"])
+        status, listing = _raw(server, "GET", "/v1/jobs")
+        assert status == 200
+        ids = [job["id"] for job in listing["jobs"]]
+        assert body["id"] in ids
+        assert ids == sorted(ids)
+
+    def test_health_counts_jobs(self, server):
+        status, body = _raw(server, "GET", "/v1/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert isinstance(body["jobs"], dict)
+
+    def test_campaign_submit_and_result(self, server):
+        manifest = {
+            "name": "pair",
+            "sweeps": [
+                SPEC.to_payload(),
+                {"scenario": "fig7-mutuality", "seed_count": 1,
+                 "first_seed": 2, "smoke": True},
+            ],
+        }
+        status, body = _raw(server, "POST", "/v1/campaigns", manifest)
+        assert status == 201
+        assert body["kind"] == "campaign"
+        assert body["labels"] == ["fig7-mutuality", "fig7-mutuality#2"]
+        assert body["name"] == "pair"
+        _wait_done(server, body["id"])
+        status, result = _raw(
+            server, "GET", f"/v1/jobs/{body['id']}/result"
+        )
+        assert status == 200
+        assert sorted(result) == ["fig7-mutuality", "fig7-mutuality#2"]
+        assert result["fig7-mutuality#2"]["seeds"] == [2]
+
+
+class TestResultStates:
+    def test_result_before_done_is_409(self):
+        """A queued job's result is a 409 naming the state."""
+        gate = threading.Event()
+
+        class _Handle:
+            def result(self):
+                gate.wait(10.0)
+                raise RuntimeError("never resolves in this test")
+
+            def cancel(self):
+                return False
+
+        class _Client:
+            profile = ExecutionProfile()
+
+            def submit(self, spec, profile=None):
+                return _Handle()
+
+        with JobServer(client=_Client()) as srv:
+            _, blocker = _raw(
+                srv, "POST", "/v1/sweeps", SPEC.to_payload()
+            )
+            _, queued = _raw(
+                srv, "POST", "/v1/sweeps", SPEC.to_payload()
+            )
+            status, body = _raw(
+                srv, "GET", f"/v1/jobs/{queued['id']}/result"
+            )
+            assert status == 409
+            assert body["error"]["state"] == "queued"
+            assert "still queued" in body["error"]["message"]
+            gate.set()
+
+    def test_cancelled_result_is_409_and_delete_is_honest(self):
+        gate = threading.Event()
+        started = []
+
+        class _Handle:
+            def result(self):
+                started.append(True)
+                gate.wait(10.0)
+                return execute_sweep(
+                    SPEC, ExecutionProfile(no_cache=True)
+                )
+
+            def cancel(self):
+                return False
+
+        class _Client:
+            profile = ExecutionProfile()
+
+            def submit(self, spec, profile=None):
+                return _Handle()
+
+        with JobServer(client=_Client()) as srv:
+            _, blocker = _raw(
+                srv, "POST", "/v1/sweeps", SPEC.to_payload()
+            )
+            _, victim = _raw(
+                srv, "POST", "/v1/sweeps", SPEC.to_payload()
+            )
+            status, body = _raw(
+                srv, "DELETE", f"/v1/jobs/{victim['id']}"
+            )
+            assert status == 200
+            assert body == {
+                "cancelled": True, "id": victim["id"],
+                "state": "cancelled",
+            }
+            status, body = _raw(
+                srv, "GET", f"/v1/jobs/{victim['id']}/result"
+            )
+            assert status == 409
+            assert body["error"]["state"] == "cancelled"
+            gate.set()
+            _wait_done(srv, blocker["id"])
+            # The victim never executed.
+            assert len(started) == 1
+            # Cancelling a finished job spares nothing.
+            status, body = _raw(
+                srv, "DELETE", f"/v1/jobs/{blocker['id']}"
+            )
+            assert status == 200
+            assert body["cancelled"] is False
+
+    def test_runtime_failure_is_500_with_error_body(self):
+        with JobServer(profile=ExecutionProfile(no_cache=True)) as srv:
+            spec = SweepSpec(
+                "fig7-mutuality", seeds=[1], smoke=True,
+                overrides={"threshold": "not-a-number"},
+            )
+            _, body = _raw(
+                srv, "POST", "/v1/sweeps", spec.to_payload()
+            )
+            record = _wait_done(srv, body["id"])
+            assert record.state() == "failed"
+            status, job = _raw(srv, "GET", f"/v1/jobs/{body['id']}")
+            assert status == 200
+            assert job["state"] == "failed"
+            assert job["error"]["message"]
+            status, result = _raw(
+                srv, "GET", f"/v1/jobs/{body['id']}/result"
+            )
+            assert status == 500
+            assert result["error"]["state"] == "failed"
+
+    def test_quarantined_seeds_ride_in_the_status_body(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_WORKER_FAULT", "raise:2")
+        profile = ExecutionProfile(
+            no_cache=True, max_attempts=1, on_error="collect"
+        )
+        with JobServer(profile=profile) as srv:
+            spec = SweepSpec("fig7-mutuality", seeds=[1, 2], smoke=True)
+            _, body = _raw(
+                srv, "POST", "/v1/sweeps", spec.to_payload()
+            )
+            record = _wait_done(srv, body["id"])
+            assert record.state() == "done"
+            _, job = _raw(srv, "GET", f"/v1/jobs/{body['id']}")
+            assert [f["seed"] for f in job["failed_seeds"]] == [2]
+            assert job["failed_seeds"][0]["error_type"] == (
+                "InjectedFaultError"
+            )
+            _, result = _raw(
+                srv, "GET", f"/v1/jobs/{body['id']}/result"
+            )
+            assert result["seeds"] == [1]
+            assert [f["seed"] for f in result["failed_seeds"]] == [2]
+
+
+class TestQueueEndpoint:
+    def test_no_queue_dir_is_409(self, server):
+        status, body = _raw(server, "GET", "/v1/queue")
+        assert status == 409
+        assert "queue_dir" in body["error"]["message"]
+
+    def test_explicit_dir_reports_staged_queue(self, server, tmp_path):
+        spec = registry.get("fig7-mutuality")
+        WorkQueue.create(
+            tmp_path / "q", "fig7-mutuality",
+            spec.params_key(smoke=True), [1, 2], 1,
+        )
+        status, body = _raw(
+            server, "GET", f"/v1/queue?dir={tmp_path / 'q'}"
+        )
+        assert status == 200
+        assert body["queue_dir"] == str(tmp_path / "q")
+        assert len(body["sweeps"]) == 1
+        assert body["sweeps"][0]["pending"] == 2
+
+    def test_profile_queue_dir_is_the_default(self, tmp_path):
+        profile = ExecutionProfile(
+            backend="distributed", workers=1,
+            queue_dir=str(tmp_path / "q"), no_cache=True,
+        )
+        with JobServer(profile=profile) as srv:
+            status, body = _raw(srv, "GET", "/v1/queue")
+            assert status == 200
+            assert body["queue_dir"] == str(tmp_path / "q")
+            assert body["sweeps"] == []

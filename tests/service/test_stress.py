@@ -1,0 +1,130 @@
+"""Acceptance: hundreds of simultaneous HTTP submitters, one fleet.
+
+The issue's bar: >=100 concurrent clients against one ``repro serve``
+endpoint, every fetched result bit-identical to the in-process
+``Client`` oracle, and ``DELETE`` on a queued job preventing it from
+ever running (proven through the cache: the cancelled spec's seeds are
+never computed)."""
+
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api import Client, ExecutionProfile, SweepSpec
+from repro.analysis.export import sweep_to_payload
+from repro.service import JobServer, RemoteClient
+from repro.simulation.cache import SweepCache
+
+SUBMITTERS = 120
+DISTINCT_SPECS = 6
+
+
+def _values(payload):
+    """A sweep export payload without the run-dependent blocks."""
+    trimmed = dict(payload)
+    trimmed.pop("timing")
+    trimmed.pop("cache")
+    return trimmed
+
+
+class TestConcurrentClients:
+    def test_hundred_plus_submitters_bit_identical_to_oracle(
+        self, tmp_path
+    ):
+        specs = [
+            SweepSpec("fig7-mutuality", seeds=[seed], smoke=True)
+            for seed in range(1, DISTINCT_SPECS + 1)
+        ]
+        # The in-process oracle, straight through the Client facade.
+        oracle_client = Client(ExecutionProfile(no_cache=True))
+        oracles = {
+            spec: _values(sweep_to_payload(oracle_client.run(spec)))
+            for spec in specs
+        }
+
+        profile = ExecutionProfile(cache_dir=str(tmp_path / "cache"))
+        results = [None] * SUBMITTERS
+        errors = []
+
+        with JobServer(profile=profile) as server:
+            url = server.url
+
+            def submitter(index: int) -> None:
+                try:
+                    remote = RemoteClient(
+                        url, timeout=60, poll_interval=0.05
+                    )
+                    spec = specs[index % DISTINCT_SPECS]
+                    sweep = remote.submit(spec).result(timeout=300)
+                    results[index] = (spec, _values(
+                        sweep_to_payload(sweep)
+                    ))
+                except BaseException as error:  # noqa: BLE001
+                    errors.append((index, error))
+
+            threads = [
+                threading.Thread(target=submitter, args=(index,))
+                for index in range(SUBMITTERS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            assert not any(
+                thread.is_alive() for thread in threads
+            ), "submitters hung"
+
+        assert errors == []
+        assert all(entry is not None for entry in results)
+        for spec, payload in results:
+            assert payload == oracles[spec], (
+                f"HTTP result for {spec.scenario} seeds={spec.seeds} "
+                f"diverged from the in-process oracle"
+            )
+
+    def test_delete_on_a_queued_job_prevents_it_from_ever_running(
+        self, tmp_path
+    ):
+        cache_dir = tmp_path / "cache"
+        profile = ExecutionProfile(cache_dir=str(cache_dir))
+        # Uncached multi-seed blocker: holds the single dispatcher for
+        # seconds, leaving the victim deterministically queued.
+        blocker_spec = SweepSpec(
+            "fig15-environment", seeds=[101, 102, 103, 104], smoke=True
+        )
+        victim_spec = SweepSpec("fig7-mutuality", seeds=[999], smoke=True)
+
+        with JobServer(profile=profile) as server:
+            remote = RemoteClient(server.url, poll_interval=0.05)
+            blocker = remote.submit(blocker_spec)
+            victim = remote.submit(victim_spec)
+            assert victim.cancel() is True
+            assert victim.status() == "cancelled"
+            assert blocker.result(timeout=300).seeds == [
+                101, 102, 103, 104,
+            ]
+            # Still cancelled after the queue drained: it never ran.
+            assert victim.status() == "cancelled"
+            from repro.api import CancelledError
+
+            with pytest.raises(CancelledError):
+                victim.result(timeout=5)
+
+        # The proof it never computed: the cache holds the blocker's
+        # seeds but nothing for the victim's.
+        cache = SweepCache(Path(cache_dir))
+        blocker_keys = SweepCache.keys_for(
+            blocker_spec.scenario, blocker_spec.params_key(),
+            blocker_spec.seeds,
+        )
+        victim_keys = SweepCache.keys_for(
+            victim_spec.scenario, victim_spec.params_key(),
+            victim_spec.seeds,
+        )
+        assert all(
+            cache.get(key) is not None for key in blocker_keys.values()
+        )
+        assert all(
+            cache.get(key) is None for key in victim_keys.values()
+        )
