@@ -28,7 +28,10 @@ def main() -> None:
         print(f"health: {client.health()['status']}")
 
         # 3. Submit and block for a real SweepResult, exactly like the
-        #    in-process Client facade.
+        #    in-process Client facade.  result()/wait() ride the
+        #    server's ``?wait=`` long-poll, so a blocked caller costs a
+        #    handful of requests, not one per poll_interval (pass
+        #    long_poll=False to RemoteClient for plain polling).
         spec = SweepSpec("fig7-mutuality", seeds=[1, 2], smoke=True)
         handle = client.submit(spec)
         print(f"submitted {handle.job_id} ({handle.status()})")

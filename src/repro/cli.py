@@ -457,16 +457,13 @@ def _queue_path_error(path: str) -> Optional[str]:
 
     ``queue``/``worker`` on a mistyped path used to report an empty
     queue (or poll it forever); an operator pointing at the wrong
-    volume wants a loud exit instead.
+    volume wants a loud exit instead.  The check itself lives with the
+    queue (:func:`repro.simulation.distributed.queue_path_error`) so
+    the HTTP service validates ``?dir=`` identically.
     """
-    from pathlib import Path
+    from repro.simulation.distributed import queue_path_error
 
-    target = Path(path)
-    if not target.exists():
-        return f"queue path {path} does not exist"
-    if not target.is_dir():
-        return f"queue path {path} is not a directory"
-    return None
+    return queue_path_error(path)
 
 
 def cmd_queue(args: argparse.Namespace) -> int:
@@ -630,15 +627,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server = JobServer(
             profile=profile, host=host, port=port,
             parallel_jobs=args.parallel_jobs, verbose=args.verbose,
+            state_dir=args.state_dir,
         )
     except OSError as error:
         print(f"error: cannot bind {host}:{port}: {error}",
               file=sys.stderr)
         return 1
     bound_host, bound_port = server.address
-    queue_note = (
-        f" (queue dir {profile.queue_dir})" if profile.queue_dir else ""
-    )
+    notes = []
+    if profile.queue_dir:
+        notes.append(f"queue dir {profile.queue_dir}")
+    if args.state_dir:
+        recovered = len(server.table.jobs())
+        notes.append(
+            f"state dir {args.state_dir}, {recovered} job(s) recovered"
+        )
+    queue_note = f" ({'; '.join(notes)})" if notes else ""
     print(f"serving http://{bound_host}:{bound_port}{queue_note}",
           flush=True)
     try:
@@ -840,6 +844,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bind address as HOST:PORT, :PORT or PORT "
                             "(port 0 picks an ephemeral port and "
                             "prints it)")
+    serve.add_argument("--state-dir", metavar="DIR", default=None,
+                       help="journal every job to DIR and recover the "
+                            "job table from it on startup (restart-"
+                            "durable; multiple servers sharing DIR "
+                            "dispatch each job exactly once)")
     serve.add_argument("--parallel-jobs", type=int, default=1,
                        metavar="N",
                        help="jobs executed concurrently; submissions "

@@ -14,6 +14,11 @@ callers can reach without mounting the queue volume:
 * :class:`JobTable` — the in-process table behind the server: many
   HTTP clients multiplex onto one :class:`~repro.api.Client` and its
   worker fleet through a bounded dispatcher.
+* :class:`JobStateStore` — the ``--state-dir`` durability layer: a
+  journal of every job transition plus persisted results and
+  ``O_EXCL`` dispatch leases, so a restarted server recovers its job
+  table and multiple servers sharing one state dir dispatch each job
+  exactly once.
 * :class:`RemoteClient` — the client-side mirror of the ``Client``
   facade: swap in a base URL and keep the same ``submit()`` /
   ``SweepHandle``-shaped surface; results come back as genuine
@@ -29,7 +34,9 @@ from repro.service.jobs import (
     JobRecord,
     JobTable,
     JOB_STATES,
+    TERMINAL_STATES,
 )
+from repro.service.persist import JobStateStore
 from repro.service.remote import (
     RemoteCampaignHandle,
     RemoteClient,
@@ -41,8 +48,10 @@ from repro.service.server import JobServer
 
 __all__ = [
     "JOB_STATES",
+    "TERMINAL_STATES",
     "JobRecord",
     "JobServer",
+    "JobStateStore",
     "JobTable",
     "RemoteCampaignHandle",
     "RemoteClient",

@@ -14,6 +14,18 @@ Job lifecycle mirrors the API handles — ``queued`` → ``running`` →
 Client's honesty contract: a job cancelled while still ``queued`` never
 executes anything; a running sweep finishes (nothing is spared); a
 running campaign finishes the sweep in flight and skips the rest.
+
+With a :class:`~repro.service.persist.JobStateStore` attached the table
+is durable: every transition is journaled to the state dir, ``done``
+results are persisted before they are announced, and a restarted table
+recovers the whole journal — terminal jobs come back with their results
+fetchable, jobs that were ``running`` when the server died are
+re-marked ``failed`` with a structured ``server_restart`` error, jobs
+that never started are re-dispatched, and id allocation resumes past
+the recovered maximum.  Two tables sharing one state dir claim each job
+with an ``O_EXCL`` dispatch lease before running it, so a job is
+executed exactly once no matter how many servers can see it; the losing
+table keeps a *passive* record that follows the winner's journal.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api import (
@@ -31,8 +44,14 @@ from repro.api import (
     campaign_labels,
 )
 from repro.api.client import CANCELLED, DONE, FAILED, QUEUED, RUNNING
+from repro.service.persist import JobStateStore
 
 JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+# How often a waiter re-reads the journal of a passive record (one
+# another server is executing) while blocked in JobRecord.wait().
+_PASSIVE_POLL = 0.1
 
 
 def _error_payload(error: BaseException) -> Dict[str, object]:
@@ -65,6 +84,7 @@ class JobRecord:
         specs: Sequence[SweepSpec],
         profile: Optional[ExecutionProfile],
         name: str = "",
+        created: Optional[float] = None,
     ) -> None:
         self.job_id = job_id
         self.kind = kind  # "sweep" | "campaign"
@@ -72,23 +92,175 @@ class JobRecord:
         self.labels = campaign_labels(self.specs)
         self.profile = profile
         self.name = name
+        self.created = time.time() if created is None else float(created)
+        self.store: Optional[JobStateStore] = None
         self._lock = threading.Lock()
         self._finished = threading.Event()
         self._state = QUEUED
+        self._passive = False  # another server holds the dispatch lease
         self._handle = None  # the api handle once running
         self._result_payload: Optional[Dict[str, object]] = None
         self._error: Optional[Dict[str, object]] = None
 
+    # -- persistence ----------------------------------------------------
+    def to_persist_payload(self) -> Dict[str, object]:
+        """The journal entry: everything a restarted table needs."""
+        with self._lock:
+            return {
+                "id": self.job_id,
+                "kind": self.kind,
+                "name": self.name,
+                "state": self._state,
+                "specs": [spec.to_payload() for spec in self.specs],
+                "profile": (
+                    self.profile.to_payload()
+                    if self.profile is not None else None
+                ),
+                "error": dict(self._error) if self._error else None,
+                "created": self.created,
+                "updated": time.time(),
+            }
+
+    @classmethod
+    def from_persist_payload(
+        cls, payload: Dict[str, object]
+    ) -> "JobRecord":
+        """Rebuild a record from its journal entry (raises on garbage)."""
+        specs = [
+            SweepSpec.from_payload(entry) for entry in payload["specs"]
+        ]
+        profile_payload = payload.get("profile")
+        profile = (
+            ExecutionProfile.from_payload(profile_payload)
+            if profile_payload is not None else None
+        )
+        record = cls(
+            str(payload["id"]), str(payload["kind"]), specs, profile,
+            name=str(payload.get("name") or ""),
+            created=payload.get("created"),
+        )
+        state = payload.get("state")
+        if state in JOB_STATES:
+            record._state = state
+        error = payload.get("error")
+        if isinstance(error, dict):
+            record._error = dict(error)
+        if record._state in TERMINAL_STATES:
+            record._finished.set()
+        return record
+
+    def _journal(self) -> None:
+        """Publish the current state to the store (atomic, best-order).
+
+        Transitions are serialized by the record's state machine — the
+        dispatcher owns ``running`` → terminal and ``cancel`` only ever
+        wins from ``queued`` — so each journal write strictly supersedes
+        the previous one.
+        """
+        if self.store is not None and not self._passive:
+            self.store.save_job(self.to_persist_payload())
+
+    def _mark_passive(self) -> None:
+        """Another server claimed this job; follow its journal instead."""
+        with self._lock:
+            if self._state in TERMINAL_STATES:
+                return
+            self._passive = True
+
+    def _refresh_from_store(self) -> str:
+        """Adopt the journaled state of a passively-watched job."""
+        if not self._passive or self.store is None:
+            return self.state()
+        payload = self.store.load_job(self.job_id)
+        state = payload.get("state") if payload else None
+        with self._lock:
+            if (
+                self._state not in TERMINAL_STATES
+                and state in JOB_STATES
+            ):
+                self._state = state
+                error = payload.get("error")
+                self._error = dict(error) if isinstance(error, dict) else None
+                if state in TERMINAL_STATES:
+                    self._finished.set()
+            return self._state
+
+    def _mark_restart_failed(self) -> None:
+        """Recovery for a job that was ``running`` when its server died."""
+        with self._lock:
+            self._state = FAILED
+            self._error = {
+                "error_type": "ServerRestartError",
+                "message": (
+                    "server restarted while the job was running; "
+                    "resubmit to recompute"
+                ),
+                "reason": "server_restart",
+            }
+            self._finished.set()
+        self._journal()
+
+    def _shutdown_cancel(self) -> bool:
+        """Clean-shutdown cancel for a job no dispatcher ever reached.
+
+        Only flips locally-owned ``queued`` records (a passive record
+        belongs to another live server — it is not stranded).  The
+        structured ``server_shutdown`` reason tells waiters and a
+        recovering table that the job was never started.
+        """
+        with self._lock:
+            if self._passive or self._state != QUEUED:
+                return False
+            self._state = CANCELLED
+            self._error = {
+                "error_type": "CancelledError",
+                "message": "server shut down before the job ran",
+                "reason": "server_shutdown",
+            }
+            self._finished.set()
+        self._journal()
+        return True
+
     # -- lifecycle ------------------------------------------------------
     def state(self) -> str:
+        if self._passive:
+            return self._refresh_from_store()
         with self._lock:
             return self._state
 
     def done(self) -> bool:
-        return self.state() in (DONE, FAILED, CANCELLED)
+        return self.state() in TERMINAL_STATES
 
     def wait(self, timeout: Optional[float] = None) -> bool:
-        return self._finished.wait(timeout)
+        """Block until terminal (or ``timeout`` seconds); True if done.
+
+        The server's long-poll route parks here.  Local records ride
+        the ``threading.Event``; passive records re-read the owning
+        server's journal between short event waits.
+        """
+        if self.store is None:
+            return self._finished.wait(timeout)
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            if self._passive:
+                if self._refresh_from_store() in TERMINAL_STATES:
+                    return True
+            if self._finished.is_set():
+                return True
+            remaining = (
+                None if deadline is None
+                else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                return False
+            chunk = (
+                _PASSIVE_POLL if remaining is None
+                else min(_PASSIVE_POLL, remaining)
+            )
+            if self._finished.wait(chunk):
+                return True
 
     def cancel(self) -> bool:
         """Honest cancellation, same contract as the api handles.
@@ -97,9 +269,12 @@ class JobRecord:
         running job the underlying handle decides (a running sweep
         finishes — nothing spared, returns False; a running campaign
         skips the sweeps it has not started).  Terminal jobs return
-        False.
+        False.  A passive record belongs to another server's dispatcher
+        and cannot be spared from here.
         """
         with self._lock:
+            if self._passive:
+                return False
             if self._state == QUEUED:
                 self._state = CANCELLED
                 self._error = {
@@ -107,17 +282,22 @@ class JobRecord:
                     "message": "job cancelled before it ran",
                 }
                 self._finished.set()
-                return True
-            if self._state == RUNNING and self._handle is not None:
+                cancelled = True
+            elif self._state == RUNNING and self._handle is not None:
                 return self._handle.cancel()
-            return False
+            else:
+                return False
+        if cancelled:
+            self._journal()
+        return cancelled
 
     def _execute(self, client: Client) -> None:
         """Run the job through the shared client (dispatcher thread)."""
         with self._lock:
-            if self._state != QUEUED:
-                return  # cancelled while waiting its turn
+            if self._state != QUEUED or self._passive:
+                return  # cancelled (or claimed elsewhere) while waiting
             self._state = RUNNING
+        self._journal()
         try:
             if self.kind == "sweep":
                 handle = client.submit(self.specs[0], self.profile)
@@ -127,6 +307,10 @@ class JobRecord:
                 self._handle = handle
             outcome = handle.result()
             payload = self._outcome_payload(outcome)
+            if self.store is not None:
+                # Results land on disk before `done` is journaled, so
+                # any observer of the terminal state finds the payload.
+                self.store.save_result(self.job_id, payload)
             with self._lock:
                 self._state = DONE
                 self._result_payload = payload
@@ -139,6 +323,7 @@ class JobRecord:
                 self._state = FAILED
                 self._error = _error_payload(error)
         finally:
+            self._journal()
             self._finished.set()
 
     def _outcome_payload(self, outcome) -> Dict[str, object]:
@@ -154,11 +339,15 @@ class JobRecord:
     # -- the HTTP-facing views ------------------------------------------
     def status_payload(self) -> Dict[str, object]:
         """The ``GET /v1/jobs/<id>`` body: state plus what failed."""
+        if self._passive:
+            self._refresh_from_store()
         with self._lock:
             state = self._state
             error = self._error
             result = self._result_payload
             handle = self._handle
+        if state == DONE and result is None:
+            result = self.result_payload()
         payload: Dict[str, object] = {
             "id": self.job_id,
             "kind": self.kind,
@@ -193,9 +382,23 @@ class JobRecord:
         return payload
 
     def result_payload(self) -> Optional[Dict[str, object]]:
-        """The ``GET /v1/jobs/<id>/result`` body once ``done``."""
+        """The ``GET /v1/jobs/<id>/result`` body once ``done``.
+
+        A recovered or passive record reloads the payload from the
+        state dir on first ask (results are persisted before ``done``
+        is journaled, so a ``done`` state guarantees the file).
+        """
         with self._lock:
-            return self._result_payload
+            if self._result_payload is not None:
+                return self._result_payload
+            state = self._state
+        if state == DONE and self.store is not None:
+            payload = self.store.load_result(self.job_id)
+            if payload is not None:
+                with self._lock:
+                    self._result_payload = payload
+            return payload
+        return None
 
 
 class JobTable:
@@ -205,17 +408,23 @@ class JobTable:
     and execute them through the one :class:`~repro.api.Client`; jobs
     beyond that bound wait as ``queued`` — which is exactly the window
     in which ``DELETE`` guarantees they never run.
+
+    Pass a :class:`~repro.service.persist.JobStateStore` to make the
+    table durable (see the module docstring for the recovery and
+    multi-server contracts).
     """
 
     def __init__(
         self,
         client: Optional[Client] = None,
         parallel_jobs: int = 1,
+        store: Optional[JobStateStore] = None,
     ) -> None:
         if parallel_jobs < 1:
             raise ValueError("parallel_jobs must be at least 1")
         self.client = client if client is not None else Client()
         self.parallel_jobs = parallel_jobs
+        self.store = store
         self._queue: "queue.SimpleQueue[Optional[JobRecord]]" = (
             queue.SimpleQueue()
         )
@@ -223,6 +432,11 @@ class JobTable:
         self._lock = threading.Lock()
         self._counter = itertools.count(1)
         self._closed = False
+        self._stop_heartbeat = threading.Event()
+        self._heartbeat: Optional[threading.Thread] = None
+        redispatch: List[JobRecord] = []
+        if store is not None:
+            redispatch = self._recover(store)
         self._dispatchers = [
             threading.Thread(
                 target=self._drive,
@@ -233,13 +447,83 @@ class JobTable:
         ]
         for thread in self._dispatchers:
             thread.start()
+        for record in redispatch:
+            self._queue.put(record)
+        if store is not None:
+            self._heartbeat = threading.Thread(
+                target=self._beat, daemon=True,
+                name="repro-job-lease-heartbeat",
+            )
+            self._heartbeat.start()
 
+    # -- recovery -------------------------------------------------------
+    def _recover(self, store: JobStateStore) -> List[JobRecord]:
+        """Reload the journal; returns the jobs to re-dispatch.
+
+        Terminal jobs come back as-is (results reload lazily from the
+        store).  ``queued`` jobs re-enter the dispatch queue — the
+        lease claim decides, at dispatch time, whether this table or
+        another one sharing the state dir actually runs them.
+        ``running`` jobs with a provably dead owner are the crash case:
+        re-marked ``failed`` with a ``server_restart`` error; with a
+        live owner they are another server's work, watched passively.
+        """
+        redispatch: List[JobRecord] = []
+        for payload in store.recover_jobs():
+            try:
+                record = JobRecord.from_persist_payload(payload)
+            except Exception:
+                continue  # unknown scenario/garbage: never block startup
+            record.store = store
+            state = record.state()
+            if state == RUNNING:
+                if store.lease_live(record.job_id):
+                    record._passive = True
+                else:
+                    record._mark_restart_failed()
+            elif state == QUEUED:
+                redispatch.append(record)
+            self._jobs[record.job_id] = record
+        self._counter = itertools.count(store.max_job_number() + 1)
+        return redispatch
+
+    def _beat(self) -> None:
+        """Keep this table's dispatch leases visibly alive (mtime)."""
+        interval = min(5.0, max(0.05, self.store.lease_ttl / 4.0))
+        while not self._stop_heartbeat.wait(interval):
+            self.store.touch_owned_leases()
+
+    # -- dispatch -------------------------------------------------------
     def _drive(self) -> None:
         while True:
             record = self._queue.get()
             if record is None:
                 return
+            if self.store is not None and not self._claim(record):
+                continue
             record._execute(self.client)
+
+    def _claim(self, record: JobRecord) -> bool:
+        """Exactly-once dispatch across every table sharing the store."""
+        if record.state() != QUEUED:
+            return True  # terminal already; _execute skips it
+        if not self.store.claim(record.job_id):
+            record._mark_passive()
+            return False
+        # Between journal recovery and this claim another server may
+        # have journaled a cancel; honor it rather than racing it.
+        disk = self.store.load_job(record.job_id)
+        if disk is not None and disk.get("state") == CANCELLED:
+            with record._lock:
+                if record._state == QUEUED:
+                    record._state = CANCELLED
+                    error = disk.get("error")
+                    record._error = (
+                        dict(error) if isinstance(error, dict) else None
+                    )
+                    record._finished.set()
+            return False
+        return True
 
     def _enqueue(
         self,
@@ -265,7 +549,9 @@ class JobTable:
                 raise RuntimeError("job table is closed")
             job_id = f"job-{next(self._counter):06d}"
             record = JobRecord(job_id, kind, specs, profile, name=name)
+            record.store = self.store
             self._jobs[job_id] = record
+        record._journal()
         self._queue.put(record)
         return record
 
@@ -301,16 +587,22 @@ class JobTable:
     def close(self, wait: bool = False, timeout: Optional[float] = None):
         """Stop accepting work; optionally join the dispatchers.
 
-        Queued jobs that no dispatcher reached before the sentinel are
-        left ``queued`` forever — callers shutting down a server should
-        cancel them first if they care (the CLI process simply exits).
+        Queued jobs no dispatcher reached are cancelled with a
+        structured ``server_shutdown`` reason — never stranded as
+        ``queued`` forever (an in-process waiter would hang, and a
+        persisted table would recover phantom work).  Running jobs
+        finish on their daemon threads.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            records = list(self._jobs.values())
+        for record in records:
+            record._shutdown_cancel()
         for _ in self._dispatchers:
             self._queue.put(None)
+        self._stop_heartbeat.set()
         if wait:
             for thread in self._dispatchers:
                 thread.join(timeout)

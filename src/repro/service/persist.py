@@ -1,0 +1,222 @@
+"""Durable job state for the HTTP service: the ``--state-dir`` store.
+
+PR 8's job table lived in memory: a server restart forgot every job
+even though the queue dir and the result cache survived.  This module
+gives :class:`~repro.service.jobs.JobTable` a disk face —
+:class:`JobStateStore` — with the same file-based idioms the work
+queue already trusts (:mod:`repro.simulation.distributed`):
+
+* **journal** — one JSON file per job under ``jobs/``, rewritten
+  atomically (temp + ``os.replace``) on every lifecycle transition, so
+  the newest file always describes the job's latest state and a crash
+  can never leave a half-written record;
+* **results** — a ``done`` job's export payload under ``results/``,
+  written *before* the ``done`` transition is journaled, so any reader
+  that observes ``done`` is guaranteed to find the result;
+* **leases** — dispatch claims under ``leases/``, created with
+  ``O_CREAT | O_EXCL`` exactly like the work queue's task leases.  Two
+  servers sharing one state dir race the exclusive create; precisely
+  one wins and dispatches, the loser watches the winner's journal.
+
+Liveness is judged the way an operator would: a lease names its owner
+as ``host:pid:token``.  On the same host a dead pid is dead evidence —
+the job it was running crashed with its server.  Across hosts the
+lease's heartbeat mtime decides, with the work queue's skew-margin
+rule (:func:`~repro.simulation.distributed.lease_steal_threshold`), so
+the table's heartbeat thread keeps cross-host claims visibly alive.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.simulation.distributed import (
+    _atomic_write_json,
+    _read_json,
+    lease_steal_threshold,
+)
+
+# Job leases heartbeat from a dedicated table thread (not per-seed like
+# the work queue), so the default TTL can stay short without risking a
+# live-but-busy server losing its claim.
+DEFAULT_JOB_LEASE_TTL = 30.0
+
+
+def default_server_id() -> str:
+    """A server identity for lease files: host + pid + random token.
+
+    The host/pid prefix is load-bearing — same-host liveness checks
+    parse it back out — while the token keeps two tables in one
+    process distinguishable.
+    """
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` exists on this host (signal 0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, just not ours
+    except OSError:
+        return False
+    return True
+
+
+class JobStateStore:
+    """One ``--state-dir``: job journal, result payloads, dispatch leases.
+
+    Safe to share between servers on one volume; every mutation is an
+    atomic rename or an ``O_EXCL`` create.  The store never interprets
+    job payloads beyond their ``id`` — the
+    :class:`~repro.service.jobs.JobTable` owns the semantics.
+    """
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        owner: Optional[str] = None,
+        lease_ttl: float = DEFAULT_JOB_LEASE_TTL,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        self.state_dir = Path(state_dir)
+        self.owner = owner if owner else default_server_id()
+        self.host = self.owner.split(":", 1)[0]
+        self.lease_ttl = float(lease_ttl)
+        for sub in ("jobs", "results", "leases"):
+            (self.state_dir / sub).mkdir(parents=True, exist_ok=True)
+
+    # -- paths ----------------------------------------------------------
+    def _job_path(self, job_id: str) -> Path:
+        return self.state_dir / "jobs" / f"{job_id}.json"
+
+    def _result_path(self, job_id: str) -> Path:
+        return self.state_dir / "results" / f"{job_id}.json"
+
+    def _lease_path(self, job_id: str) -> Path:
+        return self.state_dir / "leases" / f"{job_id}.lease"
+
+    # -- the job journal ------------------------------------------------
+    def save_job(self, payload: Dict[str, object]) -> None:
+        """Publish a job's latest state atomically (last writer wins)."""
+        _atomic_write_json(self._job_path(str(payload["id"])), payload)
+
+    def load_job(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The journaled payload, or ``None`` when absent/corrupt."""
+        return _read_json(self._job_path(job_id))
+
+    def job_ids(self) -> List[str]:
+        """Every journaled job id, sorted (ids are zero-padded)."""
+        return sorted(
+            path.stem for path in (self.state_dir / "jobs").glob("*.json")
+        )
+
+    def recover_jobs(self) -> List[Dict[str, object]]:
+        """Every readable job payload, oldest id first.
+
+        Unreadable files are skipped, not fatal: one corrupt journal
+        entry must never keep a server from starting.
+        """
+        payloads = []
+        for job_id in self.job_ids():
+            payload = self.load_job(job_id)
+            if payload is not None and payload.get("id") == job_id:
+                payloads.append(payload)
+        return payloads
+
+    def max_job_number(self) -> int:
+        """The highest ``job-%06d`` counter on disk (0 when empty).
+
+        Id allocation resumes past this after a restart, so recovered
+        and fresh jobs can never collide.
+        """
+        highest = 0
+        for job_id in self.job_ids():
+            prefix, _, number = job_id.rpartition("-")
+            if prefix == "job" and number.isdigit():
+                highest = max(highest, int(number))
+        return highest
+
+    # -- result payloads ------------------------------------------------
+    def save_result(self, job_id: str, payload: Dict[str, object]) -> None:
+        _atomic_write_json(self._result_path(job_id), payload)
+
+    def load_result(self, job_id: str) -> Optional[Dict[str, object]]:
+        return _read_json(self._result_path(job_id))
+
+    # -- dispatch leases ------------------------------------------------
+    def claim(self, job_id: str) -> bool:
+        """Claim the right to dispatch ``job_id``; one winner per claim.
+
+        A fresh claim is the work queue's ``O_CREAT | O_EXCL`` create.
+        A lease whose owner is provably dead is stolen the same way
+        task leases are: rename to a unique tombstone (``os.rename``
+        succeeds for exactly one stealer), then take the vacant slot
+        with another exclusive create.
+        """
+        lease = self._lease_path(job_id)
+        try:
+            fd = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            if self.lease_live(job_id):
+                return False
+            tombstone = lease.parent / (
+                f"{lease.name}.stale-{uuid.uuid4().hex[:8]}"
+            )
+            try:
+                os.rename(lease, tombstone)
+            except OSError:
+                return False  # a racing stealer won the rename
+            try:
+                fd = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return False  # a fresh claimer slipped into the vacancy
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(self.owner)
+        except OSError:
+            pass  # the lease file itself is the claim; owner is advisory
+        return True
+
+    def lease_owner(self, job_id: str) -> Optional[str]:
+        try:
+            return self._lease_path(job_id).read_text().strip()
+        except OSError:
+            return None
+
+    def lease_live(self, job_id: str) -> bool:
+        """Whether ``job_id``'s dispatch claim belongs to a live server.
+
+        Same host: the owner pid decides (a dead pid is dead evidence,
+        no TTL wait).  Other hosts: the heartbeat mtime decides, with
+        the work queue's skew margin.  A missing lease is not live.
+        """
+        lease = self._lease_path(job_id)
+        try:
+            mtime = lease.stat().st_mtime
+        except OSError:
+            return False
+        owner = self.lease_owner(job_id) or ""
+        host, _, rest = owner.partition(":")
+        pid_text = rest.partition(":")[0]
+        if host == self.host and pid_text.isdigit():
+            return _pid_alive(int(pid_text))
+        age = max(0.0, time.time() - mtime)
+        return age <= lease_steal_threshold(self.lease_ttl)
+
+    def touch_owned_leases(self) -> None:
+        """Heartbeat: refresh the mtime of every lease this store owns."""
+        for path in (self.state_dir / "leases").glob("*.lease"):
+            try:
+                if path.read_text().strip() == self.owner:
+                    os.utime(path)
+            except OSError:
+                continue  # stolen or removed mid-scan

@@ -12,6 +12,10 @@ remote one is a one-line change::
     sweep = handle.result()     # a real SweepResult, bit-identical to
                                 # an in-process run of the same spec
 
+Blocking waits ride the server's long-poll (``?wait=<seconds>`` on the
+status route) by default, so a parked ``wait()``/``result()`` costs a
+handful of requests, not one every ``poll_interval``.
+
 Failure semantics map back onto the in-process types wherever they
 exist: a job the server reports ``cancelled`` raises
 :class:`repro.api.CancelledError`; a job that failed with quarantined
@@ -75,13 +79,25 @@ def _spec_payload(spec: SpecLike) -> Dict[str, object]:
 
 
 class RemoteClient:
-    """The :class:`~repro.api.Client` facade over a service URL."""
+    """The :class:`~repro.api.Client` facade over a service URL.
+
+    By default handles wait via the server's long-poll —
+    ``GET /v1/jobs/<id>?wait=<seconds>`` parks server-side on the job's
+    event until terminal or the wait elapses — so a blocked ``wait()``
+    costs a handful of requests instead of one every
+    ``poll_interval``.  ``long_poll=False`` restores client-side
+    polling (useful against proxies that cap request duration);
+    ``long_poll_wait`` is the per-request block, clamped server-side
+    to the server's own cap.
+    """
 
     def __init__(
         self,
         base_url: str,
         timeout: float = 30.0,
         poll_interval: float = 0.05,
+        long_poll: bool = True,
+        long_poll_wait: float = 25.0,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         if "://" not in self.base_url:
@@ -90,12 +106,20 @@ class RemoteClient:
             raise ValueError("timeout must be positive")
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        if long_poll_wait <= 0:
+            raise ValueError("long_poll_wait must be positive")
         self.timeout = timeout
         self.poll_interval = poll_interval
+        self.long_poll = bool(long_poll)
+        self.long_poll_wait = float(long_poll_wait)
+        # Wire accounting (every HTTP request this client ever sent);
+        # the stress suite compares polling modes with it.
+        self.requests_sent = 0
 
     # -- the wire -------------------------------------------------------
     def _request(
         self, method: str, path: str, payload: Optional[object] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, object]:
         url = f"{self.base_url}{path}"
         data = None
@@ -106,9 +130,11 @@ class RemoteClient:
         request = urllib.request.Request(
             url, data=data, headers=headers, method=method
         )
+        self.requests_sent += 1
         try:
             with urllib.request.urlopen(
-                request, timeout=self.timeout
+                request,
+                timeout=self.timeout if timeout is None else timeout,
             ) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
@@ -211,10 +237,21 @@ class RemoteSweepHandle:
         self._last_status = status or {}
 
     # -- polling --------------------------------------------------------
-    def status_payload(self) -> Dict[str, object]:
-        """The full ``GET /v1/jobs/<id>`` body (one fresh request)."""
+    def status_payload(self, wait: float = 0.0) -> Dict[str, object]:
+        """The full ``GET /v1/jobs/<id>`` body (one fresh request).
+
+        ``wait`` long-polls: the server blocks up to that many seconds
+        (clamped to its own cap) before answering, returning early the
+        moment the job turns terminal.  The HTTP timeout stretches to
+        cover the server-side park.
+        """
+        path = f"/v1/jobs/{self.job_id}"
+        timeout = None
+        if wait > 0:
+            path += f"?wait={wait:g}"
+            timeout = self.client.timeout + wait
         self._last_status = self.client._request(
-            "GET", f"/v1/jobs/{self.job_id}"
+            "GET", path, timeout=timeout
         )
         return self._last_status
 
@@ -226,21 +263,47 @@ class RemoteSweepHandle:
         return self.status() in self.TERMINAL
 
     def wait(self, timeout: Optional[float] = None) -> bool:
-        """Poll until terminal (or ``timeout`` seconds); True if done.
+        """Block until terminal (or ``timeout`` seconds); True if done.
 
-        A server that dies mid-poll raises
-        :class:`ServiceConnectionError` on the next poll — never a
+        Prefers the server's long-poll (one parked request per
+        ``long_poll_wait`` window) over client-side polling; with
+        ``long_poll=False`` it polls every ``poll_interval``, never
+        sleeping past the deadline.  Either way ``wait(timeout=0)`` is
+        exactly one status request.  A server that dies mid-wait raises
+        :class:`ServiceConnectionError` on the next request — never a
         hang.
         """
         deadline = (
             time.monotonic() + timeout if timeout is not None else None
         )
         while True:
-            if self.status() in self.TERMINAL:
-                return True
-            if deadline is not None and time.monotonic() >= deadline:
-                return False
-            time.sleep(self.client.poll_interval)
+            if self.client.long_poll:
+                remaining = (
+                    None if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                chunk = (
+                    self.client.long_poll_wait if remaining is None
+                    else min(remaining, self.client.long_poll_wait)
+                )
+                state = self.status_payload(wait=chunk)["state"]
+                if state in self.TERMINAL:
+                    return True
+                if deadline is not None and time.monotonic() >= deadline:
+                    return False
+            else:
+                if self.status() in self.TERMINAL:
+                    return True
+                if deadline is None:
+                    time.sleep(self.client.poll_interval)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                # Never sleep past the deadline: wait(0.01) with the
+                # default 50ms interval must time out on schedule, not
+                # 5x late.
+                time.sleep(min(self.client.poll_interval, remaining))
 
     def cancel(self) -> bool:
         """DELETE the job; True when anything was spared from running."""

@@ -11,14 +11,22 @@ POST      ``/v1/campaigns``          submit a campaign (the ``repro
                                      campaign`` manifest format)
 GET       ``/v1/jobs``               list every job's status
 GET       ``/v1/jobs/<id>``          one job's status (failed/quarantined
-                                     seeds ride in the body)
+                                     seeds ride in the body);
+                                     ``?wait=<seconds>`` long-polls: the
+                                     server blocks until the job is
+                                     terminal or the wait (capped at
+                                     ``max_poll_wait``, default 30s)
+                                     elapses, then answers
 GET       ``/v1/jobs/<id>/result``   the sweep export payload (409 until
                                      the job is ``done``)
 DELETE    ``/v1/jobs/<id>``          honest cancel — a ``queued`` job
                                      never runs
 GET       ``/v1/queue``              ``queue_status()`` of the profile's
-                                     work-queue dir (``?dir=`` overrides)
-GET       ``/v1/health``             liveness + job-state counts
+                                     work-queue dir (``?dir=`` overrides;
+                                     a missing/non-directory ``?dir`` is a
+                                     structured 400)
+GET       ``/v1/health``             liveness + job-state counts (and the
+                                     state dir, when persistent)
 ========  =========================  =======================================
 
 Failure semantics over HTTP are structured, never raw tracebacks:
@@ -49,8 +57,13 @@ from repro.api import (
     load_campaign_manifest,
 )
 from repro.service.jobs import JobRecord, JobTable
+from repro.service.persist import DEFAULT_JOB_LEASE_TTL, JobStateStore
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024  # a campaign manifest, with headroom
+# Ceiling on `?wait=` long-polls: bounds how long one HTTP connection
+# (and its handler thread) can park server-side per request.  Clients
+# re-issue the wait; capping is about resource bounds, not correctness.
+DEFAULT_MAX_POLL_WAIT = 30.0
 
 
 class _ApiError(Exception):
@@ -158,6 +171,13 @@ class JobServer:
     one), which is what the tests and the example use.  ``start()``
     serves from a background thread; ``serve_forever()`` serves on the
     caller's thread (the CLI).  Context-manager use closes everything.
+
+    ``state_dir`` makes the job table durable: transitions journal to
+    disk, a restart on the same dir recovers every job (terminal
+    results stay fetchable; work that died with the server is failed
+    with a ``server_restart`` error; unstarted work re-dispatches), and
+    multiple servers sharing the dir dispatch each job exactly once via
+    ``O_EXCL`` leases.  ``max_poll_wait`` caps ``?wait=`` long-polls.
     """
 
     def __init__(
@@ -168,9 +188,21 @@ class JobServer:
         parallel_jobs: int = 1,
         client: Optional[Client] = None,
         verbose: bool = False,
+        state_dir=None,
+        max_poll_wait: float = DEFAULT_MAX_POLL_WAIT,
+        job_lease_ttl: float = DEFAULT_JOB_LEASE_TTL,
     ) -> None:
+        if max_poll_wait < 0:
+            raise ValueError("max_poll_wait must be >= 0")
         self.client = client if client is not None else Client(profile)
-        self.table = JobTable(self.client, parallel_jobs=parallel_jobs)
+        self.store = (
+            JobStateStore(state_dir, lease_ttl=job_lease_ttl)
+            if state_dir is not None else None
+        )
+        self.table = JobTable(
+            self.client, parallel_jobs=parallel_jobs, store=self.store,
+        )
+        self.max_poll_wait = float(max_poll_wait)
         self.verbose = verbose
         self._http = _HTTPServer((host, port), _Handler)
         self._http.app = self  # type: ignore[attr-defined]
@@ -248,6 +280,9 @@ class JobServer:
             if record is None:
                 raise _ApiError(404, f"unknown job {route[1]!r}")
             if len(route) == 2 and method == "GET":
+                wait_seconds = self._wait_seconds(query)
+                if wait_seconds > 0:
+                    record.wait(wait_seconds)
                 return 200, record.status_payload()
             if len(route) == 2 and method == "DELETE":
                 cancelled = record.cancel()
@@ -261,17 +296,47 @@ class JobServer:
         raise _ApiError(404, f"unknown path {request.path!r}")
 
     # -- endpoint bodies ------------------------------------------------
+    def _wait_seconds(self, query) -> float:
+        """The validated, capped ``?wait=`` long-poll duration."""
+        raw = (query.get("wait") or [None])[0]
+        if raw is None:
+            return 0.0
+        try:
+            value = float(raw)
+        except ValueError:
+            raise _ApiError(
+                400, f"wait must be a number of seconds, got {raw!r}"
+            )
+        if value < 0 or value != value or value == float("inf"):
+            raise _ApiError(
+                400, f"wait must be a finite number >= 0, got {raw!r}"
+            )
+        return min(value, self.max_poll_wait)
+
     def _health_payload(self) -> Dict[str, object]:
         counts: Dict[str, int] = {}
         for record in self.table.jobs():
             state = record.state()
             counts[state] = counts.get(state, 0) + 1
-        return {"status": "ok", "jobs": counts}
+        payload: Dict[str, object] = {"status": "ok", "jobs": counts}
+        if self.store is not None:
+            payload["state_dir"] = str(self.store.state_dir)
+        return payload
 
     def _queue_payload(self, query) -> Dict[str, object]:
-        from repro.simulation.distributed import queue_status
+        from repro.simulation.distributed import (
+            queue_path_error,
+            queue_status,
+        )
 
         queue_dir = (query.get("dir") or [None])[0]
+        if queue_dir is not None:
+            # Same validation (and message shape) the CLI applies to
+            # `repro queue`/`repro worker`: a mistyped path is a loud,
+            # structured 400, never a queue_status() crash turned 500.
+            error = queue_path_error(queue_dir)
+            if error is not None:
+                raise _ApiError(400, error)
         if queue_dir is None:
             queue_dir = self.client.profile.queue_dir
         if queue_dir is None:

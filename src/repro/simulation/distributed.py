@@ -196,6 +196,22 @@ def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
 
 
+def queue_path_error(path) -> Optional[str]:
+    """Why ``path`` cannot serve as a queue dir (``None`` when it can).
+
+    The one validation (and message shape) every queue-facing surface
+    shares — ``repro queue``, ``repro worker`` and the service's
+    ``GET /v1/queue`` — so a mistyped volume is a loud, consistent
+    error everywhere instead of an empty-queue report.
+    """
+    target = Path(path)
+    if not target.exists():
+        return f"queue path {path} does not exist"
+    if not target.is_dir():
+        return f"queue path {path} is not a directory"
+    return None
+
+
 # ---------------------------------------------------------------------------
 # claims and counters
 # ---------------------------------------------------------------------------

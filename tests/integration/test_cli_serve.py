@@ -104,6 +104,27 @@ class TestServeCli:
         main(["list"])
         assert "serve" in capsys.readouterr().out
 
+    def test_state_dir_flag_reaches_the_store(self, tmp_path, capsys):
+        """``--state-dir`` is plumbed through to the JobServer: the
+        store's layout exists even when the bind itself fails."""
+        import socket
+
+        state = tmp_path / "state"
+        holder = socket.socket()
+        try:
+            holder.bind(("127.0.0.1", 0))
+            holder.listen(1)
+            port = holder.getsockname()[1]
+            assert main([
+                "serve", f"127.0.0.1:{port}",
+                "--state-dir", str(state),
+            ]) == 1
+            assert "cannot bind" in capsys.readouterr().err
+        finally:
+            holder.close()
+        for sub in ("jobs", "results", "leases"):
+            assert (state / sub).is_dir()
+
 
 @pytest.mark.slow
 class TestServeSubprocess:
@@ -157,3 +178,69 @@ class TestServeSubprocess:
                 raise
         assert process.returncode == 0
         assert "server interrupted" in out
+
+    def test_state_dir_survives_a_killed_server(self, tmp_path):
+        """The crash case for real: SIGKILL a ``--state-dir`` server,
+        restart it on the same dir, and the finished job is still
+        there with its result fetchable over HTTP."""
+        from repro.analysis.export import sweep_to_payload
+        from repro.api import ExecutionProfile, SweepSpec
+        from repro.service import RemoteClient
+        from repro.simulation.sweep import execute_sweep
+
+        state = tmp_path / "state"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            ["src"] + env.get("PYTHONPATH", "").split(os.pathsep)
+        ).rstrip(os.pathsep)
+
+        def start_server():
+            process = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve", "127.0.0.1:0",
+                 "--no-cache", "--state-dir", str(state)],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True, env=env, cwd="/root/repo",
+            )
+            line = process.stdout.readline()
+            assert line.startswith("serving http://"), line
+            remote = RemoteClient(line.split()[1], poll_interval=0.05)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                try:
+                    assert remote.health()["status"] == "ok"
+                    break
+                except ConnectionError:
+                    time.sleep(0.1)
+            return process, line, remote
+
+        spec = SweepSpec("fig7-mutuality", seeds=[1], smoke=True)
+        first, _, remote = start_server()
+        try:
+            handle = remote.submit(spec)
+            assert handle.wait(timeout=120) is True
+        finally:
+            first.kill()  # no cleanup: the crash, not a shutdown
+            first.communicate(timeout=30)
+
+        second, banner, revived = start_server()
+        try:
+            assert "1 job(s) recovered" in banner
+            jobs = revived.jobs()
+            assert [job["id"] for job in jobs] == [handle.job_id]
+            assert jobs[0]["state"] == "done"
+            sweep = revived.job(handle.job_id).result(timeout=30)
+            oracle = execute_sweep(spec, ExecutionProfile(no_cache=True))
+            payload = sweep_to_payload(sweep)
+            expected = sweep_to_payload(oracle)
+            for volatile in ("timing", "cache"):
+                payload.pop(volatile)
+                expected.pop(volatile)
+            assert payload == expected
+        finally:
+            second.send_signal(signal.SIGINT)
+            try:
+                out, _ = second.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                second.kill()
+                raise
+        assert second.returncode == 0

@@ -163,6 +163,36 @@ class TestValidationAndShutdown:
         with pytest.raises(ValueError):
             JobTable(Client(), parallel_jobs=0)
 
+    def test_close_cancels_unreached_queued_jobs(self, one_seed_sweep):
+        """Shutdown strands nothing: a queued job no dispatcher ever
+        reached flips to ``cancelled`` with a ``server_shutdown``
+        reason, and anyone blocked in ``wait()`` unblocks."""
+        client = _GateClient(one_seed_sweep)
+        table = JobTable(client, parallel_jobs=1)
+        blocker = table.submit_sweep(SPEC)
+        victim = table.submit_sweep(SPEC)
+        for _ in range(200):
+            if client.started:
+                break
+            threading.Event().wait(0.01)
+        outcomes = []
+        waiter = threading.Thread(
+            target=lambda: outcomes.append(victim.wait(10.0))
+        )
+        waiter.start()
+        table.close()
+        waiter.join(5.0)
+        assert outcomes == [True]
+        assert victim.state() == "cancelled"
+        error = victim.status_payload()["error"]
+        assert error["error_type"] == "CancelledError"
+        assert error["reason"] == "server_shutdown"
+        # The sweep already running is not spared by shutdown.
+        client.gate.set()
+        assert blocker.wait(10.0)
+        assert blocker.state() == "done"
+        assert client.started == [SPEC]
+
     def test_closed_table_rejects_submissions(self, one_seed_sweep):
         client = _GateClient(one_seed_sweep)
         client.gate.set()

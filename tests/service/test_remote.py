@@ -4,6 +4,7 @@ cancelled jobs report a terminal state, and a dead server is a clear
 connection error, never a hang."""
 
 import threading
+import time
 
 import pytest
 
@@ -228,3 +229,78 @@ class TestErrorPaths:
             RemoteClient("http://127.0.0.1:1", timeout=0)
         with pytest.raises(ValueError):
             RemoteClient("http://127.0.0.1:1", poll_interval=0)
+        with pytest.raises(ValueError):
+            RemoteClient("http://127.0.0.1:1", long_poll_wait=0)
+
+
+def _gated_server():
+    """A server whose jobs park until the returned gate opens."""
+    gate = threading.Event()
+
+    class _Handle:
+        def result(self):
+            gate.wait(30.0)
+            return execute_sweep(
+                SweepSpec("fig7-mutuality", seeds=[1], smoke=True),
+                ExecutionProfile(no_cache=True),
+            )
+
+        def cancel(self):
+            return False
+
+    class _Client:
+        profile = ExecutionProfile()
+
+        def submit(self, spec, profile=None):
+            return _Handle()
+
+    return gate, JobServer(client=_Client())
+
+
+class TestWaitSemantics:
+    def test_wait_zero_is_exactly_one_status_request(self):
+        """Satellite boundary: ``wait(timeout=0)`` issues exactly one
+        status request in both polling modes, then returns False."""
+        gate, server = _gated_server()
+        with server:
+            for long_poll in (True, False):
+                remote = RemoteClient(
+                    server.url, poll_interval=0.5, long_poll=long_poll
+                )
+                handle = remote.submit(SPEC)
+                before = remote.requests_sent
+                assert handle.wait(timeout=0) is False
+                assert remote.requests_sent == before + 1, long_poll
+            gate.set()
+
+    def test_poll_wait_never_oversleeps_the_deadline(self):
+        """Satellite fix: with a 500ms poll interval, ``wait(0.05)``
+        must time out on schedule, not a full interval late."""
+        gate, server = _gated_server()
+        with server:
+            remote = RemoteClient(
+                server.url, poll_interval=0.5, long_poll=False
+            )
+            handle = remote.submit(SPEC)
+            started = time.monotonic()
+            assert handle.wait(timeout=0.05) is False
+            assert time.monotonic() - started < 0.4
+            gate.set()
+
+    def test_long_poll_wait_costs_a_handful_of_requests(self):
+        """A parked ``wait()`` rides the server-side long-poll: the
+        job finishing 300ms in costs ~1 status request, not 300ms
+        worth of polling."""
+        gate, server = _gated_server()
+        with server:
+            remote = RemoteClient(server.url)
+            handle = remote.submit(SPEC)
+            opener = threading.Timer(0.3, gate.set)
+            opener.start()
+            try:
+                assert handle.wait(timeout=30.0) is True
+                assert handle.status_payload()["state"] == "done"
+                # submit + parked long-poll + final status check.
+                assert remote.requests_sent <= 4
+            finally:
+                opener.cancel()

@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -353,6 +354,23 @@ class TestQueueEndpoint:
         assert len(body["sweeps"]) == 1
         assert body["sweeps"][0]["pending"] == 2
 
+    def test_missing_explicit_dir_is_400(self, server, tmp_path):
+        """Satellite: a bad ``?dir=`` is a structured 400 with the
+        CLI's message shape, not a traceback 500."""
+        status, body = _raw(
+            server, "GET", f"/v1/queue?dir={tmp_path / 'nope'}"
+        )
+        assert status == 400
+        assert "does not exist" in body["error"]["message"]
+        assert str(tmp_path / "nope") in body["error"]["message"]
+
+    def test_file_as_explicit_dir_is_400(self, server, tmp_path):
+        target = tmp_path / "queue.txt"
+        target.write_text("not a directory")
+        status, body = _raw(server, "GET", f"/v1/queue?dir={target}")
+        assert status == 400
+        assert "is not a directory" in body["error"]["message"]
+
     def test_profile_queue_dir_is_the_default(self, tmp_path):
         profile = ExecutionProfile(
             backend="distributed", workers=1,
@@ -363,3 +381,132 @@ class TestQueueEndpoint:
             assert status == 200
             assert body["queue_dir"] == str(tmp_path / "q")
             assert body["sweeps"] == []
+
+
+def _gated_server(**kwargs):
+    """A server whose single job parks until the returned gate opens."""
+    gate = threading.Event()
+
+    class _Handle:
+        def result(self):
+            gate.wait(30.0)
+            return execute_sweep(SPEC, ExecutionProfile(no_cache=True))
+
+        def cancel(self):
+            return False
+
+    class _Client:
+        profile = ExecutionProfile()
+
+        def submit(self, spec, profile=None):
+            return _Handle()
+
+    return gate, JobServer(client=_Client(), **kwargs)
+
+
+class TestLongPoll:
+    def test_wait_zero_answers_immediately(self):
+        gate, server = _gated_server()
+        with server:
+            _, body = _raw(server, "POST", "/v1/sweeps", SPEC.to_payload())
+            started = time.monotonic()
+            status, job = _raw(
+                server, "GET", f"/v1/jobs/{body['id']}?wait=0"
+            )
+            elapsed = time.monotonic() - started
+            assert status == 200
+            assert job["state"] in ("queued", "running")
+            assert elapsed < 1.0
+            gate.set()
+
+    def test_invalid_wait_is_400(self, server):
+        _, body = _raw(server, "POST", "/v1/sweeps", SPEC.to_payload())
+        job_id = body["id"]
+        for raw, fragment in (
+            ("abc", "number of seconds"),
+            ("-1", "finite number"),
+            ("nan", "finite number"),
+            ("inf", "finite number"),
+        ):
+            status, error = _raw(
+                server, "GET", f"/v1/jobs/{job_id}?wait={raw}"
+            )
+            assert status == 400, raw
+            assert fragment in error["error"]["message"], raw
+        _wait_done(server, job_id)
+
+    def test_wait_above_the_cap_is_clamped(self):
+        gate, server = _gated_server(max_poll_wait=0.2)
+        with server:
+            _, body = _raw(server, "POST", "/v1/sweeps", SPEC.to_payload())
+            started = time.monotonic()
+            status, job = _raw(
+                server, "GET", f"/v1/jobs/{body['id']}?wait=30"
+            )
+            elapsed = time.monotonic() - started
+            assert status == 200
+            assert job["state"] in ("queued", "running")
+            # The server parked ~max_poll_wait, nowhere near 30s.
+            assert 0.1 <= elapsed < 5.0
+            gate.set()
+
+    def test_long_poll_returns_early_when_the_job_finishes(self):
+        gate, server = _gated_server()
+        with server:
+            _, body = _raw(server, "POST", "/v1/sweeps", SPEC.to_payload())
+            opener = threading.Timer(0.2, gate.set)
+            opener.start()
+            try:
+                started = time.monotonic()
+                status, job = _raw(
+                    server, "GET", f"/v1/jobs/{body['id']}?wait=20"
+                )
+                elapsed = time.monotonic() - started
+                assert status == 200
+                assert job["state"] == "done"
+                # Parked past the finish moment, answered well before
+                # the requested 20s window elapsed.
+                assert elapsed < 10.0
+            finally:
+                opener.cancel()
+
+
+class TestRestartRecoveryOverHTTP:
+    def test_restart_round_trip_is_bit_identical(self, tmp_path):
+        """The tentpole acceptance: submit over HTTP, kill the server,
+        restart on the same ``--state-dir``, and fetch the recovered
+        result — identical to the in-process oracle."""
+        state = tmp_path / "state"
+        with JobServer(
+            profile=ExecutionProfile(no_cache=True), state_dir=state
+        ) as first:
+            _, body = _raw(first, "POST", "/v1/sweeps", SPEC.to_payload())
+            job_id = body["id"]
+            _wait_done(first, job_id)
+
+        with JobServer(
+            profile=ExecutionProfile(no_cache=True), state_dir=state
+        ) as second:
+            status, listing = _raw(second, "GET", "/v1/jobs")
+            assert status == 200
+            assert [job["id"] for job in listing["jobs"]] == [job_id]
+            assert listing["jobs"][0]["state"] == "done"
+            status, result = _raw(
+                second, "GET", f"/v1/jobs/{job_id}/result"
+            )
+            assert status == 200
+            oracle = execute_sweep(SPEC, ExecutionProfile(no_cache=True))
+            from repro.analysis.export import sweep_to_payload
+
+            expected = sweep_to_payload(oracle)
+            for volatile in ("timing",):
+                expected.pop(volatile)
+                result.pop(volatile)
+            assert result == expected
+            # Health names the state dir; id allocation resumed past
+            # the recovered job.
+            _, health = _raw(second, "GET", "/v1/health")
+            assert health["state_dir"] == str(state)
+            _, fresh = _raw(second, "POST", "/v1/sweeps", SPEC.to_payload())
+            assert fresh["id"] == "job-000002"
+            _wait_done(second, fresh["id"])

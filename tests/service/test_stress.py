@@ -7,6 +7,7 @@ ever running (proven through the cache: the cancelled spec's seeds are
 never computed)."""
 
 import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -15,6 +16,7 @@ from repro.api import Client, ExecutionProfile, SweepSpec
 from repro.analysis.export import sweep_to_payload
 from repro.service import JobServer, RemoteClient
 from repro.simulation.cache import SweepCache
+from repro.simulation.sweep import execute_sweep
 
 SUBMITTERS = 120
 DISTINCT_SPECS = 6
@@ -127,4 +129,78 @@ class TestConcurrentClients:
         )
         assert all(
             cache.get(key) is None for key in victim_keys.values()
+        )
+
+
+class TestLongPollEfficiency:
+    def test_long_poll_uses_strictly_fewer_requests_than_polling(self):
+        """The PR's acceptance bar: the 120-submitter scenario, run
+        once with long-poll waits and once with the client-side polling
+        baseline, completes both ways — and long-poll spends strictly
+        fewer HTTP requests doing it.
+
+        A fake client with a fixed per-job delay keeps the comparison
+        about wire traffic, not simulation compute.
+        """
+        outcome = execute_sweep(
+            SweepSpec("fig7-mutuality", seeds=[1], smoke=True),
+            ExecutionProfile(no_cache=True),
+        )
+
+        class _SlowHandle:
+            def result(self):
+                time.sleep(0.05)
+                return outcome
+
+            def cancel(self):
+                return False
+
+        class _SlowClient:
+            profile = ExecutionProfile()
+
+            def submit(self, spec, profile=None):
+                return _SlowHandle()
+
+        spec = SweepSpec("fig7-mutuality", seeds=[1], smoke=True)
+
+        def run_mode(long_poll: bool) -> int:
+            totals = []
+            totals_lock = threading.Lock()
+            errors = []
+            with JobServer(
+                client=_SlowClient(), parallel_jobs=4
+            ) as server:
+                def submitter(index: int) -> None:
+                    try:
+                        remote = RemoteClient(
+                            server.url, timeout=60,
+                            poll_interval=0.05, long_poll=long_poll,
+                        )
+                        handle = remote.submit(spec)
+                        assert handle.wait(timeout=120) is True
+                        with totals_lock:
+                            totals.append(remote.requests_sent)
+                    except BaseException as error:  # noqa: BLE001
+                        errors.append((index, error))
+
+                threads = [
+                    threading.Thread(target=submitter, args=(index,))
+                    for index in range(SUBMITTERS)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=120)
+                assert not any(
+                    thread.is_alive() for thread in threads
+                ), "submitters hung"
+            assert errors == []
+            assert len(totals) == SUBMITTERS
+            return sum(totals)
+
+        long_poll_requests = run_mode(True)
+        polling_requests = run_mode(False)
+        assert long_poll_requests < polling_requests, (
+            f"long-poll sent {long_poll_requests} requests, polling "
+            f"baseline {polling_requests}"
         )
