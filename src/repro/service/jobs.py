@@ -22,10 +22,15 @@ recovers the whole journal — terminal jobs come back with their results
 fetchable, jobs that were ``running`` when the server died are
 re-marked ``failed`` with a structured ``server_restart`` error, jobs
 that never started are re-dispatched, and id allocation resumes past
-the recovered maximum.  Two tables sharing one state dir claim each job
-with an ``O_EXCL`` dispatch lease before running it, so a job is
-executed exactly once no matter how many servers can see it; the losing
-table keeps a *passive* record that follows the winner's journal.
+the recovered maximum.  Two tables sharing one state dir allocate ids
+through the store's ``O_EXCL`` reservation (so live servers never mint
+the same id) and claim each job with an ``O_EXCL`` dispatch lease
+before running it, so a job is executed exactly once no matter how many
+servers can see it; the losing table keeps a *passive* record that
+follows the winner's journal — and fails the job over with the same
+``server_restart`` error recovery applies if the winner dies mid-run.
+Leases are released once the job is terminal and recovery sweeps
+whatever a crash leaves behind.
 """
 
 from __future__ import annotations
@@ -95,6 +100,9 @@ class JobRecord:
         self.created = time.time() if created is None else float(created)
         self.store: Optional[JobStateStore] = None
         self._lock = threading.Lock()
+        # Waiters park on the condition (signalled at terminal and on
+        # the queued→passive flip); the event is the terminal fact.
+        self._changed = threading.Condition(self._lock)
         self._finished = threading.Event()
         self._state = QUEUED
         self._passive = False  # another server holds the dispatch lease
@@ -160,17 +168,22 @@ class JobRecord:
         if self.store is not None and not self._passive:
             self.store.save_job(self.to_persist_payload())
 
+    def _finish_locked(self) -> None:
+        """Mark terminal and wake every waiter (caller holds the lock)."""
+        self._finished.set()
+        self._changed.notify_all()
+
     def _mark_passive(self) -> None:
         """Another server claimed this job; follow its journal instead."""
         with self._lock:
             if self._state in TERMINAL_STATES:
                 return
             self._passive = True
+            # Waiters parked on the condition switch to journal polling.
+            self._changed.notify_all()
 
-    def _refresh_from_store(self) -> str:
+    def _adopt_journal(self) -> str:
         """Adopt the journaled state of a passively-watched job."""
-        if not self._passive or self.store is None:
-            return self.state()
         payload = self.store.load_job(self.job_id)
         state = payload.get("state") if payload else None
         with self._lock:
@@ -182,12 +195,39 @@ class JobRecord:
                 error = payload.get("error")
                 self._error = dict(error) if isinstance(error, dict) else None
                 if state in TERMINAL_STATES:
-                    self._finished.set()
+                    self._finish_locked()
+            return self._state
+
+    def _refresh_from_store(self) -> str:
+        """Follow the owning server's journal; fail over if it died.
+
+        A passive record's owner can crash after journaling ``running``
+        — its journal then never goes terminal on its own, and without
+        this check a client long-polling the surviving server would
+        hang forever.  When the owner's dispatch lease is provably dead
+        the journal is re-read once (a terminal state may have landed
+        just before the lease was dropped) and the job is then failed
+        with the same structured ``server_restart`` error that startup
+        recovery applies.
+        """
+        if not self._passive or self.store is None:
+            return self.state()
+        state = self._adopt_journal()
+        if state in TERMINAL_STATES or self.store.lease_live(self.job_id):
+            return state
+        state = self._adopt_journal()
+        if state in TERMINAL_STATES:
+            return state
+        self._mark_restart_failed()
+        with self._lock:
             return self._state
 
     def _mark_restart_failed(self) -> None:
         """Recovery for a job that was ``running`` when its server died."""
         with self._lock:
+            if self._state in TERMINAL_STATES:
+                return
+            self._passive = False  # the dead owner's journal is ours now
             self._state = FAILED
             self._error = {
                 "error_type": "ServerRestartError",
@@ -197,8 +237,10 @@ class JobRecord:
                 ),
                 "reason": "server_restart",
             }
-            self._finished.set()
+            self._finish_locked()
         self._journal()
+        if self.store is not None:
+            self.store.discard_lease(self.job_id)
 
     def _shutdown_cancel(self) -> bool:
         """Clean-shutdown cancel for a job no dispatcher ever reached.
@@ -217,7 +259,7 @@ class JobRecord:
                 "message": "server shut down before the job ran",
                 "reason": "server_shutdown",
             }
-            self._finished.set()
+            self._finish_locked()
         self._journal()
         return True
 
@@ -234,9 +276,11 @@ class JobRecord:
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until terminal (or ``timeout`` seconds); True if done.
 
-        The server's long-poll route parks here.  Local records ride
-        the ``threading.Event``; passive records re-read the owning
-        server's journal between short event waits.
+        The server's long-poll route parks here.  Local records sleep
+        on the condition — one wakeup at terminal, timeout, or the
+        queued→passive flip, never a poll — and only passive records
+        (another server is executing the job) fall back to re-reading
+        the owner's journal between short waits.
         """
         if self.store is None:
             return self._finished.wait(timeout)
@@ -255,12 +299,17 @@ class JobRecord:
             )
             if remaining is not None and remaining <= 0:
                 return False
-            chunk = (
-                _PASSIVE_POLL if remaining is None
-                else min(_PASSIVE_POLL, remaining)
-            )
-            if self._finished.wait(chunk):
-                return True
+            if self._passive:
+                chunk = (
+                    _PASSIVE_POLL if remaining is None
+                    else min(_PASSIVE_POLL, remaining)
+                )
+                if self._finished.wait(chunk):
+                    return True
+            else:
+                with self._changed:
+                    if not self._passive and not self._finished.is_set():
+                        self._changed.wait(remaining)
 
     def cancel(self) -> bool:
         """Honest cancellation, same contract as the api handles.
@@ -281,7 +330,7 @@ class JobRecord:
                     "error_type": "CancelledError",
                     "message": "job cancelled before it ran",
                 }
-                self._finished.set()
+                self._finish_locked()
                 cancelled = True
             elif self._state == RUNNING and self._handle is not None:
                 return self._handle.cancel()
@@ -324,7 +373,8 @@ class JobRecord:
                 self._error = _error_payload(error)
         finally:
             self._journal()
-            self._finished.set()
+            with self._lock:
+                self._finish_locked()
 
     def _outcome_payload(self, outcome) -> Dict[str, object]:
         from repro.analysis.export import sweep_to_payload
@@ -469,6 +519,7 @@ class JobTable:
         live owner they are another server's work, watched passively.
         """
         redispatch: List[JobRecord] = []
+        terminal: List[str] = []
         for payload in store.recover_jobs():
             try:
                 record = JobRecord.from_persist_payload(payload)
@@ -481,9 +532,16 @@ class JobTable:
                     record._passive = True
                 else:
                     record._mark_restart_failed()
+                    terminal.append(record.job_id)
             elif state == QUEUED:
                 redispatch.append(record)
+            else:
+                terminal.append(record.job_id)
             self._jobs[record.job_id] = record
+        # Terminal jobs' leases (and orphaned steal tombstones) are
+        # litter a crashed server left behind; reap them now so a
+        # long-lived state dir does not accumulate one file per job.
+        store.sweep_stale_leases(terminal)
         self._counter = itertools.count(store.max_job_number() + 1)
         return redispatch
 
@@ -499,9 +557,17 @@ class JobTable:
             record = self._queue.get()
             if record is None:
                 return
-            if self.store is not None and not self._claim(record):
+            if self.store is None:
+                record._execute(self.client)
                 continue
-            record._execute(self.client)
+            if not self._claim(record):
+                continue
+            try:
+                record._execute(self.client)
+            finally:
+                # The terminal state is journaled by now; the dispatch
+                # lease is litter and shared state dirs must not keep it.
+                self.store.release(record.job_id)
 
     def _claim(self, record: JobRecord) -> bool:
         """Exactly-once dispatch across every table sharing the store."""
@@ -511,19 +577,39 @@ class JobTable:
             record._mark_passive()
             return False
         # Between journal recovery and this claim another server may
-        # have journaled a cancel; honor it rather than racing it.
+        # have journaled a cancel — or run the job to completion and
+        # released its lease (which is what made our claim succeed).
+        # Honor any terminal journal rather than racing or re-running.
         disk = self.store.load_job(record.job_id)
-        if disk is not None and disk.get("state") == CANCELLED:
+        state = disk.get("state") if disk else None
+        if state in TERMINAL_STATES:
             with record._lock:
-                if record._state == QUEUED:
-                    record._state = CANCELLED
+                if record._state not in TERMINAL_STATES:
+                    record._state = state
                     error = disk.get("error")
                     record._error = (
                         dict(error) if isinstance(error, dict) else None
                     )
-                    record._finished.set()
+                    record._finish_locked()
+            self.store.release(record.job_id)  # claimed above, never run
             return False
         return True
+
+    def _allocate_id(self) -> str:
+        """The next job id; store-backed tables reserve it on disk.
+
+        Each live server seeds its counter from the journal only once,
+        at recovery, so counters alone collide the moment two servers
+        share a state dir — the ``O_EXCL`` reservation makes the store
+        the arbiter: a taken number is skipped, never reused.  Caller
+        holds the table lock.
+        """
+        if self.store is None:
+            return f"job-{next(self._counter):06d}"
+        while True:
+            job_id = self.store.reserve_job_id(next(self._counter))
+            if job_id is not None:
+                return job_id
 
     def _enqueue(
         self,
@@ -547,7 +633,7 @@ class JobTable:
         with self._lock:
             if self._closed:
                 raise RuntimeError("job table is closed")
-            job_id = f"job-{next(self._counter):06d}"
+            job_id = self._allocate_id()
             record = JobRecord(job_id, kind, specs, profile, name=name)
             record.store = self.store
             self._jobs[job_id] = record

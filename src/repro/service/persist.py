@@ -17,6 +17,14 @@ queue already trusts (:mod:`repro.simulation.distributed`):
   ``O_CREAT | O_EXCL`` exactly like the work queue's task leases.  Two
   servers sharing one state dir race the exclusive create; precisely
   one wins and dispatches, the loser watches the winner's journal.
+  Leases are litter once the job's journal is terminal: the owning
+  table releases them after execution, and recovery sweeps whatever a
+  crash left behind, so a long-lived state dir does not accrete one
+  file per job;
+* **id reservations** — a new job's number is reserved with an
+  ``O_EXCL`` create of its (initially empty) journal file, so two live
+  servers sharing the dir can never mint the same ``job-%06d`` id and
+  silently overwrite each other's journals.
 
 Liveness is judged the way an operator would: a lease names its owner
 as ``host:pid:token``.  On the same host a dead pid is dead evidence —
@@ -113,6 +121,27 @@ class JobStateStore:
         """The journaled payload, or ``None`` when absent/corrupt."""
         return _read_json(self._job_path(job_id))
 
+    def reserve_job_id(self, number: int) -> Optional[str]:
+        """Reserve ``job-%06d`` for this server; ``None`` when taken.
+
+        The reservation is an ``O_EXCL`` create of the job's journal
+        file (an empty placeholder the first real journal write
+        atomically replaces).  Each live server seeds its counter from
+        :meth:`max_job_number` only once, so without disk arbitration
+        two servers sharing one state dir would mint identical ids and
+        last-writer-wins journal each other's jobs away.
+        """
+        job_id = f"job-{number:06d}"
+        try:
+            fd = os.open(
+                self._job_path(job_id),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            return None
+        os.close(fd)
+        return job_id
+
     def job_ids(self) -> List[str]:
         """Every journaled job id, sorted (ids are zero-padded)."""
         return sorted(
@@ -161,6 +190,17 @@ class JobStateStore:
         task leases are: rename to a unique tombstone (``os.rename``
         succeeds for exactly one stealer), then take the vacant slot
         with another exclusive create.
+
+        ``os.rename`` clobbers whatever sits at the lease path — which,
+        between our liveness check and our rename, may no longer be the
+        corpse we judged dead but a *fresh* lease a racing stealer just
+        re-created.  So the tombstone is re-examined after the rename:
+        if it holds a live owner's lease we displaced, that lease is
+        put back (``os.link`` restores the very same inode, so the
+        owner's heartbeat keeps touching it) and the claim is
+        abandoned.  Tombstones are unlinked once the steal resolves;
+        only a stealer crashing mid-steal leaves one for the recovery
+        sweep.
         """
         lease = self._lease_path(job_id)
         try:
@@ -175,10 +215,19 @@ class JobStateStore:
                 os.rename(lease, tombstone)
             except OSError:
                 return False  # a racing stealer won the rename
+            if self._tombstone_live(tombstone):
+                try:
+                    os.link(tombstone, lease)
+                except OSError:
+                    pass  # slot re-taken; nothing safe left to do
+                self._unlink(tombstone)
+                return False
             try:
                 fd = os.open(lease, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
+                self._unlink(tombstone)
                 return False  # a fresh claimer slipped into the vacancy
+            self._unlink(tombstone)
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(self.owner)
@@ -192,25 +241,85 @@ class JobStateStore:
         except OSError:
             return None
 
-    def lease_live(self, job_id: str) -> bool:
-        """Whether ``job_id``'s dispatch claim belongs to a live server.
+    def _owner_live(self, owner: str, mtime: float) -> bool:
+        """Liveness verdict for a lease's owner string + heartbeat mtime.
 
         Same host: the owner pid decides (a dead pid is dead evidence,
-        no TTL wait).  Other hosts: the heartbeat mtime decides, with
-        the work queue's skew margin.  A missing lease is not live.
+        no TTL wait).  Other hosts — or a lease created so freshly its
+        owner is not written yet — the heartbeat mtime decides, with
+        the work queue's skew margin.
         """
-        lease = self._lease_path(job_id)
-        try:
-            mtime = lease.stat().st_mtime
-        except OSError:
-            return False
-        owner = self.lease_owner(job_id) or ""
         host, _, rest = owner.partition(":")
         pid_text = rest.partition(":")[0]
         if host == self.host and pid_text.isdigit():
             return _pid_alive(int(pid_text))
         age = max(0.0, time.time() - mtime)
         return age <= lease_steal_threshold(self.lease_ttl)
+
+    def lease_live(self, job_id: str) -> bool:
+        """Whether ``job_id``'s dispatch claim belongs to a live server.
+
+        A missing lease is not live.
+        """
+        lease = self._lease_path(job_id)
+        try:
+            mtime = lease.stat().st_mtime
+        except OSError:
+            return False
+        return self._owner_live(self.lease_owner(job_id) or "", mtime)
+
+    def _tombstone_live(self, path: Path) -> bool:
+        """Whether a just-renamed tombstone holds a live owner's lease.
+
+        Unreadable means a recovery sweep reaped it mid-steal; without
+        evidence the steal is abandoned rather than risked.
+        """
+        try:
+            mtime = path.stat().st_mtime
+            owner = path.read_text().strip()
+        except OSError:
+            return True
+        return self._owner_live(owner, mtime)
+
+    def release(self, job_id: str) -> None:
+        """Drop this store's own dispatch lease (the job went terminal).
+
+        Owner-checked: a lease stolen mid-run belongs to the thief now
+        and stays put.
+        """
+        lease = self._lease_path(job_id)
+        try:
+            if lease.read_text().strip() == self.owner:
+                lease.unlink()
+        except OSError:
+            pass
+
+    def discard_lease(self, job_id: str) -> None:
+        """Unlink ``job_id``'s lease whoever owns it.
+
+        Only safe once the job's journal is terminal — a terminal
+        journal supersedes any dispatch claim, so the file is litter.
+        """
+        self._unlink(self._lease_path(job_id))
+
+    def sweep_stale_leases(self, terminal_ids) -> None:
+        """Recovery housekeeping: drop leases of terminal jobs and any
+        steal tombstone old enough that no in-flight steal can still be
+        examining it, so a long-lived shared state dir does not grow
+        one or more lease files per job forever."""
+        terminal = set(terminal_ids)
+        threshold = lease_steal_threshold(self.lease_ttl)
+        leases = self.state_dir / "leases"
+        for path in leases.glob("*.lease"):
+            if path.name[: -len(".lease")] in terminal:
+                self._unlink(path)
+        for path in leases.glob("*.lease.stale-*"):
+            try:
+                age = time.time() - path.stat().st_mtime
+            except OSError:
+                continue
+            if age > threshold:
+                self._unlink(path)
 
     def touch_owned_leases(self) -> None:
         """Heartbeat: refresh the mtime of every lease this store owns."""
@@ -220,3 +329,10 @@ class JobStateStore:
                     os.utime(path)
             except OSError:
                 continue  # stolen or removed mid-scan
+
+    @staticmethod
+    def _unlink(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -4,6 +4,7 @@ two servers sharing one state dir dispatching each job exactly once."""
 import os
 import socket
 import threading
+import time
 
 import pytest
 
@@ -161,6 +162,92 @@ class TestJobStateStore:
         with pytest.raises(ValueError):
             JobStateStore(tmp_path / "state", lease_ttl=0)
 
+    def test_reserve_job_id_is_exclusive_between_stores(self, tmp_path):
+        first = JobStateStore(tmp_path / "state")
+        second = JobStateStore(tmp_path / "state")
+        assert first.reserve_job_id(1) == "job-000001"
+        assert second.reserve_job_id(1) is None
+        assert second.reserve_job_id(2) == "job-000002"
+        # The placeholder counts for allocation but is not a job yet.
+        assert first.max_job_number() == 2
+        assert first.recover_jobs() == []
+
+
+class TestLeaseHygiene:
+    def test_steal_restores_a_displaced_live_lease(
+        self, tmp_path, monkeypatch
+    ):
+        """The TOCTOU window: stealer B judges the lease dead, then a
+        racing stealer A completes its steal (fresh live lease) before
+        B's rename lands.  B must put A's lease back, not claim."""
+        state = tmp_path / "state"
+        a = JobStateStore(state)
+        b = JobStateStore(state)
+        assert a.claim("job-000001") is True
+        # Freeze B's pre-rename verdict at "dead" to reproduce the
+        # stale read; the post-rename tombstone check must still see
+        # A's live lease and abort.
+        monkeypatch.setattr(b, "lease_live", lambda job_id: False)
+        assert b.claim("job-000001") is False
+        assert a.lease_owner("job-000001") == a.owner
+        assert list((state / "leases").glob("*.stale-*")) == []
+        # The restored lease is the same inode: A's heartbeat works.
+        old = (state / "leases" / "job-000001.lease").stat().st_mtime - 60
+        os.utime(state / "leases" / "job-000001.lease", (old, old))
+        a.touch_owned_leases()
+        mtime = (state / "leases" / "job-000001.lease").stat().st_mtime
+        assert mtime > old + 30.0
+
+    def test_successful_steal_leaves_no_tombstone(self, tmp_path):
+        store = JobStateStore(tmp_path / "state")
+        lease = tmp_path / "state" / "leases" / "job-000001.lease"
+        lease.write_text(f"{socket.gethostname()}:999999999:gone")
+        assert store.claim("job-000001") is True
+        assert list(
+            (tmp_path / "state" / "leases").glob("*.stale-*")
+        ) == []
+
+    def test_release_unlinks_only_the_owned_lease(self, tmp_path):
+        state = tmp_path / "state"
+        a = JobStateStore(state)
+        b = JobStateStore(state)
+        assert a.claim("job-000001") is True
+        lease = state / "leases" / "job-000001.lease"
+        b.release("job-000001")  # not B's to drop
+        assert lease.exists()
+        a.release("job-000001")
+        assert not lease.exists()
+        a.release("job-000001")  # idempotent on a missing lease
+
+    def test_discard_lease_drops_any_owner(self, tmp_path):
+        state = tmp_path / "state"
+        store = JobStateStore(state)
+        lease = state / "leases" / "job-000001.lease"
+        lease.write_text("elsewhere:1234:remote")
+        store.discard_lease("job-000001")
+        assert not lease.exists()
+
+    def test_sweep_drops_terminal_leases_and_old_tombstones(
+        self, tmp_path
+    ):
+        state = tmp_path / "state"
+        store = JobStateStore(state)
+        leases = state / "leases"
+        (leases / "job-000001.lease").write_text("elsewhere:1:x")
+        (leases / "job-000002.lease").write_text("elsewhere:2:y")
+        old_stone = leases / "job-000003.lease.stale-dead"
+        old_stone.write_text("elsewhere:3:z")
+        stale = old_stone.stat().st_mtime - 120.0
+        os.utime(old_stone, (stale, stale))
+        fresh_stone = leases / "job-000004.lease.stale-racing"
+        fresh_stone.write_text("elsewhere:4:w")
+
+        store.sweep_stale_leases(["job-000001"])
+        assert not (leases / "job-000001.lease").exists()
+        assert (leases / "job-000002.lease").exists()  # not terminal
+        assert not old_stone.exists()
+        assert fresh_stone.exists()  # a steal could still be examining it
+
 
 class TestRestartRecovery:
     def test_terminal_jobs_survive_and_ids_resume(self, tmp_path):
@@ -261,6 +348,86 @@ class TestRestartRecovery:
         finally:
             table.close(wait=True, timeout=5.0)
 
+    def test_passive_record_fails_over_when_the_owner_dies(
+        self, tmp_path
+    ):
+        """A lease winner crashing after journaling ``running`` must not
+        leave the surviving server's waiters hanging forever."""
+        state = tmp_path / "state"
+        store = JobStateStore(state)
+        payload = JobRecord(
+            "job-000001", "sweep", [SPEC], None
+        ).to_persist_payload()
+        payload["state"] = "running"
+        store.save_job(payload)
+        lease = state / "leases" / "job-000001.lease"
+        # A live owner at recovery time: watched passively.
+        lease.write_text(f"{socket.gethostname()}:{os.getpid()}:peer")
+
+        table = JobTable(
+            Client(ExecutionProfile(no_cache=True)),
+            store=JobStateStore(state),
+        )
+        try:
+            record = table.get("job-000001")
+            assert record.state() == "running"
+            # The owner dies mid-run: same host, provably dead pid.
+            lease.write_text(f"{socket.gethostname()}:999999999:gone")
+            assert record.wait(5.0) is True
+            assert record.state() == "failed"
+            error = record.status_payload()["error"]
+            assert error["reason"] == "server_restart"
+            # The verdict is journaled and the dead lease reaped.
+            assert store.load_job("job-000001")["state"] == "failed"
+            assert not lease.exists()
+        finally:
+            table.close(wait=True, timeout=5.0)
+
+    def test_terminal_jobs_release_their_dispatch_leases(
+        self, tmp_path, one_seed_sweep
+    ):
+        state = tmp_path / "state"
+        client = _GateClient(one_seed_sweep)
+        client.gate.set()
+        table = JobTable(client, store=JobStateStore(state))
+        try:
+            record = table.submit_sweep(SPEC)
+            assert record.wait(30.0) is True
+            deadline = time.monotonic() + 5.0
+            leases = state / "leases"
+            # The lease drops right after execution returns.
+            while list(leases.iterdir()) and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert list(leases.iterdir()) == []
+        finally:
+            table.close(wait=True, timeout=5.0)
+
+    def test_recovery_sweeps_a_crashed_servers_leases(self, tmp_path):
+        state = tmp_path / "state"
+        store = JobStateStore(state)
+        done = JobRecord(
+            "job-000001", "sweep", [SPEC], None
+        ).to_persist_payload()
+        done["state"] = "done"
+        store.save_job(done)
+        store.save_result("job-000001", {"scenario": "fig7-mutuality"})
+        leases = state / "leases"
+        (leases / "job-000001.lease").write_text("elsewhere:1:x")
+        stone = leases / "job-000001.lease.stale-crashed"
+        stone.write_text("elsewhere:2:y")
+        old = stone.stat().st_mtime - 120.0
+        os.utime(stone, (old, old))
+
+        table = JobTable(
+            Client(ExecutionProfile(no_cache=True)),
+            store=JobStateStore(state),
+        )
+        try:
+            assert not (leases / "job-000001.lease").exists()
+            assert not stone.exists()
+        finally:
+            table.close(wait=True, timeout=5.0)
+
     def test_queued_at_crash_is_redispatched(
         self, tmp_path, one_seed_sweep
     ):
@@ -342,6 +509,61 @@ class TestMultiServer:
             table_a.close(wait=True, timeout=5.0)
             table_b.close(wait=True, timeout=5.0)
 
+    def test_two_live_tables_never_mint_the_same_id(
+        self, tmp_path, one_seed_sweep
+    ):
+        """Both tables seed their counters at 1 on an empty state dir;
+        the O_EXCL reservation must still keep fresh ids disjoint."""
+        state = tmp_path / "state"
+        client_a = _GateClient(one_seed_sweep)
+        client_b = _GateClient(one_seed_sweep)
+        client_a.gate.set()
+        client_b.gate.set()
+        table_a = JobTable(client_a, store=JobStateStore(state))
+        table_b = JobTable(client_b, store=JobStateStore(state))
+        try:
+            first = table_a.submit_sweep(SPEC)
+            second = table_b.submit_sweep(SPEC)
+            assert {first.job_id, second.job_id} == {
+                "job-000001", "job-000002",
+            }
+            assert first.wait(30.0) and second.wait(30.0)
+            # Each journal belongs to exactly its own job.
+            store = JobStateStore(state)
+            for record in (first, second):
+                assert store.load_job(record.job_id)["id"] == record.job_id
+        finally:
+            table_a.close(wait=True, timeout=5.0)
+            table_b.close(wait=True, timeout=5.0)
+
+    def test_a_finished_jobs_vacated_lease_is_not_rerun(
+        self, tmp_path, one_seed_sweep
+    ):
+        """Terminal jobs release their leases, so a claim on a finished
+        job *succeeds* — the dispatcher must adopt the terminal journal
+        instead of running the job a second time."""
+        state = tmp_path / "state"
+        store = JobStateStore(state)
+        client = _GateClient(one_seed_sweep)
+        client.gate.set()
+        table = JobTable(client, store=store)
+        try:
+            # A queued record this table believes is still its work...
+            record = JobRecord("job-000001", "sweep", [SPEC], None)
+            record.store = store
+            # ...that a peer already ran to completion and released.
+            done = record.to_persist_payload()
+            done["state"] = "done"
+            store.save_result("job-000001", {"scenario": "fig7-mutuality"})
+            store.save_job(done)
+
+            assert table._claim(record) is False
+            assert record.state() == "done"
+            assert client.started == []
+            assert list((state / "leases").iterdir()) == []
+        finally:
+            table.close(wait=True, timeout=5.0)
+
     def test_a_journaled_cancel_is_recovered_as_terminal(self, tmp_path):
         """A cancel journaled by another server survives recovery —
         the job is never re-dispatched as phantom queued work."""
@@ -366,3 +588,49 @@ class TestMultiServer:
             assert revived.state() == "cancelled"
         finally:
             table.close(wait=True, timeout=5.0)
+
+
+class TestWaitWakeups:
+    def test_local_bounded_wait_parks_once(self, tmp_path):
+        """A store-backed but locally-owned record must not wake ~10x a
+        second while a long-poll handler is parked on it."""
+        record = JobRecord("job-000001", "sweep", [SPEC], None)
+        record.store = JobStateStore(tmp_path / "state")
+        sleeps = []
+        inner = record._changed.wait
+
+        def counted(timeout=None):
+            sleeps.append(timeout)
+            return inner(timeout)
+
+        record._changed.wait = counted
+        assert record.wait(0.4) is False
+        assert len(sleeps) == 1
+
+    def test_waiter_wakes_on_a_mid_wait_passive_flip(self, tmp_path):
+        """Losing the dispatch race while a waiter is parked must move
+        that waiter onto the journal, not strand it until timeout."""
+        state = tmp_path / "state"
+        store = JobStateStore(state)
+        record = JobRecord("job-000001", "sweep", [SPEC], None)
+        record.store = store
+        store.save_job(record.to_persist_payload())
+        # The winning peer's live lease (this very process).
+        (state / "leases" / "job-000001.lease").write_text(
+            f"{socket.gethostname()}:{os.getpid()}:peer"
+        )
+        outcomes = []
+        waiter = threading.Thread(
+            target=lambda: outcomes.append(record.wait(30.0))
+        )
+        waiter.start()
+        time.sleep(0.2)
+        record._mark_passive()
+        payload = record.to_persist_payload()
+        payload["state"] = "done"
+        store.save_result("job-000001", {"scenario": "fig7-mutuality"})
+        store.save_job(payload)
+        waiter.join(5.0)
+        assert not waiter.is_alive()
+        assert outcomes == [True]
+        assert record.state() == "done"
