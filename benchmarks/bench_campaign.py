@@ -1,0 +1,269 @@
+"""Campaign scheduling benchmark — cost-aware ordering + autoscaling
+vs the FIFO fixed-fleet baseline, on a deliberately mixed campaign.
+
+The campaign is the scheduler's target case: several cheap filler
+sweeps submitted first and one expensive long-pole sweep submitted
+*last* (``fig15-environment`` with a large ``runs`` override — per-seed
+cost scales linearly with ``runs``, which is exactly what the family
+priors model).  FIFO serves in submission order, so the fleet drains
+the fillers together and then watches the long pole grind at the end;
+the cost scheduler ranks the long pole first from its prior, so its
+work overlaps everything else.  Both modes run the identical specs:
+
+* ``fifo_fixed``     — ``schedule="fifo"``, fixed fleet of ``workers``;
+* ``cost_autoscale`` — ``schedule="cost"`` + ``autoscale=True`` with
+  the same worker ceiling.
+
+Timing is *recorded, never asserted* (shared CI runners make timing
+assertions flaky); the makespans, speedup and worker-seconds land in
+``BENCH_campaign.json``.  What **is** asserted — and exits non-zero
+from the CLI — is the scheduler's contract: both modes produce
+bit-identical per-seed results and means against the sequential
+oracle, with zero steals and zero requeues.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py \
+        --smoke --out BENCH_campaign.json
+    PYTHONPATH=src python -m pytest -o python_files="bench_*.py" \
+        benchmarks/bench_campaign.py -s
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import ExecutionProfile, SweepSpec
+from repro.sched import estimate_sweep_cost, load_autoscale_events
+from repro.simulation.cache import code_version
+from repro.simulation.sweep import execute_campaign, execute_sweep
+
+SCENARIO = "fig15-environment"
+DEFAULT_WORKERS = 3
+
+# Smoke scale: the long pole is ~2x any single worker's share of the
+# fillers, so FIFO's tail is structural, not noise.
+SMOKE = dict(long_runs=3000, long_seeds=1,
+             filler_runs=130, filler_sweeps=8, filler_seeds=6)
+FULL = dict(long_runs=8000, long_seeds=2,
+            filler_runs=400, filler_sweeps=10, filler_seeds=8)
+
+
+def _build_specs(long_runs, long_seeds, filler_runs, filler_sweeps,
+                 filler_seeds):
+    """Fillers first, the long pole last — FIFO's worst case."""
+    specs = [
+        SweepSpec(SCENARIO, seeds=range(1, filler_seeds + 1), smoke=True,
+                  overrides={"runs": filler_runs})
+        for _ in range(filler_sweeps)
+    ]
+    specs.append(
+        SweepSpec(SCENARIO, seeds=range(1, long_seeds + 1), smoke=True,
+                  overrides={"runs": long_runs})
+    )
+    return specs
+
+
+def _timed_campaign(specs, profile):
+    start = time.perf_counter()
+    results = execute_campaign(specs, profile)
+    return results, time.perf_counter() - start
+
+
+def _autoscale_worker_seconds(events, start_time, end_time, fallback):
+    """Integrate fleet size over the event log (piecewise constant)."""
+    if not events:
+        return fallback
+    total, size, previous = 0.0, 0, start_time
+    for event in events:
+        stamp = event.get("time")
+        if not isinstance(stamp, (int, float)):
+            continue
+        stamp = min(max(float(stamp), start_time), end_time)
+        total += size * (stamp - previous)
+        size = int(event.get("to", size))
+        previous = stamp
+    total += size * (end_time - previous)
+    return total
+
+
+def run_bench(workers: int = 0, scale: dict = None) -> dict:
+    """Both modes once; returns the ``BENCH_campaign.json`` payload.
+
+    Raises ``AssertionError`` if either mode's results diverge from
+    the sequential oracle — the only failure this bench can produce.
+    """
+    workers = workers or DEFAULT_WORKERS
+    scale = dict(SMOKE if scale is None else scale)
+    specs = _build_specs(**scale)
+
+    oracles = [
+        execute_sweep(spec, ExecutionProfile(no_cache=True))
+        for spec in specs
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="bench-campaign-") as tmp:
+        fifo_profile = ExecutionProfile(
+            workers=workers, backend="distributed", no_cache=True,
+            queue_dir=str(Path(tmp) / "fifo"),
+        )
+        fifo_results, fifo_wall = _timed_campaign(specs, fifo_profile)
+
+        cost_dir = Path(tmp) / "cost"
+        cost_profile = ExecutionProfile(
+            workers=workers, backend="distributed", no_cache=True,
+            queue_dir=str(cost_dir), schedule="cost",
+            autoscale=True, min_workers=1, max_workers=workers,
+        )
+        cost_start = time.time()
+        cost_results, cost_wall = _timed_campaign(specs, cost_profile)
+        cost_end = time.time()
+        events = load_autoscale_events(cost_dir)
+
+    # Correctness gate: scheduling moved the work, never changed it.
+    for name, results in (("fifo_fixed", fifo_results),
+                          ("cost_autoscale", cost_results)):
+        for spec, sweep, oracle in zip(specs, results, oracles):
+            assert sweep.per_seed == oracle.per_seed, (
+                f"{name} per-seed results diverge from the oracle "
+                f"on {spec.scenario} x{dict(spec.overrides)}"
+            )
+            assert sweep.mean == oracle.mean, (
+                f"{name} mean diverges from the oracle"
+            )
+            assert sweep.steals == 0, f"{name} stole a lease"
+            assert sweep.requeues == 0, f"{name} requeued a task"
+    assert events, "autoscaler ran but logged no scaling events"
+
+    fifo_worker_seconds = workers * fifo_wall
+    cost_worker_seconds = _autoscale_worker_seconds(
+        events, cost_start, cost_end, workers * cost_wall,
+    )
+    estimates = [
+        estimate_sweep_cost(spec.scenario, spec.overrides, spec.seeds)
+        for spec in specs
+    ]
+    return {
+        "scenario": SCENARIO,
+        "workers": workers,
+        "scale": scale,
+        "sweeps": len(specs),
+        "total_seeds": sum(len(spec.seeds) for spec in specs),
+        "code_version": code_version(),
+        "equivalent": True,
+        "modes": {
+            "fifo_fixed": {
+                "wall_seconds": fifo_wall,
+                "worker_seconds": fifo_worker_seconds,
+                "schedule": "fifo",
+                "autoscale": False,
+            },
+            "cost_autoscale": {
+                "wall_seconds": cost_wall,
+                "worker_seconds": cost_worker_seconds,
+                "schedule": "cost",
+                "autoscale": True,
+                "scaling_events": len(events),
+            },
+        },
+        "speedups": {
+            "makespan": (fifo_wall / cost_wall
+                         if cost_wall > 0 else float("inf")),
+            "worker_seconds": (fifo_worker_seconds / cost_worker_seconds
+                               if cost_worker_seconds > 0
+                               else float("inf")),
+        },
+        "estimates": [
+            {"scenario": est.scenario, "seeds": est.seeds,
+             "seconds_per_seed": est.seconds_per_seed,
+             "total_seconds": est.total_seconds, "source": est.source}
+            for est in estimates
+        ],
+    }
+
+
+def test_campaign_scheduler(once, tmp_path):
+    """Bench harness entry: small scale, artifact into the test tmp dir."""
+    payload = once(lambda: run_bench(
+        workers=2,
+        scale=dict(long_runs=600, long_seeds=1,
+                   filler_runs=25, filler_sweeps=6, filler_seeds=6),
+    ))
+    assert payload["equivalent"]
+    assert set(payload["modes"]) == {"fifo_fixed", "cost_autoscale"}
+    assert payload["modes"]["cost_autoscale"]["scaling_events"] >= 1
+    assert payload["speedups"]["makespan"] > 0.0
+    # The long pole's prior dwarfs the fillers', so the planner had a
+    # real ordering signal (the makespan itself is never asserted).
+    totals = [est["total_seconds"] for est in payload["estimates"]]
+    assert totals[-1] == max(totals)
+    out = tmp_path / "BENCH_campaign.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print()
+    print(_summary(payload))
+
+
+def _summary(payload: dict) -> str:
+    modes = payload["modes"]
+    speedups = payload["speedups"]
+    lines = [
+        f"campaign scheduling — {payload['sweeps']} sweep(s), "
+        f"{payload['total_seeds']} seeds, up to {payload['workers']} "
+        f"workers (code {payload['code_version']})"
+    ]
+    for name, mode in modes.items():
+        extra = (f", {mode['scaling_events']} scaling event(s)"
+                 if "scaling_events" in mode else "")
+        lines.append(
+            f"  {name:<15} {mode['wall_seconds']:7.3f}s makespan, "
+            f"{mode['worker_seconds']:7.3f} worker-seconds"
+            f"  [schedule={mode['schedule']}]{extra}"
+        )
+    lines.append(
+        f"  cost+autoscale vs fifo+fixed: "
+        f"{speedups['makespan']:.2f}x makespan, "
+        f"{speedups['worker_seconds']:.2f}x worker-seconds"
+    )
+    long_pole = payload["estimates"][-1]
+    lines.append(
+        f"  long pole (submitted last): "
+        f"~{long_pole['total_seconds']:.2f}s by {long_pole['source']} "
+        f"estimate vs ~{sum(e['total_seconds'] for e in payload['estimates'][:-1]):.2f}s of fillers"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Campaign scheduling benchmark; fails only on "
+                    "correctness (equivalence), never on timing.",
+    )
+    parser.add_argument("--workers", type=int, default=0,
+                        help=f"worker ceiling (default {DEFAULT_WORKERS})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized campaign")
+    parser.add_argument("--out", default="BENCH_campaign.json",
+                        help="artifact path (default BENCH_campaign.json)")
+    args = parser.parse_args(argv)
+
+    try:
+        payload = run_bench(
+            workers=args.workers,
+            scale=SMOKE if args.smoke else FULL,
+        )
+    except AssertionError as error:
+        print(f"EQUIVALENCE FAILURE: {error}", file=sys.stderr)
+        return 1
+    Path(args.out).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(_summary(payload))
+    print(f"[artifact written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -166,6 +166,15 @@ def sweep_to_payload(sweep) -> Dict[str, object]:
         # retry budget (empty on healthy sweeps); the seeds/per_seed
         # arrays cover only the seeds that succeeded.
         "failed_seeds": list(getattr(sweep, "failed_seeds", []) or []),
+        # Per-seed compute wall times (seconds; telemetry for the cost
+        # estimator) — a possibly-partial map, absent entirely in
+        # pre-telemetry artifacts.
+        "seed_runtimes": {
+            str(seed): runtime
+            for seed, runtime in sorted(
+                (getattr(sweep, "seed_runtimes", {}) or {}).items()
+            )
+        },
         "mean": sweep.mean.to_payload(),
         "per_seed": [r.to_payload() for r in sweep.per_seed],
         "variance": (
@@ -226,6 +235,11 @@ def load_sweep(text: str) -> Dict[str, object]:
     failed = payload.setdefault("failed_seeds", [])
     if not isinstance(failed, list):
         raise ValueError("sweep failed_seeds must be a JSON array")
+    # Exports written before runtime telemetry carry no seed_runtimes
+    # map; default to empty (the estimator falls back to priors).
+    runtimes = payload.setdefault("seed_runtimes", {})
+    if not isinstance(runtimes, dict):
+        raise ValueError("sweep seed_runtimes must be a JSON object")
     if not isinstance(payload["per_seed"], list) or not isinstance(
         payload["seeds"], list
     ):

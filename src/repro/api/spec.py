@@ -46,6 +46,7 @@ Overrides = Tuple[Tuple[str, object], ...]
 
 EXECUTION_BACKENDS = ("process", "thread", "distributed")
 ON_ERROR_MODES = ("raise", "collect")
+SCHEDULE_MODES = ("fifo", "cost")
 
 
 def validate_execution(
@@ -60,6 +61,10 @@ def validate_execution(
     max_attempts: Optional[int] = None,
     on_error: Optional[str] = None,
     allow_inline_drain: bool = False,
+    schedule: Optional[str] = None,
+    autoscale: bool = False,
+    min_workers: Optional[int] = None,
+    max_workers: Optional[int] = None,
 ) -> None:
     """Reject contradictory or out-of-range execution options.
 
@@ -81,6 +86,11 @@ def validate_execution(
       could compute anything.  ``allow_inline_drain=True`` permits that
       degenerate mode; only the ``run_sweep`` shim passes it, because
       pre-existing callers relied on the coordinator draining inline.
+    * ``schedule`` outside :data:`SCHEDULE_MODES`; ``schedule="cost"``
+      or ``autoscale=True`` with a non-distributed backend (scheduling
+      and fleet sizing are work-queue concepts);
+    * ``min_workers``/``max_workers`` without ``autoscale=True``,
+      negative bounds, ``max_workers < 1``, or ``min > max``.
     """
     if backend not in EXECUTION_BACKENDS:
         raise ValueError(
@@ -148,6 +158,46 @@ def validate_execution(
     if on_error is not None and on_error not in ON_ERROR_MODES:
         raise ValueError(
             f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+        )
+    if schedule is not None and schedule not in SCHEDULE_MODES:
+        raise ValueError(
+            f"schedule must be one of {SCHEDULE_MODES}, got {schedule!r}"
+        )
+    if not isinstance(autoscale, bool):
+        raise ValueError(f"autoscale must be a boolean, got {autoscale!r}")
+    if backend != "distributed":
+        if schedule == "cost":
+            raise ValueError(
+                "schedule='cost' requires backend='distributed' (the "
+                "scheduler orders a shared work queue)"
+            )
+        if autoscale:
+            raise ValueError(
+                "autoscale requires backend='distributed' (the "
+                "supervisor sizes a work-queue fleet)"
+            )
+    if not autoscale and (min_workers is not None or max_workers is not None):
+        raise ValueError(
+            "min_workers/max_workers require autoscale=true"
+        )
+    for name, bound in (("min_workers", min_workers),
+                        ("max_workers", max_workers)):
+        if bound is not None and (
+            not isinstance(bound, int) or isinstance(bound, bool)
+        ):
+            raise ValueError(f"{name} must be an integer, got {bound!r}")
+    if min_workers is not None and min_workers < 0:
+        raise ValueError("min_workers must be >= 0")
+    if max_workers is not None and max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    if (
+        min_workers is not None
+        and max_workers is not None
+        and min_workers > max_workers
+    ):
+        raise ValueError(
+            f"min_workers ({min_workers}) exceeds "
+            f"max_workers ({max_workers})"
         )
 
 
@@ -331,6 +381,20 @@ class ExecutionProfile:
     # per backend; see resolved_on_error().
     max_attempts: Optional[int] = None
     on_error: Optional[str] = None
+    # Campaign scheduling (distributed backend only): "fifo" serves
+    # sweeps in submission order with uniform chunks; "cost" serves
+    # long-pole-first with tail-shrinking chunks, costs estimated from
+    # runtime telemetry or scenario-family priors.  None means "fifo".
+    # Result-neutral like every other field — the equivalence suite
+    # asserts schedule="cost" bit-identical to FIFO.
+    schedule: Optional[str] = None
+    # Fleet autoscaling (distributed backend only): replace the fixed
+    # local fleet with a supervisor sizing it from observed queue
+    # depth, bounded by min_workers/max_workers (defaults: 0 and
+    # max(workers, 1)) with hysteresis.
+    autoscale: bool = False
+    min_workers: Optional[int] = None
+    max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name in ("cache_dir", "queue_dir"):
@@ -348,6 +412,10 @@ class ExecutionProfile:
             compute=self.compute,
             max_attempts=self.max_attempts,
             on_error=self.on_error,
+            schedule=self.schedule,
+            autoscale=self.autoscale,
+            min_workers=self.min_workers,
+            max_workers=self.max_workers,
         )
 
     @classmethod
@@ -416,6 +484,10 @@ class ExecutionProfile:
         if self.on_error is not None:
             return self.on_error
         return "collect" if self.distributed else "raise"
+
+    def resolved_schedule(self) -> str:
+        """The queue serving order this profile means."""
+        return self.schedule if self.schedule is not None else "fifo"
 
     # -- serialization (campaign manifests) ----------------------------
     def to_payload(self) -> Dict[str, object]:

@@ -38,6 +38,7 @@ fetch the export — same engine, same bit-identical results.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Callable, Dict, List, Optional
@@ -254,6 +255,10 @@ def _profile_from_sweep_args(args: argparse.Namespace):
         compute=args.compute,
         max_attempts=args.max_attempts,
         on_error=args.on_error,
+        schedule=args.schedule,
+        autoscale=args.autoscale,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
     )
 
 
@@ -411,6 +416,35 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_profile_overrides(args: argparse.Namespace, profile):
+    """Apply ``repro campaign``'s execution flags over the manifest's
+    profile.
+
+    The manifest describes the campaign's default machinery; the flags
+    let one invocation rent a different fleet (more workers, a shared
+    queue dir, cost scheduling, autoscaling) without editing the file.
+    ``dataclasses.replace`` re-runs the profile's validation, so a
+    contradictory combination fails exactly like it would in a
+    manifest.
+    """
+    updates: Dict[str, object] = {}
+    if args.workers is not None:
+        updates["workers"] = args.workers
+    if args.distributed:
+        updates["backend"] = "distributed"
+    if args.queue_dir is not None:
+        updates["queue_dir"] = args.queue_dir
+    if args.schedule is not None:
+        updates["schedule"] = args.schedule
+    if args.autoscale:
+        updates["autoscale"] = True
+    if args.min_workers is not None:
+        updates["min_workers"] = args.min_workers
+    if args.max_workers is not None:
+        updates["max_workers"] = args.max_workers
+    return dataclasses.replace(profile, **updates) if updates else profile
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Run a manifest of sweeps as one campaign; collect the exports."""
     from repro.api import (
@@ -429,6 +463,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     try:
         manifest = load_campaign_manifest(text)
         profile = manifest.profile or ExecutionProfile()
+        profile = _campaign_profile_overrides(args, profile)
         # Main-thread execution (see cmd_sweep) so Ctrl-C aborts.
         result = CampaignResult(
             specs=manifest.specs,
@@ -495,10 +530,15 @@ def cmd_queue(args: argparse.Namespace) -> int:
         _emit(args, "\n".join(lines), payload)
         return 0
 
+    from repro.sched.autoscale import load_autoscale_events
+
     statuses = queue_status(args.queue_dir)
-    if not statuses:
+    events = load_autoscale_events(args.queue_dir)
+    if not statuses and not events:
         text = f"no sweeps under {args.queue_dir}"
-        payload = json.dumps([], indent=2)
+        payload = json.dumps(
+            {"sweeps": [], "autoscaler_events": []}, indent=2,
+        )
         _emit(args, text, payload)
         return 0
     lines = [f"queue: {args.queue_dir} ({len(statuses)} sweep(s))"]
@@ -509,6 +549,11 @@ def cmd_queue(args: argparse.Namespace) -> int:
             f"{status.done}/{status.tasks} done, {status.pending} "
             f"pending, {len(status.leased)} leased"
         )
+        if status.est_seconds_per_seed is not None:
+            lines.append(
+                f"    cost: ~{status.est_seconds_per_seed:.3f}s/seed, "
+                f"~{status.est_remaining_seconds:.2f}s remaining"
+            )
         for lease in status.leased:
             lines.append(
                 f"    {lease.task_id} held by {lease.owner} "
@@ -537,8 +582,29 @@ def cmd_queue(args: argparse.Namespace) -> int:
                 "    version skew: written by other code; workers on "
                 "this version will skip it"
             )
+    remaining = [
+        status.est_remaining_seconds for status in statuses
+        if status.est_remaining_seconds is not None
+    ]
+    if remaining:
+        lines.append(
+            f"  estimated remaining: ~{sum(remaining):.2f}s "
+            f"across {len(remaining)} costed sweep(s)"
+        )
+    if events:
+        lines.append(f"  autoscaler: {len(events)} scaling event(s)")
+        for event in events[-5:]:
+            lines.append(
+                f"    [tick {event.get('tick', '?')}] "
+                f"{event.get('action', '?')} "
+                f"{event.get('from', '?')} -> {event.get('to', '?')} "
+                f"({event.get('reason', '')})"
+            )
     payload = json.dumps(
-        [status.to_payload() for status in statuses],
+        {
+            "sweeps": [status.to_payload() for status in statuses],
+            "autoscaler_events": events,
+        },
         indent=2, sort_keys=True,
     )
     _emit(args, "\n".join(lines), payload)
@@ -564,6 +630,11 @@ def cmd_worker(args: argparse.Namespace) -> int:
         cache_dir = args.cache_dir or str(default_cache_dir())
     owner = args.worker_id or default_worker_id()
     mode = "drain" if args.drain else "daemon"
+    stop = None
+    if args.stop_file is not None:
+        from pathlib import Path as _Path
+
+        stop = _Path(args.stop_file).exists
     print(f"worker {owner} ({mode}) serving {args.queue_dir}")
     try:
         stats = worker_loop(
@@ -575,6 +646,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
             drain=args.drain,
             max_tasks=args.max_tasks,
             max_attempts=args.max_attempts,
+            stop=stop,
             _daemon=True,
         )
     except KeyboardInterrupt:
@@ -727,6 +799,27 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
 }
 
 
+def _add_scheduling_flags(parser: argparse.ArgumentParser) -> None:
+    """The campaign-scheduler flags shared by sweep/campaign/serve."""
+    parser.add_argument("--schedule", choices=("fifo", "cost"),
+                        default=None,
+                        help="queue serving order for --distributed: "
+                             "'fifo' runs sweeps in submission order; "
+                             "'cost' serves estimated long poles first "
+                             "with tail-shrinking chunks (results are "
+                             "bit-identical either way)")
+    parser.add_argument("--autoscale", action="store_true",
+                        help="size the local worker fleet from observed "
+                             "queue depth instead of holding a fixed "
+                             "fleet (--distributed only)")
+    parser.add_argument("--min-workers", type=int, default=None,
+                        metavar="N",
+                        help="autoscaler floor (default 0)")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        metavar="N",
+                        help="autoscaler ceiling (default: --workers)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -831,6 +924,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "finishes the rest and reports it under "
                             "failed_seeds (default: raise for pools, "
                             "collect for --distributed)")
+    _add_scheduling_flags(sweep)
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="also write the sweep export to PATH")
 
@@ -888,6 +982,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="exhausted-seed policy (default: raise for "
                             "pools, collect for --distributed)")
+    _add_scheduling_flags(serve)
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
@@ -923,6 +1018,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "manifest wins)")
     worker.add_argument("--worker-id", default=None, metavar="ID",
                         help="lease owner id (default: host-pid)")
+    worker.add_argument("--stop-file", metavar="PATH", default=None,
+                        help="exit gracefully (after the current task) "
+                             "once PATH exists — the autoscaler's "
+                             "retirement protocol, usable manually too")
 
     cache = subparsers.add_parser(
         "cache",
@@ -953,6 +1052,16 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--out-dir", metavar="DIR", default=None,
                           help="write one standard sweep export per "
                                "sweep (<label>.json) under DIR")
+    campaign.add_argument("--workers", type=int, default=None,
+                          help="override the manifest profile's worker "
+                               "count")
+    campaign.add_argument("--distributed", action="store_true",
+                          help="override the manifest profile to the "
+                               "shared-work-queue backend")
+    campaign.add_argument("--queue-dir", metavar="DIR", default=None,
+                          help="override the manifest profile's queue "
+                               "directory")
+    _add_scheduling_flags(campaign)
     campaign.add_argument("--json", metavar="PATH", default=None,
                           help="also write the combined "
                                "{label: sweep export} object to PATH")

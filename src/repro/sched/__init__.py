@@ -1,0 +1,60 @@
+"""Cost-aware campaign scheduling and fleet autoscaling.
+
+The distributed campaign machinery (PR 4/5) enqueues every sweep up
+front with uniform chunking and a fixed worker fleet.  This package
+adds the three layers that turn that into a scheduler:
+
+* :mod:`repro.sched.estimator` — per-sweep cost estimates from the
+  runtime telemetry the executors record (cache entry metadata, done
+  markers, ``SweepResult.seed_runtimes``), falling back to
+  scenario-family priors when nothing was observed yet.
+* :mod:`repro.sched.planner` — pure planning functions: order a
+  campaign's sweeps long-pole-first and shard each one into chunks
+  that shrink toward the tail, so the last tasks are fine-grained and
+  no worker idles behind one fat chunk.
+* :mod:`repro.sched.autoscale` — a tick-based scaling policy with
+  hysteresis plus the coordinator-side :class:`FleetSupervisor` that
+  spawns/retires local worker processes from observed queue depth.
+
+Everything here is **result-neutral**: scheduling changes which worker
+computes which seed when, never what any seed computes — the
+equivalence suite asserts ``schedule="cost"`` bit-identical to FIFO.
+"""
+
+from repro.sched.autoscale import (
+    AutoscalePolicy,
+    FleetSupervisor,
+    QueueSample,
+    ScaleDecision,
+    load_autoscale_events,
+)
+from repro.sched.estimator import (
+    CostEstimate,
+    estimate_sweep_cost,
+    observed_runtimes,
+    prior_seconds_per_seed,
+)
+from repro.sched.planner import (
+    CampaignPlan,
+    PlannedSweep,
+    long_pole_order,
+    plan_campaign,
+    shrinking_chunks,
+)
+
+__all__ = [
+    "AutoscalePolicy",
+    "CampaignPlan",
+    "CostEstimate",
+    "FleetSupervisor",
+    "PlannedSweep",
+    "QueueSample",
+    "ScaleDecision",
+    "estimate_sweep_cost",
+    "load_autoscale_events",
+    "long_pole_order",
+    "observed_runtimes",
+    "plan_campaign",
+    "prior_seconds_per_seed",
+    "shrinking_chunks",
+]

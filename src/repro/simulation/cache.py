@@ -155,6 +155,20 @@ class SweepCache:
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[Reduced]:
         """The cached reduced result, or ``None`` on miss/corruption."""
+        entry = self.get_entry(key)
+        return entry[0] if entry is not None else None
+
+    def get_entry(
+        self, key: str,
+    ) -> Optional[Tuple[Reduced, Optional[float]]]:
+        """The cached result plus its recorded compute runtime.
+
+        Returns ``(result, runtime_seconds)`` — the runtime is ``None``
+        for entries written before runtimes were recorded (or by
+        executors that did not time the seed).  The runtime is advisory
+        telemetry for the cost estimator; only the result participates
+        in the bit-identity contract.
+        """
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
@@ -167,13 +181,24 @@ class SweepCache:
             # than trust it.  The eventual put() overwrites the file.
             self.stats.misses += 1
             return None
+        runtime = payload.get("runtime")
+        if not isinstance(runtime, (int, float)) or isinstance(
+            runtime, bool
+        ) or runtime < 0:
+            runtime = None
         self.stats.hits += 1
-        return result
+        return result, (float(runtime) if runtime is not None else None)
 
     def put(self, key: str, result: Reduced, scenario: str = "",
             seed: Optional[int] = None,
-            version: Optional[str] = None) -> None:
-        """Persist one reduced result atomically."""
+            version: Optional[str] = None,
+            runtime: Optional[float] = None) -> None:
+        """Persist one reduced result atomically.
+
+        ``runtime`` is the seed's observed compute wall time in seconds;
+        it rides along as entry metadata so the campaign scheduler can
+        estimate sweep costs from what this machine actually measured.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -185,6 +210,8 @@ class SweepCache:
             "seed": seed,
             "version": code_version() if version is None else version,
         }
+        if runtime is not None:
+            payload["runtime"] = float(runtime)
         handle = tempfile.NamedTemporaryFile(
             "w", dir=path.parent, suffix=".tmp", delete=False
         )

@@ -286,6 +286,9 @@ class WorkQueue:
         chunk_size: int,
         spec_payload: Optional[dict] = None,
         max_attempts: Optional[int] = None,
+        chunks: Optional[Sequence[Sequence[int]]] = None,
+        rank: Optional[int] = None,
+        est_seconds_per_seed: Optional[float] = None,
     ) -> "WorkQueue":
         """Shard ``seeds`` into task files under a fresh sweep directory.
 
@@ -300,6 +303,16 @@ class WorkQueue:
         ``max_attempts`` pins the per-seed retry budget in the manifest
         so every worker serving the sweep applies the same budget, no
         matter how its own daemon was configured.
+
+        The scheduler's levers: ``chunks`` overrides uniform sharding
+        with an explicit chunk list (must concatenate back to
+        ``seeds`` — the planner's shrinking-tail shapes); ``rank``
+        prefixes the sweep directory name so workers — which scan in
+        sorted order — serve rank 0 first (the queue's serving order,
+        submission order for FIFO, long-pole-first for cost plans);
+        ``est_seconds_per_seed`` records the planner's cost estimate
+        in the manifest for ``repro queue status`` ETAs.  All three
+        move work around without changing what any seed computes.
         """
         seeds = [int(seed) for seed in seeds]
         if not seeds:
@@ -312,19 +325,31 @@ class WorkQueue:
         digest = sha256(
             repr((scenario, params, tuple(seeds), code_version())).encode()
         ).hexdigest()[:12]
-        sweep_id = f"sweep-{digest}-{os.urandom(4).hex()}"
+        prefix = "sweep" if rank is None else f"sweep-r{int(rank):04d}"
+        sweep_id = f"{prefix}-{digest}-{os.urandom(4).hex()}"
         sweep_dir = Path(queue_dir) / sweep_id
         for sub in ("tasks", "leases", "done", "attempts", "quarantine",
                     "faults"):
             (sweep_dir / sub).mkdir(parents=True, exist_ok=True)
 
-        chunks = [
-            seeds[start:start + chunk_size]
-            for start in range(0, len(seeds), chunk_size)
-        ]
-        task_ids = [f"task-{index:04d}" for index in range(len(chunks))]
+        if chunks is None:
+            chunk_lists = [
+                seeds[start:start + chunk_size]
+                for start in range(0, len(seeds), chunk_size)
+            ]
+        else:
+            chunk_lists = [[int(seed) for seed in chunk] for chunk in chunks]
+            if any(not chunk for chunk in chunk_lists):
+                raise ValueError("chunks must all be non-empty")
+            flattened = [seed for chunk in chunk_lists for seed in chunk]
+            if flattened != seeds:
+                raise ValueError(
+                    "chunks must concatenate back to the seed list — "
+                    "scheduling may reshape chunks, never the work"
+                )
+        task_ids = [f"task-{index:04d}" for index in range(len(chunk_lists))]
         params_json = [[name, value] for name, value in params]
-        for task_id, chunk in zip(task_ids, chunks):
+        for task_id, chunk in zip(task_ids, chunk_lists):
             _atomic_write_json(sweep_dir / "tasks" / f"{task_id}.json", {
                 "task": task_id,
                 "scenario": scenario,
@@ -336,10 +361,14 @@ class WorkQueue:
             "scenario": scenario,
             "params": params_json,
             "seeds": seeds,
-            "chunks": dict(zip(task_ids, chunks)),
+            "chunks": dict(zip(task_ids, chunk_lists)),
             "chunk_size": chunk_size,
             "code_version": code_version(),
         }
+        if rank is not None:
+            manifest["rank"] = int(rank)
+        if est_seconds_per_seed is not None:
+            manifest["est_seconds_per_seed"] = float(est_seconds_per_seed)
         if max_attempts is not None:
             manifest["max_attempts"] = int(max_attempts)
         if spec_payload is not None:
@@ -799,6 +828,33 @@ class WorkQueue:
         totals.quarantined = len(quarantined)
         return results, failures, totals
 
+    def seed_runtimes(self) -> Dict[int, float]:
+        """Per-seed compute wall times harvested from the done markers.
+
+        Advisory telemetry (seconds per seed) recorded by whichever
+        worker computed each seed; seeds whose markers predate runtime
+        recording — or whose values do not parse as non-negative
+        numbers — are simply absent.  Safe on incomplete sweeps: only
+        published markers are read.
+        """
+        runtimes: Dict[int, float] = {}
+        for task_id in self.task_ids():
+            payload = _read_json(self._done_path(task_id))
+            if payload is None:
+                continue
+            recorded = payload.get("runtimes")
+            if not isinstance(recorded, dict):
+                continue
+            for seed, runtime in recorded.items():
+                try:
+                    seed = int(seed)
+                    runtime = float(runtime)
+                except (TypeError, ValueError):
+                    continue
+                if runtime >= 0:
+                    runtimes[seed] = runtime
+        return runtimes
+
     def cleanup(self) -> None:
         """Remove the sweep directory (after a successful collect)."""
         shutil.rmtree(self.sweep_dir, ignore_errors=True)
@@ -913,6 +969,7 @@ def _process_task(
     budget = queue.max_attempts(default=max_attempts)
     results: Dict[str, dict] = {}
     failed: Dict[str, dict] = {}
+    runtimes: Dict[str, float] = {}
     hits = misses = errors = 0
     warned_unwritable = False
     for seed in task["seeds"]:
@@ -922,10 +979,16 @@ def _process_task(
         if daemon:
             _maybe_process_fault(queue, seed, lease_ttl)
         key = SweepCache.key(scenario, params, seed)
-        result = cache.get(key) if cache is not None else None
-        if result is not None:
+        entry = cache.get_entry(key) if cache is not None else None
+        if entry is not None:
+            result, cached_runtime = entry
             hits += 1
             results[str(seed)] = reduced_to_payload(result)
+            if cached_runtime is not None:
+                # A replay costs nothing *now*; report the runtime the
+                # original compute recorded so cost estimates stay
+                # grounded in real measurements.
+                runtimes[str(seed)] = cached_runtime
             stats.seeds_run += 1
             continue
         while True:
@@ -944,6 +1007,7 @@ def _process_task(
                 stats.quarantined += 1
                 break
             attempt = queue.record_attempt(task_id, seed)
+            seed_start = time.perf_counter()
             try:
                 _maybe_seed_fault(queue, seed)
                 result = registry.run_reduced(scenario, params, seed)
@@ -959,10 +1023,13 @@ def _process_task(
                 ):
                     return  # lease stolen mid-backoff; new owner retries
                 continue
+            runtime = time.perf_counter() - seed_start
+            runtimes[str(seed)] = runtime
             misses += 1
             if cache is not None:
                 try:
-                    cache.put(key, result, scenario=scenario, seed=seed)
+                    cache.put(key, result, scenario=scenario, seed=seed,
+                              runtime=runtime)
                 except OSError as error:
                     errors += 1
                     if not warned_unwritable:
@@ -986,6 +1053,9 @@ def _process_task(
         "misses": misses,
         "cache_errors": errors,
         "results": results,
+        # Per-seed compute wall times (seconds) observed by this worker
+        # (or replayed from cache metadata) — the scheduler's telemetry.
+        "runtimes": runtimes,
     }
     if failed:
         payload["failed"] = failed
@@ -1086,10 +1156,22 @@ def _local_worker_main(
     cache_dir: Optional[str],
     poll: float,
     lease_ttl: float,
+    stop_flag: Optional[str] = None,
 ) -> None:
-    """Entry point of a coordinator-spawned local worker process."""
+    """Entry point of a coordinator-spawned local worker process.
+
+    ``stop_flag`` names a file whose existence asks this worker to
+    retire: it finishes its current task, sees the flag between
+    claims, and exits — the autoscaler's graceful scale-down (a lease
+    is never cut mid-task, so retiring can never cause a steal).
+    """
+    stop = None
+    if stop_flag is not None:
+        flag = Path(stop_flag)
+        stop = flag.exists
     worker_loop(
-        queue_dir, cache_dir, poll=poll, lease_ttl=lease_ttl, _daemon=True,
+        queue_dir, cache_dir, poll=poll, lease_ttl=lease_ttl,
+        stop=stop, _daemon=True,
     )
 
 
@@ -1129,6 +1211,9 @@ class DistributedOutcome:
     cache_errors: int
     wall_seconds: float = 0.0
     failed_seeds: Dict[int, dict] = field(default_factory=dict)
+    # Per-seed compute wall times from the done markers (telemetry for
+    # the cost estimator; may cover only a subset of the seeds).
+    seed_runtimes: Dict[int, float] = field(default_factory=dict)
 
 
 def execute_queued(
@@ -1143,6 +1228,10 @@ def execute_queued(
     timeout: float = 600.0,
     max_attempts: Optional[int] = None,
     stop: Optional[Callable[[], bool]] = None,
+    schedule: str = "fifo",
+    autoscale: bool = False,
+    min_workers: Optional[int] = None,
+    max_workers: Optional[int] = None,
 ) -> List[DistributedOutcome]:
     """Run one or more sweeps through the shared-directory queue.
 
@@ -1184,11 +1273,30 @@ def execute_queued(
     daemons, removes every sweep directory it created (leases, attempt
     markers, quarantine included — the queue dir stays clean for the
     next campaign), and raises :class:`SweepAborted`.
+
+    Scheduling (:mod:`repro.sched`): ``schedule="fifo"`` enqueues the
+    jobs in submission order with uniform chunks; ``schedule="cost"``
+    estimates each sweep's cost from runtime telemetry (cache entry
+    metadata) or family priors, serves the long poles first and
+    shrinks chunk sizes toward each sweep's tail.  ``autoscale=True``
+    replaces the fixed fleet with a supervisor that sizes the local
+    fleet from observed queue depth, bounded by ``min_workers`` /
+    ``max_workers`` (default ``0`` / ``max(workers, 1)``) with
+    hysteresis.  Both levers are result-neutral — every mode's results
+    are bit-identical to the sequential oracle's.
     """
     if not jobs:
         raise ValueError("need at least one queued job")
     if workers < 0:
         raise ValueError("workers must be >= 0 for the distributed backend")
+    if schedule not in ("fifo", "cost"):
+        raise ValueError(
+            f"schedule must be 'fifo' or 'cost', got {schedule!r}"
+        )
+    if not autoscale and (min_workers is not None or max_workers is not None):
+        raise ValueError(
+            "min_workers/max_workers require autoscale=True"
+        )
     lease_ttl = DEFAULT_LEASE_TTL if lease_ttl is None else float(lease_ttl)
     if lease_ttl <= 0:
         raise ValueError("lease_ttl must be positive")
@@ -1207,6 +1315,8 @@ def execute_queued(
             poll=poll, timeout=timeout,
             max_attempts=max_attempts, stop=stop,
             keep_failed_dirs=not made_temp,
+            schedule=schedule, autoscale=autoscale,
+            min_workers=min_workers, max_workers=max_workers,
         )
     finally:
         # A private temp queue is useless after this call either way:
@@ -1231,33 +1341,97 @@ def _run_queued(
     max_attempts: Optional[int] = None,
     stop: Optional[Callable[[], bool]] = None,
     keep_failed_dirs: bool = False,
+    schedule: str = "fifo",
+    autoscale: bool = False,
+    min_workers: Optional[int] = None,
+    max_workers: Optional[int] = None,
 ) -> List[DistributedOutcome]:
     """The enqueue / fleet / wait / collect body of ``execute_queued``."""
+    # Late import: repro.sched builds on this module's queue primitives.
+    from repro.sched.autoscale import (
+        AutoscalePolicy,
+        FleetSupervisor,
+        QueueSample,
+    )
+    from repro.sched.estimator import estimate_sweep_cost
+    from repro.sched.planner import long_pole_order, shrinking_chunks
+
+    fleet_min = 0 if min_workers is None else int(min_workers)
+    fleet_max = max(workers, 1) if max_workers is None else int(max_workers)
+    planning_workers = fleet_max if autoscale else max(workers, 1)
+
+    estimates: List[Optional[object]] = [None] * len(jobs)
+    ranks = list(range(len(jobs)))  # FIFO: serve in submission order
+    if schedule == "cost":
+        est_cache = (
+            SweepCache(Path(cache_root)) if cache_root is not None else None
+        )
+        estimates = [
+            estimate_sweep_cost(
+                job.scenario, job.params, job.seeds, cache=est_cache,
+            )
+            for job in jobs
+        ]
+        order = long_pole_order(
+            [estimate.total_seconds for estimate in estimates]
+        )
+        for rank, job_index in enumerate(order):
+            ranks[job_index] = rank
+
     queues: List[WorkQueue] = []
     chunk_sizes: List[int] = []
-    for job in jobs:
+    for index, job in enumerate(jobs):
         seeds = [int(seed) for seed in job.seeds]
         effective_chunk = (
             chunk_size if chunk_size is not None
-            else auto_chunk_size(len(seeds), max(workers, 1))
+            else auto_chunk_size(len(seeds), planning_workers)
         )
         chunk_sizes.append(effective_chunk)
+        estimate = estimates[index]
         queues.append(WorkQueue.create(
             queue_root, job.scenario, job.params, seeds, effective_chunk,
             spec_payload=job.spec_payload,
             max_attempts=max_attempts,
+            chunks=(
+                shrinking_chunks(seeds, effective_chunk)
+                if schedule == "cost" else None
+            ),
+            rank=ranks[index],
+            est_seconds_per_seed=(
+                estimate.seconds_per_seed if estimate is not None else None
+            ),
         ))
     our_sweeps = [queue.sweep_id for queue in queues]
     cache_arg = str(cache_root) if cache_root is not None else None
     context = multiprocessing.get_context()
-    processes = [
-        context.Process(
+
+    def _spawn_worker(stop_flag: Path):
+        process = context.Process(
             target=_local_worker_main,
-            args=(str(queue_root), cache_arg, poll, lease_ttl),
+            args=(str(queue_root), cache_arg, poll, lease_ttl,
+                  str(stop_flag)),
             daemon=True,
         )
-        for _ in range(workers)
-    ]
+        process.start()
+        return process
+
+    supervisor: Optional[FleetSupervisor] = None
+    processes: List[multiprocessing.Process] = []
+    if autoscale:
+        supervisor = FleetSupervisor(
+            spawn=_spawn_worker,
+            policy=AutoscalePolicy(fleet_min, fleet_max),
+            queue_dir=queue_root,
+        )
+    else:
+        processes = [
+            context.Process(
+                target=_local_worker_main,
+                args=(str(queue_root), cache_arg, poll, lease_ttl),
+                daemon=True,
+            )
+            for _ in range(workers)
+        ]
     aborted = False
     try:
         for process in processes:
@@ -1268,10 +1442,19 @@ def _run_queued(
         # its peers (that is the point of the exercise).
         stall_window = max(lease_ttl, 1.0)
         repair_every = max(poll * 10.0, 0.5)
+        scale_every = max(poll * 5.0, 0.25)
+        # Adaptive wait: the idle sleep doubles while no task completes
+        # (capped well under the stall window so stall detection keeps
+        # its resolution) and snaps back to ``poll`` on any progress —
+        # a quiet queue stops burning scans, a completion still wakes
+        # the coordinator promptly.
+        sleep_cap = max(poll, min(0.5, stall_window / 4.0))
+        idle_sleep = poll
         total_tasks = sum(len(queue.task_ids()) for queue in queues)
         last_done = -1
         last_progress = time.monotonic()
         last_repair = 0.0
+        last_scale: Optional[float] = None
         while True:
             if stop is not None and stop():
                 raise SweepAborted(
@@ -1285,6 +1468,7 @@ def _run_queued(
             if done_now != last_done:
                 last_done = done_now
                 last_progress = now
+                idle_sleep = poll
             if now - last_progress > timeout:
                 pending = {
                     queue.sweep_id: queue.pending()
@@ -1300,15 +1484,33 @@ def _run_queued(
                 last_repair = now
                 for queue in queues:
                     queue.repair()
-            peers_gone = bool(processes) and not any(
-                process.is_alive() for process in processes
-            )
+            active = sum(queue.active_leases() for queue in queues)
+            if supervisor is not None and (
+                last_scale is None or now - last_scale >= scale_every
+            ):
+                # One autoscaler tick (the first sizes the fleet from
+                # the full queue depth, so work starts immediately).
+                last_scale = now
+                supervisor.observe(QueueSample(
+                    claimable=max(total_tasks - done_now - active, 0),
+                    leased=active,
+                ))
+            if supervisor is not None:
+                # The supervisor respawns workers as needed, so a dead
+                # fleet is a scaling event, not a drain trigger; only a
+                # deliberately-empty idle fleet falls through inline.
+                peers_gone = False
+                fleet_idle = supervisor.alive() == 0 and active == 0
+            else:
+                peers_gone = bool(processes) and not any(
+                    process.is_alive() for process in processes
+                )
+                fleet_idle = workers == 0 and active == 0
             # Drain inline when nobody else is on the job: no local
             # daemons requested and no external lease active, every
             # local daemon dead, or the queue stalled a full window
             # (which also steals expired leases).
-            active = sum(queue.active_leases() for queue in queues)
-            if ((workers == 0 and active == 0)
+            if (fleet_idle
                     or peers_gone
                     or now - last_progress > stall_window):
                 drained = worker_loop(
@@ -1322,16 +1524,21 @@ def _run_queued(
                 )
                 if drained.tasks_done > 0:
                     last_progress = time.monotonic()
+                    idle_sleep = poll
                 else:
                     # Nothing claimable yet (e.g. an orphaned lease
                     # still inside its TTL) — wait, don't spin.
-                    time.sleep(poll)
+                    time.sleep(idle_sleep)
+                    idle_sleep = min(idle_sleep * 2.0, sleep_cap)
             else:
-                time.sleep(poll)
+                time.sleep(idle_sleep)
+                idle_sleep = min(idle_sleep * 2.0, sleep_cap)
     except SweepAborted:
         aborted = True
         raise
     finally:
+        if supervisor is not None:
+            supervisor.shutdown()
         for process in processes:
             if process.is_alive():
                 process.terminate()
@@ -1346,6 +1553,7 @@ def _run_queued(
     outcomes = []
     for queue, effective_chunk in zip(queues, chunk_sizes):
         results, failures, totals = queue.collect()
+        runtimes = queue.seed_runtimes()
         counters = queue.counters()
         if failures and keep_failed_dirs:
             # Keep the sweep dir: its quarantine diagnostics stay
@@ -1363,6 +1571,7 @@ def _run_queued(
             cache_errors=totals.cache_errors,
             wall_seconds=time.perf_counter() - start,
             failed_seeds=failures,
+            seed_runtimes=runtimes,
         ))
     return outcomes
 
@@ -1450,6 +1659,10 @@ class SweepStatus:
     different code version (workers skip such sweeps loudly).
     ``quarantined`` lists every poisoned seed with its exception
     summary — the work `repro queue requeue` would release.
+    ``est_seconds_per_seed`` is the scheduler's cost estimate recorded
+    in the manifest (``None`` for sweeps enqueued without one) and
+    ``est_remaining_seconds`` prices the still-pending seeds with it —
+    advisory ETAs, not promises.
     """
 
     sweep_id: str
@@ -1464,6 +1677,8 @@ class SweepStatus:
     version_match: bool
     spec: Optional[dict] = None
     quarantined: Tuple[QuarantineStatus, ...] = ()
+    est_seconds_per_seed: Optional[float] = None
+    est_remaining_seconds: Optional[float] = None
 
     @property
     def pending(self) -> int:
@@ -1503,6 +1718,8 @@ class SweepStatus:
             "quarantined": [
                 record.to_payload() for record in self.quarantined
             ],
+            "est_seconds_per_seed": self.est_seconds_per_seed,
+            "est_remaining_seconds": self.est_remaining_seconds,
         }
 
 
@@ -1531,6 +1748,21 @@ def _sweep_status(queue: WorkQueue, now: float) -> SweepStatus:
         )
         for seed, record in sorted(queue.quarantined().items())
     )
+    est_per_seed = queue.manifest.get("est_seconds_per_seed")
+    if (
+        isinstance(est_per_seed, bool)
+        or not isinstance(est_per_seed, (int, float))
+        or est_per_seed < 0
+    ):
+        est_per_seed = None
+    est_remaining = None
+    if est_per_seed is not None:
+        remaining_seeds = sum(
+            len(chunk)
+            for task_id, chunk in queue.manifest.get("chunks", {}).items()
+            if not queue.is_done(task_id)
+        )
+        est_remaining = float(est_per_seed) * remaining_seeds
     return SweepStatus(
         sweep_id=queue.sweep_id,
         scenario=str(queue.manifest.get("scenario", "?")),
@@ -1548,6 +1780,10 @@ def _sweep_status(queue: WorkQueue, now: float) -> SweepStatus:
         ),
         spec=queue.manifest.get("spec"),
         quarantined=quarantined,
+        est_seconds_per_seed=(
+            float(est_per_seed) if est_per_seed is not None else None
+        ),
+        est_remaining_seconds=est_remaining,
     )
 
 

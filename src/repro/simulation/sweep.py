@@ -126,6 +126,11 @@ class SweepResult:
     # cover only the seeds that succeeded; the requested seed set is
     # ``seeds`` + the seeds named here (and stays recorded in ``spec``).
     failed_seeds: List[Dict[str, object]] = field(default_factory=list)
+    # Per-seed compute wall times in seconds — telemetry for the cost
+    # estimator (repro.sched), never part of the bit-identity contract.
+    # Cache replays report the runtime the original compute recorded;
+    # seeds whose runtime was never measured are absent.
+    seed_runtimes: Dict[int, float] = field(default_factory=dict)
 
 
 def seed_range(count: int, first: int = 1) -> List[int]:
@@ -182,6 +187,12 @@ def sweep_result_from_payload(payload: Dict[str, object]) -> SweepResult:
         requeues=int(distributed.get("requeues", 0)),
         spec=payload.get("spec"),
         failed_seeds=list(payload.get("failed_seeds") or []),
+        seed_runtimes={
+            int(seed): float(runtime)
+            for seed, runtime in (
+                payload.get("seed_runtimes") or {}
+            ).items()
+        },
     )
 
 
@@ -199,6 +210,9 @@ class _SweepPlan:
     keys: Dict[int, str]
     collected: Dict[int, Reduced]
     missing: List[int]
+    # Per-seed compute wall times: harvested from cache metadata on
+    # warm replays, measured by the executor for computed seeds.
+    runtimes: Dict[int, float] = field(default_factory=dict)
     start: float = field(default_factory=time.perf_counter)
 
 
@@ -231,55 +245,67 @@ def _plan(spec: SweepSpec, profile: ExecutionProfile) -> _SweepPlan:
     cache = SweepCache(cache_dir) if cache_dir is not None else None
     collected: Dict[int, Reduced] = {}
     keys: Dict[int, str] = {}
+    runtimes: Dict[int, float] = {}
     missing = list(spec.seeds)
     if cache is not None:
         keys = SweepCache.keys_for(spec.scenario, params, spec.seeds)
         missing = []
         for seed in spec.seeds:
-            cached = cache.get(keys[seed])
-            if cached is None:
+            entry = cache.get_entry(keys[seed])
+            if entry is None:
                 missing.append(seed)
             else:
-                collected[seed] = cached
+                collected[seed], runtime = entry
+                if runtime is not None:
+                    runtimes[seed] = runtime
     return _SweepPlan(
         spec=spec, params=params, cache=cache, keys=keys,
-        collected=collected, missing=missing,
+        collected=collected, missing=missing, runtimes=runtimes,
     )
 
 
 def _pool_reduced(
     scenario: str, params: Tuple, seed: int,
-) -> Reduced:
+) -> Tuple[Reduced, float]:
     """The raise-fast pool entry: one seed, no retries.
 
-    A module-level function so the process pool can pickle it.  The
-    only extra over ``registry.run_reduced`` is the ``raise:<seed>``
-    chaos hook, so fault-injection tests cover the pool backends too.
+    A module-level function so the process pool can pickle it.  Returns
+    ``(result, runtime_seconds)`` — the wall time is the scheduler's
+    cost telemetry.  The only extra over ``registry.run_reduced`` is
+    the ``raise:<seed>`` chaos hook, so fault-injection tests cover the
+    pool backends too.
     """
+    start = time.perf_counter()
     faults.maybe_raise(seed)
-    return registry.run_reduced(scenario, params, seed)
+    result = registry.run_reduced(scenario, params, seed)
+    return result, time.perf_counter() - start
 
 
 def _guarded_reduced(
     scenario: str, params: Tuple, max_attempts: int, seed: int,
-) -> Tuple[str, object]:
+) -> Tuple[str, object, float]:
     """The collecting pool entry: one seed inside an error boundary.
 
-    Returns ``("ok", result)`` or — after ``max_attempts`` tries with
-    exponential backoff — ``("failed", failure_record)``, so a poison
-    seed costs its own result and nothing else.  Module-level for
-    pickling.
+    Returns ``("ok", result, runtime)`` or — after ``max_attempts``
+    tries with exponential backoff — ``("failed", failure_record,
+    runtime)``, so a poison seed costs its own result and nothing else.
+    The runtime covers the successful attempt only (failed attempts are
+    not cost telemetry).  Module-level for pickling.
     """
     attempt = 0
     while True:
         attempt += 1
+        start = time.perf_counter()
         try:
             faults.maybe_raise(seed)
-            return ("ok", registry.run_reduced(scenario, params, seed))
+            result = registry.run_reduced(scenario, params, seed)
+            return ("ok", result, time.perf_counter() - start)
         except Exception as error:  # the error boundary
             if attempt >= max_attempts:
                 return (
-                    "failed", faults.failure_payload(seed, error, attempt),
+                    "failed",
+                    faults.failure_payload(seed, error, attempt),
+                    0.0,
                 )
             time.sleep(faults.backoff_delay(attempt))
 
@@ -318,18 +344,20 @@ def _run_pool(
     warned_unwritable = False
     for seed, outcome in zip(plan.missing, computed):
         if collecting:
-            status, value = outcome
+            status, value, runtime = outcome
             if status == "failed":
                 failures[seed] = value
                 continue
             result = value
         else:
-            result = outcome
+            result, runtime = outcome
         plan.collected[seed] = result
+        plan.runtimes[seed] = runtime
         if cache is not None:
             try:
                 cache.put(plan.keys[seed], result,
-                          scenario=plan.spec.scenario, seed=seed)
+                          scenario=plan.spec.scenario, seed=seed,
+                          runtime=runtime)
             except OSError as error:
                 # An unwritable cache (read-only dir, full disk) must
                 # never cost the results that were just computed; it is
@@ -423,6 +451,10 @@ def _assemble(
         requeues=requeues,
         spec=spec.to_payload(),
         failed_seeds=[failures[seed] for seed in sorted(failures)],
+        seed_runtimes={
+            seed: plan.runtimes[seed]
+            for seed in seeds if seed in plan.runtimes
+        },
     )
 
 
@@ -530,10 +562,15 @@ def _execute_campaign_distributed(
             lease_ttl=profile.lease_ttl,
             max_attempts=profile.resolved_max_attempts(),
             stop=stop,
+            schedule=profile.resolved_schedule(),
+            autoscale=profile.autoscale,
+            min_workers=profile.min_workers,
+            max_workers=profile.max_workers,
         )
     results: Dict[int, SweepResult] = {}
     for plan, outcome in zip(job_plans, outcomes):
         plan.collected.update(outcome.results)
+        plan.runtimes.update(outcome.seed_runtimes)
         timing = RunTiming(
             wall_seconds=outcome.wall_seconds,
             seeds=len(plan.missing),

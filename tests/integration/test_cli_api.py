@@ -161,8 +161,10 @@ class TestQueueCli:
         assert "2 pending" in out
         assert "task-0001 held by worker-xyz" in out
         payload = json.loads(json_path.read_text())
-        assert payload[0]["pending"] == 2
-        assert payload[0]["leased"][0]["owner"] == "worker-xyz"
+        assert payload["autoscaler_events"] == []
+        sweeps = payload["sweeps"]
+        assert sweeps[0]["pending"] == 2
+        assert sweeps[0]["leased"][0]["owner"] == "worker-xyz"
 
     def test_top_level_list_mentions_campaign_and_queue(self, capsys):
         assert main(["list"]) == 0

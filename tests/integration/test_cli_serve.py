@@ -165,7 +165,7 @@ class TestServeSubprocess:
             oracle = execute_sweep(spec, ExecutionProfile(no_cache=True))
             payload = sweep_to_payload(sweep)
             expected = sweep_to_payload(oracle)
-            for volatile in ("timing", "cache"):
+            for volatile in ("timing", "cache", "seed_runtimes"):
                 payload.pop(volatile)
                 expected.pop(volatile)
             assert payload == expected
@@ -232,7 +232,7 @@ class TestServeSubprocess:
             oracle = execute_sweep(spec, ExecutionProfile(no_cache=True))
             payload = sweep_to_payload(sweep)
             expected = sweep_to_payload(oracle)
-            for volatile in ("timing", "cache"):
+            for volatile in ("timing", "cache", "seed_runtimes"):
                 payload.pop(volatile)
                 expected.pop(volatile)
             assert payload == expected

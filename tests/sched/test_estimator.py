@@ -1,0 +1,156 @@
+"""Cost-estimator provenance and scaling.
+
+The estimator's contract is a strict source priority — observed
+telemetry beats a probe beats the family prior — plus linear workload
+scaling so a ``runs=800`` override cannot hide a long pole.  Estimates
+only steer the queue, so the tests check provenance and ordering, not
+wall-clock accuracy.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import (
+    estimate_sweep_cost,
+    observed_runtimes,
+    prior_seconds_per_seed,
+)
+from repro.sched.estimator import estimate_campaign
+from repro.simulation import registry
+from repro.simulation.cache import SweepCache
+
+SCENARIO = "fig15-environment"
+
+
+class TestPriors:
+    def test_families_are_ordering_accurate(self):
+        # The structural spread the planner relies on: the heavy table
+        # scenarios dwarf the cheap single-run figures.
+        assert (prior_seconds_per_seed("table1-connectivity")
+                > prior_seconds_per_seed("fig7-mutuality")
+                > prior_seconds_per_seed("fig15-environment"))
+
+    def test_unknown_family_gets_the_default(self):
+        assert prior_seconds_per_seed("fig99-nope") == pytest.approx(0.05)
+
+    def test_workload_params_scale_linearly(self):
+        base = prior_seconds_per_seed(SCENARIO)
+        scaled = prior_seconds_per_seed(SCENARIO, (("runs", 800),))
+        assert scaled == pytest.approx(base * 800)
+
+    def test_non_numeric_and_bool_values_are_ignored(self):
+        base = prior_seconds_per_seed(SCENARIO)
+        assert prior_seconds_per_seed(
+            SCENARIO, (("runs", "lots"), ("iterations", True))
+        ) == pytest.approx(base)
+
+    def test_non_positive_values_are_ignored(self):
+        base = prior_seconds_per_seed(SCENARIO)
+        assert prior_seconds_per_seed(
+            SCENARIO, (("runs", 0), ("rounds", -5))
+        ) == pytest.approx(base)
+
+    @given(runs=st.integers(min_value=1, max_value=10**4))
+    @settings(max_examples=50)
+    def test_scaling_is_monotone(self, runs):
+        assert (prior_seconds_per_seed(SCENARIO, (("runs", runs + 1),))
+                > prior_seconds_per_seed(SCENARIO, (("runs", runs),)))
+
+
+class TestSourcePriority:
+    def test_full_telemetry_is_observed(self):
+        est = estimate_sweep_cost(
+            SCENARIO, (), [1, 2], runtimes={1: 2.0, 2: 4.0},
+        )
+        assert est.source == "observed"
+        assert est.observed_seeds == 2
+        assert est.seconds_per_seed == pytest.approx(3.0)
+        assert est.total_seconds == pytest.approx(6.0)
+
+    def test_partial_telemetry_is_mixed_and_uses_observed_mean(self):
+        # The sweep's own telemetry predicts its unobserved seeds, not
+        # the family prior: same machine, same code, same params.
+        est = estimate_sweep_cost(
+            SCENARIO, (), [1, 2, 3, 4], runtimes={1: 8.0},
+        )
+        assert est.source == "mixed"
+        assert est.observed_seeds == 1
+        assert est.seconds_per_seed == pytest.approx(8.0)
+
+    def test_probe_beats_prior_but_not_telemetry(self):
+        calls = []
+
+        def probe(scenario, params):
+            calls.append(scenario)
+            return 1.5
+
+        probed = estimate_sweep_cost(SCENARIO, (), [1, 2], probe=probe)
+        assert probed.source == "probe"
+        assert probed.seconds_per_seed == pytest.approx(1.5)
+        observed = estimate_sweep_cost(
+            SCENARIO, (), [1], runtimes={1: 9.0}, probe=probe,
+        )
+        assert observed.source == "observed"
+        assert calls == [SCENARIO]  # probe untouched when telemetry won
+
+    def test_no_signal_falls_back_to_prior(self):
+        est = estimate_sweep_cost(SCENARIO, (("runs", 10),), [1, 2, 3])
+        assert est.source == "prior"
+        assert est.seconds_per_seed == pytest.approx(
+            prior_seconds_per_seed(SCENARIO, (("runs", 10),))
+        )
+
+    def test_garbage_runtimes_are_ignored(self):
+        est = estimate_sweep_cost(
+            SCENARIO, (), [1, 2],
+            runtimes={1: "soon", 2: -3.0, 99: 1.0},
+        )
+        assert est.source == "prior"
+
+    def test_empty_seed_list_costs_nothing(self):
+        est = estimate_sweep_cost(SCENARIO, (), [])
+        assert est.seeds == 0
+        assert est.total_seconds == 0.0
+
+
+class TestCacheMining:
+    def test_cache_entry_metadata_feeds_the_estimate(self, tmp_path):
+        spec = registry.get(SCENARIO)
+        params = spec.params_key(smoke=True)
+        cache = SweepCache(tmp_path)
+        reduced = spec.bound(smoke=True)(1)
+        keys = SweepCache.keys_for(SCENARIO, params, [1, 2])
+        cache.put(keys[1], reduced, runtime=2.5)
+        cache.put(keys[2], reduced)  # legacy entry: no runtime recorded
+
+        observed = observed_runtimes(cache, SCENARIO, params, [1, 2, 3])
+        assert observed == {1: 2.5}
+
+        est = estimate_sweep_cost(SCENARIO, params, [1], cache=cache)
+        assert est.source == "observed"
+        assert est.seconds_per_seed == pytest.approx(2.5)
+
+    def test_explicit_runtimes_shadow_the_cache(self, tmp_path):
+        spec = registry.get(SCENARIO)
+        params = spec.params_key(smoke=True)
+        cache = SweepCache(tmp_path)
+        reduced = spec.bound(smoke=True)(1)
+        keys = SweepCache.keys_for(SCENARIO, params, [1])
+        cache.put(keys[1], reduced, runtime=100.0)
+        est = estimate_sweep_cost(
+            SCENARIO, params, [1], cache=cache, runtimes={1: 1.0},
+        )
+        assert est.seconds_per_seed == pytest.approx(1.0)
+
+
+class TestCampaignEstimation:
+    def test_one_estimate_per_job_in_order(self):
+        estimates = estimate_campaign([
+            ("table1-connectivity", (), [1, 2]),
+            (SCENARIO, (), [3]),
+        ])
+        assert [est.scenario for est in estimates] == [
+            "table1-connectivity", SCENARIO,
+        ]
+        assert estimates[0].total_seconds > estimates[1].total_seconds

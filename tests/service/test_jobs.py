@@ -217,7 +217,7 @@ class TestRealClient:
 
             expected = sweep_to_payload(one_seed_sweep)
             actual = record.result_payload()
-            for volatile in ("timing",):
+            for volatile in ("timing", "seed_runtimes"):
                 expected.pop(volatile)
                 actual = dict(actual)
                 actual.pop(volatile)

@@ -26,6 +26,7 @@ def _values(payload):
     trimmed = dict(payload)
     trimmed.pop("timing")
     trimmed.pop("cache")
+    trimmed.pop("seed_runtimes", None)
     return trimmed
 
 

@@ -78,7 +78,7 @@ class TestSubmitSweep:
         from repro.analysis.export import sweep_to_payload
 
         expected = sweep_to_payload(oracle)
-        for volatile in ("timing",):
+        for volatile in ("timing", "seed_runtimes"):
             expected.pop(volatile)
             result.pop(volatile)
         assert result == expected
@@ -499,7 +499,7 @@ class TestRestartRecoveryOverHTTP:
             from repro.analysis.export import sweep_to_payload
 
             expected = sweep_to_payload(oracle)
-            for volatile in ("timing",):
+            for volatile in ("timing", "seed_runtimes"):
                 expected.pop(volatile)
                 result.pop(volatile)
             assert result == expected

@@ -27,6 +27,7 @@ def _values(payload):
     trimmed = dict(payload)
     trimmed.pop("timing")
     trimmed.pop("cache")
+    trimmed.pop("seed_runtimes", None)
     return trimmed
 
 
@@ -91,9 +92,12 @@ class TestConcurrentClients:
         cache_dir = tmp_path / "cache"
         profile = ExecutionProfile(cache_dir=str(cache_dir))
         # Uncached multi-seed blocker: holds the single dispatcher for
-        # seconds, leaving the victim deterministically queued.
+        # seconds (the runs override makes each seed genuinely slow, so
+        # a loaded machine cannot finish it before the cancel lands),
+        # leaving the victim deterministically queued.
         blocker_spec = SweepSpec(
-            "fig15-environment", seeds=[101, 102, 103, 104], smoke=True
+            "fig15-environment", seeds=[101, 102, 103, 104], smoke=True,
+            overrides={"runs": 500},
         )
         victim_spec = SweepSpec("fig7-mutuality", seeds=[999], smoke=True)
 

@@ -214,7 +214,8 @@ class TestRunSweepWithCache:
     def test_unwritable_cache_warns_but_returns_results(
         self, tmp_path, monkeypatch
     ):
-        def refuse(self, key, result, scenario="", seed=None):
+        def refuse(self, key, result, scenario="", seed=None,
+                   runtime=None):
             raise OSError("disk full")
 
         monkeypatch.setattr(SweepCache, "put", refuse)

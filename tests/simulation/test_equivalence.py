@@ -142,6 +142,61 @@ class TestProcessPool:
         assert chunked.timing.backend == "process"
 
 
+class TestCostSchedule:
+    """The cost scheduler and autoscaler inherit the bit-identity
+    contract: ``schedule="cost"`` reorders the queue and reshapes the
+    chunks, autoscaling varies the fleet — neither may change a single
+    bit of any result, and a healthy run still steals nothing."""
+
+    @pytest.mark.parametrize("autoscale", [False, True])
+    def test_cost_schedule_identical_to_sequential(
+        self, autoscale, tmp_path
+    ):
+        from repro.api import ExecutionProfile, SweepSpec
+        from repro.simulation.sweep import execute_sweep
+
+        spec = registry.get("fig7-mutuality")
+        sequential = _sequential_average(spec, SEEDS)
+        profile = ExecutionProfile(
+            workers=2, backend="distributed",
+            queue_dir=str(tmp_path / "queue"),
+            cache_dir=str(tmp_path / "cache"),
+            schedule="cost", autoscale=autoscale,
+            max_workers=3 if autoscale else None,
+        )
+        sweep = execute_sweep(
+            SweepSpec("fig7-mutuality", seeds=SEEDS, smoke=True), profile
+        )
+        assert sweep.mean == sequential
+        assert sweep.steals == 0
+        assert sweep.requeues == 0
+
+    def test_cost_campaign_identical_per_sweep(self, tmp_path):
+        """A mixed-cost campaign under cost scheduling + autoscaling:
+        every sweep's mean matches its own sequential oracle."""
+        from repro.api import ExecutionProfile, SweepSpec
+        from repro.simulation.sweep import execute_campaign
+
+        names = ["fig15-environment", "fig7-mutuality", "fig8-inference"]
+        profile = ExecutionProfile(
+            workers=2, backend="distributed",
+            queue_dir=str(tmp_path / "queue"),
+            cache_dir=str(tmp_path / "cache"),
+            schedule="cost", autoscale=True,
+            min_workers=1, max_workers=3,
+        )
+        results = execute_campaign(
+            [SweepSpec(name, seeds=SEEDS, smoke=True) for name in names],
+            profile,
+        )
+        for name, result in zip(names, results):
+            assert result.mean == _sequential_average(
+                registry.get(name), SEEDS
+            )
+            assert result.steals == 0
+            assert result.requeues == 0
+
+
 @pytest.mark.slow
 @pytest.mark.skipif(
     (os.cpu_count() or 1) < 2 or bool(os.environ.get("CI")),
